@@ -1,0 +1,144 @@
+// Regenerates Figure 13: cumulative mining run time by explanation length
+// for the One-Way, Two-Way and Bridge-2/3/4 algorithms (data sets A & B,
+// log days 1-6 first accesses, T = 3, s = 1%, M = 5, with collaborative
+// groups and the identifier mapping table).
+//
+// Paper shapes: Bridge-2 is the most efficient (start/end constraints are
+// pushed down earliest); One-Way beats Two-Way (the two-way algorithm
+// considers more initial edges); all algorithms mine the SAME template set.
+
+#include <algorithm>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "core/miner.h"
+
+namespace eba {
+namespace {
+
+using bench::Unwrap;
+
+int Run(int argc, char** argv) {
+  CareWebConfig config = bench::ParseConfig(argc, argv);
+  CareWebData data = Unwrap(GenerateCareWeb(config), "generate");
+  Database& db = data.db;
+  bench::PrintDataSummary(data);
+
+  (void)Unwrap(BuildGroupsFromDays(&db, "Log", 1, config.num_days - 1,
+                                   "Groups", HierarchyOptions{}));
+  LogSlice train = Unwrap(
+      AddLogSlice(&db, "Log", "TrainFirst", 1, config.num_days - 1, true));
+  std::printf("mining log: %s first accesses (days 1-%d), T=3, s=1%%, M=5\n",
+              FormatCount(static_cast<int64_t>(train.lids.size())).c_str(),
+              config.num_days - 1);
+
+  MinerOptions options;
+  options.log_table = "TrainFirst";
+  options.support_fraction = 0.01;
+  options.max_length = 5;
+  options.max_tables = 3;
+  options.excluded_tables = ExcludedLogsFor(db, "TrainFirst");
+
+  struct Algo {
+    const char* name;
+    StatusOr<MiningResult> (*run)(const TemplateMiner&);
+  };
+  const Algo algos[] = {
+      {"One-Way",
+       [](const TemplateMiner& m) { return m.MineOneWay(); }},
+      {"Two-Way",
+       [](const TemplateMiner& m) { return m.MineTwoWay(); }},
+      {"Bridge-2",
+       [](const TemplateMiner& m) { return m.MineBridged(2); }},
+      {"Bridge-3",
+       [](const TemplateMiner& m) { return m.MineBridged(3); }},
+      {"Bridge-4",
+       [](const TemplateMiner& m) { return m.MineBridged(4); }},
+  };
+
+  // Warm-up: build the lazy hash indexes and statistics once so the first
+  // timed algorithm is not charged for them.
+  {
+    MinerOptions warm = options;
+    warm.max_length = 2;
+    (void)Unwrap(TemplateMiner(&db, warm).MineOneWay(), "warm-up");
+  }
+
+  auto run_series = [&](const MinerOptions& opts,
+                        const char* title) -> std::vector<MiningResult> {
+    TemplateMiner miner(&db, opts);
+    std::vector<MiningResult> results;
+    for (const Algo& algo : algos) {
+      results.push_back(Unwrap(algo.run(miner), algo.name));
+    }
+    bench::PrintTitle(title);
+    std::printf("  %-10s", "length");
+    for (const Algo& algo : algos) std::printf(" %10s", algo.name);
+    std::printf("\n");
+    for (int length = 1; length <= opts.max_length; ++length) {
+      std::printf("  %-10d", length);
+      for (const auto& result : results) {
+        double cumulative = 0;
+        for (const auto& timing : result.stats.timings) {
+          if (timing.length == length) cumulative = timing.cumulative_seconds;
+        }
+        std::printf(" %10.3f", cumulative);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n  %-10s %10s %10s %10s %10s %10s\n", "algo", "templates",
+                "queries", "cachehits", "skipped", "candidates");
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::printf("  %-10s %10zu %10zu %10zu %10zu %10zu\n", algos[i].name,
+                  results[i].templates.size(),
+                  results[i].stats.support_queries,
+                  results[i].stats.cache_hits, results[i].stats.skipped_paths,
+                  results[i].stats.candidates_considered);
+    }
+    return results;
+  };
+
+  // Headline series: all §3.2.1 optimizations on (the paper's setup). Note
+  // that our cardinality estimator skips partial-path support queries very
+  // effectively, which flattens the per-algorithm differences the paper
+  // observed — the candidate counts still show the ordering.
+  std::vector<MiningResult> results = run_series(
+      options,
+      "Figure 13: cumulative mining run time (s) by length "
+      "(all optimizations)");
+
+  // Second series with the skip optimization disabled: every supported
+  // partial path pays a real support query, which is the workload regime of
+  // the paper's Figure 13 (their estimator skipped less aggressively); the
+  // Bridge-2 < One-Way < Two-Way ordering emerges in wall-clock time.
+  // Capped at M=4: the ordering is established by then, and unskipped
+  // length-5 partial paths dominate the cost without adding information.
+  MinerOptions no_skip = options;
+  no_skip.skip_nonselective = false;
+  no_skip.max_length = std::min(options.max_length, 4);
+  (void)run_series(no_skip,
+                   "Figure 13 (b): cumulative run time (s), skip-nonselective "
+                   "disabled, M=4");
+
+  // All algorithms must produce the same template set (§5.3.3).
+  std::set<std::string> base;
+  for (const auto& mined : results[0].templates) {
+    base.insert(Unwrap(mined.tmpl.CanonicalKey(db)));
+  }
+  bool all_equal = true;
+  for (size_t i = 1; i < results.size(); ++i) {
+    std::set<std::string> keys;
+    for (const auto& mined : results[i].templates) {
+      keys.insert(Unwrap(mined.tmpl.CanonicalKey(db)));
+    }
+    if (keys != base) all_equal = false;
+  }
+  std::printf("\n  all algorithms produced the same template set: %s\n",
+              all_equal ? "YES (as in the paper)" : "NO (BUG)");
+  return all_equal ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace eba
+
+int main(int argc, char** argv) { return eba::Run(argc, argv); }

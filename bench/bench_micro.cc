@@ -1,0 +1,181 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: hash
+// index construction, equi-join execution, support evaluation strategies,
+// first-access analysis, Louvain clustering, and path canonicalization.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+
+#include "careweb/generator.h"
+#include "careweb/workload.h"
+#include "core/miner.h"
+#include "graph/modularity.h"
+#include "graph/user_graph.h"
+#include "log/access_log.h"
+#include "query/executor.h"
+
+namespace eba {
+namespace {
+
+/// Shared small data set (generated once per process).
+const CareWebData& SharedData() {
+  static CareWebData* data = [] {
+    auto generated = GenerateCareWeb(CareWebConfig::Small());
+    EBA_CHECK_MSG(generated.ok(), generated.status().ToString());
+    auto* d = new CareWebData(std::move(generated).value());
+    auto groups = BuildGroupsFromDays(&d->db, "Log", 1, 6, "Groups",
+                                      HierarchyOptions{});
+    EBA_CHECK_MSG(groups.ok(), groups.status().ToString());
+    return d;
+  }();
+  return *data;
+}
+
+template <typename T>
+T Unwrap(StatusOr<T> s) {
+  EBA_CHECK_MSG(s.ok(), s.status().ToString());
+  return std::move(s).value();
+}
+
+void BM_HashIndexBuild(benchmark::State& state) {
+  const CareWebData& data = SharedData();
+  const Table* log = Unwrap(data.db.GetTable("Log"));
+  AccessLog access_log = Unwrap(AccessLog::Wrap(log));
+  for (auto _ : state) {
+    HashIndex index(&log->column(static_cast<size_t>(access_log.patient_col())));
+    benchmark::DoNotOptimize(index.NumDistinctKeys());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(log->num_rows()));
+}
+BENCHMARK(BM_HashIndexBuild);
+
+void BM_SupportNaive(benchmark::State& state) {
+  const CareWebData& data = SharedData();
+  Executor executor(&data.db);
+  ExplanationTemplate tmpl = Unwrap(TemplateApptWithDoctor(data.db));
+  for (auto _ : state) {
+    auto count = executor.CountDistinct(tmpl.query(), tmpl.lid_attr(),
+                                        Executor::SupportStrategy::kNaive);
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_SupportNaive);
+
+void BM_SupportDedupFrontier(benchmark::State& state) {
+  const CareWebData& data = SharedData();
+  Executor executor(&data.db);
+  ExplanationTemplate tmpl = Unwrap(TemplateApptWithDoctor(data.db));
+  for (auto _ : state) {
+    auto count =
+        executor.CountDistinct(tmpl.query(), tmpl.lid_attr(),
+                               Executor::SupportStrategy::kDedupFrontier);
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_SupportDedupFrontier);
+
+void BM_GroupTemplateSupport(benchmark::State& state) {
+  const CareWebData& data = SharedData();
+  Executor executor(&data.db);
+  ExplanationTemplate tmpl =
+      Unwrap(TemplatesGroups(data.db, 1, false))[0];
+  for (auto _ : state) {
+    auto count =
+        executor.CountDistinct(tmpl.query(), tmpl.lid_attr(),
+                               Executor::SupportStrategy::kDedupFrontier);
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_GroupTemplateSupport);
+
+void BM_ExplainSingleAccess(benchmark::State& state) {
+  const CareWebData& data = SharedData();
+  Executor executor(&data.db);
+  ExplanationTemplate tmpl = Unwrap(TemplateApptWithDoctor(data.db));
+  std::vector<Value> lids = {Value::Int64(1)};
+  for (auto _ : state) {
+    auto rel =
+        executor.MaterializeForLogIds(tmpl.query(), tmpl.lid_attr(), lids);
+    benchmark::DoNotOptimize(rel);
+  }
+}
+BENCHMARK(BM_ExplainSingleAccess);
+
+void BM_FirstAccessMask(benchmark::State& state) {
+  const CareWebData& data = SharedData();
+  const Table* log = Unwrap(data.db.GetTable("Log"));
+  AccessLog access_log = Unwrap(AccessLog::Wrap(log));
+  for (auto _ : state) {
+    auto mask = access_log.FirstAccessMask();
+    benchmark::DoNotOptimize(mask);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(log->num_rows()));
+}
+BENCHMARK(BM_FirstAccessMask);
+
+void BM_UserGraphBuild(benchmark::State& state) {
+  const CareWebData& data = SharedData();
+  const Table* log = Unwrap(data.db.GetTable("Log"));
+  AccessLog access_log = Unwrap(AccessLog::Wrap(log));
+  for (auto _ : state) {
+    auto graph = UserGraph::Build(access_log);
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_UserGraphBuild);
+
+void BM_LouvainClustering(benchmark::State& state) {
+  const CareWebData& data = SharedData();
+  const Table* log = Unwrap(data.db.GetTable("Log"));
+  AccessLog access_log = Unwrap(AccessLog::Wrap(log));
+  UserGraph graph = Unwrap(UserGraph::Build(access_log));
+  for (auto _ : state) {
+    Clustering clustering = ClusterUserGraph(graph);
+    benchmark::DoNotOptimize(clustering.num_clusters);
+  }
+}
+BENCHMARK(BM_LouvainClustering);
+
+void BM_CanonicalKey(benchmark::State& state) {
+  MiningPath path({JoinEdge{{"Log", "Patient"}, {"Appointments", "Patient"}},
+                   JoinEdge{{"Appointments", "Doctor"}, {"Groups", "User"}},
+                   JoinEdge{{"Groups", "Group_id"}, {"Groups", "Group_id"}},
+                   JoinEdge{{"Groups", "User"}, {"Log", "User"}}});
+  for (auto _ : state) {
+    auto key = path.CanonicalKey();
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_CanonicalKey);
+
+void BM_MineOneWayTinyLog(benchmark::State& state) {
+  const CareWebData& data = SharedData();
+  // Mining over day 1's first accesses only (kept small so the benchmark
+  // iterates); const_cast is safe: AddLogSlice only adds a table once.
+  static bool initialized = [] {
+    auto& db = const_cast<Database&>(SharedData().db);
+    auto slice = AddLogSlice(&db, "Log", "MicroTrain", 1, 1, true);
+    EBA_CHECK_MSG(slice.ok(), slice.status().ToString());
+    return true;
+  }();
+  (void)initialized;
+  MinerOptions options;
+  options.log_table = "MicroTrain";
+  options.support_fraction = 0.02;
+  options.max_length = 3;
+  options.max_tables = 3;
+  options.excluded_tables = ExcludedLogsFor(data.db, "MicroTrain");
+  TemplateMiner miner(&data.db, options);
+  for (auto _ : state) {
+    auto result = miner.MineOneWay();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MineOneWayTinyLog);
+
+}  // namespace
+}  // namespace eba
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Regenerates Table 1: number of explanation templates mined per time
+// period (days 1-6, day 1, day 3, day 7) broken down by template length,
+// plus the set of templates common to every period.
+//
+// Paper shape: the template counts are stable across periods, with a large
+// common core — mined templates represent generic reasons for access, so an
+// administrator can review a small stable set.
+
+#include <map>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "core/miner.h"
+
+namespace eba {
+namespace {
+
+using bench::Unwrap;
+
+struct PeriodResult {
+  std::string name;
+  std::map<int, int> count_by_length;
+  std::map<int, std::set<std::string>> keys_by_length;
+};
+
+int Run(int argc, char** argv) {
+  CareWebConfig config = bench::ParseConfig(argc, argv);
+  CareWebData data = Unwrap(GenerateCareWeb(config), "generate");
+  Database& db = data.db;
+  bench::PrintDataSummary(data);
+
+  (void)Unwrap(BuildGroupsFromDays(&db, "Log", 1, config.num_days - 1,
+                                   "Groups", HierarchyOptions{}));
+
+  struct Period {
+    const char* label;
+    int first_day;
+    int last_day;
+  };
+  const Period periods[] = {
+      {"Days 1-6", 1, config.num_days - 1},
+      {"Day 1", 1, 1},
+      {"Day 3", 3, 3},
+      {"Day 7", config.num_days, config.num_days},
+  };
+
+  std::vector<PeriodResult> results;
+  for (const Period& period : periods) {
+    std::string table_name =
+        std::string("Mine_") + std::to_string(period.first_day) + "_" +
+        std::to_string(period.last_day);
+    LogSlice slice = Unwrap(AddLogSlice(&db, "Log", table_name,
+                                        period.first_day, period.last_day,
+                                        /*first_only=*/true));
+    MinerOptions options;
+    options.log_table = table_name;
+    options.support_fraction = 0.01;
+    options.max_length = 5;
+    options.max_tables = 3;
+    options.excluded_tables = ExcludedLogsFor(db, table_name);
+    MiningResult mined = Unwrap(TemplateMiner(&db, options).MineOneWay(),
+                                period.label);
+
+    PeriodResult result;
+    result.name = period.label;
+    for (const auto& m : mined.templates) {
+      int length = m.tmpl.ReportedLength(db);
+      result.count_by_length[length]++;
+      result.keys_by_length[length].insert(
+          Unwrap(m.tmpl.CanonicalKey(db)));
+    }
+    std::printf("  %-10s: %4zu first accesses -> %3zu templates\n",
+                period.label, slice.lids.size(), mined.templates.size());
+    results.push_back(std::move(result));
+  }
+
+  // Lengths observed anywhere.
+  std::set<int> lengths;
+  for (const auto& result : results) {
+    for (const auto& [length, count] : result.count_by_length) {
+      lengths.insert(length);
+    }
+  }
+
+  bench::PrintTitle("Table 1: number of explanation templates mined");
+  std::printf("  %-8s", "Length");
+  for (const auto& result : results) {
+    std::printf(" %10s", result.name.c_str());
+  }
+  std::printf(" %10s\n", "Common");
+  for (int length : lengths) {
+    std::printf("  %-8d", length);
+    std::set<std::string> common;
+    bool first = true;
+    for (const auto& result : results) {
+      auto it = result.count_by_length.find(length);
+      std::printf(" %10d", it == result.count_by_length.end() ? 0 : it->second);
+      auto keys_it = result.keys_by_length.find(length);
+      std::set<std::string> keys = keys_it == result.keys_by_length.end()
+                                       ? std::set<std::string>{}
+                                       : keys_it->second;
+      if (first) {
+        common = keys;
+        first = false;
+      } else {
+        std::set<std::string> intersection;
+        for (const auto& k : common) {
+          if (keys.count(k)) intersection.insert(k);
+        }
+        common = std::move(intersection);
+      }
+    }
+    std::printf(" %10zu\n", common.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace eba
+
+int main(int argc, char** argv) { return eba::Run(argc, argv); }

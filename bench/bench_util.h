@@ -1,0 +1,128 @@
+// Shared helpers for the per-figure benchmark harnesses: scale selection,
+// common environment setup (data + groups + slices + eval logs), and
+// fixed-width table/bar printing that mirrors the paper's figures.
+
+#ifndef EBA_BENCH_BENCH_UTIL_H_
+#define EBA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "careweb/config.h"
+#include "careweb/generator.h"
+#include "careweb/workload.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "log/access_log.h"
+
+namespace eba {
+namespace bench {
+
+/// Unwraps a StatusOr or aborts with the error (benchmarks fail loudly).
+template <typename T>
+T Unwrap(StatusOr<T> s, const char* what = "bench setup") {
+  if (!s.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, s.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(s).value();
+}
+
+inline void Check(const Status& s, const char* what = "bench setup") {
+  if (!s.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, s.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Scale selection: --scale=tiny|small|paper (also env EBA_BENCH_SCALE);
+/// default is the paper-shaped configuration unless the harness overrides
+/// `default_scale` (ablation harnesses default to "small": they compare
+/// configurations relatively, and their pessimal configurations are
+/// deliberately expensive). --seed=N overrides the seed.
+inline CareWebConfig ParseConfig(int argc, char** argv,
+                                 const char* default_scale = "paper") {
+  std::string scale = default_scale;
+  if (const char* env = std::getenv("EBA_BENCH_SCALE")) scale = env;
+  uint64_t seed = 0;
+  bool seed_set = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) scale = argv[i] + 8;
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      seed_set = true;
+    }
+  }
+  CareWebConfig config;
+  if (scale == "tiny") {
+    config = CareWebConfig::Tiny();
+  } else if (scale == "small") {
+    config = CareWebConfig::Small();
+  } else {
+    config = CareWebConfig::PaperShaped();
+  }
+  if (seed_set) config.seed = seed;
+  return config;
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints a labeled horizontal bar (paper-figure style).
+inline void PrintBar(const std::string& label, double value,
+                     double max_value = 1.0, int width = 40) {
+  int filled = 0;
+  if (max_value > 0) {
+    filled = static_cast<int>(value / max_value * width + 0.5);
+    if (filled > width) filled = width;
+    if (filled < 0) filled = 0;
+  }
+  std::string bar(static_cast<size_t>(filled), '#');
+  std::printf("  %-28s %6.3f  |%-*s|\n", label.c_str(), value, width,
+              bar.c_str());
+}
+
+/// Prints a data-summary banner (log size, users, patients, density).
+inline void PrintDataSummary(const CareWebData& data) {
+  const Table* log_table = Unwrap(data.db.GetTable("Log"));
+  AccessLog log = Unwrap(AccessLog::Wrap(log_table));
+  std::printf(
+      "data: %s accesses | %s users | %s patients | %s user-patient pairs | "
+      "density %.5f | seed %llu\n",
+      FormatCount(static_cast<int64_t>(log.size())).c_str(),
+      FormatCount(static_cast<int64_t>(log.NumDistinctUsers())).c_str(),
+      FormatCount(static_cast<int64_t>(log.NumDistinctPatients())).c_str(),
+      FormatCount(static_cast<int64_t>(log.NumDistinctPairs())).c_str(),
+      log.UserPatientDensity(),
+      static_cast<unsigned long long>(data.config.seed));
+  std::printf(
+      "events: %s appts | %s visits | %s documents | %s labs | %s meds | "
+      "%s radiology\n",
+      FormatCount(static_cast<int64_t>(
+                      Unwrap(data.db.GetTable("Appointments"))->num_rows()))
+          .c_str(),
+      FormatCount(
+          static_cast<int64_t>(Unwrap(data.db.GetTable("Visits"))->num_rows()))
+          .c_str(),
+      FormatCount(static_cast<int64_t>(
+                      Unwrap(data.db.GetTable("Documents"))->num_rows()))
+          .c_str(),
+      FormatCount(
+          static_cast<int64_t>(Unwrap(data.db.GetTable("Labs"))->num_rows()))
+          .c_str(),
+      FormatCount(static_cast<int64_t>(
+                      Unwrap(data.db.GetTable("Medications"))->num_rows()))
+          .c_str(),
+      FormatCount(static_cast<int64_t>(
+                      Unwrap(data.db.GetTable("Radiology"))->num_rows()))
+          .c_str());
+}
+
+}  // namespace bench
+}  // namespace eba
+
+#endif  // EBA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,292 @@
+// eba_tool: command-line driver for the whole explanation-based-auditing
+// workflow, operating on databases persisted with storage/persist.h and
+// template catalogs from core/catalog.h. This is the shape of a deployment:
+// data lands in a directory, templates are mined once and reviewed as a
+// text artifact, and audits/reports run against both.
+//
+//   eba_tool generate --dir DATA [--scale tiny|small|paper] [--seed N]
+//   eba_tool info     --dir DATA
+//   eba_tool groups   --dir DATA [--first-day 1 --last-day 6]
+//   eba_tool mine     --dir DATA --catalog FILE [--support 0.01]
+//                     [--max-length 5] [--max-tables 3] [--log Log]
+//   eba_tool explain  --dir DATA --catalog FILE --lid N
+//   eba_tool audit    --dir DATA --catalog FILE --patient N
+//   eba_tool report   --dir DATA --catalog FILE
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "careweb/generator.h"
+#include "careweb/workload.h"
+#include "common/date.h"
+#include "core/catalog.h"
+#include "core/engine.h"
+#include "core/miner.h"
+#include "graph/hierarchy.h"
+#include "graph/user_graph.h"
+#include "log/access_log.h"
+#include "query/sql.h"
+#include "storage/persist.h"
+
+using namespace eba;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "eba_tool: %s\n", message.c_str());
+  std::exit(1);
+}
+
+void CheckOk(const Status& s) {
+  if (!s.ok()) Die(s.ToString());
+}
+
+template <typename T>
+T Unwrap(StatusOr<T> s) {
+  CheckOk(s.status());
+  return std::move(s).value();
+}
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc < 2) Die("usage: eba_tool <command> [--flag value ...]");
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) Die("expected --flag, got: " + token);
+    std::string key = token.substr(2);
+    size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      args.flags[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (i + 1 < argc) {
+      args.flags[key] = argv[++i];
+    } else {
+      Die("flag --" + key + " needs a value");
+    }
+  }
+  return args;
+}
+
+Database LoadDir(const Args& args) {
+  if (!args.Has("dir")) Die("--dir is required");
+  return Unwrap(LoadDatabase(args.Get("dir", "")));
+}
+
+ExplanationEngine EngineWithCatalog(const Database& db, const Args& args) {
+  std::string log_table = args.Get("log", "Log");
+  ExplanationEngine engine = Unwrap(ExplanationEngine::Create(&db, log_table));
+  if (!args.Has("catalog")) Die("--catalog is required");
+  TemplateCatalog catalog =
+      Unwrap(TemplateCatalog::LoadFromFile(db, args.Get("catalog", "")));
+  for (const auto& tmpl : catalog.templates()) {
+    CheckOk(engine.AddTemplate(tmpl));
+  }
+  std::printf("loaded %zu templates from %s\n", catalog.size(),
+              args.Get("catalog", "").c_str());
+  return engine;
+}
+
+int CmdGenerate(const Args& args) {
+  if (!args.Has("dir")) Die("--dir is required");
+  std::string scale = args.Get("scale", "small");
+  CareWebConfig config;
+  if (scale == "tiny") {
+    config = CareWebConfig::Tiny();
+  } else if (scale == "small") {
+    config = CareWebConfig::Small();
+  } else if (scale == "paper") {
+    config = CareWebConfig::PaperShaped();
+  } else {
+    Die("unknown --scale: " + scale);
+  }
+  if (args.Has("seed")) {
+    config.seed = static_cast<uint64_t>(args.GetInt("seed", 0));
+  }
+  std::printf("generating synthetic hospital (%s, seed %llu)...\n",
+              scale.c_str(), static_cast<unsigned long long>(config.seed));
+  CareWebData data = Unwrap(GenerateCareWeb(config));
+  CheckOk(SaveDatabase(data.db, args.Get("dir", "")));
+  std::printf("wrote %zu tables (%zu rows) to %s\n",
+              data.db.TableNames().size(), data.db.TotalRows(),
+              args.Get("dir", "").c_str());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  Database db = LoadDir(args);
+  std::printf("%-16s %10s  %s\n", "table", "rows", "columns");
+  for (const std::string& name : db.TableNames()) {
+    const Table* table = Unwrap(db.GetTable(name));
+    std::string cols;
+    for (const auto& def : table->schema().columns()) {
+      if (!cols.empty()) cols += ", ";
+      cols += def.name;
+      if (!def.domain.empty()) cols += "[" + def.domain + "]";
+    }
+    std::printf("%-16s %10zu  %s\n", name.c_str(), table->num_rows(),
+                cols.c_str());
+  }
+  if (db.HasTable("Log")) {
+    const Table* log_table = Unwrap(db.GetTable("Log"));
+    AccessLog log = Unwrap(AccessLog::Wrap(log_table));
+    std::printf(
+        "\nlog: %zu accesses, %zu users, %zu patients, density %.5f, "
+        "%zu first accesses\n",
+        log.size(), log.NumDistinctUsers(), log.NumDistinctPatients(),
+        log.UserPatientDensity(), log.FirstAccessLids().size());
+  }
+  return 0;
+}
+
+int CmdGroups(const Args& args) {
+  if (!args.Has("dir")) Die("--dir is required");
+  Database db = LoadDir(args);
+  int first_day = static_cast<int>(args.GetInt("first-day", 1));
+  int last_day = static_cast<int>(args.GetInt("last-day", 6));
+  GroupHierarchy hierarchy = Unwrap(BuildGroupsFromDays(
+      &db, args.Get("log", "Log"), first_day, last_day, "Groups",
+      HierarchyOptions{}));
+  std::printf("built Groups from days %d-%d: %zu top-level groups, depth %d\n",
+              first_day, last_day, hierarchy.GroupsAtDepth(1).size(),
+              hierarchy.max_depth());
+  CheckOk(SaveDatabase(db, args.Get("dir", "")));
+  std::printf("database updated in %s\n", args.Get("dir", "").c_str());
+  return 0;
+}
+
+int CmdMine(const Args& args) {
+  Database db = LoadDir(args);
+  if (!args.Has("catalog")) Die("--catalog is required");
+
+  MinerOptions options;
+  options.log_table = args.Get("log", "Log");
+  options.support_fraction = args.GetDouble("support", 0.01);
+  options.max_length = static_cast<int>(args.GetInt("max-length", 5));
+  options.max_tables = static_cast<int>(args.GetInt("max-tables", 3));
+  options.excluded_tables = ExcludedLogsFor(db, options.log_table);
+
+  std::printf("mining %s (s=%.2f%%, M=%d, T=%d)...\n",
+              options.log_table.c_str(), 100 * options.support_fraction,
+              options.max_length, options.max_tables);
+  MiningResult result = Unwrap(TemplateMiner(&db, options).MineOneWay());
+
+  TemplateCatalog catalog;
+  for (const auto& mined : result.templates) {
+    CheckOk(catalog.Add(mined.tmpl));
+  }
+  CheckOk(catalog.SaveToFile(db, args.Get("catalog", "")));
+  std::printf(
+      "mined %zu templates (%zu support queries, %zu skipped); wrote %s\n",
+      result.templates.size(), result.stats.support_queries,
+      result.stats.skipped_paths, args.Get("catalog", "").c_str());
+  std::printf("review the catalog, delete unwanted TEMPLATE blocks, then use "
+              "it with `explain`, `audit` and `report`.\n");
+  return 0;
+}
+
+int CmdExplain(const Args& args) {
+  Database db = LoadDir(args);
+  ExplanationEngine engine = EngineWithCatalog(db, args);
+  if (!args.Has("lid")) Die("--lid is required");
+  int64_t lid = args.GetInt("lid", 0);
+  auto instances = Unwrap(engine.Explain(lid));
+  if (instances.empty()) {
+    std::printf("L%lld is UNEXPLAINED by the catalog.\n",
+                static_cast<long long>(lid));
+    return 0;
+  }
+  std::printf("L%lld has %zu explanation(s):\n", static_cast<long long>(lid),
+              instances.size());
+  for (const auto& instance : instances) {
+    std::printf("  - %s   [%s, length %d]\n",
+                instance.ToNaturalLanguage(db).c_str(),
+                instance.tmpl().name().c_str(), instance.tmpl().RawLength());
+  }
+  return 0;
+}
+
+int CmdAudit(const Args& args) {
+  Database db = LoadDir(args);
+  ExplanationEngine engine = EngineWithCatalog(db, args);
+  if (!args.Has("patient")) Die("--patient is required");
+  int64_t patient = args.GetInt("patient", 0);
+
+  const Table* log_table = Unwrap(db.GetTable(engine.log_table()));
+  AccessLog log = Unwrap(AccessLog::Wrap(log_table));
+  const HashIndex& index =
+      log_table->GetOrBuildIndex(static_cast<size_t>(log.patient_col()));
+  auto rows = index.LookupInt64(patient);
+  std::printf("%zu accesses to patient %lld:\n", rows.size(),
+              static_cast<long long>(patient));
+  for (uint32_t r : rows) {
+    AccessLog::Entry e = log.Get(r);
+    auto instances = Unwrap(engine.Explain(e.lid));
+    std::printf("  L%-8lld %s  user %-6lld %s\n",
+                static_cast<long long>(e.lid),
+                Date::FromSeconds(e.time).ToLogString().c_str(),
+                static_cast<long long>(e.user),
+                instances.empty()
+                    ? "!! UNEXPLAINED"
+                    : instances.front().ToNaturalLanguage(db).c_str());
+  }
+  return 0;
+}
+
+int CmdReport(const Args& args) {
+  Database db = LoadDir(args);
+  ExplanationEngine engine = EngineWithCatalog(db, args);
+  ExplanationReport report = Unwrap(engine.ExplainAll());
+  std::printf("log size:    %zu\n", report.log_size);
+  std::printf("explained:   %zu (%.2f%%)\n", report.explained_lids.size(),
+              100.0 * report.Coverage());
+  std::printf("unexplained: %zu\n", report.unexplained_lids.size());
+  std::printf("\nper-template coverage:\n");
+  for (size_t i = 0; i < engine.templates().size(); ++i) {
+    std::printf("  %-48s %8zu\n", engine.templates()[i].name().c_str(),
+                report.per_template_counts[i]);
+  }
+  size_t shown = 0;
+  std::printf("\nfirst unexplained lids:");
+  for (int64_t lid : report.unexplained_lids) {
+    std::printf(" %lld", static_cast<long long>(lid));
+    if (++shown == 15) break;
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = Parse(argc, argv);
+  if (args.command == "generate") return CmdGenerate(args);
+  if (args.command == "info") return CmdInfo(args);
+  if (args.command == "groups") return CmdGroups(args);
+  if (args.command == "mine") return CmdMine(args);
+  if (args.command == "explain") return CmdExplain(args);
+  if (args.command == "audit") return CmdAudit(args);
+  if (args.command == "report") return CmdReport(args);
+  Die("unknown command: " + args.command +
+      " (expected generate|info|groups|mine|explain|audit|report)");
+}

@@ -1,0 +1,127 @@
+// Quickstart: the paper's running example (Figures 1-3) end to end.
+//
+// Builds the Example 2.2 hospital database by hand, registers explanation
+// templates (A) and (B), and explains each access in the log — reproducing
+// the worked example from §2 of the paper, including the natural-language
+// renderings and the support numbers of Example 3.1.
+//
+// Run: ./quickstart
+
+#include <cstdio>
+
+#include "common/date.h"
+#include "core/engine.h"
+#include "log/access_log.h"
+#include "query/sql.h"
+#include "storage/database.h"
+
+using namespace eba;
+
+namespace {
+
+/// Aborts on error — examples fail loudly.
+void Check(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(StatusOr<T> s) {
+  Check(s.status());
+  return std::move(s).value();
+}
+
+}  // namespace
+
+int main() {
+  // --- 1. Create the schema of Figure 3. Key domains ("patient", "user")
+  //        declare which attributes are joinable — the key/FK relationships
+  //        the miner is allowed to use.
+  Database db;
+  Check(db.CreateTable(TableSchema(
+      "Appointments",
+      {ColumnDef{"Patient", DataType::kInt64, "patient", false},
+       ColumnDef{"Date", DataType::kTimestamp, "", false},
+       ColumnDef{"Doctor", DataType::kInt64, "user", false}})));
+  Check(db.CreateTable(TableSchema(
+      "Doctor_Info", {ColumnDef{"Doctor", DataType::kInt64, "user", false},
+                      ColumnDef{"Department", DataType::kString, "dept",
+                                false}})));
+  Check(db.CreateTable(AccessLog::StandardSchema("Log")));
+  Check(db.AllowSelfJoin(AttrId{"Doctor_Info", "Department"}));
+
+  // --- 2. Populate it: Alice saw Dr. Dave on 1/1/2010; Bob saw Dr. Mike on
+  //        2/2/2010; Dave and Mike share the Pediatrics department.
+  const int64_t kAlice = 1, kBob = 2, kDave = 10, kMike = 11;
+  Table* appointments = Unwrap(db.GetTable("Appointments"));
+  int64_t jan1 = Date::FromCivil(2010, 1, 1, 9, 0, 0).ToSeconds();
+  int64_t feb2 = Date::FromCivil(2010, 2, 2, 9, 0, 0).ToSeconds();
+  Check(appointments->AppendRow(
+      {Value::Int64(kAlice), Value::Timestamp(jan1), Value::Int64(kDave)}));
+  Check(appointments->AppendRow(
+      {Value::Int64(kBob), Value::Timestamp(feb2), Value::Int64(kMike)}));
+
+  Table* info = Unwrap(db.GetTable("Doctor_Info"));
+  Check(info->AppendRow({Value::Int64(kMike), Value::String("Pediatrics")}));
+  Check(info->AppendRow({Value::Int64(kDave), Value::String("Pediatrics")}));
+
+  Table* log = Unwrap(db.GetTable("Log"));
+  Check(log->AppendRow({Value::Int64(1), Value::Timestamp(jan1 + 3600),
+                        Value::Int64(kDave), Value::Int64(kAlice),
+                        Value::String("viewed record")}));
+  Check(log->AppendRow({Value::Int64(2), Value::Timestamp(feb2 + 3600),
+                        Value::Int64(kDave), Value::Int64(kBob),
+                        Value::String("viewed record")}));
+
+  // --- 3. Register the paper's explanation templates (A) and (B) from
+  //        FROM/WHERE text; description strings use [alias.Column]
+  //        placeholders (§2.2).
+  ExplanationEngine engine = Unwrap(ExplanationEngine::Create(&db, "Log"));
+  Check(engine.AddTemplate(Unwrap(ExplanationTemplate::Parse(
+      db, "template_A", "Log L, Appointments A",
+      "L.Patient = A.Patient AND A.Doctor = L.User",
+      "Patient [L.Patient] had an appointment with doctor [L.User] on "
+      "[A.Date]"))));
+  Check(engine.AddTemplate(Unwrap(ExplanationTemplate::Parse(
+      db, "template_B", "Log L, Appointments A, Doctor_Info I1, Doctor_Info I2",
+      "L.Patient = A.Patient AND A.Doctor = I1.Doctor AND "
+      "I1.Department = I2.Department AND I2.Doctor = L.User",
+      "Patient [L.Patient] had an appointment with doctor [A.Doctor], and "
+      "doctor [L.User] works with them in the [I1.Department] department"))));
+
+  // --- 4. Show the generated SQL (what would run against PostgreSQL).
+  std::printf("Template (A) as SQL:\n%s\n\n",
+              Unwrap(engine.templates()[0].ToSql(db)).c_str());
+
+  // --- 5. Explain every access (the user-centric audit of §1).
+  AccessLog access_log = Unwrap(AccessLog::Wrap(log));
+  for (size_t r = 0; r < access_log.size(); ++r) {
+    AccessLog::Entry e = access_log.Get(r);
+    std::printf("L%lld  %s  user %lld -> patient %lld\n",
+                static_cast<long long>(e.lid),
+                Date::FromSeconds(e.time).ToLogString().c_str(),
+                static_cast<long long>(e.user),
+                static_cast<long long>(e.patient));
+    auto instances = Unwrap(engine.Explain(e.lid));
+    if (instances.empty()) {
+      std::printf("    (unexplained - candidate for compliance review)\n");
+    }
+    for (const auto& instance : instances) {
+      std::printf("    because: %s  [template %s, length %d]\n",
+                  instance.ToNaturalLanguage(db).c_str(),
+                  instance.tmpl().name().c_str(), instance.tmpl().RawLength());
+    }
+  }
+
+  // --- 6. Support (Example 3.1): template (A) explains 50% of the log,
+  //        template (B) explains 100%.
+  ExplanationReport report = Unwrap(engine.ExplainAll());
+  std::printf("\nSupport: template_A explains %zu/%zu accesses, "
+              "template_B explains %zu/%zu accesses\n",
+              report.per_template_counts[0], report.log_size,
+              report.per_template_counts[1], report.log_size);
+  std::printf("Combined coverage: %.0f%%\n", 100.0 * report.Coverage());
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Template mining: the administrator's workflow from §3 — mine frequent
+// explanation templates from the data instead of writing them by hand, then
+// review the suggestions (as SQL + support) before applying them.
+//
+// Run: ./template_mining
+
+#include <algorithm>
+#include <cstdio>
+
+#include "careweb/generator.h"
+#include "careweb/workload.h"
+#include "core/miner.h"
+#include "query/sql.h"
+
+using namespace eba;
+
+namespace {
+
+void Check(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(StatusOr<T> s) {
+  Check(s.status());
+  return std::move(s).value();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Generating synthetic hospital week...\n");
+  CareWebData data = Unwrap(GenerateCareWeb(CareWebConfig::Small()));
+  Database& db = data.db;
+
+  // Groups first: mined templates can then use the Groups self-join.
+  (void)Unwrap(BuildGroupsFromDays(&db, "Log", 1, 6, "Groups",
+                                   HierarchyOptions{}));
+
+  // Mine over the first accesses of the training days (§5.3.3).
+  LogSlice train = Unwrap(AddLogSlice(&db, "Log", "TrainFirst", 1, 6, true));
+  std::printf("Mining log: %zu first accesses (days 1-6)\n\n",
+              train.lids.size());
+
+  MinerOptions options;
+  options.log_table = "TrainFirst";
+  options.support_fraction = 0.01;  // s = 1%
+  options.max_length = 5;          // M
+  options.max_tables = 3;          // T
+  options.excluded_tables = ExcludedLogsFor(db, "TrainFirst");
+
+  TemplateMiner miner(&db, options);
+  MiningResult result = Unwrap(miner.MineOneWay());
+
+  std::printf("Mined %zu templates (support threshold %.0f accesses).\n",
+              result.templates.size(), result.support_threshold);
+  std::printf("Support queries: %zu, cache hits: %zu, paths skipped by the "
+              "optimizer estimate: %zu\n\n",
+              result.stats.support_queries, result.stats.cache_hits,
+              result.stats.skipped_paths);
+
+  // Sort by support for review; show the strongest template per reported
+  // length — exactly what an administrator would eyeball first.
+  std::vector<const MinedTemplate*> sorted;
+  for (const auto& m : result.templates) sorted.push_back(&m);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MinedTemplate* a, const MinedTemplate* b) {
+              return a->support > b->support;
+            });
+
+  std::printf("=== Administrator review queue (top template per length) ===\n");
+  std::map<int, const MinedTemplate*> best_by_length;
+  for (const MinedTemplate* m : sorted) {
+    int length = m->tmpl.ReportedLength(db);
+    if (!best_by_length.count(length)) best_by_length[length] = m;
+  }
+  for (const auto& [length, m] : best_by_length) {
+    std::printf("\n--- length %d | support %lld (%.1f%% of the log) ---\n",
+                length, static_cast<long long>(m->support),
+                100.0 * m->support_fraction);
+    SqlRenderOptions sql_options;
+    sql_options.count_distinct_lid = true;
+    std::printf("%s\n", Unwrap(m->tmpl.ToSql(db, sql_options)).c_str());
+  }
+
+  // Count by length, as in Table 1.
+  std::map<int, int> by_length;
+  for (const auto& m : result.templates) {
+    by_length[m.tmpl.ReportedLength(db)]++;
+  }
+  std::printf("\n=== Mined templates by length (cf. Table 1) ===\n");
+  for (const auto& [length, count] : by_length) {
+    std::printf("  length %d: %d templates\n", length, count);
+  }
+
+  // Sanity check the paper reports: the hand-crafted appointment template
+  // is among the mined ones.
+  ExplanationTemplate appt = Unwrap(TemplateApptWithDoctor(db));
+  std::string appt_key = Unwrap(appt.CanonicalKey(db));
+  bool found = false;
+  for (const auto& m : result.templates) {
+    if (Unwrap(m.tmpl.CanonicalKey(db)) == appt_key) found = true;
+  }
+  std::printf("\nappointment-with-doctor recovered by mining: %s\n",
+              found ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "careweb/config.h"
+
+namespace eba {
+
+CareWebConfig CareWebConfig::Tiny() {
+  CareWebConfig c;
+  c.num_teams = 5;
+  c.doctors_per_team_min = 1;
+  c.doctors_per_team_max = 3;
+  c.nurses_per_team_min = 2;
+  c.nurses_per_team_max = 4;
+  c.support_per_team_min = 1;
+  c.support_per_team_max = 2;
+  c.num_medical_students = 6;
+  c.users_per_consult_service = 3;
+  c.num_patients = 300;
+  c.appointments_per_team_per_day = 4.0;
+  return c;
+}
+
+CareWebConfig CareWebConfig::Small() {
+  CareWebConfig c;
+  c.num_teams = 12;
+  c.num_medical_students = 15;
+  c.users_per_consult_service = 5;
+  c.num_patients = 2000;
+  c.appointments_per_team_per_day = 6.0;
+  return c;
+}
+
+CareWebConfig CareWebConfig::PaperShaped() { return CareWebConfig(); }
+
+}  // namespace eba

@@ -1,0 +1,90 @@
+// CareWebConfig: knobs for the synthetic hospital generator.
+//
+// The generator substitutes for the proprietary University of Michigan
+// Health System data set (§5.2). Its defaults are chosen so the generated
+// data reproduces the structural properties the paper's results rest on:
+//   - very low user-patient density (~1e-3 .. 1e-4),
+//   - events (appointments/visits/documents) reference only the primary
+//     doctor, while whole care teams access the record,
+//   - consult services (radiology/pathology/pharmacy/labs) access records
+//     based on explicit orders recorded in data set B,
+//   - repeat accesses dominate the log,
+//   - a few percent of accesses have no recorded reason (missing data plus
+//     genuine snooping).
+
+#ifndef EBA_CAREWEB_CONFIG_H_
+#define EBA_CAREWEB_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eba {
+
+struct CareWebConfig {
+  uint64_t seed = 20110930;
+
+  /// Log span in days (the paper's log covers one week).
+  int num_days = 7;
+  /// First log day (Mon Jan 4, 2010).
+  int start_year = 2010;
+  int start_month = 1;
+  int start_day = 4;
+
+  // --- Population ---
+  /// Collaborative care teams (the paper found 33 top-level groups).
+  int num_teams = 33;
+  /// Doctors / nurses / support staff per team.
+  int doctors_per_team_min = 2, doctors_per_team_max = 6;
+  int nurses_per_team_min = 3, nurses_per_team_max = 10;
+  int support_per_team_min = 1, support_per_team_max = 4;
+  /// Medical students total (rotate through teams; shared dept code).
+  int num_medical_students = 40;
+  /// Users per consult service (Radiology, Pathology, Pharmacy, Labs).
+  int users_per_consult_service = 10;
+  int num_patients = 8000;
+
+  // --- Event processes (per team, per day) ---
+  double appointments_per_team_per_day = 10.0;
+  /// Probability an appointment also records a visit row.
+  double visit_prob = 0.30;
+  /// Expected documents produced per appointment.
+  double documents_per_appointment = 1.2;
+  /// Per-appointment probabilities of consult orders.
+  double lab_order_prob = 0.35;
+  double medication_order_prob = 0.45;
+  double radiology_order_prob = 0.20;
+  /// Probability an appointment's paperwork is missing from the extract
+  /// (event outside the study window -> access with no recorded reason).
+  double missing_event_prob = 0.02;
+
+  // --- Access behaviour ---
+  double doctor_access_prob = 0.95;
+  /// Number of additional team members who access per appointment.
+  int team_accessors_min = 2, team_accessors_max = 6;
+  double team_member_access_prob = 0.85;
+  double attending_access_prob = 0.50;
+  double consult_access_prob = 0.90;
+  /// Per existing (user, patient) pair, probability of a repeat access on
+  /// each subsequent day.
+  double repeat_access_prob = 0.35;
+  /// Random (snooping-like) accesses per day as a fraction of that day's
+  /// organic accesses.
+  double random_access_rate = 0.01;
+
+  /// Offset added to a caregiver id to form its audit id (data set B keys
+  /// users by audit_id; the UserMap mapping table links the two; §5.3.3).
+  int64_t audit_id_offset = 1000000;
+
+  /// Tiny data set for unit tests (runs in milliseconds).
+  static CareWebConfig Tiny();
+  /// Small data set for examples (sub-second).
+  static CareWebConfig Small();
+  /// Paper-shaped data set for the benchmark harnesses (~50-150k accesses;
+  /// the paper's absolute scale divided by ~30 so every figure regenerates
+  /// in minutes on a laptop).
+  static CareWebConfig PaperShaped();
+};
+
+}  // namespace eba
+
+#endif  // EBA_CAREWEB_CONFIG_H_

@@ -1,0 +1,436 @@
+#include "careweb/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/date.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "log/access_log.h"
+
+namespace eba {
+
+namespace {
+
+const char* kTeamNames[] = {
+    "Cancer Center",        "Psychiatric Care",    "Cardiology",
+    "Pediatrics",           "Emergency Medicine",  "Orthopedics",
+    "Neurology",            "Obstetrics",          "Internal Medicine",
+    "Family Medicine",      "Dermatology",         "Gastroenterology",
+    "Pulmonology",          "Nephrology",          "Endocrinology",
+    "Rheumatology",         "Urology",             "Ophthalmology",
+    "Otolaryngology",       "Geriatrics",          "Infectious Disease",
+    "Hematology",           "Vascular Surgery",    "General Surgery",
+    "Plastic Surgery",      "Transplant",          "Rehabilitation",
+    "Pain Management",      "Allergy",             "Sports Medicine",
+    "Sleep Medicine",       "Palliative Care",     "Trauma Center"};
+
+const char* kSharedDepts[] = {"Medical Students", "Social Work",
+                              "Central Staffing Resources",
+                              "Clinical Trials Office", "Physician Services"};
+
+const char* kConsultServices[] = {"Radiology", "Pathology", "Pharmacy",
+                                  "Labs"};
+
+const char* kActions[] = {"viewed record", "viewed labs", "viewed notes",
+                          "updated history", "viewed medications"};
+
+struct PendingAccess {
+  int64_t time = 0;
+  int64_t user = 0;
+  int64_t patient = 0;
+  std::string action;
+  std::string reason;
+};
+
+struct TeamState {
+  CareWebGroundTruth::Team truth;
+  std::vector<int64_t> nurses;
+  std::vector<int64_t> patients;  // patients assigned to this team
+};
+
+Status CreateSchema(Database* db) {
+  EBA_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "Users", {ColumnDef{"uid", DataType::kInt64, "user", true},
+                ColumnDef{"Name", DataType::kString, "", false},
+                ColumnDef{"Department", DataType::kString, "dept", false},
+                ColumnDef{"Role", DataType::kString, "", false}})));
+  EBA_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "Patients", {ColumnDef{"pid", DataType::kInt64, "patient", true},
+                   ColumnDef{"Name", DataType::kString, "", false}})));
+  EBA_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "Appointments", {ColumnDef{"Patient", DataType::kInt64, "patient", false},
+                       ColumnDef{"Date", DataType::kTimestamp, "", false},
+                       ColumnDef{"Doctor", DataType::kInt64, "user", false}})));
+  EBA_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "Visits", {ColumnDef{"Patient", DataType::kInt64, "patient", false},
+                 ColumnDef{"Date", DataType::kTimestamp, "", false},
+                 ColumnDef{"Doctor", DataType::kInt64, "user", false},
+                 ColumnDef{"Attending", DataType::kInt64, "user", false}})));
+  EBA_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "Documents", {ColumnDef{"Patient", DataType::kInt64, "patient", false},
+                    ColumnDef{"Date", DataType::kTimestamp, "", false},
+                    ColumnDef{"Author", DataType::kInt64, "user", false},
+                    ColumnDef{"Signer", DataType::kInt64, "user", false},
+                    ColumnDef{"Enterer", DataType::kInt64, "user", false}})));
+  EBA_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "Labs", {ColumnDef{"Patient", DataType::kInt64, "patient", false},
+               ColumnDef{"Date", DataType::kTimestamp, "", false},
+               ColumnDef{"Orderer", DataType::kInt64, "audit", false},
+               ColumnDef{"Resulter", DataType::kInt64, "audit", false}})));
+  EBA_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "Medications",
+      {ColumnDef{"Patient", DataType::kInt64, "patient", false},
+       ColumnDef{"Date", DataType::kTimestamp, "", false},
+       ColumnDef{"Requester", DataType::kInt64, "audit", false},
+       ColumnDef{"Signer", DataType::kInt64, "audit", false},
+       ColumnDef{"Administrator", DataType::kInt64, "audit", false}})));
+  EBA_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "Radiology",
+      {ColumnDef{"Patient", DataType::kInt64, "patient", false},
+       ColumnDef{"Date", DataType::kTimestamp, "", false},
+       ColumnDef{"Orderer", DataType::kInt64, "audit", false},
+       ColumnDef{"Radiologist", DataType::kInt64, "audit", false}})));
+  EBA_RETURN_IF_ERROR(db->CreateTable(TableSchema(
+      "UserMap", {ColumnDef{"caregiver_id", DataType::kInt64, "user", false},
+                  ColumnDef{"audit_id", DataType::kInt64, "audit", false}})));
+  EBA_RETURN_IF_ERROR(db->CreateTable(AccessLog::StandardSchema("Log")));
+  EBA_RETURN_IF_ERROR(db->MarkMappingTable("UserMap"));
+  // Mining self-joins per §5.3.3: the department code attribute (and
+  // Groups.Group_id once groups are built). The Log deliberately has no
+  // self-join allowance: an undecorated Log-Log path is tautologically true
+  // for every access (each row matches itself), so the repeat-access
+  // explanation exists only as a hand-crafted *decorated* template
+  // (L.Date > L2.Date), exactly as in the paper.
+  EBA_RETURN_IF_ERROR(db->AllowSelfJoin(AttrId{"Users", "Department"}));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> DataSetAEventTables() {
+  return {{"Appointments", "Patient"},
+          {"Visits", "Patient"},
+          {"Documents", "Patient"}};
+}
+
+std::vector<std::pair<std::string, std::string>> DataSetBEventTables() {
+  return {{"Labs", "Patient"},
+          {"Medications", "Patient"},
+          {"Radiology", "Patient"}};
+}
+
+std::vector<std::pair<std::string, std::string>> AllEventTables() {
+  auto a = DataSetAEventTables();
+  auto b = DataSetBEventTables();
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+StatusOr<CareWebData> GenerateCareWeb(const CareWebConfig& cfg) {
+  if (cfg.num_teams <= 0 || cfg.num_patients <= 0 || cfg.num_days <= 0) {
+    return Status::InvalidArgument("config cardinalities must be positive");
+  }
+  Random rng(cfg.seed);
+  CareWebData data;
+  data.config = cfg;
+  Database& db = data.db;
+  CareWebGroundTruth& truth = data.truth;
+  EBA_RETURN_IF_ERROR(CreateSchema(&db));
+
+  Table* users = db.GetTable("Users").value();
+  Table* patients = db.GetTable("Patients").value();
+  Table* appointments = db.GetTable("Appointments").value();
+  Table* visits = db.GetTable("Visits").value();
+  Table* documents = db.GetTable("Documents").value();
+  Table* labs = db.GetTable("Labs").value();
+  Table* medications = db.GetTable("Medications").value();
+  Table* radiology = db.GetTable("Radiology").value();
+  Table* user_map = db.GetTable("UserMap").value();
+  Table* log_table = db.GetTable("Log").value();
+
+  int64_t next_uid = 1;
+  auto add_user = [&](const std::string& name_prefix,
+                      const std::string& dept,
+                      const std::string& role) -> StatusOr<int64_t> {
+    int64_t uid = next_uid++;
+    EBA_RETURN_IF_ERROR(users->AppendRow(
+        {Value::Int64(uid),
+         Value::String(StrFormat("%s %lld", name_prefix.c_str(),
+                                 static_cast<long long>(uid))),
+         Value::String(dept), Value::String(role)}));
+    truth.all_users.push_back(uid);
+    return uid;
+  };
+
+  // --- Teams: doctors + nurses + shared-pool support staff. ---
+  std::vector<TeamState> teams(static_cast<size_t>(cfg.num_teams));
+  const int num_base_names =
+      static_cast<int>(sizeof(kTeamNames) / sizeof(kTeamNames[0]));
+  for (int t = 0; t < cfg.num_teams; ++t) {
+    TeamState& team = teams[static_cast<size_t>(t)];
+    team.truth.team_id = t;
+    team.truth.name =
+        t < num_base_names
+            ? kTeamNames[t]
+            : StrFormat("Specialty Clinic %d", t - num_base_names + 1);
+    std::string phys_dept = "UMHS " + team.truth.name + " (Physicians)";
+    std::string nurse_dept = "Nursing - " + team.truth.name;
+    team.truth.dept_codes = {phys_dept, nurse_dept};
+
+    int n_doctors = static_cast<int>(rng.UniformRange(
+        cfg.doctors_per_team_min, cfg.doctors_per_team_max));
+    for (int i = 0; i < n_doctors; ++i) {
+      EBA_ASSIGN_OR_RETURN(int64_t uid,
+                           add_user("Dr", phys_dept, "physician"));
+      team.truth.doctors.push_back(uid);
+      team.truth.members.push_back(uid);
+    }
+    int n_nurses = static_cast<int>(
+        rng.UniformRange(cfg.nurses_per_team_min, cfg.nurses_per_team_max));
+    for (int i = 0; i < n_nurses; ++i) {
+      EBA_ASSIGN_OR_RETURN(int64_t uid, add_user("Nurse", nurse_dept, "nurse"));
+      team.nurses.push_back(uid);
+      team.truth.members.push_back(uid);
+    }
+    int n_support = static_cast<int>(rng.UniformRange(
+        cfg.support_per_team_min, cfg.support_per_team_max));
+    for (int i = 0; i < n_support; ++i) {
+      const char* dept = kSharedDepts[rng.Uniform(
+          sizeof(kSharedDepts) / sizeof(kSharedDepts[0]))];
+      EBA_ASSIGN_OR_RETURN(int64_t uid, add_user("Staff", dept, "support"));
+      team.truth.members.push_back(uid);
+      if (std::find(team.truth.dept_codes.begin(), team.truth.dept_codes.end(),
+                    dept) == team.truth.dept_codes.end()) {
+        team.truth.dept_codes.push_back(dept);
+      }
+    }
+  }
+  // Medical students rotate: each is attached to one team this week.
+  for (int i = 0; i < cfg.num_medical_students; ++i) {
+    EBA_ASSIGN_OR_RETURN(int64_t uid,
+                         add_user("Student", "Medical Students", "student"));
+    TeamState& team = teams[rng.Uniform(teams.size())];
+    team.truth.members.push_back(uid);
+    if (std::find(team.truth.dept_codes.begin(), team.truth.dept_codes.end(),
+                  "Medical Students") == team.truth.dept_codes.end()) {
+      team.truth.dept_codes.push_back("Medical Students");
+    }
+  }
+  // Consult services.
+  std::vector<std::vector<int64_t>> consult_pools;
+  for (const char* service : kConsultServices) {
+    std::vector<int64_t> pool;
+    for (int i = 0; i < cfg.users_per_consult_service; ++i) {
+      EBA_ASSIGN_OR_RETURN(int64_t uid, add_user("Tech", service, "consult"));
+      pool.push_back(uid);
+      truth.consult_users.push_back(uid);
+    }
+    consult_pools.push_back(std::move(pool));
+  }
+
+  // Audit-id mapping (data set B identifies users by audit id).
+  for (int64_t uid : truth.all_users) {
+    EBA_RETURN_IF_ERROR(user_map->AppendRow(
+        {Value::Int64(uid), Value::Int64(uid + cfg.audit_id_offset)}));
+  }
+  auto audit = [&](int64_t uid) { return uid + cfg.audit_id_offset; };
+
+  // --- Patients, assigned to teams with skewed popularity. ---
+  for (int64_t pid = 1; pid <= cfg.num_patients; ++pid) {
+    EBA_RETURN_IF_ERROR(patients->AppendRow(
+        {Value::Int64(pid),
+         Value::String(StrFormat("Patient %lld",
+                                 static_cast<long long>(pid)))}));
+    truth.all_patients.push_back(pid);
+    size_t team_idx = rng.Zipf(teams.size(), 0.5);
+    teams[team_idx].patients.push_back(pid);
+    truth.patient_team.emplace(pid, static_cast<int>(team_idx));
+  }
+  // Guarantee each team has at least one patient.
+  for (size_t t = 0; t < teams.size(); ++t) {
+    if (teams[t].patients.empty()) {
+      int64_t pid =
+          truth.all_patients[rng.Uniform(truth.all_patients.size())];
+      teams[t].patients.push_back(pid);
+    }
+  }
+
+  // --- Events and accesses, day by day. ---
+  std::vector<PendingAccess> accesses;
+  std::vector<std::pair<int64_t, int64_t>> known_pairs;  // (user, patient)
+  std::set<std::pair<int64_t, int64_t>> pair_set;
+
+  Date start = Date::FromCivil(cfg.start_year, cfg.start_month, cfg.start_day);
+
+  auto random_action = [&]() {
+    return std::string(
+        kActions[rng.Uniform(sizeof(kActions) / sizeof(kActions[0]))]);
+  };
+  auto push_access = [&](int64_t time, int64_t user, int64_t patient,
+                         const std::string& reason) {
+    accesses.push_back(
+        PendingAccess{time, user, patient, random_action(), reason});
+  };
+
+  for (int day = 0; day < cfg.num_days; ++day) {
+    const int64_t day_start = start.AddDays(day).ToSeconds();
+    auto time_in_day = [&]() {
+      return day_start + 8 * 3600 +
+             static_cast<int64_t>(rng.Uniform(10 * 3600));
+    };
+    const size_t pairs_before_today = known_pairs.size();
+    const size_t accesses_at_day_start = accesses.size();
+
+    for (TeamState& team : teams) {
+      if (team.truth.doctors.empty()) continue;
+      uint64_t n_appts = rng.Poisson(cfg.appointments_per_team_per_day);
+      for (uint64_t a = 0; a < n_appts; ++a) {
+        int64_t patient =
+            team.patients[rng.Zipf(team.patients.size(), 0.6)];
+        int64_t doctor = rng.Choice(team.truth.doctors);
+        int64_t t0 = time_in_day();
+        bool missing = rng.Bernoulli(cfg.missing_event_prob);
+        std::string base_reason = missing ? "missing_event" : "";
+
+        if (!missing) {
+          EBA_RETURN_IF_ERROR(appointments->AppendRow(
+              {Value::Int64(patient), Value::Timestamp(t0),
+               Value::Int64(doctor)}));
+        }
+        if (rng.Bernoulli(cfg.doctor_access_prob)) {
+          push_access(t0 + static_cast<int64_t>(rng.Uniform(600)), doctor,
+                      patient, missing ? base_reason : "appt_doctor");
+        }
+        // Team members (nurses, students, support) work the chart; the
+        // appointment references only the doctor — this is the §4 missing
+        // data phenomenon.
+        int n_team = static_cast<int>(rng.UniformRange(
+            cfg.team_accessors_min, cfg.team_accessors_max));
+        std::vector<size_t> picks = rng.SampleWithoutReplacement(
+            team.truth.members.size(),
+            std::min<size_t>(static_cast<size_t>(n_team),
+                             team.truth.members.size()));
+        for (size_t pick : picks) {
+          int64_t member = team.truth.members[pick];
+          if (member == doctor) continue;
+          if (rng.Bernoulli(cfg.team_member_access_prob)) {
+            push_access(t0 + static_cast<int64_t>(rng.Uniform(4 * 3600)),
+                        member, patient,
+                        missing ? base_reason : "team");
+          }
+        }
+        if (!missing && rng.Bernoulli(cfg.visit_prob)) {
+          int64_t attending = rng.Choice(team.truth.doctors);
+          EBA_RETURN_IF_ERROR(visits->AppendRow(
+              {Value::Int64(patient), Value::Timestamp(t0),
+               Value::Int64(doctor), Value::Int64(attending)}));
+          if (attending != doctor &&
+              rng.Bernoulli(cfg.attending_access_prob)) {
+            push_access(t0 + static_cast<int64_t>(rng.Uniform(2 * 3600)),
+                        attending, patient, "attending");
+          }
+        }
+        if (!missing) {
+          uint64_t n_docs = rng.Poisson(cfg.documents_per_appointment);
+          for (uint64_t d = 0; d < n_docs; ++d) {
+            int64_t author = rng.Choice(team.truth.members);
+            int64_t enterer = rng.Choice(team.truth.members);
+            EBA_RETURN_IF_ERROR(documents->AppendRow(
+                {Value::Int64(patient), Value::Timestamp(t0),
+                 Value::Int64(author), Value::Int64(doctor),
+                 Value::Int64(enterer)}));
+            if (rng.Bernoulli(0.6)) {
+              push_access(t0 + static_cast<int64_t>(rng.Uniform(3 * 3600)),
+                          author, patient, "document");
+            }
+          }
+        }
+        // Consult orders (data set B). Orders are recorded even when the
+        // appointment extract is missing — independent systems.
+        if (rng.Bernoulli(cfg.lab_order_prob)) {
+          int64_t tech = rng.Choice(consult_pools[3]);  // Labs
+          EBA_RETURN_IF_ERROR(labs->AppendRow(
+              {Value::Int64(patient), Value::Timestamp(t0),
+               Value::Int64(audit(doctor)), Value::Int64(audit(tech))}));
+          if (rng.Bernoulli(cfg.consult_access_prob)) {
+            push_access(t0 + static_cast<int64_t>(rng.Uniform(6 * 3600)),
+                        tech, patient, "consult_lab");
+          }
+        }
+        if (rng.Bernoulli(cfg.medication_order_prob)) {
+          int64_t pharmacist = rng.Choice(consult_pools[2]);  // Pharmacy
+          int64_t administrator =
+              team.nurses.empty() ? doctor : rng.Choice(team.nurses);
+          EBA_RETURN_IF_ERROR(medications->AppendRow(
+              {Value::Int64(patient), Value::Timestamp(t0),
+               Value::Int64(audit(doctor)), Value::Int64(audit(pharmacist)),
+               Value::Int64(audit(administrator))}));
+          if (rng.Bernoulli(cfg.consult_access_prob)) {
+            push_access(t0 + static_cast<int64_t>(rng.Uniform(6 * 3600)),
+                        pharmacist, patient, "consult_med");
+          }
+        }
+        if (rng.Bernoulli(cfg.radiology_order_prob)) {
+          int64_t radiologist = rng.Choice(consult_pools[0]);  // Radiology
+          EBA_RETURN_IF_ERROR(radiology->AppendRow(
+              {Value::Int64(patient), Value::Timestamp(t0),
+               Value::Int64(audit(doctor)), Value::Int64(audit(radiologist))}));
+          if (rng.Bernoulli(cfg.consult_access_prob)) {
+            push_access(t0 + static_cast<int64_t>(rng.Uniform(8 * 3600)),
+                        radiologist, patient, "consult_rad");
+          }
+        }
+      }
+    }
+
+    // Repeat accesses over pairs established before today.
+    for (size_t i = 0; i < pairs_before_today; ++i) {
+      if (rng.Bernoulli(cfg.repeat_access_prob)) {
+        push_access(time_in_day(), known_pairs[i].first,
+                    known_pairs[i].second, "repeat");
+      }
+    }
+
+    // Random, unexplainable accesses (snooping-like).
+    size_t organic_today = accesses.size() - accesses_at_day_start;
+    uint64_t n_random = rng.Poisson(
+        cfg.random_access_rate * static_cast<double>(organic_today));
+    for (uint64_t i = 0; i < n_random; ++i) {
+      int64_t user = truth.all_users[rng.Uniform(truth.all_users.size())];
+      int64_t patient =
+          truth.all_patients[rng.Uniform(truth.all_patients.size())];
+      push_access(time_in_day(), user, patient, "random");
+    }
+
+    // Register today's new pairs.
+    for (size_t i = accesses_at_day_start; i < accesses.size(); ++i) {
+      auto pair = std::make_pair(accesses[i].user, accesses[i].patient);
+      if (pair_set.insert(pair).second) known_pairs.push_back(pair);
+    }
+  }
+
+  // --- Materialize the log in time order with sequential lids. ---
+  std::stable_sort(accesses.begin(), accesses.end(),
+                   [](const PendingAccess& a, const PendingAccess& b) {
+                     return a.time < b.time;
+                   });
+  log_table->Reserve(accesses.size());
+  int64_t next_lid = 1;
+  for (const auto& access : accesses) {
+    int64_t lid = next_lid++;
+    EBA_RETURN_IF_ERROR(log_table->AppendRow(
+        {Value::Int64(lid), Value::Timestamp(access.time),
+         Value::Int64(access.user), Value::Int64(access.patient),
+         Value::String(access.action)}));
+    truth.access_reason.emplace(lid, access.reason);
+  }
+
+  for (TeamState& team : teams) {
+    truth.teams.push_back(std::move(team.truth));
+  }
+  return data;
+}
+
+}  // namespace eba

@@ -1,0 +1,109 @@
+// Experiment scaffolding shared by the benchmark harnesses, examples and
+// integration tests: log slicing (train days 1-6 / test day 7, first
+// accesses), combined real+fake evaluation logs (§5.3.2), group building
+// from a training window, and the paper's hand-crafted explanation
+// templates (§5.3.1) expressed through the template parser.
+//
+// All template builders parse against the canonical "Log" table; rebind
+// with ExplanationTemplate::WithLogTable (or let ExplanationEngine /
+// MetricsEvaluator do it) to evaluate against a slice.
+
+#ifndef EBA_CAREWEB_WORKLOAD_H_
+#define EBA_CAREWEB_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "careweb/generator.h"
+#include "common/status.h"
+#include "core/template.h"
+#include "graph/hierarchy.h"
+#include "storage/database.h"
+
+namespace eba {
+
+/// A log slice registered as its own table.
+struct LogSlice {
+  std::string table;
+  std::vector<int64_t> lids;
+};
+
+/// Copies rows of `source_log` whose day index (1-based) lies in
+/// [first_day, last_day] into a new table `name`. When `first_only` is set,
+/// keeps only rows that are the first access of their (user, patient) pair
+/// *within the full source log* (so "day-7 first accesses" means pairs first
+/// seen on day 7). Log self-joins (Patient/User) are allowed on the new
+/// table, mirroring the source log's configuration.
+StatusOr<LogSlice> AddLogSlice(Database* db, const std::string& source_log,
+                               const std::string& name, int first_day,
+                               int last_day, bool first_only);
+
+/// Tables that look like access logs (Lid + User + Patient columns).
+std::vector<std::string> LogLikeTables(const Database& db);
+
+/// Every log-like table except `mining_log` — pass as
+/// MinerOptions::excluded_tables so paths never route through other slices.
+std::vector<std::string> ExcludedLogsFor(const Database& db,
+                                         const std::string& mining_log);
+
+/// A combined real+fake evaluation log (§5.3.2): fake accesses sample users
+/// and patients uniformly; |fake| = |real|.
+struct EvalLogSetup {
+  std::string table;
+  std::vector<int64_t> real_lids;
+  std::vector<int64_t> fake_lids;
+};
+StatusOr<EvalLogSetup> AddEvalLog(Database* db,
+                                  const std::string& real_slice_table,
+                                  const std::string& name,
+                                  const CareWebGroundTruth& truth,
+                                  uint64_t seed);
+
+/// Builds collaborative groups from the given day range of `source_log`,
+/// materializes `groups_table`, and allows its Group_id self-join.
+/// `include_depth_zero` materializes the all-users depth-0 baseline group
+/// too (needed only for Figure 12's depth-0 bar; keep it out when mining).
+StatusOr<GroupHierarchy> BuildGroupsFromDays(
+    Database* db, const std::string& source_log, int first_day, int last_day,
+    const std::string& groups_table, const HierarchyOptions& options,
+    bool include_depth_zero = false);
+
+// --- Hand-crafted templates (§5.3.1); all against table "Log". ---
+
+/// "[Patient] had an appointment with [User]" (explanation (A), §2.1).
+StatusOr<ExplanationTemplate> TemplateApptWithDoctor(const Database& db);
+/// Visit where the accessing user is the visit's doctor.
+StatusOr<ExplanationTemplate> TemplateVisitWithDoctor(const Database& db);
+/// Visit where the accessing user is the attending.
+StatusOr<ExplanationTemplate> TemplateVisitWithAttending(const Database& db);
+/// Document authored by the accessing user.
+StatusOr<ExplanationTemplate> TemplateDocumentWithAuthor(const Database& db);
+/// Repeat access: same user previously accessed the same record (decorated
+/// with L.Date > L2.Date; explanation (C), §2.1).
+StatusOr<ExplanationTemplate> TemplateRepeatAccess(const Database& db);
+
+/// Data set B direct templates (Labs/Medications/Radiology user attributes,
+/// reaching the log through the UserMap mapping table).
+StatusOr<std::vector<ExplanationTemplate>> TemplatesDataSetB(
+    const Database& db);
+
+/// Group templates: patient had an event with someone in the accessing
+/// user's collaborative group (Example 4.2). `depth` >= 0 decorates with
+/// G1.Group_Depth = depth; depth < 0 uses all depths. Covers data set A
+/// (and B when `include_dataset_b`).
+StatusOr<std::vector<ExplanationTemplate>> TemplatesGroups(
+    const Database& db, int depth, bool include_dataset_b);
+
+/// Same-department templates (explanation (B), §2.1): the event's doctor
+/// and the accessing user share a department code.
+StatusOr<std::vector<ExplanationTemplate>> TemplatesSameDepartment(
+    const Database& db);
+
+/// The Figure 7 "All" set: direct data set A templates + repeat access.
+StatusOr<std::vector<ExplanationTemplate>> TemplatesHandcraftedDirect(
+    const Database& db, bool include_repeat);
+
+}  // namespace eba
+
+#endif  // EBA_CAREWEB_WORKLOAD_H_

@@ -1,0 +1,120 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace eba {
+
+namespace {
+const char* kMonthNames[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                             "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+const char* kDayNames[] = {"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"};
+}  // namespace
+
+int64_t Date::EpochDaysFromCivil(int y, int m, int d) {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void Date::CivilFromEpochDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Date Date::FromCivil(int year, int month, int day, int hour, int minute,
+                     int second) {
+  EBA_CHECK(month >= 1 && month <= 12);
+  EBA_CHECK(day >= 1 && day <= 31);
+  EBA_CHECK(hour >= 0 && hour < 24);
+  EBA_CHECK(minute >= 0 && minute < 60);
+  EBA_CHECK(second >= 0 && second < 60);
+  Date dt;
+  dt.year_ = year;
+  dt.month_ = month;
+  dt.day_ = day;
+  dt.hour_ = hour;
+  dt.minute_ = minute;
+  dt.second_ = second;
+  return dt;
+}
+
+Date Date::FromSeconds(int64_t seconds) {
+  int64_t days = seconds / 86400;
+  int64_t rem = seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  Date dt;
+  CivilFromEpochDays(days, &dt.year_, &dt.month_, &dt.day_);
+  dt.hour_ = static_cast<int>(rem / 3600);
+  dt.minute_ = static_cast<int>((rem % 3600) / 60);
+  dt.second_ = static_cast<int>(rem % 60);
+  return dt;
+}
+
+StatusOr<Date> Date::Parse(const std::string& text) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  int n = sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &y, &mo, &d, &h, &mi, &s);
+  if (n != 3 && n != 6) {
+    return Status::InvalidArgument("cannot parse date: '" + text + "'");
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 ||
+      mi > 59 || s < 0 || s > 59) {
+    return Status::InvalidArgument("date field out of range: '" + text + "'");
+  }
+  return FromCivil(y, mo, d, h, mi, s);
+}
+
+int64_t Date::ToSeconds() const {
+  return EpochDaysFromCivil(year_, month_, day_) * 86400 + hour_ * 3600 +
+         minute_ * 60 + second_;
+}
+
+int Date::DayOfWeek() const {
+  // 1970-01-01 was a Thursday (4).
+  int64_t days = ToEpochDays();
+  int64_t dow = (days + 4) % 7;
+  if (dow < 0) dow += 7;
+  return static_cast<int>(dow);
+}
+
+std::string Date::ToString() const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", year_, month_,
+           day_, hour_, minute_, second_);
+  return buf;
+}
+
+std::string Date::ToLogString() const {
+  char buf[40];
+  snprintf(buf, sizeof(buf), "%s %s %02d %02d:%02d:%02d %04d",
+           kDayNames[DayOfWeek()], kMonthNames[month_ - 1], day_, hour_,
+           minute_, second_, year_);
+  return buf;
+}
+
+Date Date::AddDays(int64_t days) const { return AddSeconds(days * 86400); }
+
+Date Date::AddSeconds(int64_t seconds) const {
+  return FromSeconds(ToSeconds() + seconds);
+}
+
+}  // namespace eba

@@ -1,0 +1,86 @@
+// Date: civil date/time arithmetic over seconds-since-epoch timestamps.
+//
+// The access log and event tables store timestamps as int64 seconds (UTC).
+// This header supplies the conversions the paper's experiments need: day
+// slicing (days 1-6 vs day 7), human-readable rendering matching the
+// CareWeb-style "Mon Jan 03 10:16:57 2010" format, and simple parsing.
+// Implemented from scratch (Howard Hinnant's civil-days algorithm) so the
+// library has no locale/tz dependencies.
+
+#ifndef EBA_COMMON_DATE_H_
+#define EBA_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace eba {
+
+/// A broken-down UTC date-time plus conversions to/from epoch seconds.
+class Date {
+ public:
+  Date() = default;
+
+  /// Builds a Date from civil fields; months 1-12, days 1-31.
+  static Date FromCivil(int year, int month, int day, int hour = 0,
+                        int minute = 0, int second = 0);
+
+  /// Builds a Date from epoch seconds.
+  static Date FromSeconds(int64_t seconds);
+
+  /// Parses "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS".
+  static StatusOr<Date> Parse(const std::string& text);
+
+  int year() const { return year_; }
+  int month() const { return month_; }
+  int day() const { return day_; }
+  int hour() const { return hour_; }
+  int minute() const { return minute_; }
+  int second() const { return second_; }
+
+  /// Seconds since the Unix epoch.
+  int64_t ToSeconds() const;
+
+  /// Days since the Unix epoch (floor). Used for day-of-log slicing.
+  int64_t ToEpochDays() const { return EpochDaysFromCivil(year_, month_, day_); }
+
+  /// Day of week, 0 = Sunday ... 6 = Saturday.
+  int DayOfWeek() const;
+
+  /// "YYYY-MM-DD HH:MM:SS".
+  std::string ToString() const;
+
+  /// CareWeb-style rendering, e.g. "Mon Jan 03 10:16:57 2010".
+  std::string ToLogString() const;
+
+  /// Returns this date shifted by a whole number of days (time preserved).
+  Date AddDays(int64_t days) const;
+  /// Returns this date shifted by seconds.
+  Date AddSeconds(int64_t seconds) const;
+
+  bool operator==(const Date& o) const { return ToSeconds() == o.ToSeconds(); }
+  bool operator!=(const Date& o) const { return !(*this == o); }
+  bool operator<(const Date& o) const { return ToSeconds() < o.ToSeconds(); }
+  bool operator<=(const Date& o) const { return ToSeconds() <= o.ToSeconds(); }
+  bool operator>(const Date& o) const { return o < *this; }
+  bool operator>=(const Date& o) const { return o <= *this; }
+
+  /// Days since epoch for a civil date (Hinnant's days_from_civil).
+  static int64_t EpochDaysFromCivil(int year, int month, int day);
+  /// Inverse of EpochDaysFromCivil.
+  static void CivilFromEpochDays(int64_t days, int* year, int* month,
+                                 int* day);
+
+ private:
+  int year_ = 1970;
+  int month_ = 1;
+  int day_ = 1;
+  int hour_ = 0;
+  int minute_ = 0;
+  int second_ = 0;
+};
+
+}  // namespace eba
+
+#endif  // EBA_COMMON_DATE_H_

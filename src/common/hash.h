@@ -1,0 +1,26 @@
+// Hash helpers shared by Value, indexes, and the mining support cache.
+
+#ifndef EBA_COMMON_HASH_H_
+#define EBA_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eba {
+
+/// SplitMix64 finalizer: a strong 64-bit bit mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Boost-style hash combiner.
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace eba
+
+#endif  // EBA_COMMON_HASH_H_

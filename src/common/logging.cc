@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace eba {
+
+namespace {
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  (void)file;
+  (void)line;
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_log_level.load()) return;
+  std::fprintf(stderr, "[eba %s] %s\n", LevelName(level_),
+               stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace eba

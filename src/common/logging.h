@@ -1,0 +1,82 @@
+// Minimal leveled logging to stderr plus EBA_CHECK assertions.
+//
+// The library is quiet by default (level kWarning); benchmarks and examples
+// raise the level to kInfo for progress reporting.
+
+#ifndef EBA_COMMON_LOGGING_H_
+#define EBA_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eba {
+
+enum class LogLevel : uint8_t { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Thrown by EBA_CHECK failures; indicates a programming error.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace eba
+
+#define EBA_LOG(level)                                              \
+  ::eba::internal::LogMessage(::eba::LogLevel::level, __FILE__, __LINE__)
+
+#define EBA_LOG_DEBUG EBA_LOG(kDebug)
+#define EBA_LOG_INFO EBA_LOG(kInfo)
+#define EBA_LOG_WARNING EBA_LOG(kWarning)
+#define EBA_LOG_ERROR EBA_LOG(kError)
+
+/// Internal invariant check. Unlike Status, a failed check indicates a bug in
+/// the library (or its caller) rather than a recoverable condition.
+#define EBA_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      throw ::eba::CheckFailure(std::string("EBA_CHECK failed: ") + #cond + \
+                                " at " + __FILE__ + ":" +                 \
+                                std::to_string(__LINE__));                \
+    }                                                                     \
+  } while (0)
+
+#define EBA_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      throw ::eba::CheckFailure(std::string("EBA_CHECK failed: ") + #cond + \
+                                " (" + (msg) + ") at " + __FILE__ + ":" + \
+                                std::to_string(__LINE__));                \
+    }                                                                     \
+  } while (0)
+
+#endif  // EBA_COMMON_LOGGING_H_

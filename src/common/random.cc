@@ -1,0 +1,144 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace eba {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  // SplitMix64 seeding as recommended by the xoshiro authors.
+  uint64_t s = seed;
+  for (auto& word : state_) {
+    s += 0x9e3779b97f4a7c15ULL;
+    word = Mix64(s);
+  }
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t bound) {
+  EBA_CHECK(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  EBA_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Random::Zipf(uint64_t n, double s) {
+  EBA_CHECK(n > 0);
+  if (s <= 0) return Uniform(n);
+  // Inverse-CDF via the harmonic approximation; accurate enough for skewed
+  // popularity sampling and O(1) per draw.
+  double u = NextDouble();
+  if (s == 1.0) {
+    double hn = std::log(static_cast<double>(n) + 1.0);
+    double x = std::exp(u * hn) - 1.0;
+    uint64_t k = static_cast<uint64_t>(x);
+    return k >= n ? n - 1 : k;
+  }
+  double one_minus_s = 1.0 - s;
+  double hn = (std::pow(static_cast<double>(n) + 1.0, one_minus_s) - 1.0) /
+              one_minus_s;
+  double x = std::pow(u * hn * one_minus_s + 1.0, 1.0 / one_minus_s) - 1.0;
+  uint64_t k = static_cast<uint64_t>(x);
+  return k >= n ? n - 1 : k;
+}
+
+uint64_t Random::Poisson(double lambda) {
+  EBA_CHECK(lambda >= 0);
+  if (lambda == 0) return 0;
+  if (lambda > 64) {
+    // Normal approximation with continuity correction.
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0) u1 = 1e-12;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    double x = lambda + std::sqrt(lambda) * z + 0.5;
+    return x <= 0 ? 0 : static_cast<uint64_t>(x);
+  }
+  double limit = std::exp(-lambda);
+  double prod = NextDouble();
+  uint64_t k = 0;
+  while (prod > limit) {
+    prod *= NextDouble();
+    ++k;
+  }
+  return k;
+}
+
+size_t Random::WeightedIndex(const std::vector<double>& weights) {
+  EBA_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    EBA_CHECK(w >= 0);
+    total += w;
+  }
+  EBA_CHECK(total > 0);
+  double target = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Random::SampleWithoutReplacement(size_t n, size_t k) {
+  EBA_CHECK(k <= n);
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector and truncate.
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    Shuffle(&idx);
+    idx.resize(k);
+    return idx;
+  }
+  // Sparse case: rejection sample into a set.
+  std::unordered_set<size_t> seen;
+  std::vector<size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    size_t candidate = static_cast<size_t>(Uniform(n));
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+Random Random::Fork() { return Random(Next()); }
+
+}  // namespace eba

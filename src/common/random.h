@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation for the synthetic data
+// generator and the fake-log experiment. xoshiro256** seeded via SplitMix64;
+// every experiment in this repository is reproducible from a single seed.
+
+#ifndef EBA_COMMON_RANDOM_H_
+#define EBA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace eba {
+
+/// Deterministic RNG (xoshiro256**). Not thread-safe; use one per thread.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s=0 is uniform).
+  /// Used for skewed patient/user popularity in the synthetic workload.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Poisson-distributed count with mean `lambda` (Knuth's algorithm for
+  /// small lambda, normal approximation above 64).
+  uint64_t Poisson(double lambda);
+
+  /// Samples an index according to non-negative weights (at least one > 0).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; CHECK-fails on empty input.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    EBA_CHECK(!v.empty());
+    return v[Uniform(v.size())];
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Creates an independent child generator (for parallel streams).
+  Random Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace eba
+
+#endif  // EBA_COMMON_RANDOM_H_

@@ -1,0 +1,57 @@
+// Small string helpers used across the library (no locale dependence).
+
+#ifndef EBA_COMMON_STRING_UTIL_H_
+#define EBA_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace eba {
+
+/// Joins elements with a separator; elements are streamed via operator<<.
+template <typename Container>
+std::string Join(const Container& parts, const std::string& sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) out << sep;
+    out << p;
+    first = false;
+  }
+  return out.str();
+}
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& text);
+
+/// ASCII lowercase.
+std::string ToLower(const std::string& text);
+
+/// ASCII uppercase.
+std::string ToUpper(const std::string& text);
+
+/// True if `text` starts with / ends with the given affix.
+bool StartsWith(const std::string& text, const std::string& prefix);
+bool EndsWith(const std::string& text, const std::string& suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Replaces all occurrences of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string text, const std::string& from,
+                       const std::string& to);
+
+/// Renders a count with thousands separators ("4,512,345").
+std::string FormatCount(int64_t n);
+
+}  // namespace eba
+
+#endif  // EBA_COMMON_STRING_UTIL_H_

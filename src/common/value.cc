@@ -1,0 +1,135 @@
+#include "common/value.h"
+
+#include "common/date.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace eba {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kTimestamp:
+      return "timestamp";
+  }
+  return "?";
+}
+
+bool Value::AsBool() const {
+  EBA_CHECK(type_ == DataType::kBool);
+  return std::get<int64_t>(scalar_) != 0;
+}
+
+int64_t Value::AsInt64() const {
+  EBA_CHECK(type_ == DataType::kInt64);
+  return std::get<int64_t>(scalar_);
+}
+
+double Value::AsDouble() const {
+  EBA_CHECK(type_ == DataType::kDouble);
+  return std::get<double>(scalar_);
+}
+
+const std::string& Value::AsString() const {
+  EBA_CHECK(type_ == DataType::kString);
+  return std::get<std::string>(scalar_);
+}
+
+int64_t Value::AsTimestamp() const {
+  EBA_CHECK(type_ == DataType::kTimestamp);
+  return std::get<int64_t>(scalar_);
+}
+
+int64_t Value::RawInt64() const {
+  EBA_CHECK(type_ == DataType::kBool || type_ == DataType::kInt64 ||
+            type_ == DataType::kTimestamp);
+  return std::get<int64_t>(scalar_);
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return std::get<int64_t>(scalar_) ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(std::get<int64_t>(scalar_));
+    case DataType::kDouble: {
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%.6g", std::get<double>(scalar_));
+      return buf;
+    }
+    case DataType::kString:
+      return std::get<std::string>(scalar_);
+    case DataType::kTimestamp:
+      return Date::FromSeconds(std::get<int64_t>(scalar_)).ToString();
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case DataType::kNull:
+      return true;
+    case DataType::kDouble:
+      return std::get<double>(scalar_) == std::get<double>(other.scalar_);
+    case DataType::kString:
+      return std::get<std::string>(scalar_) ==
+             std::get<std::string>(other.scalar_);
+    default:
+      return std::get<int64_t>(scalar_) == std::get<int64_t>(other.scalar_);
+  }
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type_ != other.type_) {
+    return static_cast<uint8_t>(type_) < static_cast<uint8_t>(other.type_);
+  }
+  switch (type_) {
+    case DataType::kNull:
+      return false;
+    case DataType::kDouble:
+      return std::get<double>(scalar_) < std::get<double>(other.scalar_);
+    case DataType::kString:
+      return std::get<std::string>(scalar_) <
+             std::get<std::string>(other.scalar_);
+    default:
+      return std::get<int64_t>(scalar_) < std::get<int64_t>(other.scalar_);
+  }
+}
+
+size_t Value::Hash() const {
+  size_t h = static_cast<size_t>(type_);
+  switch (type_) {
+    case DataType::kNull:
+      break;
+    case DataType::kDouble:
+      h = HashCombine(h, std::hash<double>{}(std::get<double>(scalar_)));
+      break;
+    case DataType::kString:
+      h = HashCombine(h,
+                      std::hash<std::string>{}(std::get<std::string>(scalar_)));
+      break;
+    default:
+      h = HashCombine(h, Mix64(static_cast<uint64_t>(
+                             std::get<int64_t>(scalar_))));
+      break;
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace eba

@@ -1,0 +1,100 @@
+// Value: a typed scalar cell used throughout the storage and query layers.
+//
+// Supported types mirror the needs of the CareWeb-style schema: 64-bit ids,
+// doubles, dictionary-encodable strings, timestamps (seconds since epoch),
+// booleans, and NULL.
+
+#ifndef EBA_COMMON_VALUE_H_
+#define EBA_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace eba {
+
+/// Scalar data types understood by the engine.
+enum class DataType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+  kTimestamp = 5,  // seconds since Unix epoch, stored as int64
+};
+
+/// Returns the lowercase SQL-ish name of a type ("int64", "string", ...).
+const char* DataTypeToString(DataType type);
+
+/// A single typed scalar. Small, copyable, hashable, totally ordered within
+/// a type (cross-type comparisons order by type tag, NULL first).
+class Value {
+ public:
+  /// NULL value.
+  Value() : type_(DataType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(DataType::kBool, v ? 1 : 0); }
+  static Value Int64(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+  static Value Timestamp(int64_t seconds) {
+    return Value(DataType::kTimestamp, seconds);
+  }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return type_ == DataType::kNull; }
+
+  /// Typed accessors; EBA_CHECK-fail on type mismatch.
+  bool AsBool() const;
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  int64_t AsTimestamp() const;
+
+  /// For kBool/kInt64/kTimestamp returns the underlying int64 payload
+  /// (used by the dictionary-free fast join paths). CHECK-fails otherwise.
+  int64_t RawInt64() const;
+
+  /// Human-readable rendering (timestamps as "YYYY-MM-DD HH:MM:SS").
+  std::string ToString() const;
+
+  /// Equality: same type and payload. NULL == NULL is true here (this is
+  /// identity equality for hashing/grouping, not SQL ternary logic; the
+  /// query layer treats NULL join keys as non-matching).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order: by type tag, then payload. Enables use in ordered sets.
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  /// Stable 64-bit hash of (type, payload).
+  size_t Hash() const;
+
+ private:
+  Value(DataType t, int64_t v) : type_(t), scalar_(v) {}
+  explicit Value(double v) : type_(DataType::kDouble), scalar_(v) {}
+  explicit Value(std::string v)
+      : type_(DataType::kString), scalar_(std::move(v)) {}
+
+  DataType type_;
+  std::variant<int64_t, double, std::string> scalar_ = int64_t{0};
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace eba
+
+namespace std {
+template <>
+struct hash<eba::Value> {
+  size_t operator()(const eba::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // EBA_COMMON_VALUE_H_

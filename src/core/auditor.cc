@@ -1,0 +1,124 @@
+#include "core/auditor.h"
+
+#include "common/logging.h"
+#include "core/catalog.h"
+#include "graph/user_graph.h"
+
+namespace eba {
+
+Auditor::Auditor(Database* db, AuditorOptions options,
+                 ExplanationEngine engine)
+    : db_(db),
+      options_(std::move(options)),
+      engine_(std::make_unique<ExplanationEngine>(std::move(engine))) {}
+
+StatusOr<Auditor> Auditor::Create(Database* db, AuditorOptions options) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  EBA_ASSIGN_OR_RETURN(ExplanationEngine engine,
+                       ExplanationEngine::Create(db, options.log_table));
+  return Auditor(db, std::move(options), std::move(engine));
+}
+
+Status Auditor::BuildCollaborativeGroups(
+    const std::vector<size_t>& training_rows) {
+  EBA_ASSIGN_OR_RETURN(const Table* log_table,
+                       db_->GetTable(options_.log_table));
+  EBA_ASSIGN_OR_RETURN(AccessLog log, AccessLog::Wrap(log_table));
+
+  StatusOr<UserGraph> graph =
+      training_rows.empty() ? UserGraph::Build(log)
+                            : UserGraph::BuildFromRows(log, training_rows);
+  EBA_RETURN_IF_ERROR(graph.status());
+
+  EBA_ASSIGN_OR_RETURN(GroupHierarchy hierarchy,
+                       GroupHierarchy::Build(*graph, options_.hierarchy));
+  EBA_ASSIGN_OR_RETURN(Table groups,
+                       hierarchy.ToGroupsTable(options_.groups_table));
+  if (db_->HasTable(options_.groups_table)) {
+    EBA_RETURN_IF_ERROR(db_->DropTable(options_.groups_table));
+  }
+  EBA_RETURN_IF_ERROR(db_->AddTable(std::move(groups)));
+  EBA_RETURN_IF_ERROR(
+      db_->AllowSelfJoin(AttrId{options_.groups_table, "Group_id"}));
+  hierarchy_ = std::move(hierarchy);
+  return Status::OK();
+}
+
+Status Auditor::AddTemplate(const std::string& name,
+                            const std::string& from_clause,
+                            const std::string& where_clause,
+                            const std::string& description) {
+  EBA_ASSIGN_OR_RETURN(
+      ExplanationTemplate tmpl,
+      ExplanationTemplate::Parse(*db_, name, from_clause, where_clause,
+                                 description));
+  return engine_->AddTemplate(tmpl);
+}
+
+Status Auditor::AddTemplate(const ExplanationTemplate& tmpl) {
+  return engine_->AddTemplate(tmpl);
+}
+
+StatusOr<MiningResult> Auditor::MineAndRegister(MinerOptions options) {
+  TemplateMiner miner(db_, std::move(options));
+  EBA_ASSIGN_OR_RETURN(MiningResult result, miner.MineOneWay());
+  for (const auto& mined : result.templates) {
+    EBA_RETURN_IF_ERROR(engine_->AddTemplate(mined.tmpl));
+  }
+  return result;
+}
+
+StatusOr<std::vector<ExplanationInstance>> Auditor::ExplainAccess(
+    int64_t lid) const {
+  return engine_->Explain(lid);
+}
+
+StatusOr<std::vector<PatientAuditEntry>> Auditor::AuditPatient(
+    int64_t patient) const {
+  EBA_ASSIGN_OR_RETURN(const Table* log_table,
+                       db_->GetTable(options_.log_table));
+  EBA_ASSIGN_OR_RETURN(AccessLog log, AccessLog::Wrap(log_table));
+
+  const HashIndex& index =
+      log_table->GetOrBuildIndex(static_cast<size_t>(log.patient_col()));
+  std::vector<uint32_t> rows = index.LookupInt64(patient);
+  std::sort(rows.begin(), rows.end());
+
+  std::vector<PatientAuditEntry> entries;
+  entries.reserve(rows.size());
+  for (uint32_t r : rows) {
+    PatientAuditEntry entry;
+    entry.access = log.Get(r);
+    EBA_ASSIGN_OR_RETURN(std::vector<ExplanationInstance> instances,
+                         engine_->Explain(entry.access.lid));
+    entry.explanations.reserve(instances.size());
+    for (const auto& inst : instances) {
+      entry.explanations.push_back(inst.ToNaturalLanguage(*db_));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+StatusOr<ExplanationReport> Auditor::FindUnexplained() const {
+  return engine_->ExplainAll();
+}
+
+Status Auditor::SaveTemplates(const std::string& path) const {
+  TemplateCatalog catalog;
+  for (const auto& tmpl : engine_->templates()) {
+    EBA_RETURN_IF_ERROR(catalog.Add(tmpl));
+  }
+  return catalog.SaveToFile(*db_, path);
+}
+
+Status Auditor::LoadTemplates(const std::string& path) {
+  EBA_ASSIGN_OR_RETURN(TemplateCatalog catalog,
+                       TemplateCatalog::LoadFromFile(*db_, path));
+  for (const auto& tmpl : catalog.templates()) {
+    EBA_RETURN_IF_ERROR(engine_->AddTemplate(tmpl));
+  }
+  return Status::OK();
+}
+
+}  // namespace eba

@@ -1,0 +1,95 @@
+// Auditor: high-level facade tying the whole system together — the
+// programmatic equivalent of the paper's deployment story:
+//   1. infer collaborative groups from the log and add them to the database
+//      (§4), 2. mine and/or hand-register explanation templates (§3),
+//   3. answer patient-portal audits and produce misuse reports (§1).
+
+#ifndef EBA_CORE_AUDITOR_H_
+#define EBA_CORE_AUDITOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/miner.h"
+#include "graph/hierarchy.h"
+#include "log/access_log.h"
+#include "storage/database.h"
+
+namespace eba {
+
+struct AuditorOptions {
+  std::string log_table = "Log";
+  std::string groups_table = "Groups";
+  HierarchyOptions hierarchy;
+};
+
+/// One patient-portal row: an access plus its ranked explanations.
+struct PatientAuditEntry {
+  AccessLog::Entry access;
+  /// Natural-language explanations, ranked by ascending path length; empty
+  /// means the access is unexplained.
+  std::vector<std::string> explanations;
+};
+
+class Auditor {
+ public:
+  /// The database must outlive the auditor and contain `options.log_table`.
+  static StatusOr<Auditor> Create(Database* db, AuditorOptions options = {});
+
+  /// Builds the collaborative-group hierarchy from the log rows given (all
+  /// rows when empty), materializes the Groups table, and allows the
+  /// Groups.Group_id self-join so mining/explaining can use it.
+  Status BuildCollaborativeGroups(const std::vector<size_t>& training_rows = {});
+
+  /// The hierarchy built by BuildCollaborativeGroups (nullopt before).
+  const std::optional<GroupHierarchy>& hierarchy() const { return hierarchy_; }
+
+  /// Registers a hand-crafted template from FROM/WHERE text.
+  Status AddTemplate(const std::string& name, const std::string& from_clause,
+                     const std::string& where_clause,
+                     const std::string& description);
+
+  /// Registers an existing template (e.g. a mined one).
+  Status AddTemplate(const ExplanationTemplate& tmpl);
+
+  /// Mines templates with this auditor's database and registers them.
+  /// Returns the mining result for inspection (admin review loop).
+  StatusOr<MiningResult> MineAndRegister(MinerOptions options);
+
+  /// All explanation instances for one access, ranked.
+  StatusOr<std::vector<ExplanationInstance>> ExplainAccess(int64_t lid) const;
+
+  /// The patient-portal operation: every access to `patient`'s record with
+  /// natural-language explanations.
+  StatusOr<std::vector<PatientAuditEntry>> AuditPatient(int64_t patient) const;
+
+  /// The misuse-detection operation: full-log coverage and the unexplained
+  /// remainder.
+  StatusOr<ExplanationReport> FindUnexplained() const;
+
+  /// Persists the registered templates to a catalog file (admin review
+  /// artifact; see core/catalog.h).
+  Status SaveTemplates(const std::string& path) const;
+
+  /// Loads and registers every template from a catalog file.
+  Status LoadTemplates(const std::string& path);
+
+  const ExplanationEngine& engine() const { return *engine_; }
+  Database* database() { return db_; }
+
+ private:
+  Auditor(Database* db, AuditorOptions options, ExplanationEngine engine);
+
+  Database* db_;
+  AuditorOptions options_;
+  std::unique_ptr<ExplanationEngine> engine_;
+  std::optional<GroupHierarchy> hierarchy_;
+};
+
+}  // namespace eba
+
+#endif  // EBA_CORE_AUDITOR_H_

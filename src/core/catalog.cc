@@ -1,0 +1,137 @@
+#include "core/catalog.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "query/sql.h"
+
+namespace eba {
+
+namespace {
+constexpr char kHeader[] = "# eba template catalog v1";
+}  // namespace
+
+Status TemplateCatalog::Add(const ExplanationTemplate& tmpl) {
+  if (Find(tmpl.name()) != nullptr) {
+    return Status::AlreadyExists("template '" + tmpl.name() +
+                                 "' already in catalog");
+  }
+  templates_.push_back(tmpl);
+  return Status::OK();
+}
+
+const ExplanationTemplate* TemplateCatalog::Find(
+    const std::string& name) const {
+  for (const auto& tmpl : templates_) {
+    if (tmpl.name() == name) return &tmpl;
+  }
+  return nullptr;
+}
+
+StatusOr<std::string> TemplateCatalog::Serialize(const Database& db) const {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  for (const auto& tmpl : templates_) {
+    EBA_ASSIGN_OR_RETURN(std::string from, RenderFromClause(db, tmpl.query()));
+    EBA_ASSIGN_OR_RETURN(std::string where,
+                         RenderWhereClause(db, tmpl.query()));
+    // Names/descriptions are single-line by construction; reject otherwise
+    // rather than corrupting the file.
+    if (tmpl.name().find('\n') != std::string::npos ||
+        tmpl.description_format().find('\n') != std::string::npos) {
+      return Status::InvalidArgument("template '" + tmpl.name() +
+                                     "' has a multi-line name/description");
+    }
+    out << "\nTEMPLATE " << tmpl.name() << "\n";
+    out << "FROM " << from << "\n";
+    out << "WHERE " << where << "\n";
+    out << "DESC " << tmpl.description_format() << "\n";
+    out << "END\n";
+  }
+  return out.str();
+}
+
+StatusOr<TemplateCatalog> TemplateCatalog::Deserialize(
+    const Database& db, const std::string& text) {
+  TemplateCatalog catalog;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+
+  std::string name, from, where, desc;
+  bool in_template = false;
+  int line_number = 0;
+  auto parse_error = [&](const std::string& message) {
+    return Status::InvalidArgument("catalog line " +
+                                   std::to_string(line_number) + ": " +
+                                   message);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '#') {
+      if (StartsWith(trimmed, kHeader)) saw_header = true;
+      continue;
+    }
+    if (StartsWith(trimmed, "TEMPLATE ")) {
+      if (in_template) return parse_error("nested TEMPLATE");
+      in_template = true;
+      name = Trim(trimmed.substr(9));
+      from.clear();
+      where.clear();
+      desc.clear();
+      continue;
+    }
+    if (!in_template) return parse_error("content outside TEMPLATE block");
+    if (StartsWith(trimmed, "FROM ")) {
+      from = Trim(trimmed.substr(5));
+    } else if (StartsWith(trimmed, "WHERE ")) {
+      where = Trim(trimmed.substr(6));
+    } else if (StartsWith(trimmed, "DESC ")) {
+      desc = Trim(trimmed.substr(5));
+    } else if (trimmed == "END") {
+      if (name.empty() || from.empty()) {
+        return parse_error("TEMPLATE block missing name or FROM");
+      }
+      EBA_ASSIGN_OR_RETURN(
+          ExplanationTemplate tmpl,
+          ExplanationTemplate::Parse(db, name, from, where, desc));
+      EBA_RETURN_IF_ERROR(catalog.Add(tmpl));
+      in_template = false;
+    } else {
+      return parse_error("unrecognized directive: " + trimmed);
+    }
+  }
+  if (in_template) {
+    return Status::InvalidArgument("catalog ends inside a TEMPLATE block");
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("missing catalog header line '" +
+                                   std::string(kHeader) + "'");
+  }
+  return catalog;
+}
+
+Status TemplateCatalog::SaveToFile(const Database& db,
+                                   const std::string& path) const {
+  EBA_ASSIGN_OR_RETURN(std::string text, Serialize(db));
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out << text;
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<TemplateCatalog> TemplateCatalog::LoadFromFile(
+    const Database& db, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(db, buffer.str());
+}
+
+}  // namespace eba

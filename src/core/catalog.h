@@ -1,0 +1,65 @@
+// TemplateCatalog: persistence for explanation templates.
+//
+// The paper's workflow keeps the administrator in the loop: the miner
+// *suggests* templates, the administrator reviews and approves them, and the
+// approved set is applied going forward (§3). That requires templates to be
+// durable artifacts. The catalog serializes templates to a human-editable
+// text format (so review can happen in a code review, ticket, or editor)
+// and loads them back:
+//
+//   # eba template catalog v1
+//   TEMPLATE appt_with_doctor
+//   FROM Log L, Appointments A
+//   WHERE L.Patient = A.Patient AND A.Doctor = L.User
+//   DESC [L.Patient] had an appointment with [L.User] on [A.Date]
+//   END
+//
+// Loading validates every template against the database schema.
+
+#ifndef EBA_CORE_CATALOG_H_
+#define EBA_CORE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/template.h"
+#include "storage/database.h"
+
+namespace eba {
+
+class TemplateCatalog {
+ public:
+  TemplateCatalog() = default;
+
+  /// Adds a template (last write wins on name collision at Save time;
+  /// duplicates by name are rejected here).
+  Status Add(const ExplanationTemplate& tmpl);
+
+  const std::vector<ExplanationTemplate>& templates() const {
+    return templates_;
+  }
+  size_t size() const { return templates_.size(); }
+
+  /// Template by name, or nullptr.
+  const ExplanationTemplate* Find(const std::string& name) const;
+
+  /// Serializes the catalog to the text format above.
+  StatusOr<std::string> Serialize(const Database& db) const;
+
+  /// Parses catalog text; every template is validated against `db`.
+  static StatusOr<TemplateCatalog> Deserialize(const Database& db,
+                                               const std::string& text);
+
+  /// File convenience wrappers.
+  Status SaveToFile(const Database& db, const std::string& path) const;
+  static StatusOr<TemplateCatalog> LoadFromFile(const Database& db,
+                                                const std::string& path);
+
+ private:
+  std::vector<ExplanationTemplate> templates_;
+};
+
+}  // namespace eba
+
+#endif  // EBA_CORE_CATALOG_H_

@@ -1,0 +1,100 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "log/access_log.h"
+
+namespace eba {
+
+ExplanationEngine::ExplanationEngine(const Database* db, std::string log_table,
+                                     QAttr lid_attr)
+    : db_(db), log_table_(std::move(log_table)), lid_attr_(lid_attr) {}
+
+StatusOr<ExplanationEngine> ExplanationEngine::Create(
+    const Database* db, const std::string& log_table) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  EBA_ASSIGN_OR_RETURN(const Table* table, db->GetTable(log_table));
+  int lid_col = table->schema().ColumnIndex("Lid");
+  if (lid_col < 0) {
+    return Status::InvalidArgument("log table '" + log_table +
+                                   "' has no Lid column");
+  }
+  return ExplanationEngine(db, log_table, QAttr{0, lid_col});
+}
+
+Status ExplanationEngine::AddTemplate(const ExplanationTemplate& tmpl) {
+  ExplanationTemplate bound = tmpl.WithLogTable(log_table_);
+  EBA_RETURN_IF_ERROR(bound.query().Validate(*db_));
+  if (bound.lid_attr() != lid_attr_) {
+    return Status::InvalidArgument(
+        "template lid attribute does not match engine log table");
+  }
+  templates_.push_back(std::move(bound));
+  return Status::OK();
+}
+
+StatusOr<std::vector<ExplanationInstance>> ExplanationEngine::Explain(
+    int64_t lid) const {
+  Executor executor(db_);
+  std::vector<ExplanationInstance> instances;
+  std::vector<Value> lids = {Value::Int64(lid)};
+  for (const auto& tmpl : templates_) {
+    EBA_ASSIGN_OR_RETURN(
+        Relation rel,
+        executor.MaterializeForLogIds(tmpl.query(), tmpl.lid_attr(), lids));
+    for (auto& row : rel.rows) {
+      instances.emplace_back(&tmpl, rel.attrs, std::move(row));
+    }
+  }
+  std::stable_sort(instances.begin(), instances.end(),
+                   ExplanationInstance::RankLess);
+  return instances;
+}
+
+StatusOr<std::vector<int64_t>> ExplanationEngine::ExplainedLids(
+    size_t index) const {
+  if (index >= templates_.size()) {
+    return Status::OutOfRange("template index out of range");
+  }
+  Executor executor(db_);
+  const auto& tmpl = templates_[index];
+  EBA_ASSIGN_OR_RETURN(
+      std::vector<Value> values,
+      executor.DistinctValues(tmpl.query(), tmpl.lid_attr(),
+                              Executor::SupportStrategy::kDedupFrontier));
+  std::vector<int64_t> lids;
+  lids.reserve(values.size());
+  for (const auto& v : values) lids.push_back(v.AsInt64());
+  std::sort(lids.begin(), lids.end());
+  return lids;
+}
+
+StatusOr<ExplanationReport> ExplanationEngine::ExplainAll() const {
+  EBA_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(log_table_));
+  EBA_ASSIGN_OR_RETURN(AccessLog log, AccessLog::Wrap(table));
+
+  ExplanationReport report;
+  report.log_size = log.size();
+
+  std::unordered_set<int64_t> explained;
+  for (size_t i = 0; i < templates_.size(); ++i) {
+    EBA_ASSIGN_OR_RETURN(std::vector<int64_t> lids, ExplainedLids(i));
+    report.per_template_counts.push_back(lids.size());
+    explained.insert(lids.begin(), lids.end());
+  }
+
+  for (size_t r = 0; r < log.size(); ++r) {
+    int64_t lid = log.Get(r).lid;
+    if (explained.count(lid)) {
+      report.explained_lids.push_back(lid);
+    } else {
+      report.unexplained_lids.push_back(lid);
+    }
+  }
+  std::sort(report.explained_lids.begin(), report.explained_lids.end());
+  std::sort(report.unexplained_lids.begin(), report.unexplained_lids.end());
+  return report;
+}
+
+}  // namespace eba

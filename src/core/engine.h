@@ -1,0 +1,81 @@
+// ExplanationEngine: the runtime side of explanation-based auditing.
+// Holds a registry of explanation templates over one log table and answers:
+//   - Explain(lid): all explanation instances for a single access, ranked
+//     by ascending path length (the user-centric audit portal operation);
+//   - ExplainAll(): which accesses each template explains, combined
+//     coverage, and the unexplained remainder (the misuse-detection
+//     operation of §1).
+
+#ifndef EBA_CORE_ENGINE_H_
+#define EBA_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/instance.h"
+#include "core/template.h"
+#include "query/executor.h"
+#include "storage/database.h"
+
+namespace eba {
+
+/// Result of ExplainAll.
+struct ExplanationReport {
+  size_t log_size = 0;
+  /// Per registered template: number of log records it explains.
+  std::vector<size_t> per_template_counts;
+  /// Lids explained by at least one template.
+  std::vector<int64_t> explained_lids;
+  /// Lids explained by no template (candidates for compliance review).
+  std::vector<int64_t> unexplained_lids;
+
+  double Coverage() const {
+    return log_size == 0
+               ? 0.0
+               : static_cast<double>(explained_lids.size()) /
+                     static_cast<double>(log_size);
+  }
+};
+
+class ExplanationEngine {
+ public:
+  /// `db` must contain `log_table` (standard log schema) and outlive the
+  /// engine.
+  static StatusOr<ExplanationEngine> Create(const Database* db,
+                                            const std::string& log_table);
+
+  /// Registers a template. The template's variable-0 table is rebound to
+  /// this engine's log table automatically.
+  Status AddTemplate(const ExplanationTemplate& tmpl);
+
+  const std::vector<ExplanationTemplate>& templates() const {
+    return templates_;
+  }
+  size_t num_templates() const { return templates_.size(); }
+
+  const std::string& log_table() const { return log_table_; }
+
+  /// All explanation instances for one access, ranked by path length.
+  StatusOr<std::vector<ExplanationInstance>> Explain(int64_t lid) const;
+
+  /// Lids explained by template `index`.
+  StatusOr<std::vector<int64_t>> ExplainedLids(size_t index) const;
+
+  /// Full-log coverage report.
+  StatusOr<ExplanationReport> ExplainAll() const;
+
+ private:
+  ExplanationEngine(const Database* db, std::string log_table, QAttr lid_attr);
+
+  const Database* db_;
+  std::string log_table_;
+  QAttr lid_attr_;
+  std::vector<ExplanationTemplate> templates_;
+};
+
+}  // namespace eba
+
+#endif  // EBA_CORE_ENGINE_H_

@@ -1,0 +1,65 @@
+#include "core/instance.h"
+
+#include "common/logging.h"
+
+namespace eba {
+
+ExplanationInstance::ExplanationInstance(const ExplanationTemplate* tmpl,
+                                         std::vector<QAttr> attrs, Row values)
+    : template_(tmpl), attrs_(std::move(attrs)), values_(std::move(values)) {
+  EBA_CHECK(template_ != nullptr);
+  EBA_CHECK(attrs_.size() == values_.size());
+}
+
+Value ExplanationInstance::LogId() const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == template_->lid_attr()) return values_[i];
+  }
+  return Value::Null();
+}
+
+Value ExplanationInstance::ValueOf(const Database& db,
+                                   const std::string& alias,
+                                   const std::string& column) const {
+  auto resolved = template_->query().Resolve(db, alias, column);
+  if (!resolved.ok()) return Value::Null();
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == *resolved) return values_[i];
+  }
+  return Value::Null();
+}
+
+std::string ExplanationInstance::ToNaturalLanguage(const Database& db) const {
+  const std::string& format = template_->description_format();
+  std::string out;
+  out.reserve(format.size());
+  size_t i = 0;
+  while (i < format.size()) {
+    if (format[i] == '[') {
+      size_t close = format.find(']', i);
+      size_t dot = format.find('.', i);
+      if (close != std::string::npos && dot != std::string::npos &&
+          dot < close) {
+        std::string alias = format.substr(i + 1, dot - i - 1);
+        std::string column = format.substr(dot + 1, close - dot - 1);
+        Value v = ValueOf(db, alias, column);
+        out += v.is_null() ? "?" : v.ToString();
+        i = close + 1;
+        continue;
+      }
+    }
+    out.push_back(format[i]);
+    ++i;
+  }
+  return out;
+}
+
+bool ExplanationInstance::RankLess(const ExplanationInstance& a,
+                                   const ExplanationInstance& b) {
+  int la = a.tmpl().RawLength();
+  int lb = b.tmpl().RawLength();
+  if (la != lb) return la < lb;
+  return a.tmpl().name() < b.tmpl().name();
+}
+
+}  // namespace eba

@@ -1,0 +1,54 @@
+// ExplanationInstance: one data-specific explanation — a binding of an
+// explanation template's attributes for one log record — plus its rendering
+// to natural language via the template's description string (§2.1).
+
+#ifndef EBA_CORE_INSTANCE_H_
+#define EBA_CORE_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/template.h"
+#include "query/executor.h"
+
+namespace eba {
+
+class ExplanationInstance {
+ public:
+  /// `attrs`/`values` are parallel: the materialized attributes and their
+  /// bound values for this instance. The template must outlive the instance.
+  ExplanationInstance(const ExplanationTemplate* tmpl, std::vector<QAttr> attrs,
+                      Row values);
+
+  const ExplanationTemplate& tmpl() const { return *template_; }
+
+  /// Log id this instance explains (NULL Value if the lid attribute was not
+  /// materialized).
+  Value LogId() const;
+
+  /// Bound value of `alias.Column`, or NULL if absent.
+  Value ValueOf(const Database& db, const std::string& alias,
+                const std::string& column) const;
+
+  /// Renders the template's description format, substituting each
+  /// "[alias.Column]" placeholder with the bound value. Unresolvable
+  /// placeholders render as "?".
+  std::string ToNaturalLanguage(const Database& db) const;
+
+  /// Ranking key: ascending raw path length (§2.1 — shorter explanations
+  /// first), then template name for determinism.
+  static bool RankLess(const ExplanationInstance& a,
+                       const ExplanationInstance& b);
+
+  const std::vector<QAttr>& attrs() const { return attrs_; }
+  const Row& values() const { return values_; }
+
+ private:
+  const ExplanationTemplate* template_;
+  std::vector<QAttr> attrs_;
+  Row values_;
+};
+
+}  // namespace eba
+
+#endif  // EBA_CORE_INSTANCE_H_

@@ -1,0 +1,90 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "query/executor.h"
+
+namespace eba {
+
+MetricsEvaluator::MetricsEvaluator(const Database* db,
+                                   std::string combined_log_table)
+    : db_(db), log_table_(std::move(combined_log_table)) {
+  EBA_CHECK(db != nullptr);
+}
+
+StatusOr<std::unordered_set<int64_t>> MetricsEvaluator::ExplainedSet(
+    const std::vector<ExplanationTemplate>& templates) const {
+  Executor executor(db_);
+  std::unordered_set<int64_t> explained;
+  for (const auto& tmpl : templates) {
+    ExplanationTemplate bound = tmpl.WithLogTable(log_table_);
+    EBA_ASSIGN_OR_RETURN(
+        std::vector<Value> values,
+        executor.DistinctValues(bound.query(), bound.lid_attr(),
+                                Executor::SupportStrategy::kDedupFrontier));
+    for (const auto& v : values) explained.insert(v.AsInt64());
+  }
+  return explained;
+}
+
+StatusOr<PrecisionRecall> MetricsEvaluator::Evaluate(
+    const std::vector<ExplanationTemplate>& templates,
+    const std::vector<int64_t>& real_lids,
+    const std::vector<int64_t>& fake_lids,
+    const std::vector<int64_t>& real_lids_with_events) const {
+  EBA_ASSIGN_OR_RETURN(std::unordered_set<int64_t> explained,
+                       ExplainedSet(templates));
+  PrecisionRecall pr;
+  pr.real_total = real_lids.size();
+  pr.fake_total = fake_lids.size();
+  pr.real_with_events = real_lids_with_events.size();
+  for (int64_t lid : real_lids) {
+    if (explained.count(lid)) pr.real_explained++;
+  }
+  for (int64_t lid : fake_lids) {
+    if (explained.count(lid)) pr.fake_explained++;
+  }
+  return pr;
+}
+
+StatusOr<std::vector<int64_t>> MetricsEvaluator::LidsWithEvent(
+    const std::string& event_table, const std::string& patient_column) const {
+  // Path query: Log.Patient = Event.<patient_column>; support-style distinct
+  // lid collection.
+  PathQuery q;
+  q.vars.push_back(TupleVar{log_table_, "L"});
+  q.vars.push_back(TupleVar{event_table, "E"});
+  EBA_ASSIGN_OR_RETURN(QAttr log_patient, q.Resolve(*db_, "L", "Patient"));
+  EBA_ASSIGN_OR_RETURN(QAttr event_patient,
+                       q.Resolve(*db_, "E", patient_column));
+  q.join_chain.push_back(VarCondition{log_patient, CmpOp::kEq, event_patient});
+  EBA_ASSIGN_OR_RETURN(QAttr lid, q.Resolve(*db_, "L", "Lid"));
+
+  Executor executor(db_);
+  EBA_ASSIGN_OR_RETURN(
+      std::vector<Value> values,
+      executor.DistinctValues(q, lid,
+                              Executor::SupportStrategy::kDedupFrontier));
+  std::vector<int64_t> lids;
+  lids.reserve(values.size());
+  for (const auto& v : values) lids.push_back(v.AsInt64());
+  std::sort(lids.begin(), lids.end());
+  return lids;
+}
+
+StatusOr<std::vector<int64_t>> MetricsEvaluator::LidsWithAnyEvent(
+    const std::vector<std::pair<std::string, std::string>>&
+        event_tables_and_patient_columns) const {
+  std::unordered_set<int64_t> any;
+  for (const auto& [table, column] : event_tables_and_patient_columns) {
+    EBA_ASSIGN_OR_RETURN(std::vector<int64_t> lids,
+                         LidsWithEvent(table, column));
+    any.insert(lids.begin(), lids.end());
+  }
+  std::vector<int64_t> out(any.begin(), any.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace eba

@@ -1,0 +1,87 @@
+// Precision / recall / normalized recall of explanation template sets,
+// exactly as defined in §5.3.2:
+//   recall            = |real accesses explained| / |real log|
+//   precision         = |real explained| / |real + fake explained|
+//   normalized recall = |real explained| / |real accesses with events|
+// evaluated over a combined log of real and uniformly-random fake accesses.
+
+#ifndef EBA_CORE_METRICS_H_
+#define EBA_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/template.h"
+#include "storage/database.h"
+
+namespace eba {
+
+struct PrecisionRecall {
+  size_t real_total = 0;
+  size_t fake_total = 0;
+  size_t real_explained = 0;
+  size_t fake_explained = 0;
+  size_t real_with_events = 0;
+
+  double Recall() const {
+    return real_total == 0 ? 0.0
+                           : static_cast<double>(real_explained) /
+                                 static_cast<double>(real_total);
+  }
+  double Precision() const {
+    size_t denom = real_explained + fake_explained;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(real_explained) /
+                            static_cast<double>(denom);
+  }
+  double NormalizedRecall() const {
+    return real_with_events == 0
+               ? 0.0
+               : static_cast<double>(real_explained) /
+                     static_cast<double>(real_with_events);
+  }
+};
+
+class MetricsEvaluator {
+ public:
+  /// `combined_log_table` holds real + fake accesses (standard log schema)
+  /// inside `db`; the database must outlive the evaluator.
+  MetricsEvaluator(const Database* db, std::string combined_log_table);
+
+  /// Lids (from `universe`, or all when empty) explained by at least one of
+  /// the given templates. Templates are rebound onto the combined table.
+  StatusOr<std::unordered_set<int64_t>> ExplainedSet(
+      const std::vector<ExplanationTemplate>& templates) const;
+
+  /// Computes precision/recall over the given real/fake lid sets.
+  /// `real_with_events` feeds normalized recall (pass real_lids to make
+  /// normalized recall equal recall).
+  StatusOr<PrecisionRecall> Evaluate(
+      const std::vector<ExplanationTemplate>& templates,
+      const std::vector<int64_t>& real_lids,
+      const std::vector<int64_t>& fake_lids,
+      const std::vector<int64_t>& real_lids_with_events) const;
+
+  /// Lids in the combined table whose patient has any row in `event_table`
+  /// (matching on the patient-domain column) — the "events" denominators of
+  /// Figures 6/8.
+  StatusOr<std::vector<int64_t>> LidsWithEvent(
+      const std::string& event_table,
+      const std::string& patient_column) const;
+
+  /// Lids whose patient has a row in at least one of the event tables.
+  StatusOr<std::vector<int64_t>> LidsWithAnyEvent(
+      const std::vector<std::pair<std::string, std::string>>&
+          event_tables_and_patient_columns) const;
+
+ private:
+  const Database* db_;
+  std::string log_table_;
+};
+
+}  // namespace eba
+
+#endif  // EBA_CORE_METRICS_H_

@@ -1,0 +1,139 @@
+#include "core/refine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace eba {
+
+namespace {
+
+/// Distinct depths present in the Groups table, ascending.
+StatusOr<std::vector<int>> GroupDepths(const Database& db,
+                                       const RefineOptions& options) {
+  EBA_ASSIGN_OR_RETURN(const Table* groups, db.GetTable(options.groups_table));
+  int depth_col = groups->schema().ColumnIndex(options.depth_column);
+  if (depth_col < 0) {
+    return Status::InvalidArgument("groups table has no column '" +
+                                   options.depth_column + "'");
+  }
+  std::set<int> depths;
+  const Column& column = groups->column(static_cast<size_t>(depth_col));
+  for (size_t r = 0; r < column.size(); ++r) {
+    if (!column.IsNull(r)) depths.insert(static_cast<int>(column.Int64At(r)));
+  }
+  return std::vector<int>(depths.begin(), depths.end());
+}
+
+/// Clones `tmpl` with "G.Group_Depth = depth" added for every Groups tuple
+/// variable the template mentions (decorating one instance suffices because
+/// group ids are unique per depth, but decorating all is tighter and keeps
+/// the executor from scanning cross-depth rows).
+StatusOr<ExplanationTemplate> DecorateWithDepth(const Database& db,
+                                                const ExplanationTemplate& tmpl,
+                                                const RefineOptions& options,
+                                                int depth) {
+  ExplanationTemplate decorated = tmpl;
+  PathQuery* q = decorated.mutable_query();
+  EBA_ASSIGN_OR_RETURN(const Table* groups, db.GetTable(options.groups_table));
+  int depth_col = groups->schema().ColumnIndex(options.depth_column);
+  if (depth_col < 0) {
+    return Status::InvalidArgument("groups table has no column '" +
+                                   options.depth_column + "'");
+  }
+  bool any = false;
+  for (size_t var = 0; var < q->vars.size(); ++var) {
+    if (q->vars[var].table != options.groups_table) continue;
+    q->const_conditions.push_back(
+        ConstCondition{QAttr{static_cast<int>(var), depth_col}, CmpOp::kEq,
+                       Value::Int64(depth)});
+    any = true;
+  }
+  if (!any) {
+    return Status::InvalidArgument("template does not reference '" +
+                                   options.groups_table + "'");
+  }
+  decorated.set_name(tmpl.name() + StrFormat("_depth%d", depth));
+  return decorated;
+}
+
+StatusOr<PrecisionRecall> Validate(const Database& db,
+                                   const ExplanationTemplate& tmpl,
+                                   const RefineOptions& options) {
+  MetricsEvaluator evaluator(&db, options.validation_log_table);
+  return evaluator.Evaluate({tmpl}, options.real_lids, options.fake_lids,
+                            options.real_lids);
+}
+
+}  // namespace
+
+bool UsesGroups(const ExplanationTemplate& tmpl,
+                const std::string& groups_table) {
+  for (const auto& var : tmpl.query().vars) {
+    if (var.table == groups_table) return true;
+  }
+  return false;
+}
+
+StatusOr<RefinedTemplate> RefineGroupDepth(const Database& db,
+                                           const ExplanationTemplate& tmpl,
+                                           const RefineOptions& options) {
+  if (options.validation_log_table.empty()) {
+    return Status::InvalidArgument("validation_log_table is required");
+  }
+
+  RefinedTemplate result{tmpl, std::nullopt, PrecisionRecall{}, false};
+  EBA_ASSIGN_OR_RETURN(result.validation, Validate(db, tmpl, options));
+
+  if (!UsesGroups(tmpl, options.groups_table)) {
+    result.meets_target =
+        result.validation.Precision() >= options.precision_target;
+    return result;
+  }
+
+  // Undecorated template already precise enough: keep it (maximal recall).
+  if (result.validation.Precision() >= options.precision_target) {
+    result.meets_target = true;
+    return result;
+  }
+
+  EBA_ASSIGN_OR_RETURN(std::vector<int> depths, GroupDepths(db, options));
+
+  // Shallow depths have coarser groups (higher recall, lower precision);
+  // walk from shallow to deep and keep the first depth meeting the target —
+  // i.e. the highest-recall decoration that satisfies the constraint. Track
+  // the best-precision variant as a fallback report.
+  std::optional<RefinedTemplate> best_precision;
+  for (int depth : depths) {
+    EBA_ASSIGN_OR_RETURN(ExplanationTemplate decorated,
+                         DecorateWithDepth(db, tmpl, options, depth));
+    EBA_ASSIGN_OR_RETURN(PrecisionRecall pr, Validate(db, decorated, options));
+    if (pr.Precision() >= options.precision_target) {
+      return RefinedTemplate{std::move(decorated), depth, pr, true};
+    }
+    if (!best_precision ||
+        pr.Precision() > best_precision->validation.Precision()) {
+      best_precision =
+          RefinedTemplate{std::move(decorated), depth, pr, false};
+    }
+  }
+  if (best_precision) return *best_precision;
+  return result;
+}
+
+StatusOr<std::vector<RefinedTemplate>> RefineTemplateSet(
+    const Database& db, const std::vector<ExplanationTemplate>& templates,
+    const RefineOptions& options) {
+  std::vector<RefinedTemplate> out;
+  out.reserve(templates.size());
+  for (const auto& tmpl : templates) {
+    EBA_ASSIGN_OR_RETURN(RefinedTemplate refined,
+                         RefineGroupDepth(db, tmpl, options));
+    out.push_back(std::move(refined));
+  }
+  return out;
+}
+
+}  // namespace eba

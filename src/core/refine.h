@@ -1,0 +1,78 @@
+// Decorated-template refinement — the paper's stated future work (§5.3.4):
+//
+//   "group information at one depth may be sufficient to explain an access
+//    with an appointment, but group information at another depth may be
+//    necessary to explain accesses with medication information to attain a
+//    desired level of precision. In the future, we will consider how to
+//    mine decorated explanation templates that restrict the groups that can
+//    be used to better control precision."
+//
+// RefineGroupDepth implements exactly that: given a mined simple template
+// that traverses the Groups table, it evaluates the decorated variants
+// "... AND G.Group_Depth = d" for every depth on a validation log (real +
+// fake accesses, §5.3.2) and returns the deepest decoration that meets the
+// administrator's precision target — maximizing recall subject to the
+// precision constraint. Templates that cannot meet the target even at the
+// deepest level are reported as rejected.
+
+#ifndef EBA_CORE_REFINE_H_
+#define EBA_CORE_REFINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/metrics.h"
+#include "core/template.h"
+#include "storage/database.h"
+
+namespace eba {
+
+struct RefineOptions {
+  /// Validation log (real + fake accesses) living in the database.
+  std::string validation_log_table;
+  std::vector<int64_t> real_lids;
+  std::vector<int64_t> fake_lids;
+
+  /// Precision the decorated template must reach on the validation log.
+  double precision_target = 0.90;
+
+  /// The Groups table name (its Group_Depth column is decorated).
+  std::string groups_table = "Groups";
+  std::string depth_column = "Group_Depth";
+};
+
+/// Outcome of refining one template.
+struct RefinedTemplate {
+  ExplanationTemplate tmpl;
+  /// Chosen depth decoration (nullopt = the undecorated template already
+  /// met the target).
+  std::optional<int> chosen_depth;
+  PrecisionRecall validation;
+  /// False when no decoration met the precision target; `tmpl` then holds
+  /// the best-precision variant for inspection.
+  bool meets_target = false;
+};
+
+/// True if the template references the Groups table.
+bool UsesGroups(const ExplanationTemplate& tmpl,
+                const std::string& groups_table);
+
+/// Refines a single group template as described above. Non-group templates
+/// are returned unchanged (evaluated, chosen_depth = nullopt).
+StatusOr<RefinedTemplate> RefineGroupDepth(const Database& db,
+                                           const ExplanationTemplate& tmpl,
+                                           const RefineOptions& options);
+
+/// Refines every template in a set; preserves order. Templates that cannot
+/// meet the target are still returned (meets_target = false) so the
+/// administrator can triage them.
+StatusOr<std::vector<RefinedTemplate>> RefineTemplateSet(
+    const Database& db, const std::vector<ExplanationTemplate>& templates,
+    const RefineOptions& options);
+
+}  // namespace eba
+
+#endif  // EBA_CORE_REFINE_H_

@@ -1,0 +1,146 @@
+#include "core/template.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "query/parser.h"
+
+namespace eba {
+
+ExplanationTemplate::ExplanationTemplate(std::string name, PathQuery query,
+                                         QAttr lid_attr,
+                                         std::string description_format)
+    : name_(std::move(name)),
+      query_(std::move(query)),
+      lid_attr_(lid_attr),
+      description_(std::move(description_format)) {
+  EBA_CHECK_MSG(lid_attr_.var == 0, "lid attribute must be on variable 0");
+}
+
+namespace {
+
+/// Attributes mentioned as "[alias.Column]" placeholders in a description
+/// string (unresolvable placeholders are ignored; they render as "?").
+std::vector<QAttr> PlaceholderAttrs(const Database& db, const PathQuery& q,
+                                    const std::string& description) {
+  std::vector<QAttr> attrs;
+  size_t i = 0;
+  while (i < description.size()) {
+    if (description[i] == '[') {
+      size_t close = description.find(']', i);
+      size_t dot = description.find('.', i);
+      if (close != std::string::npos && dot != std::string::npos &&
+          dot < close) {
+        auto resolved = q.Resolve(db, description.substr(i + 1, dot - i - 1),
+                                  description.substr(dot + 1, close - dot - 1));
+        if (resolved.ok() &&
+            std::find(attrs.begin(), attrs.end(), *resolved) == attrs.end()) {
+          attrs.push_back(*resolved);
+        }
+        i = close + 1;
+        continue;
+      }
+    }
+    ++i;
+  }
+  return attrs;
+}
+
+}  // namespace
+
+StatusOr<ExplanationTemplate> ExplanationTemplate::Parse(
+    const Database& db, const std::string& name,
+    const std::string& from_clause, const std::string& where_clause,
+    const std::string& description) {
+  EBA_ASSIGN_OR_RETURN(PathQuery q,
+                       ParsePathQuery(db, from_clause, where_clause));
+  EBA_ASSIGN_OR_RETURN(const Table* log_table, db.GetTable(q.vars[0].table));
+  int lid_col = log_table->schema().ColumnIndex("Lid");
+  if (lid_col < 0) {
+    return Status::InvalidArgument("log table '" + q.vars[0].table +
+                                   "' has no Lid column");
+  }
+  // Materialize every attribute the description references (e.g. the
+  // appointment date in "... on [A.Date]") in addition to the condition
+  // attributes, so instances can render their placeholders.
+  q.projection = q.ReferencedAttrs();
+  for (const QAttr& attr : PlaceholderAttrs(db, q, description)) {
+    if (std::find(q.projection.begin(), q.projection.end(), attr) ==
+        q.projection.end()) {
+      q.projection.push_back(attr);
+    }
+  }
+  return ExplanationTemplate(name, std::move(q), QAttr{0, lid_col},
+                             description);
+}
+
+namespace {
+
+/// Serializes one condition side as "Table[instance].Column", where the
+/// instance is the tuple-variable's occurrence index among variables of the
+/// same table — stable across alias renamings. The log table is normalized
+/// to "<log>".
+std::string SideKey(const PathQuery& q, const std::string& log_table,
+                    const QAttr& a, const Database& db) {
+  const TupleVar& var = q.vars[static_cast<size_t>(a.var)];
+  int occurrence = 0;
+  for (int i = 0; i < a.var; ++i) {
+    if (q.vars[static_cast<size_t>(i)].table == var.table) ++occurrence;
+  }
+  std::string table =
+      var.table == log_table ? std::string("<log>") : var.table;
+  auto table_ptr = db.GetTable(var.table);
+  std::string column = table_ptr.ok()
+                           ? table_ptr.value()
+                                 ->schema()
+                                 .column(static_cast<size_t>(a.col))
+                                 .name
+                           : std::to_string(a.col);
+  return table + "#" + std::to_string(occurrence) + "." + column;
+}
+
+}  // namespace
+
+StatusOr<std::string> ExplanationTemplate::CanonicalKey(
+    const Database& db) const {
+  EBA_RETURN_IF_ERROR(query_.Validate(db));
+  const std::string& log_table = query_.vars[0].table;
+  std::vector<std::string> parts;
+  for (const auto& c : query_.join_chain) {
+    std::string l = SideKey(query_, log_table, c.lhs, db);
+    std::string r = SideKey(query_, log_table, c.rhs, db);
+    if (r < l) std::swap(l, r);
+    parts.push_back(l + "=" + r);
+  }
+  for (const auto& c : query_.extra_conditions) {
+    parts.push_back(SideKey(query_, log_table, c.lhs, db) +
+                    CmpOpToString(c.op) +
+                    SideKey(query_, log_table, c.rhs, db));
+  }
+  for (const auto& c : query_.const_conditions) {
+    parts.push_back(SideKey(query_, log_table, c.lhs, db) +
+                    CmpOpToString(c.op) + c.rhs.ToString());
+  }
+  std::sort(parts.begin(), parts.end());
+  return Join(parts, "&");
+}
+
+ExplanationTemplate ExplanationTemplate::WithLogTable(
+    const std::string& log_table) const {
+  ExplanationTemplate copy = *this;
+  const std::string old_log = query_.vars[0].table;
+  for (auto& var : copy.query_.vars) {
+    if (var.table == old_log) var.table = log_table;
+  }
+  return copy;
+}
+
+StatusOr<std::string> ExplanationTemplate::ToSql(
+    const Database& db, const SqlRenderOptions& options) const {
+  SqlRenderOptions opts = options;
+  if (opts.count_distinct_lid) opts.lid_attr = lid_attr_;
+  return eba::ToSql(db, query_, opts);
+}
+
+}  // namespace eba

@@ -1,0 +1,70 @@
+#include "graph/anomaly.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace eba {
+
+StatusOr<std::vector<UserAnomalyScore>> ScoreUsersByDeviation(
+    const UserGraph& graph, const AccessLog& log,
+    const AnomalyOptions& options) {
+  if (options.k_nearest <= 0) {
+    return Status::InvalidArgument("k_nearest must be positive");
+  }
+
+  std::unordered_map<int64_t, size_t> access_counts;
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> patients_of;
+  for (size_t r = 0; r < log.size(); ++r) {
+    AccessLog::Entry e = log.Get(r);
+    access_counts[e.user]++;
+    patients_of[e.user].insert(e.patient);
+  }
+
+  std::vector<UserAnomalyScore> scores;
+  scores.reserve(graph.num_users());
+  for (size_t u = 0; u < graph.num_users(); ++u) {
+    UserAnomalyScore entry;
+    entry.user = graph.user_id(u);
+    auto it = access_counts.find(entry.user);
+    entry.num_accesses = it == access_counts.end() ? 0 : it->second;
+
+    // Similarity mass to the k strongest neighbors...
+    std::vector<double> weights;
+    weights.reserve(graph.Neighbors(u).size());
+    for (const auto& [v, w] : graph.Neighbors(u)) weights.push_back(w);
+    std::sort(weights.begin(), weights.end(), std::greater<double>());
+    size_t k = std::min<size_t>(static_cast<size_t>(options.k_nearest),
+                                weights.size());
+    double sum = 0;
+    for (size_t i = 0; i < k; ++i) sum += weights[i];
+    // ...normalized by the breadth of the user's access pattern: a user who
+    // touches many records nobody on their team touches dilutes their own
+    // profile (this is what makes a bulk snooper stand out, matching the
+    // deviation-from-similar-users idea of Chen & Malin).
+    auto pit = patients_of.find(entry.user);
+    double breadth =
+        pit == patients_of.end() ? 1.0 : static_cast<double>(pit->second.size());
+    entry.neighborhood_similarity = sum / std::max(1.0, breadth);
+    entry.score = 1.0 / (1.0 + entry.neighborhood_similarity);
+    scores.push_back(entry);
+  }
+
+  std::sort(scores.begin(), scores.end(),
+            [](const UserAnomalyScore& a, const UserAnomalyScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user < b.user;
+            });
+  return scores;
+}
+
+size_t RankOfUser(const std::vector<UserAnomalyScore>& scores, int64_t user) {
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i].user == user) return i + 1;
+  }
+  return 0;
+}
+
+}  // namespace eba

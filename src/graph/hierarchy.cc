@@ -1,0 +1,158 @@
+#include "graph/hierarchy.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace eba {
+
+StatusOr<GroupHierarchy> GroupHierarchy::Build(
+    const UserGraph& graph, const HierarchyOptions& options) {
+  if (options.max_depth < 0) {
+    return Status::InvalidArgument("max_depth must be >= 0");
+  }
+  GroupHierarchy h;
+  int64_t next_group_id = 1;
+
+  // Depth 0: one global group.
+  GroupNode root;
+  root.depth = 0;
+  root.group_id = next_group_id++;
+  root.users = graph.user_ids();
+  h.nodes_.push_back(std::move(root));
+  h.max_depth_ = 0;
+
+  if (graph.num_users() == 0 || options.max_depth == 0) return h;
+
+  WeightedGraph base = WeightedGraph::FromUserGraph(graph);
+
+  // Work items: (node index in h.nodes_, member node-ids in `base`).
+  struct WorkItem {
+    int parent_node;
+    std::vector<uint32_t> members;
+  };
+  std::vector<uint32_t> all(graph.num_users());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  std::vector<WorkItem> frontier = {WorkItem{0, std::move(all)}};
+
+  LouvainOptions louvain = options.louvain;
+
+  for (int depth = 1; depth <= options.max_depth && !frontier.empty();
+       ++depth) {
+    std::vector<WorkItem> next_frontier;
+    for (auto& item : frontier) {
+      // Cluster the induced subgraph of this parent group.
+      WeightedGraph sub = base.Induce(item.members);
+      // Vary the seed per item for independent tie-breaking.
+      louvain.seed = options.louvain.seed + static_cast<uint64_t>(depth) * 131 +
+                     static_cast<uint64_t>(item.parent_node) * 31;
+      Clustering clustering = ClusterGraph(sub, louvain);
+
+      std::vector<std::vector<uint32_t>> clusters =
+          clustering.Clusters();
+      for (auto& cluster : clusters) {
+        if (cluster.empty()) continue;
+        GroupNode node;
+        node.depth = depth;
+        node.group_id = next_group_id++;
+        node.parent = item.parent_node;
+        node.users.reserve(cluster.size());
+        std::vector<uint32_t> member_ids;
+        member_ids.reserve(cluster.size());
+        for (uint32_t local : cluster) {
+          uint32_t global = item.members[local];
+          member_ids.push_back(global);
+          node.users.push_back(graph.user_id(global));
+        }
+        int node_index = static_cast<int>(h.nodes_.size());
+        bool splittable = member_ids.size() >= options.min_cluster_size &&
+                          clusters.size() > 1;
+        // A group identical to its parent (no split happened) still carries
+        // down one level so every depth partitions all users, but it stops
+        // spawning work once it can no longer split.
+        h.nodes_.push_back(std::move(node));
+        h.max_depth_ = depth;
+        if (splittable && depth < options.max_depth) {
+          next_frontier.push_back(WorkItem{node_index, std::move(member_ids)});
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  // Ensure every depth up to max_depth_ partitions the full user set: a
+  // group that stopped splitting is carried down unchanged, one clone per
+  // predecessor-depth group (never merged — carrying through a shallower
+  // ancestor would fuse unrelated users into one catch-all cluster).
+  for (int depth = 1; depth <= h.max_depth_; ++depth) {
+    std::unordered_map<int64_t, bool> covered;
+    for (const auto& node : h.nodes_) {
+      if (node.depth != depth) continue;
+      for (int64_t u : node.users) covered[u] = true;
+    }
+    const size_t existing_nodes = h.nodes_.size();
+    for (size_t i = 0; i < existing_nodes; ++i) {
+      if (h.nodes_[i].depth != depth - 1) continue;
+      GroupNode clone;
+      clone.depth = depth;
+      clone.parent = static_cast<int>(i);
+      for (int64_t u : h.nodes_[i].users) {
+        if (!covered.count(u)) {
+          clone.users.push_back(u);
+          covered[u] = true;
+        }
+      }
+      if (!clone.users.empty()) {
+        clone.group_id = next_group_id++;
+        h.nodes_.push_back(std::move(clone));
+      }
+    }
+  }
+
+  return h;
+}
+
+std::vector<const GroupNode*> GroupHierarchy::GroupsAtDepth(int depth) const {
+  std::vector<const GroupNode*> out;
+  for (const auto& node : nodes_) {
+    if (node.depth == depth) out.push_back(&node);
+  }
+  return out;
+}
+
+const GroupNode* GroupHierarchy::GroupOf(int64_t user, int depth) const {
+  for (const auto& node : nodes_) {
+    if (node.depth != depth) continue;
+    for (int64_t u : node.users) {
+      if (u == user) return &node;
+    }
+  }
+  return nullptr;
+}
+
+TableSchema GroupHierarchy::GroupsSchema(const std::string& table_name) {
+  return TableSchema(
+      table_name,
+      {ColumnDef{"Group_Depth", DataType::kInt64, "", false},
+       ColumnDef{"Group_id", DataType::kInt64, "group", false},
+       ColumnDef{"User", DataType::kInt64, "user", false}});
+}
+
+StatusOr<Table> GroupHierarchy::ToGroupsTable(const std::string& table_name,
+                                              bool include_depth_zero) const {
+  Table table(GroupsSchema(table_name));
+  size_t total = 0;
+  for (const auto& node : nodes_) total += node.users.size();
+  table.Reserve(total);
+  for (const auto& node : nodes_) {
+    if (node.depth == 0 && !include_depth_zero) continue;
+    for (int64_t user : node.users) {
+      EBA_RETURN_IF_ERROR(table.AppendRow({Value::Int64(node.depth),
+                                           Value::Int64(node.group_id),
+                                           Value::Int64(user)}));
+    }
+  }
+  return table;
+}
+
+}  // namespace eba

@@ -1,0 +1,255 @@
+#include "graph/modularity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace eba {
+
+std::vector<std::vector<uint32_t>> Clustering::Clusters() const {
+  std::vector<std::vector<uint32_t>> out(static_cast<size_t>(num_clusters));
+  for (size_t u = 0; u < assignment.size(); ++u) {
+    out[static_cast<size_t>(assignment[u])].push_back(
+        static_cast<uint32_t>(u));
+  }
+  return out;
+}
+
+double WeightedGraph::Degree(size_t u) const {
+  double d = 2.0 * self_loops[u];
+  for (const auto& [v, w] : adjacency[u]) d += w;
+  return d;
+}
+
+double WeightedGraph::TotalWeight() const {
+  double m = 0;
+  for (size_t u = 0; u < adjacency.size(); ++u) {
+    for (const auto& [v, w] : adjacency[u]) m += w;
+    m += 2.0 * self_loops[u];
+  }
+  return m / 2.0;
+}
+
+WeightedGraph WeightedGraph::FromUserGraph(const UserGraph& g) {
+  WeightedGraph out;
+  out.adjacency.resize(g.num_users());
+  out.self_loops.assign(g.num_users(), 0.0);
+  for (size_t u = 0; u < g.num_users(); ++u) {
+    out.adjacency[u] = g.Neighbors(u);
+  }
+  return out;
+}
+
+WeightedGraph WeightedGraph::Induce(const std::vector<uint32_t>& nodes) const {
+  std::unordered_map<uint32_t, uint32_t> remap;
+  remap.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    remap.emplace(nodes[i], static_cast<uint32_t>(i));
+  }
+  WeightedGraph out;
+  out.adjacency.resize(nodes.size());
+  out.self_loops.assign(nodes.size(), 0.0);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    uint32_t orig = nodes[i];
+    out.self_loops[i] = self_loops[orig];
+    for (const auto& [v, w] : adjacency[orig]) {
+      auto it = remap.find(v);
+      if (it != remap.end()) {
+        out.adjacency[i].emplace_back(it->second, w);
+      }
+    }
+  }
+  return out;
+}
+
+double ComputeModularity(const WeightedGraph& graph,
+                         const std::vector<int>& assignment) {
+  EBA_CHECK(assignment.size() == graph.num_nodes());
+  const double m = graph.TotalWeight();
+  if (m <= 0) return 0.0;
+  // Q = sum_c [ in_c / 2m - (deg_c / 2m)^2 ]
+  std::unordered_map<int, double> internal;  // 2 * internal weight
+  std::unordered_map<int, double> degree;
+  for (size_t u = 0; u < graph.num_nodes(); ++u) {
+    int c = assignment[u];
+    degree[c] += graph.Degree(u);
+    internal[c] += 2.0 * graph.self_loops[u];
+    for (const auto& [v, w] : graph.adjacency[u]) {
+      if (assignment[v] == c) internal[c] += w;
+    }
+  }
+  double q = 0;
+  for (const auto& [c, deg] : degree) {
+    double in_c = internal.count(c) ? internal.at(c) : 0.0;
+    q += in_c / (2.0 * m) - (deg / (2.0 * m)) * (deg / (2.0 * m));
+  }
+  return q;
+}
+
+namespace {
+
+/// One Louvain level: local moving on `graph`. Returns the per-node
+/// community assignment (renumbered to be dense) and whether anything moved.
+struct LevelResult {
+  std::vector<int> assignment;
+  int num_communities = 0;
+  bool changed = false;
+};
+
+LevelResult LocalMoving(const WeightedGraph& graph, Random* rng,
+                        double min_gain) {
+  const size_t n = graph.num_nodes();
+  const double m = graph.TotalWeight();
+  LevelResult result;
+  result.assignment.resize(n);
+  for (size_t u = 0; u < n; ++u) result.assignment[u] = static_cast<int>(u);
+  if (m <= 0 || n == 0) {
+    result.num_communities = static_cast<int>(n);
+    return result;
+  }
+
+  std::vector<double> community_degree(n);
+  for (size_t u = 0; u < n; ++u) community_degree[u] = graph.Degree(u);
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  bool improved = true;
+  int sweeps = 0;
+  while (improved && sweeps < 64) {
+    improved = false;
+    ++sweeps;
+    for (size_t u : order) {
+      const int current = result.assignment[u];
+      const double ku = graph.Degree(u);
+
+      // Weight from u to each neighboring community.
+      std::unordered_map<int, double> to_community;
+      to_community[current];  // ensure presence
+      for (const auto& [v, w] : graph.adjacency[u]) {
+        to_community[result.assignment[v]] += w;
+      }
+
+      // Remove u from its community.
+      community_degree[static_cast<size_t>(current)] -= ku;
+
+      int best = current;
+      double best_gain = 0.0;
+      const double base = to_community[current] -
+                          community_degree[static_cast<size_t>(current)] * ku /
+                              (2.0 * m);
+      for (const auto& [c, w_uc] : to_community) {
+        double gain = w_uc -
+                      community_degree[static_cast<size_t>(c)] * ku / (2.0 * m) -
+                      base;
+        if (gain > best_gain + min_gain) {
+          best_gain = gain;
+          best = c;
+        }
+      }
+
+      community_degree[static_cast<size_t>(best)] += ku;
+      if (best != current) {
+        result.assignment[u] = best;
+        improved = true;
+        result.changed = true;
+      }
+    }
+  }
+
+  // Renumber densely.
+  std::unordered_map<int, int> renumber;
+  for (size_t u = 0; u < n; ++u) {
+    auto it = renumber.emplace(result.assignment[u],
+                               static_cast<int>(renumber.size()))
+                  .first;
+    result.assignment[u] = it->second;
+  }
+  result.num_communities = static_cast<int>(renumber.size());
+  return result;
+}
+
+/// Aggregates communities into super-nodes.
+WeightedGraph Aggregate(const WeightedGraph& graph,
+                        const std::vector<int>& assignment,
+                        int num_communities) {
+  WeightedGraph out;
+  out.adjacency.resize(static_cast<size_t>(num_communities));
+  out.self_loops.assign(static_cast<size_t>(num_communities), 0.0);
+  std::vector<std::unordered_map<uint32_t, double>> agg(
+      static_cast<size_t>(num_communities));
+  for (size_t u = 0; u < graph.num_nodes(); ++u) {
+    int cu = assignment[u];
+    out.self_loops[static_cast<size_t>(cu)] += graph.self_loops[u];
+    for (const auto& [v, w] : graph.adjacency[u]) {
+      int cv = assignment[v];
+      if (cu == cv) {
+        // Each undirected edge appears twice in adjacency; w/2 per visit.
+        out.self_loops[static_cast<size_t>(cu)] += w / 2.0;
+      } else {
+        agg[static_cast<size_t>(cu)][static_cast<uint32_t>(cv)] += w;
+      }
+    }
+  }
+  for (size_t c = 0; c < agg.size(); ++c) {
+    auto& adj = out.adjacency[c];
+    adj.reserve(agg[c].size());
+    for (const auto& [v, w] : agg[c]) adj.emplace_back(v, w);
+    std::sort(adj.begin(), adj.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Clustering ClusterGraph(const WeightedGraph& graph,
+                        const LouvainOptions& options) {
+  const size_t n = graph.num_nodes();
+  Clustering result;
+  result.assignment.resize(n);
+  for (size_t u = 0; u < n; ++u) result.assignment[u] = static_cast<int>(u);
+
+  if (n == 0) {
+    result.num_clusters = 0;
+    return result;
+  }
+
+  Random rng(options.seed);
+  WeightedGraph current = graph;
+  // node -> community at the finest level, refined across levels.
+  std::vector<int> global = result.assignment;
+
+  for (int level = 0; level < options.max_levels; ++level) {
+    LevelResult moved = LocalMoving(current, &rng, options.min_gain);
+    if (!moved.changed && level > 0) break;
+    // Compose: global[u] = moved.assignment[global[u]].
+    for (size_t u = 0; u < n; ++u) {
+      global[u] = moved.assignment[static_cast<size_t>(global[u])];
+    }
+    if (!moved.changed) break;
+    current = Aggregate(current, moved.assignment, moved.num_communities);
+    if (current.num_nodes() == 1) break;
+  }
+
+  // Renumber densely (aggregation preserves density, but be safe).
+  std::unordered_map<int, int> renumber;
+  for (size_t u = 0; u < n; ++u) {
+    auto it =
+        renumber.emplace(global[u], static_cast<int>(renumber.size())).first;
+    global[u] = it->second;
+  }
+  result.assignment = std::move(global);
+  result.num_clusters = static_cast<int>(renumber.size());
+  result.modularity = ComputeModularity(graph, result.assignment);
+  return result;
+}
+
+Clustering ClusterUserGraph(const UserGraph& graph,
+                            const LouvainOptions& options) {
+  return ClusterGraph(WeightedGraph::FromUserGraph(graph), options);
+}
+
+}  // namespace eba

@@ -1,0 +1,72 @@
+// Weighted-graph clustering by greedy Newman-modularity maximization
+// (Louvain method: local moving + community aggregation, repeated until no
+// improvement). Parameter-free — the number of clusters emerges from the
+// modularity optimum, as required by §4.1 / reference [21].
+
+#ifndef EBA_GRAPH_MODULARITY_H_
+#define EBA_GRAPH_MODULARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/user_graph.h"
+
+namespace eba {
+
+/// A flat clustering of graph nodes.
+struct Clustering {
+  /// cluster id per node, in [0, num_clusters).
+  std::vector<int> assignment;
+  int num_clusters = 0;
+  /// Newman modularity Q of the assignment.
+  double modularity = 0.0;
+
+  /// Nodes grouped by cluster id.
+  std::vector<std::vector<uint32_t>> Clusters() const;
+};
+
+/// A generic weighted undirected graph (used for Louvain aggregation and to
+/// cluster induced subgraphs when building the hierarchy).
+struct WeightedGraph {
+  /// adjacency[u] = (v, weight); symmetric, no self entries.
+  std::vector<std::vector<std::pair<uint32_t, double>>> adjacency;
+  /// Self-loop weight per node (arises from aggregation).
+  std::vector<double> self_loops;
+
+  size_t num_nodes() const { return adjacency.size(); }
+  /// Weighted degree including self-loop contribution (counted twice, as is
+  /// standard for modularity).
+  double Degree(size_t u) const;
+  /// Total edge weight m (undirected edges once, self-loops once).
+  double TotalWeight() const;
+
+  static WeightedGraph FromUserGraph(const UserGraph& g);
+  /// Induced subgraph over `nodes`; mapping[i] = original id of new node i.
+  WeightedGraph Induce(const std::vector<uint32_t>& nodes) const;
+};
+
+/// Newman modularity of `assignment` on `graph`.
+double ComputeModularity(const WeightedGraph& graph,
+                         const std::vector<int>& assignment);
+
+struct LouvainOptions {
+  /// Node-visit order is shuffled with this seed for tie-breaking
+  /// robustness; results are deterministic for a fixed seed.
+  uint64_t seed = 7;
+  /// Stop when a full local-moving sweep improves Q by less than this.
+  double min_gain = 1e-9;
+  /// Safety bound on level count.
+  int max_levels = 32;
+};
+
+/// Clusters `graph` by Louvain modularity maximization.
+Clustering ClusterGraph(const WeightedGraph& graph,
+                        const LouvainOptions& options = {});
+
+/// Convenience overload for user graphs.
+Clustering ClusterUserGraph(const UserGraph& graph,
+                            const LouvainOptions& options = {});
+
+}  // namespace eba
+
+#endif  // EBA_GRAPH_MODULARITY_H_

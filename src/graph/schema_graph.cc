@@ -1,0 +1,305 @@
+#include "graph/schema_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace eba {
+
+namespace {
+
+std::string EdgeKey(const JoinEdge& e) {
+  return e.from.ToString() + "|" + e.to.ToString();
+}
+
+}  // namespace
+
+StatusOr<SchemaGraph> SchemaGraph::Build(
+    const Database& db, std::vector<std::string> excluded_tables) {
+  std::set<std::string> excluded(excluded_tables.begin(),
+                                 excluded_tables.end());
+  SchemaGraph graph;
+  std::unordered_set<std::string> seen;
+
+  auto add_edge = [&](const AttrId& a, const AttrId& b) {
+    JoinEdge fwd{a, b};
+    if (seen.insert(EdgeKey(fwd)).second) graph.edges_.push_back(fwd);
+    JoinEdge rev{b, a};
+    if (seen.insert(EdgeKey(rev)).second) graph.edges_.push_back(rev);
+  };
+
+  // Domain-derived edges: attributes in the same key domain, different
+  // tables (key/FK relationships; §3.1 restriction 2).
+  std::map<std::string, std::vector<AttrId>> by_domain;
+  for (const std::string& name : db.TableNames()) {
+    if (excluded.count(name)) continue;
+    EBA_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
+    for (const auto& def : table->schema().columns()) {
+      if (!def.domain.empty()) {
+        by_domain[def.domain].push_back(AttrId{name, def.name});
+      }
+    }
+  }
+  for (const auto& [domain, attrs] : by_domain) {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      for (size_t j = i + 1; j < attrs.size(); ++j) {
+        if (attrs[i].table == attrs[j].table) continue;  // needs allowance
+        add_edge(attrs[i], attrs[j]);
+      }
+    }
+  }
+
+  // Declared foreign keys.
+  for (const auto& fk : db.foreign_keys()) {
+    if (excluded.count(fk.from.table) || excluded.count(fk.to.table)) continue;
+    if (fk.from.table == fk.to.table) continue;
+    add_edge(fk.from, fk.to);
+  }
+
+  // Administrator-provided relationships.
+  for (const auto& rel : db.admin_relationships()) {
+    if (excluded.count(rel.a.table) || excluded.count(rel.b.table)) continue;
+    add_edge(rel.a, rel.b);
+  }
+
+  // Allowed self-joins: an edge from the attribute to itself.
+  for (const auto& attr : db.self_join_attrs()) {
+    if (excluded.count(attr.table)) continue;
+    JoinEdge self{attr, attr};
+    if (seen.insert(EdgeKey(self)).second) graph.edges_.push_back(self);
+  }
+
+  return graph;
+}
+
+std::vector<JoinEdge> SchemaGraph::EdgesFrom(const AttrId& attr) const {
+  std::vector<JoinEdge> out;
+  for (const auto& e : edges_) {
+    if (e.from == attr) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<JoinEdge> SchemaGraph::EdgesFromTable(
+    const std::string& table) const {
+  std::vector<JoinEdge> out;
+  for (const auto& e : edges_) {
+    if (e.from.table == table) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<JoinEdge> SchemaGraph::EdgesTo(const AttrId& attr) const {
+  std::vector<JoinEdge> out;
+  for (const auto& e : edges_) {
+    if (e.to == attr) out.push_back(e);
+  }
+  return out;
+}
+
+MiningPath MiningPath::Extend(const JoinEdge& edge) const {
+  std::vector<JoinEdge> edges = edges_;
+  edges.push_back(edge);
+  return MiningPath(std::move(edges));
+}
+
+MiningPath MiningPath::ExtendFront(const JoinEdge& edge) const {
+  std::vector<JoinEdge> edges;
+  edges.reserve(edges_.size() + 1);
+  edges.push_back(edge);
+  edges.insert(edges.end(), edges_.begin(), edges_.end());
+  return MiningPath(std::move(edges));
+}
+
+std::string MiningPath::CanonicalKey() const {
+  std::vector<std::string> fwd;
+  fwd.reserve(edges_.size());
+  for (const auto& e : edges_) fwd.push_back(EdgeKey(e));
+  std::vector<std::string> rev;
+  rev.reserve(edges_.size());
+  for (auto it = edges_.rbegin(); it != edges_.rend(); ++it) {
+    rev.push_back(EdgeKey(JoinEdge{it->to, it->from}));
+  }
+  std::string a = Join(fwd, "&");
+  std::string b = Join(rev, "&");
+  return a < b ? a : b;
+}
+
+namespace {
+
+/// Shared path-walk state; see header comment for the rules.
+struct PathWalk {
+  bool valid = false;
+  bool closed_left = false;
+  bool closed_right = false;
+  /// Tuple-variable table per chain position (positions = edges + 1).
+  std::vector<std::string> position_tables;
+};
+
+PathWalk WalkPath(const Database& db, const PathRules& rules,
+                  const MiningPath& path) {
+  PathWalk walk;
+  const auto& edges = path.edges();
+  if (edges.empty()) return walk;
+  const size_t n = edges.size();
+
+  // Chain consistency: edge i leaves the table that edge i-1 entered.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (edges[i].to.table != edges[i + 1].from.table) return walk;
+  }
+
+  walk.closed_left = edges[0].from == rules.start;
+  walk.closed_right = edges[n - 1].to == rules.end;
+
+  // Positions 0..n: the tuple-variable chain.
+  walk.position_tables.reserve(n + 1);
+  walk.position_tables.push_back(edges[0].from.table);
+  for (size_t i = 0; i < n; ++i) {
+    walk.position_tables.push_back(edges[i].to.table);
+  }
+
+  // Entry/exit attributes must differ at every pass-through position
+  // (a single-node pass-through is never simple). Interior positions are
+  // 1..n-1; when both ends close into variable 0, that shared variable
+  // contributes start (exit) and end (entry), which differ by definition.
+  for (size_t pos = 1; pos < n; ++pos) {
+    const AttrId& entry = edges[pos - 1].to;
+    const AttrId& exit = edges[pos].from;
+    if (entry == exit) return walk;
+  }
+
+  // No join edge traversed twice (in either direction).
+  {
+    std::set<std::pair<std::string, std::string>> used;
+    for (const auto& e : edges) {
+      std::string a = e.from.ToString();
+      std::string b = e.to.ToString();
+      auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+      if (!used.insert(key).second) return walk;
+    }
+  }
+
+  // Instance accounting. Positions 0 and n may denote variable 0 (the log)
+  // when the corresponding end is closed; if both are closed they are the
+  // SAME instance.
+  const std::string& log_table = rules.start.table;
+  std::map<std::string, int> instances;
+  auto is_var0_position = [&](size_t pos) {
+    return (pos == 0 && walk.closed_left) || (pos == n && walk.closed_right);
+  };
+  bool var0_counted = false;
+  for (size_t pos = 0; pos <= n; ++pos) {
+    const std::string& table = walk.position_tables[pos];
+    if (is_var0_position(pos)) {
+      if (table != log_table) return walk;  // anchors must be the log
+      if (!var0_counted) {
+        instances[table] += 1;
+        var0_counted = true;
+      }
+      continue;
+    }
+    instances[table] += 1;
+  }
+
+  for (const auto& [table, count] : instances) {
+    if (db.IsMappingTable(table)) continue;  // exempt (paper §5.3.3)
+    if (count <= 1) continue;
+    if (count > 2) return walk;
+    // A second instance is only permitted when the two instances are joined
+    // directly through an allowed self-join edge.
+    bool has_self_edge = false;
+    for (const auto& e : edges) {
+      if (e.from.table == table && e.to.table == table &&
+          db.IsSelfJoinAllowed(e.from) && e.from.column == e.to.column) {
+        has_self_edge = true;
+        break;
+      }
+    }
+    if (!has_self_edge) return walk;
+  }
+
+  // An unanchored chain is not a mining path.
+  if (!walk.closed_left && !walk.closed_right) return walk;
+
+  // Budget checks: raw length and counted tables.
+  if (static_cast<int>(n) > rules.max_length) return walk;
+  std::set<std::string> counted;
+  for (const auto& [table, count] : instances) {
+    if (!db.IsMappingTable(table)) counted.insert(table);
+  }
+  if (static_cast<int>(counted.size()) > rules.max_tables) return walk;
+
+  walk.valid = true;
+  return walk;
+}
+
+}  // namespace
+
+bool IsRestrictedSimplePath(const Database& db, const PathRules& rules,
+                            const MiningPath& path, bool anchored_forward) {
+  PathWalk walk = WalkPath(db, rules, path);
+  if (!walk.valid) return false;
+  return anchored_forward ? walk.closed_left : walk.closed_right;
+}
+
+bool IsExplanationPath(const Database& db, const PathRules& rules,
+                       const MiningPath& path) {
+  PathWalk walk = WalkPath(db, rules, path);
+  return walk.valid && walk.closed_left && walk.closed_right;
+}
+
+StatusOr<PathQuery> PathToQuery(const Database& db, const PathRules& rules,
+                                const MiningPath& path) {
+  PathWalk walk = WalkPath(db, rules, path);
+  if (!walk.valid) {
+    return Status::InvalidArgument("path is not a restricted simple path: " +
+                                   path.CanonicalKey());
+  }
+  const auto& edges = path.edges();
+  const size_t n = edges.size();
+
+  PathQuery q;
+  q.vars.push_back(TupleVar{rules.start.table, "L"});
+
+  // Assign a tuple-variable index to every chain position.
+  std::vector<int> var_at_pos(n + 1, -1);
+  int next_var = 1;
+  int log_extra = 2;  // alias suffix for log self-join instances
+  for (size_t pos = 0; pos <= n; ++pos) {
+    bool is_var0 = (pos == 0 && walk.closed_left) ||
+                   (pos == n && walk.closed_right);
+    if (is_var0) {
+      var_at_pos[pos] = 0;
+      continue;
+    }
+    const std::string& table = walk.position_tables[pos];
+    std::string alias;
+    if (table == rules.start.table) {
+      alias = "L" + std::to_string(log_extra++);
+    } else {
+      alias = "T" + std::to_string(next_var);
+    }
+    q.vars.push_back(TupleVar{table, alias});
+    var_at_pos[pos] = next_var++;
+  }
+
+  auto make_attr = [&](size_t pos, const AttrId& attr) -> StatusOr<QAttr> {
+    EBA_ASSIGN_OR_RETURN(int col, db.ResolveColumn(attr));
+    return QAttr{var_at_pos[pos], col};
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    EBA_ASSIGN_OR_RETURN(QAttr lhs, make_attr(i, edges[i].from));
+    EBA_ASSIGN_OR_RETURN(QAttr rhs, make_attr(i + 1, edges[i].to));
+    q.join_chain.push_back(VarCondition{lhs, CmpOp::kEq, rhs});
+  }
+
+  EBA_RETURN_IF_ERROR(q.Validate(db));
+  return q;
+}
+
+}  // namespace eba

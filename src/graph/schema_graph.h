@@ -1,0 +1,139 @@
+// SchemaGraph: the attribute graph of Definition 1, restricted per §3.1.
+//
+// Nodes are attributes (table, column). Join edges are generated from:
+//   - shared key domains across different tables (key/FK relationships),
+//   - explicitly declared foreign keys,
+//   - administrator-provided relationships,
+//   - administrator-allowed self-join attributes (edge from an attribute to
+//     itself, joining two instances of the same table).
+// Intra-tuple-variable edges are implicit (a path may enter a tuple variable
+// on one attribute and leave on another).
+//
+// MiningPath captures a partially-built path: an ordered list of join edges
+// starting at the log's start attribute. The path rules enforced here
+// implement "restricted simple paths" (Definitions 2/4 plus §3.2):
+//   - each tuple variable contributes at most two attribute nodes
+//     (entry and exit must differ — pass-through on a single node would
+//     make the template non-simple);
+//   - a table appears at most once, or twice when joined to itself through
+//     an allowed self-join attribute (mapping tables are exempt);
+//   - no join edge is traversed twice;
+//   - at most T counted tables (mapping tables are not counted);
+//   - a path is an explanation when it terminates at the end attribute
+//     (Log.User) of tuple variable 0.
+
+#ifndef EBA_GRAPH_SCHEMA_GRAPH_H_
+#define EBA_GRAPH_SCHEMA_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/path_query.h"
+#include "storage/database.h"
+
+namespace eba {
+
+/// A directed join edge between two attributes.
+struct JoinEdge {
+  AttrId from;
+  AttrId to;
+
+  bool operator==(const JoinEdge& o) const {
+    return from == o.from && to == o.to;
+  }
+  bool IsSelfJoin() const { return from.table == to.table; }
+  /// "A.x=B.y".
+  std::string ToString() const {
+    return from.ToString() + "=" + to.ToString();
+  }
+};
+
+class SchemaGraph {
+ public:
+  /// Derives the edge set from the database's schemas and join metadata.
+  /// `excluded_tables` lists tables that must not appear in any path (e.g.
+  /// dimension tables the administrator rules out).
+  static StatusOr<SchemaGraph> Build(const Database& db,
+                                     std::vector<std::string> excluded_tables = {});
+
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+
+  /// Edges whose `from` attribute matches exactly.
+  std::vector<JoinEdge> EdgesFrom(const AttrId& attr) const;
+
+  /// Edges whose `from` attribute belongs to the given table.
+  std::vector<JoinEdge> EdgesFromTable(const std::string& table) const;
+
+  /// Edges whose `to` attribute matches exactly.
+  std::vector<JoinEdge> EdgesTo(const AttrId& attr) const;
+
+ private:
+  std::vector<JoinEdge> edges_;
+};
+
+/// A (partial) mining path: join edges in traversal order from the start
+/// attribute. Paths are grown forward (from Log.Patient) or backward
+/// (toward Log.User); a backward path stores its edges in forward
+/// orientation, i.e. edges_.back().to is the end attribute.
+class MiningPath {
+ public:
+  MiningPath() = default;
+  explicit MiningPath(std::vector<JoinEdge> edges)
+      : edges_(std::move(edges)) {}
+
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+  int length() const { return static_cast<int>(edges_.size()); }
+  bool empty() const { return edges_.empty(); }
+
+  /// The attribute at the open (right) end of the path.
+  const AttrId& LastAttr() const { return edges_.back().to; }
+  /// The attribute at the open (left) end (for backward paths).
+  const AttrId& FirstAttr() const { return edges_.front().from; }
+
+  /// Appends `edge` returning the new path (no validity checking).
+  MiningPath Extend(const JoinEdge& edge) const;
+  /// Prepends `edge` (backward growth).
+  MiningPath ExtendFront(const JoinEdge& edge) const;
+
+  /// Canonical key of the path's selection-condition set: identical for a
+  /// path and its reverse, so support caching recognizes equivalent
+  /// conditions evaluated in different traversal orders (§3.2.1).
+  std::string CanonicalKey() const;
+
+  bool operator==(const MiningPath& o) const { return edges_ == o.edges_; }
+
+ private:
+  std::vector<JoinEdge> edges_;
+};
+
+/// Context for path validity checks.
+struct PathRules {
+  AttrId start;         // Log.Patient
+  AttrId end;           // Log.User
+  int max_length = 5;   // M, counted in raw join edges
+  int max_tables = 3;   // T, counted tables (mapping exempt)
+};
+
+/// Checks whether `path` (assumed grown from `rules.start` forward or toward
+/// `rules.end` backward — pass which) is a restricted simple path per the
+/// rules above. `db` supplies self-join allowances and mapping-table
+/// exemptions.
+bool IsRestrictedSimplePath(const Database& db, const PathRules& rules,
+                            const MiningPath& path, bool anchored_forward);
+
+/// True if the path is a complete explanation: starts at rules.start, ends
+/// at rules.end, and is a valid restricted simple path.
+bool IsExplanationPath(const Database& db, const PathRules& rules,
+                       const MiningPath& path);
+
+/// Converts a path into an executable PathQuery. Tuple variable 0 is the
+/// log; each edge binds a fresh tuple variable except the final edge of an
+/// explanation path, which ties back to variable 0. Aliases are "L" for the
+/// log and "T1", "T2", ... for the rest ("L2" for a log self-join instance).
+StatusOr<PathQuery> PathToQuery(const Database& db, const PathRules& rules,
+                                const MiningPath& path);
+
+}  // namespace eba
+
+#endif  // EBA_GRAPH_SCHEMA_GRAPH_H_

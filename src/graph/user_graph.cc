@@ -1,0 +1,90 @@
+#include "graph/user_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace eba {
+
+StatusOr<UserGraph> UserGraph::Build(const AccessLog& log) {
+  std::vector<size_t> rows(log.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return BuildFromRows(log, rows);
+}
+
+StatusOr<UserGraph> UserGraph::BuildFromRows(const AccessLog& log,
+                                             const std::vector<size_t>& rows) {
+  // patient -> set of distinct users who accessed the patient.
+  std::map<int64_t, std::set<int64_t>> accesses;
+  for (size_t r : rows) {
+    if (r >= log.size()) return Status::OutOfRange("row out of range");
+    AccessLog::Entry e = log.Get(r);
+    accesses[e.patient].insert(e.user);
+  }
+
+  UserGraph graph;
+  for (const auto& [patient, users] : accesses) {
+    for (int64_t u : users) {
+      if (graph.user_index_.emplace(u, graph.user_ids_.size()).second) {
+        graph.user_ids_.push_back(u);
+      }
+    }
+  }
+  const size_t n = graph.user_ids_.size();
+  std::vector<std::unordered_map<uint32_t, double>> weights(n);
+
+  // W = AᵀA off-diagonal: every patient with k users contributes 1/k² to
+  // each unordered user pair.
+  for (const auto& [patient, users] : accesses) {
+    const double k = static_cast<double>(users.size());
+    if (users.size() < 2) continue;
+    const double w = 1.0 / (k * k);
+    std::vector<uint32_t> idx;
+    idx.reserve(users.size());
+    for (int64_t u : users) idx.push_back(graph.user_index_.at(u));
+    for (size_t i = 0; i < idx.size(); ++i) {
+      for (size_t j = i + 1; j < idx.size(); ++j) {
+        weights[idx[i]][idx[j]] += w;
+        weights[idx[j]][idx[i]] += w;
+      }
+    }
+  }
+
+  graph.adjacency_.resize(n);
+  graph.node_weights_.assign(n, 0.0);
+  for (size_t u = 0; u < n; ++u) {
+    auto& adj = graph.adjacency_[u];
+    adj.reserve(weights[u].size());
+    for (const auto& [v, w] : weights[u]) {
+      adj.emplace_back(v, w);
+      graph.node_weights_[u] += w;
+    }
+    // Deterministic order for reproducible clustering.
+    std::sort(adj.begin(), adj.end());
+    graph.total_weight_ += graph.node_weights_[u];
+  }
+  graph.total_weight_ /= 2.0;
+  return graph;
+}
+
+int UserGraph::NodeIndex(int64_t user_id) const {
+  auto it = user_index_.find(user_id);
+  return it == user_index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+double UserGraph::EdgeWeight(size_t a, size_t b) const {
+  for (const auto& [v, w] : adjacency_[a]) {
+    if (v == b) return w;
+  }
+  return 0.0;
+}
+
+size_t UserGraph::NumEdges() const {
+  size_t total = 0;
+  for (const auto& adj : adjacency_) total += adj.size();
+  return total / 2;
+}
+
+}  // namespace eba

@@ -1,0 +1,67 @@
+// UserGraph: the weighted collaboration graph of §4.1.
+//
+// For a log slice with m patients and n users, A[i,j] = 1/k_i if user j
+// accessed patient i's record (k_i = number of distinct users who accessed
+// patient i) and 0 otherwise. Edge weights come from W = Aᵀ A:
+//   W[u,v] = Σ_i 1/k_i²  over patients i accessed by both u and v.
+// Whether a user accessed a record is binary — access counts do not change
+// the weight (paper §4.1). Diagonal entries are dropped; a node's weight is
+// the sum of its incident edge weights.
+
+#ifndef EBA_GRAPH_USER_GRAPH_H_
+#define EBA_GRAPH_USER_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "log/access_log.h"
+
+namespace eba {
+
+class UserGraph {
+ public:
+  /// Builds the graph from all rows of `log`.
+  static StatusOr<UserGraph> Build(const AccessLog& log);
+
+  /// Builds the graph from a subset of log rows (e.g. training days 1-6).
+  static StatusOr<UserGraph> BuildFromRows(const AccessLog& log,
+                                           const std::vector<size_t>& rows);
+
+  size_t num_users() const { return user_ids_.size(); }
+
+  /// External user id of graph node `idx`.
+  int64_t user_id(size_t idx) const { return user_ids_[idx]; }
+  const std::vector<int64_t>& user_ids() const { return user_ids_; }
+
+  /// Node index for a user id, or -1.
+  int NodeIndex(int64_t user_id) const;
+
+  /// Weighted adjacency list of node `idx` (no self-loops).
+  const std::vector<std::pair<uint32_t, double>>& Neighbors(size_t idx) const {
+    return adjacency_[idx];
+  }
+
+  /// Sum of incident edge weights.
+  double NodeWeight(size_t idx) const { return node_weights_[idx]; }
+
+  /// Total edge weight (each undirected edge counted once).
+  double TotalWeight() const { return total_weight_; }
+
+  /// Edge weight between two nodes (0 if absent).
+  double EdgeWeight(size_t a, size_t b) const;
+
+  size_t NumEdges() const;
+
+ private:
+  std::vector<int64_t> user_ids_;
+  std::unordered_map<int64_t, uint32_t> user_index_;
+  std::vector<std::vector<std::pair<uint32_t, double>>> adjacency_;
+  std::vector<double> node_weights_;
+  double total_weight_ = 0;
+};
+
+}  // namespace eba
+
+#endif  // EBA_GRAPH_USER_GRAPH_H_

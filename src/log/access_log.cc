@@ -1,0 +1,191 @@
+#include "log/access_log.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/date.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace eba {
+
+namespace {
+/// Exact hash for (user, patient) pairs.
+struct PairHash {
+  size_t operator()(const std::pair<int64_t, int64_t>& p) const {
+    return HashCombine(Mix64(static_cast<uint64_t>(p.first)),
+                       Mix64(static_cast<uint64_t>(p.second)));
+  }
+};
+}  // namespace
+
+TableSchema AccessLog::StandardSchema(const std::string& table_name) {
+  return TableSchema(
+      table_name,
+      {ColumnDef{"Lid", DataType::kInt64, "lid", /*is_primary_key=*/true},
+       ColumnDef{"Date", DataType::kTimestamp, "", false},
+       ColumnDef{"User", DataType::kInt64, "user", false},
+       ColumnDef{"Patient", DataType::kInt64, "patient", false},
+       ColumnDef{"Action", DataType::kString, "", false}});
+}
+
+AccessLog::AccessLog(const Table* table) : table_(table) {}
+
+StatusOr<AccessLog> AccessLog::Wrap(const Table* table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  AccessLog log(table);
+  log.lid_col_ = table->schema().ColumnIndex("Lid");
+  log.date_col_ = table->schema().ColumnIndex("Date");
+  log.user_col_ = table->schema().ColumnIndex("User");
+  log.patient_col_ = table->schema().ColumnIndex("Patient");
+  if (log.lid_col_ < 0 || log.date_col_ < 0 || log.user_col_ < 0 ||
+      log.patient_col_ < 0) {
+    return Status::InvalidArgument(
+        "table '" + table->name() +
+        "' is missing one of the Lid/Date/User/Patient columns");
+  }
+  auto check_type = [&](int col, DataType want) {
+    return table->schema().column(static_cast<size_t>(col)).type == want;
+  };
+  if (!check_type(log.lid_col_, DataType::kInt64) ||
+      !check_type(log.date_col_, DataType::kTimestamp) ||
+      !check_type(log.user_col_, DataType::kInt64) ||
+      !check_type(log.patient_col_, DataType::kInt64)) {
+    return Status::InvalidArgument("log column types do not match schema");
+  }
+  return log;
+}
+
+AccessLog::Entry AccessLog::Get(size_t row) const {
+  EBA_CHECK(row < table_->num_rows());
+  Entry e;
+  e.lid = table_->column(static_cast<size_t>(lid_col_)).Int64At(row);
+  e.time = table_->column(static_cast<size_t>(date_col_)).Int64At(row);
+  e.user = table_->column(static_cast<size_t>(user_col_)).Int64At(row);
+  e.patient = table_->column(static_cast<size_t>(patient_col_)).Int64At(row);
+  return e;
+}
+
+std::vector<uint8_t> AccessLog::FirstAccessMask() const {
+  const size_t n = size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  const Column& dates = table_->column(static_cast<size_t>(date_col_));
+  const Column& lids = table_->column(static_cast<size_t>(lid_col_));
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    int64_t ta = dates.Int64At(a), tb = dates.Int64At(b);
+    if (ta != tb) return ta < tb;
+    return lids.Int64At(a) < lids.Int64At(b);
+  });
+  std::vector<uint8_t> mask(n, 0);
+  std::unordered_set<std::pair<int64_t, int64_t>, PairHash> seen;
+  seen.reserve(n);
+  const Column& users = table_->column(static_cast<size_t>(user_col_));
+  const Column& patients = table_->column(static_cast<size_t>(patient_col_));
+  for (size_t r : order) {
+    if (seen.emplace(users.Int64At(r), patients.Int64At(r)).second) {
+      mask[r] = 1;
+    }
+  }
+  return mask;
+}
+
+std::vector<int64_t> AccessLog::FirstAccessLids() const {
+  auto mask = FirstAccessMask();
+  std::vector<int64_t> out;
+  const Column& lids = table_->column(static_cast<size_t>(lid_col_));
+  for (size_t r = 0; r < mask.size(); ++r) {
+    if (mask[r]) out.push_back(lids.Int64At(r));
+  }
+  return out;
+}
+
+std::vector<int64_t> AccessLog::RepeatAccessLids() const {
+  auto mask = FirstAccessMask();
+  std::vector<int64_t> out;
+  const Column& lids = table_->column(static_cast<size_t>(lid_col_));
+  for (size_t r = 0; r < mask.size(); ++r) {
+    if (!mask[r]) out.push_back(lids.Int64At(r));
+  }
+  return out;
+}
+
+size_t AccessLog::NumDistinctUsers() const {
+  return table_->GetOrComputeStats(static_cast<size_t>(user_col_)).num_distinct;
+}
+
+size_t AccessLog::NumDistinctPatients() const {
+  return table_->GetOrComputeStats(static_cast<size_t>(patient_col_))
+      .num_distinct;
+}
+
+size_t AccessLog::NumDistinctPairs() const {
+  std::unordered_set<std::pair<int64_t, int64_t>, PairHash> pairs;
+  pairs.reserve(size());
+  const Column& users = table_->column(static_cast<size_t>(user_col_));
+  const Column& patients = table_->column(static_cast<size_t>(patient_col_));
+  for (size_t r = 0; r < size(); ++r) {
+    pairs.emplace(users.Int64At(r), patients.Int64At(r));
+  }
+  return pairs.size();
+}
+
+double AccessLog::UserPatientDensity() const {
+  size_t users = NumDistinctUsers();
+  size_t patients = NumDistinctPatients();
+  if (users == 0 || patients == 0) return 0.0;
+  return static_cast<double>(NumDistinctPairs()) /
+         (static_cast<double>(users) * static_cast<double>(patients));
+}
+
+int64_t AccessLog::MinTime() const {
+  if (size() == 0) return 0;
+  const ColumnStats& stats =
+      table_->GetOrComputeStats(static_cast<size_t>(date_col_));
+  return stats.min.AsTimestamp();
+}
+
+int64_t AccessLog::MaxTime() const {
+  if (size() == 0) return 0;
+  const ColumnStats& stats =
+      table_->GetOrComputeStats(static_cast<size_t>(date_col_));
+  return stats.max.AsTimestamp();
+}
+
+std::vector<int> AccessLog::DayIndexes() const {
+  std::vector<int> days(size());
+  if (size() == 0) return days;
+  int64_t first_day = Date::FromSeconds(MinTime()).ToEpochDays();
+  const Column& dates = table_->column(static_cast<size_t>(date_col_));
+  for (size_t r = 0; r < size(); ++r) {
+    int64_t day = Date::FromSeconds(dates.Int64At(r)).ToEpochDays();
+    days[r] = static_cast<int>(day - first_day) + 1;
+  }
+  return days;
+}
+
+std::vector<size_t> AccessLog::RowsInDayRange(int first_day,
+                                              int last_day) const {
+  std::vector<size_t> rows;
+  auto days = DayIndexes();
+  for (size_t r = 0; r < days.size(); ++r) {
+    if (days[r] >= first_day && days[r] <= last_day) rows.push_back(r);
+  }
+  return rows;
+}
+
+StatusOr<Table> AccessLog::MakeSlice(const std::string& name,
+                                     const std::vector<size_t>& rows) const {
+  TableSchema schema(name, table_->schema().columns());
+  Table slice(std::move(schema));
+  slice.Reserve(rows.size());
+  for (size_t r : rows) {
+    if (r >= table_->num_rows()) {
+      return Status::OutOfRange("slice row out of range");
+    }
+    EBA_RETURN_IF_ERROR(slice.AppendRow(table_->GetRow(r)));
+  }
+  return slice;
+}
+
+}  // namespace eba

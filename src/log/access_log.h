@@ -1,0 +1,93 @@
+// AccessLog: a typed view over an access-log table with the analyses the
+// paper's experiments need — first vs repeat accesses (§5.3.1), day slicing
+// (train on days 1-6, test on day 7), and user-patient density (§5.2).
+//
+// The standard CareWeb-style log schema is
+//   Log(Lid, Date, User, Patient, Action)
+// with Lid int64 (primary key, domain "lid"), Date timestamp, User int64
+// (domain "user"), Patient int64 (domain "patient"), Action string.
+
+#ifndef EBA_LOG_ACCESS_LOG_H_
+#define EBA_LOG_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace eba {
+
+class AccessLog {
+ public:
+  /// The canonical log schema (see file comment). `domain_prefix` lets a
+  /// fake log live in the same database without colliding lid domains.
+  static TableSchema StandardSchema(const std::string& table_name = "Log");
+
+  /// Wraps an existing table; the table must outlive this view and contain
+  /// the standard columns (extra columns are allowed).
+  static StatusOr<AccessLog> Wrap(const Table* table);
+
+  const Table& table() const { return *table_; }
+  size_t size() const { return table_->num_rows(); }
+
+  int lid_col() const { return lid_col_; }
+  int date_col() const { return date_col_; }
+  int user_col() const { return user_col_; }
+  int patient_col() const { return patient_col_; }
+
+  /// One decoded log record.
+  struct Entry {
+    int64_t lid = 0;
+    int64_t time = 0;  // epoch seconds
+    int64_t user = 0;
+    int64_t patient = 0;
+  };
+  Entry Get(size_t row) const;
+
+  /// Row mask: mask[r] is true iff row r is the first access (in time order,
+  /// ties broken by lid) of its (user, patient) pair within this log.
+  std::vector<uint8_t> FirstAccessMask() const;
+
+  /// Lids of first accesses / repeat accesses.
+  std::vector<int64_t> FirstAccessLids() const;
+  std::vector<int64_t> RepeatAccessLids() const;
+
+  /// Distinct users / patients / (user, patient) pairs.
+  size_t NumDistinctUsers() const;
+  size_t NumDistinctPatients() const;
+  size_t NumDistinctPairs() const;
+
+  /// |pairs| / (|users| * |patients|)  (paper §5.2; ~0.0003 for CareWeb).
+  double UserPatientDensity() const;
+
+  /// Earliest / latest timestamps (0 when empty).
+  int64_t MinTime() const;
+  int64_t MaxTime() const;
+
+  /// Day index (1-based) of each row relative to the log's first day.
+  std::vector<int> DayIndexes() const;
+
+  /// Row ids whose day index lies in [first_day, last_day] (1-based,
+  /// inclusive).
+  std::vector<size_t> RowsInDayRange(int first_day, int last_day) const;
+
+  /// Builds a new table named `name` containing the given rows (in order),
+  /// with this log's schema.
+  StatusOr<Table> MakeSlice(const std::string& name,
+                            const std::vector<size_t>& rows) const;
+
+ private:
+  explicit AccessLog(const Table* table);
+
+  const Table* table_;
+  int lid_col_ = -1;
+  int date_col_ = -1;
+  int user_col_ = -1;
+  int patient_col_ = -1;
+};
+
+}  // namespace eba
+
+#endif  // EBA_LOG_ACCESS_LOG_H_

@@ -1,0 +1,71 @@
+#include "log/fake_log.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace eba {
+
+StatusOr<Table> GenerateFakeLog(const std::string& table_name,
+                                const std::vector<int64_t>& users,
+                                const std::vector<int64_t>& patients,
+                                const FakeLogOptions& options, Random* rng) {
+  if (users.empty() || patients.empty()) {
+    return Status::InvalidArgument("fake log needs users and patients");
+  }
+  if (options.max_time < options.min_time) {
+    return Status::InvalidArgument("fake log time range is inverted");
+  }
+  EBA_CHECK(rng != nullptr);
+  Table table(AccessLog::StandardSchema(table_name));
+  table.Reserve(options.num_accesses);
+  for (size_t i = 0; i < options.num_accesses; ++i) {
+    int64_t user = users[rng->Uniform(users.size())];
+    int64_t patient = patients[rng->Uniform(patients.size())];
+    int64_t time = rng->UniformRange(options.min_time, options.max_time);
+    Row row = {Value::Int64(options.first_lid + static_cast<int64_t>(i)),
+               Value::Timestamp(time), Value::Int64(user),
+               Value::Int64(patient), Value::String("viewed")};
+    EBA_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+StatusOr<CombinedLog> CombineRealAndFake(const std::string& table_name,
+                                         const Table& real,
+                                         const Table& fake) {
+  EBA_ASSIGN_OR_RETURN(AccessLog real_log, AccessLog::Wrap(&real));
+  EBA_ASSIGN_OR_RETURN(AccessLog fake_log, AccessLog::Wrap(&fake));
+
+  Table combined(AccessLog::StandardSchema(table_name));
+  combined.Reserve(real.num_rows() + fake.num_rows());
+  std::vector<int64_t> real_lids;
+  real_lids.reserve(real.num_rows());
+  std::vector<int64_t> fake_lids;
+  fake_lids.reserve(fake.num_rows());
+
+  for (size_t r = 0; r < real.num_rows(); ++r) {
+    EBA_RETURN_IF_ERROR(combined.AppendRow(real.GetRow(r)));
+    real_lids.push_back(real_log.Get(r).lid);
+  }
+  for (size_t r = 0; r < fake.num_rows(); ++r) {
+    EBA_RETURN_IF_ERROR(combined.AppendRow(fake.GetRow(r)));
+    fake_lids.push_back(fake_log.Get(r).lid);
+  }
+
+  // Lid collisions would make precision unmeasurable; reject them.
+  {
+    std::unordered_set<int64_t> seen(real_lids.begin(), real_lids.end());
+    for (int64_t lid : fake_lids) {
+      if (!seen.insert(lid).second) {
+        return Status::InvalidArgument(
+            "fake log lid collides with real log: " + std::to_string(lid));
+      }
+    }
+  }
+
+  return CombinedLog{std::move(combined), std::move(real_lids),
+                     std::move(fake_lids)};
+}
+
+}  // namespace eba

@@ -1,0 +1,54 @@
+// FakeLogGenerator: builds the synthetic "fake log" of §5.3.2 used to
+// measure explanation precision. Each fake access picks a user and a patient
+// uniformly at random from the populations present in the database; because
+// real user-patient density is very low, fake accesses almost never
+// coincide with real clinical relationships, so any explanation found for a
+// fake access is (almost surely) a false positive.
+
+#ifndef EBA_LOG_FAKE_LOG_H_
+#define EBA_LOG_FAKE_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "log/access_log.h"
+#include "storage/table.h"
+
+namespace eba {
+
+struct FakeLogOptions {
+  /// Number of fake accesses; by convention equal to the real log size.
+  size_t num_accesses = 0;
+  /// Lids are assigned sequentially starting here (must not collide with
+  /// real lids).
+  int64_t first_lid = 0;
+  /// Timestamps are drawn uniformly from [min_time, max_time].
+  int64_t min_time = 0;
+  int64_t max_time = 0;
+};
+
+/// A combined evaluation log: real + fake accesses in one table, plus the
+/// id sets needed to compute precision/recall.
+struct CombinedLog {
+  Table table;
+  std::vector<int64_t> real_lids;
+  std::vector<int64_t> fake_lids;
+};
+
+/// Generates `options.num_accesses` fake records over the given user and
+/// patient populations.
+StatusOr<Table> GenerateFakeLog(const std::string& table_name,
+                                const std::vector<int64_t>& users,
+                                const std::vector<int64_t>& patients,
+                                const FakeLogOptions& options, Random* rng);
+
+/// Concatenates a real log (or slice) and a fake log into one table named
+/// `table_name`, tracking which lids are real vs fake.
+StatusOr<CombinedLog> CombineRealAndFake(const std::string& table_name,
+                                         const Table& real, const Table& fake);
+
+}  // namespace eba
+
+#endif  // EBA_LOG_FAKE_LOG_H_

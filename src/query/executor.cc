@@ -1,0 +1,352 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace eba {
+
+namespace {
+
+struct RowHasher {
+  size_t operator()(const Row& row) const {
+    size_t h = 0x51ed270b;
+    for (const auto& v : row) h = HashCombine(h, v.Hash());
+    return h;
+  }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const { return a == b; }
+};
+
+/// Projects `rel` onto `attrs` (all of which must be present), optionally
+/// deduplicating rows.
+Relation Project(const Relation& rel, const std::vector<QAttr>& attrs,
+                 bool dedup) {
+  // Fast path: identical header, no dedup.
+  if (!dedup && attrs == rel.attrs) return rel;
+  std::vector<int> positions;
+  positions.reserve(attrs.size());
+  for (const auto& a : attrs) {
+    int idx = rel.AttrIndex(a);
+    EBA_CHECK_MSG(idx >= 0, "projection attribute missing from relation");
+    positions.push_back(idx);
+  }
+  Relation out;
+  out.attrs = attrs;
+  out.rows.reserve(rel.rows.size());
+  std::unordered_set<Row, RowHasher, RowEq> seen;
+  for (const auto& row : rel.rows) {
+    Row projected;
+    projected.reserve(positions.size());
+    for (int p : positions) projected.push_back(row[static_cast<size_t>(p)]);
+    if (dedup) {
+      if (!seen.insert(projected).second) continue;
+    }
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+}  // namespace
+
+Executor::Executor(const Database* db) : db_(db) { EBA_CHECK(db != nullptr); }
+
+StatusOr<Relation> Executor::Materialize(const PathQuery& q) const {
+  std::vector<QAttr> output = q.projection;
+  if (output.empty()) output = q.ReferencedAttrs();
+  return Execute(q, output, /*dedup_intermediate=*/false,
+                 /*lid_filter=*/nullptr, QAttr{});
+}
+
+StatusOr<Relation> Executor::MaterializeForLogIds(
+    const PathQuery& q, QAttr lid_attr, const std::vector<Value>& lids) const {
+  if (lid_attr.var != 0) {
+    return Status::InvalidArgument("lid attribute must belong to variable 0");
+  }
+  std::vector<QAttr> output = q.projection;
+  if (output.empty()) output = q.ReferencedAttrs();
+  // Ensure the lid is part of the output so callers can group instances.
+  if (std::find(output.begin(), output.end(), lid_attr) == output.end()) {
+    output.insert(output.begin(), lid_attr);
+  }
+  return Execute(q, output, /*dedup_intermediate=*/false, &lids, lid_attr);
+}
+
+StatusOr<int64_t> Executor::CountDistinct(const PathQuery& q, QAttr lid_attr,
+                                          SupportStrategy strategy) const {
+  EBA_ASSIGN_OR_RETURN(auto values, DistinctValues(q, lid_attr, strategy));
+  return static_cast<int64_t>(values.size());
+}
+
+StatusOr<std::vector<Value>> Executor::DistinctValues(
+    const PathQuery& q, QAttr lid_attr, SupportStrategy strategy) const {
+  if (lid_attr.var != 0) {
+    return Status::InvalidArgument("lid attribute must belong to variable 0");
+  }
+  std::vector<QAttr> output = {lid_attr};
+  EBA_ASSIGN_OR_RETURN(
+      Relation rel,
+      Execute(q, output,
+              strategy == SupportStrategy::kDedupFrontier,
+              /*lid_filter=*/nullptr, lid_attr));
+  std::unordered_set<Value> distinct;
+  distinct.reserve(rel.rows.size());
+  for (const auto& row : rel.rows) distinct.insert(row[0]);
+  return std::vector<Value>(distinct.begin(), distinct.end());
+}
+
+StatusOr<Relation> Executor::Execute(const PathQuery& q,
+                                     const std::vector<QAttr>& output_attrs,
+                                     bool dedup_intermediate,
+                                     const std::vector<Value>* lid_filter,
+                                     QAttr lid_attr) const {
+  EBA_RETURN_IF_ERROR(q.Validate(*db_));
+  stats_ = ExecStats{};
+
+  // Resolve tuple variables to tables.
+  std::vector<const Table*> tables(q.vars.size());
+  for (size_t i = 0; i < q.vars.size(); ++i) {
+    EBA_ASSIGN_OR_RETURN(tables[i], db_->GetTable(q.vars[i].table));
+  }
+
+  // Condition bookkeeping.
+  std::vector<VarCondition> joins = q.join_chain;
+  std::vector<bool> join_applied(joins.size(), false);
+  std::vector<VarCondition> extras = q.extra_conditions;
+  std::vector<bool> extra_applied(extras.size(), false);
+  std::vector<ConstCondition> consts = q.const_conditions;
+  std::vector<bool> const_applied(consts.size(), false);
+
+  std::vector<bool> bound(q.vars.size(), false);
+  bound[0] = true;
+
+  // The set of attributes a tuple variable must contribute when it is bound:
+  // every attribute of that variable referenced by any condition or output.
+  auto needed_for_var = [&](int var) {
+    std::set<QAttr> needed;
+    for (const auto& c : joins) {
+      if (c.lhs.var == var) needed.insert(c.lhs);
+      if (c.rhs.var == var) needed.insert(c.rhs);
+    }
+    for (const auto& c : extras) {
+      if (c.lhs.var == var) needed.insert(c.lhs);
+      if (c.rhs.var == var) needed.insert(c.rhs);
+    }
+    for (const auto& c : consts) {
+      if (c.lhs.var == var) needed.insert(c.lhs);
+    }
+    for (const auto& a : output_attrs) {
+      if (a.var == var) needed.insert(a);
+    }
+    return std::vector<QAttr>(needed.begin(), needed.end());
+  };
+
+  // Attributes still needed downstream of the current point: outputs plus
+  // attributes of unapplied conditions.
+  auto downstream_attrs = [&](const Relation& rel) {
+    std::set<QAttr> needed(output_attrs.begin(), output_attrs.end());
+    for (size_t i = 0; i < joins.size(); ++i) {
+      if (join_applied[i]) continue;
+      needed.insert(joins[i].lhs);
+      needed.insert(joins[i].rhs);
+    }
+    for (size_t i = 0; i < extras.size(); ++i) {
+      if (extra_applied[i]) continue;
+      needed.insert(extras[i].lhs);
+      needed.insert(extras[i].rhs);
+    }
+    for (size_t i = 0; i < consts.size(); ++i) {
+      if (const_applied[i]) continue;
+      needed.insert(consts[i].lhs);
+    }
+    std::vector<QAttr> present;
+    for (const auto& a : needed) {
+      if (rel.AttrIndex(a) >= 0) present.push_back(a);
+    }
+    return present;
+  };
+
+  // Applies every filter condition whose variables are all bound and whose
+  // attributes are materialized in `rel`.
+  auto apply_filters = [&](Relation* rel) {
+    auto run_filter = [&](auto get_lhs, auto pass) {
+      std::vector<Row> kept;
+      kept.reserve(rel->rows.size());
+      for (auto& row : rel->rows) {
+        if (pass(row)) kept.push_back(std::move(row));
+      }
+      rel->rows = std::move(kept);
+      (void)get_lhs;
+    };
+    for (size_t i = 0; i < extras.size(); ++i) {
+      if (extra_applied[i]) continue;
+      const auto& c = extras[i];
+      if (!bound[c.lhs.var] || !bound[c.rhs.var]) continue;
+      int li = rel->AttrIndex(c.lhs);
+      int ri = rel->AttrIndex(c.rhs);
+      EBA_CHECK(li >= 0 && ri >= 0);
+      extra_applied[i] = true;
+      run_filter(nullptr, [&](const Row& row) {
+        return EvalCmp(row[static_cast<size_t>(li)], c.op,
+                       row[static_cast<size_t>(ri)]);
+      });
+    }
+    for (size_t i = 0; i < consts.size(); ++i) {
+      if (const_applied[i]) continue;
+      const auto& c = consts[i];
+      if (!bound[c.lhs.var]) continue;
+      int li = rel->AttrIndex(c.lhs);
+      EBA_CHECK(li >= 0);
+      const_applied[i] = true;
+      run_filter(nullptr, [&](const Row& row) {
+        return EvalCmp(row[static_cast<size_t>(li)], c.op, c.rhs);
+      });
+    }
+  };
+
+  // --- Initial relation: variable 0 (the log). ---
+  Relation rel;
+  rel.attrs = needed_for_var(0);
+  const Table* log_table = tables[0];
+  auto emit_log_row = [&](size_t r) {
+    Row row;
+    row.reserve(rel.attrs.size());
+    for (const auto& a : rel.attrs) {
+      row.push_back(log_table->Get(r, static_cast<size_t>(a.col)));
+    }
+    rel.rows.push_back(std::move(row));
+  };
+  if (lid_filter != nullptr) {
+    const HashIndex& idx =
+        log_table->GetOrBuildIndex(static_cast<size_t>(lid_attr.col));
+    std::unordered_set<size_t> rows_seen;
+    for (const auto& lid : *lid_filter) {
+      for (uint32_t r : idx.Lookup(lid)) {
+        if (rows_seen.insert(r).second) emit_log_row(r);
+      }
+    }
+  } else {
+    rel.rows.reserve(log_table->num_rows());
+    for (size_t r = 0; r < log_table->num_rows(); ++r) emit_log_row(r);
+  }
+  stats_.peak_intermediate = std::max(stats_.peak_intermediate, rel.rows.size());
+  apply_filters(&rel);
+  if (dedup_intermediate) {
+    rel = Project(rel, downstream_attrs(rel), /*dedup=*/true);
+  }
+
+  // --- Join loop: greedily apply chain conditions. ---
+  size_t remaining = joins.size();
+  while (remaining > 0) {
+    // Prefer a filter (both sides bound), otherwise the first join that
+    // binds a new variable.
+    int pick = -1;
+    bool pick_is_filter = false;
+    for (size_t i = 0; i < joins.size(); ++i) {
+      if (join_applied[i]) continue;
+      bool lb = bound[joins[i].lhs.var];
+      bool rb = bound[joins[i].rhs.var];
+      if (lb && rb) {
+        pick = static_cast<int>(i);
+        pick_is_filter = true;
+        break;
+      }
+      if ((lb || rb) && pick < 0) pick = static_cast<int>(i);
+    }
+    if (pick < 0) {
+      return Status::InvalidArgument(
+          "query is disconnected: no join condition touches a bound variable");
+    }
+    const VarCondition& c = joins[static_cast<size_t>(pick)];
+    join_applied[static_cast<size_t>(pick)] = true;
+    --remaining;
+
+    if (pick_is_filter) {
+      int li = rel.AttrIndex(c.lhs);
+      int ri = rel.AttrIndex(c.rhs);
+      EBA_CHECK(li >= 0 && ri >= 0);
+      std::vector<Row> kept;
+      kept.reserve(rel.rows.size());
+      for (auto& row : rel.rows) {
+        if (EvalCmp(row[static_cast<size_t>(li)], c.op,
+                    row[static_cast<size_t>(ri)])) {
+          kept.push_back(std::move(row));
+        }
+      }
+      rel.rows = std::move(kept);
+    } else {
+      if (c.op != CmpOp::kEq) {
+        return Status::Unimplemented(
+            "non-equality join in chain; put theta conditions in "
+            "extra_conditions");
+      }
+      const bool lhs_bound = bound[c.lhs.var];
+      const QAttr bound_attr = lhs_bound ? c.lhs : c.rhs;
+      const QAttr new_attr = lhs_bound ? c.rhs : c.lhs;
+      const int new_var = new_attr.var;
+      const Table* new_table = tables[static_cast<size_t>(new_var)];
+      const HashIndex& idx =
+          new_table->GetOrBuildIndex(static_cast<size_t>(new_attr.col));
+
+      const std::vector<QAttr> new_cols = needed_for_var(new_var);
+      const int probe_idx = rel.AttrIndex(bound_attr);
+      EBA_CHECK(probe_idx >= 0);
+
+      Relation next;
+      next.attrs = rel.attrs;
+      next.attrs.insert(next.attrs.end(), new_cols.begin(), new_cols.end());
+      for (const auto& row : rel.rows) {
+        const Value& key = row[static_cast<size_t>(probe_idx)];
+        if (key.is_null()) continue;
+        for (uint32_t match : idx.Lookup(key)) {
+          Row combined = row;
+          combined.reserve(next.attrs.size());
+          for (const auto& a : new_cols) {
+            combined.push_back(
+                new_table->Get(match, static_cast<size_t>(a.col)));
+          }
+          next.rows.push_back(std::move(combined));
+        }
+      }
+      bound[static_cast<size_t>(new_var)] = true;
+      stats_.joins_executed++;
+      stats_.rows_emitted += next.rows.size();
+      stats_.peak_intermediate =
+          std::max(stats_.peak_intermediate, next.rows.size());
+      rel = std::move(next);
+    }
+
+    apply_filters(&rel);
+    if (dedup_intermediate) {
+      rel = Project(rel, downstream_attrs(rel), /*dedup=*/true);
+    }
+  }
+
+  // Every variable must have been bound (otherwise the query was not a
+  // connected path) and every decoration applied.
+  for (size_t i = 0; i < q.vars.size(); ++i) {
+    if (!bound[i]) {
+      return Status::InvalidArgument("tuple variable '" + q.vars[i].alias +
+                                     "' is not connected to the query path");
+    }
+  }
+  for (size_t i = 0; i < extras.size(); ++i) {
+    if (!extra_applied[i]) {
+      return Status::Internal("decoration condition left unapplied");
+    }
+  }
+  for (size_t i = 0; i < consts.size(); ++i) {
+    if (!const_applied[i]) {
+      return Status::Internal("literal condition left unapplied");
+    }
+  }
+
+  return Project(rel, output_attrs, /*dedup=*/dedup_intermediate);
+}
+
+}  // namespace eba

@@ -1,0 +1,38 @@
+#include "query/expr.h"
+
+namespace eba {
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+bool EvalCmp(const Value& lhs, CmpOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  switch (op) {
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+  }
+  return false;
+}
+
+}  // namespace eba

@@ -1,0 +1,61 @@
+// Expression primitives for the stylized explanation-template queries
+// (Definition 1): attribute references into a query's tuple variables and
+// comparison conditions A1 θ A2 with θ in {<, <=, =, >=, >}.
+
+#ifndef EBA_QUERY_EXPR_H_
+#define EBA_QUERY_EXPR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/value.h"
+
+namespace eba {
+
+/// Reference to column `col` of tuple variable `var` within a PathQuery.
+struct QAttr {
+  int var = -1;
+  int col = -1;
+
+  bool operator==(const QAttr& o) const { return var == o.var && col == o.col; }
+  bool operator!=(const QAttr& o) const { return !(*this == o); }
+  bool operator<(const QAttr& o) const {
+    return var != o.var ? var < o.var : col < o.col;
+  }
+};
+
+/// Comparison operator θ.
+enum class CmpOp : uint8_t { kLt, kLe, kEq, kGe, kGt };
+
+/// SQL spelling of the operator ("<", "<=", "=", ">=", ">").
+const char* CmpOpToString(CmpOp op);
+
+/// Evaluates `lhs θ rhs`. Any NULL operand yields false (SQL semantics).
+bool EvalCmp(const Value& lhs, CmpOp op, const Value& rhs);
+
+/// Condition between two attributes of the query (e.g. L.Patient = A.Patient
+/// or the decorated L1.Date > L2.Date).
+struct VarCondition {
+  QAttr lhs;
+  CmpOp op = CmpOp::kEq;
+  QAttr rhs;
+
+  bool operator==(const VarCondition& o) const {
+    return lhs == o.lhs && op == o.op && rhs == o.rhs;
+  }
+};
+
+/// Condition between an attribute and a literal (e.g. G1.Depth = 1).
+struct ConstCondition {
+  QAttr lhs;
+  CmpOp op = CmpOp::kEq;
+  Value rhs;
+
+  bool operator==(const ConstCondition& o) const {
+    return lhs == o.lhs && op == o.op && rhs == o.rhs;
+  }
+};
+
+}  // namespace eba
+
+#endif  // EBA_QUERY_EXPR_H_

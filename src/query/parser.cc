@@ -1,0 +1,221 @@
+#include "query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/date.h"
+#include "common/string_util.h"
+
+namespace eba {
+
+namespace {
+
+/// Splits a WHERE clause on the keyword AND (case-insensitive, respecting
+/// single-quoted literals).
+std::vector<std::string> SplitConditions(const std::string& where) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_quote = false;
+  for (size_t i = 0; i < where.size(); ++i) {
+    char c = where[i];
+    if (c == '\'') in_quote = !in_quote;
+    if (!in_quote && (c == 'A' || c == 'a') && i + 3 <= where.size()) {
+      bool prev_space = (i == 0) || std::isspace(static_cast<unsigned char>(
+                                        where[i - 1]));
+      bool next_space =
+          (i + 3 == where.size()) ||
+          std::isspace(static_cast<unsigned char>(where[i + 3]));
+      if (prev_space && next_space &&
+          EqualsIgnoreCase(where.substr(i, 3), "AND")) {
+        out.push_back(current);
+        current.clear();
+        i += 2;
+        continue;
+      }
+    }
+    current.push_back(c);
+  }
+  out.push_back(current);
+  return out;
+}
+
+/// Finds the comparison operator; returns its position and length, longest
+/// match first (so "<=" is not read as "<").
+bool FindOperator(const std::string& cond, size_t* pos, CmpOp* op,
+                  size_t* len) {
+  bool in_quote = false;
+  for (size_t i = 0; i < cond.size(); ++i) {
+    char c = cond[i];
+    if (c == '\'') in_quote = !in_quote;
+    if (in_quote) continue;
+    if (c == '<') {
+      *pos = i;
+      if (i + 1 < cond.size() && cond[i + 1] == '=') {
+        *op = CmpOp::kLe;
+        *len = 2;
+      } else {
+        *op = CmpOp::kLt;
+        *len = 1;
+      }
+      return true;
+    }
+    if (c == '>') {
+      *pos = i;
+      if (i + 1 < cond.size() && cond[i + 1] == '=') {
+        *op = CmpOp::kGe;
+        *len = 2;
+      } else {
+        *op = CmpOp::kGt;
+        *len = 1;
+      }
+      return true;
+    }
+    if (c == '=') {
+      *pos = i;
+      *op = CmpOp::kEq;
+      *len = 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LooksLikeAttr(const std::string& token) {
+  size_t dot = token.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= token.size()) {
+    return false;
+  }
+  if (token.front() == '\'') return false;
+  // Attr tokens contain exactly one dot and no digits-only lhs; a float like
+  // "1.5" is not an attr.
+  for (char c : token) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '_')) {
+      return false;
+    }
+  }
+  std::string alias = token.substr(0, dot);
+  return !std::all_of(alias.begin(), alias.end(), [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c));
+  });
+}
+
+StatusOr<Value> ParseLiteral(const std::string& token, DataType want) {
+  std::string t = Trim(token);
+  if (t.empty()) return Status::InvalidArgument("empty literal");
+  if (t.front() == '\'') {
+    if (t.size() < 2 || t.back() != '\'') {
+      return Status::InvalidArgument("unterminated string literal: " + t);
+    }
+    std::string body = ReplaceAll(t.substr(1, t.size() - 2), "''", "'");
+    if (want == DataType::kTimestamp) {
+      EBA_ASSIGN_OR_RETURN(Date d, Date::Parse(body));
+      return Value::Timestamp(d.ToSeconds());
+    }
+    return Value::String(body);
+  }
+  try {
+    switch (want) {
+      case DataType::kInt64:
+        return Value::Int64(std::stoll(t));
+      case DataType::kDouble:
+        return Value::Double(std::stod(t));
+      case DataType::kBool:
+        if (EqualsIgnoreCase(t, "true")) return Value::Bool(true);
+        if (EqualsIgnoreCase(t, "false")) return Value::Bool(false);
+        return Value::Bool(std::stoll(t) != 0);
+      case DataType::kTimestamp:
+        return Value::Timestamp(std::stoll(t));
+      case DataType::kString:
+        return Value::String(t);
+      case DataType::kNull:
+        break;
+    }
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("cannot parse literal '" + t + "' as " +
+                                   DataTypeToString(want));
+  }
+  return Status::InvalidArgument("cannot type literal: " + t);
+}
+
+}  // namespace
+
+StatusOr<PathQuery> ParsePathQuery(const Database& db,
+                                   const std::string& from_clause,
+                                   const std::string& where_clause) {
+  PathQuery q;
+
+  // FROM clause.
+  for (const std::string& raw : Split(from_clause, ',')) {
+    std::string item = Trim(raw);
+    if (item.empty()) {
+      return Status::InvalidArgument("empty FROM item in: " + from_clause);
+    }
+    std::vector<std::string> parts;
+    for (const auto& p : Split(item, ' ')) {
+      if (!Trim(p).empty()) parts.push_back(Trim(p));
+    }
+    if (parts.size() == 1) {
+      q.vars.push_back(TupleVar{parts[0], parts[0]});
+    } else if (parts.size() == 2) {
+      q.vars.push_back(TupleVar{parts[0], parts[1]});
+    } else {
+      return Status::InvalidArgument("cannot parse FROM item: '" + item + "'");
+    }
+    if (!db.HasTable(q.vars.back().table)) {
+      return Status::NotFound("no table '" + q.vars.back().table + "'");
+    }
+  }
+  if (q.vars.empty()) {
+    return Status::InvalidArgument("FROM clause is empty");
+  }
+
+  // WHERE clause.
+  std::string where = Trim(where_clause);
+  if (!where.empty()) {
+    for (const std::string& raw : SplitConditions(where)) {
+      std::string cond = Trim(raw);
+      if (cond.empty()) {
+        return Status::InvalidArgument("empty condition in WHERE clause");
+      }
+      size_t pos = 0, len = 0;
+      CmpOp op = CmpOp::kEq;
+      if (!FindOperator(cond, &pos, &op, &len)) {
+        return Status::InvalidArgument("no comparison operator in: '" + cond +
+                                       "'");
+      }
+      std::string lhs_text = Trim(cond.substr(0, pos));
+      std::string rhs_text = Trim(cond.substr(pos + len));
+      if (!LooksLikeAttr(lhs_text)) {
+        return Status::InvalidArgument("left side must be an attribute: '" +
+                                       cond + "'");
+      }
+      size_t dot = lhs_text.find('.');
+      EBA_ASSIGN_OR_RETURN(
+          QAttr lhs, q.Resolve(db, lhs_text.substr(0, dot),
+                               lhs_text.substr(dot + 1)));
+      if (LooksLikeAttr(rhs_text)) {
+        size_t rdot = rhs_text.find('.');
+        EBA_ASSIGN_OR_RETURN(
+            QAttr rhs, q.Resolve(db, rhs_text.substr(0, rdot),
+                                 rhs_text.substr(rdot + 1)));
+        if (op == CmpOp::kEq) {
+          q.join_chain.push_back(VarCondition{lhs, op, rhs});
+        } else {
+          q.extra_conditions.push_back(VarCondition{lhs, op, rhs});
+        }
+      } else {
+        EBA_ASSIGN_OR_RETURN(const Table* table, db.GetTable(q.vars[lhs.var].table));
+        DataType want =
+            table->schema().column(static_cast<size_t>(lhs.col)).type;
+        EBA_ASSIGN_OR_RETURN(Value lit, ParseLiteral(rhs_text, want));
+        q.const_conditions.push_back(ConstCondition{lhs, op, lit});
+      }
+    }
+  }
+
+  EBA_RETURN_IF_ERROR(q.Validate(db));
+  return q;
+}
+
+}  // namespace eba

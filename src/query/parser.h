@@ -1,0 +1,34 @@
+// A small parser for administrator-specified explanation templates.
+//
+// Grammar (whitespace-insensitive, AND is case-insensitive):
+//
+//   from_clause  := table alias ("," table alias)*
+//   where_clause := condition ("AND" condition)*
+//   condition    := attr op (attr | literal)
+//   attr         := alias "." column
+//   op           := "<" | "<=" | "=" | ">=" | ">"
+//   literal      := integer | float | 'string' | 'YYYY-MM-DD[ HH:MM:SS]'
+//
+// The first tuple variable in the FROM clause is variable 0 and must be the
+// audited log table. Equality attribute-attribute conditions become the
+// join chain (in textual order); non-equality attribute conditions become
+// decorations; attribute-literal conditions become literal decorations.
+
+#ifndef EBA_QUERY_PARSER_H_
+#define EBA_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/path_query.h"
+
+namespace eba {
+
+/// Parses FROM/WHERE clauses into a PathQuery (validated against `db`).
+StatusOr<PathQuery> ParsePathQuery(const Database& db,
+                                   const std::string& from_clause,
+                                   const std::string& where_clause);
+
+}  // namespace eba
+
+#endif  // EBA_QUERY_PARSER_H_

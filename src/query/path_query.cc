@@ -1,0 +1,114 @@
+#include "query/path_query.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace eba {
+
+StatusOr<QAttr> PathQuery::Resolve(const Database& db,
+                                   const std::string& alias,
+                                   const std::string& column) const {
+  int var = VarIndexByAlias(alias);
+  if (var < 0) return Status::NotFound("no tuple variable '" + alias + "'");
+  EBA_ASSIGN_OR_RETURN(const Table* table, db.GetTable(vars[var].table));
+  int col = table->schema().ColumnIndex(column);
+  if (col < 0) {
+    return Status::NotFound("no column '" + column + "' in '" +
+                            vars[var].table + "' (alias " + alias + ")");
+  }
+  return QAttr{var, col};
+}
+
+int PathQuery::VarIndexByAlias(const std::string& alias) const {
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (vars[i].alias == alias) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StatusOr<std::string> PathQuery::AttrName(const Database& db,
+                                          const QAttr& attr) const {
+  if (attr.var < 0 || attr.var >= static_cast<int>(vars.size())) {
+    return Status::OutOfRange("bad var index");
+  }
+  EBA_ASSIGN_OR_RETURN(const Table* table, db.GetTable(vars[attr.var].table));
+  if (attr.col < 0 ||
+      attr.col >= static_cast<int>(table->schema().num_columns())) {
+    return Status::OutOfRange("bad col index");
+  }
+  return vars[attr.var].alias + "." +
+         table->schema().column(static_cast<size_t>(attr.col)).name;
+}
+
+Status PathQuery::Validate(const Database& db) const {
+  if (vars.empty()) return Status::InvalidArgument("no tuple variables");
+  std::unordered_set<std::string> aliases;
+  for (const auto& v : vars) {
+    if (!db.HasTable(v.table)) {
+      return Status::NotFound("no table '" + v.table + "'");
+    }
+    if (v.alias.empty()) return Status::InvalidArgument("empty alias");
+    if (!aliases.insert(v.alias).second) {
+      return Status::InvalidArgument("duplicate alias '" + v.alias + "'");
+    }
+  }
+  auto check_attr = [&](const QAttr& a) -> Status {
+    if (a.var < 0 || a.var >= static_cast<int>(vars.size())) {
+      return Status::OutOfRange("condition references unknown tuple variable");
+    }
+    EBA_ASSIGN_OR_RETURN(const Table* table, db.GetTable(vars[a.var].table));
+    if (a.col < 0 ||
+        a.col >= static_cast<int>(table->schema().num_columns())) {
+      return Status::OutOfRange("condition references unknown column");
+    }
+    return Status::OK();
+  };
+  for (const auto& c : join_chain) {
+    EBA_RETURN_IF_ERROR(check_attr(c.lhs));
+    EBA_RETURN_IF_ERROR(check_attr(c.rhs));
+  }
+  for (const auto& c : extra_conditions) {
+    EBA_RETURN_IF_ERROR(check_attr(c.lhs));
+    EBA_RETURN_IF_ERROR(check_attr(c.rhs));
+  }
+  for (const auto& c : const_conditions) {
+    EBA_RETURN_IF_ERROR(check_attr(c.lhs));
+  }
+  for (const auto& a : projection) {
+    EBA_RETURN_IF_ERROR(check_attr(a));
+  }
+  return Status::OK();
+}
+
+std::vector<QAttr> PathQuery::ReferencedAttrs() const {
+  std::set<QAttr> seen;
+  for (const auto& c : join_chain) {
+    seen.insert(c.lhs);
+    seen.insert(c.rhs);
+  }
+  for (const auto& c : extra_conditions) {
+    seen.insert(c.lhs);
+    seen.insert(c.rhs);
+  }
+  for (const auto& c : const_conditions) seen.insert(c.lhs);
+  for (const auto& a : projection) seen.insert(a);
+  return {seen.begin(), seen.end()};
+}
+
+int PathQuery::CountedTables(const Database& db) const {
+  std::set<std::string> names;
+  for (const auto& v : vars) {
+    if (!db.IsMappingTable(v.table)) names.insert(v.table);
+  }
+  return static_cast<int>(names.size());
+}
+
+int PathQuery::ReportedLength(const Database& db) const {
+  int mapping_instances = 0;
+  for (const auto& v : vars) {
+    if (db.IsMappingTable(v.table)) ++mapping_instances;
+  }
+  return RawLength() - mapping_instances;
+}
+
+}  // namespace eba

@@ -1,0 +1,118 @@
+#include "query/sql.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace eba {
+
+namespace {
+
+std::string LiteralToSql(const Value& v) {
+  switch (v.type()) {
+    case DataType::kString:
+      return "'" + ReplaceAll(v.AsString(), "'", "''") + "'";
+    case DataType::kTimestamp:
+      return "'" + v.ToString() + "'";
+    default:
+      return v.ToString();
+  }
+}
+
+std::vector<std::string> RenderPredicates(const Database& db,
+                                          const PathQuery& q) {
+  auto attr_name = [&](const QAttr& a) -> std::string {
+    auto name = q.AttrName(db, a);
+    return name.ok() ? *name : "?";
+  };
+  std::vector<std::string> preds;
+  for (const auto& c : q.join_chain) {
+    preds.push_back(attr_name(c.lhs) + " " + CmpOpToString(c.op) + " " +
+                    attr_name(c.rhs));
+  }
+  for (const auto& c : q.extra_conditions) {
+    preds.push_back(attr_name(c.lhs) + " " + CmpOpToString(c.op) + " " +
+                    attr_name(c.rhs));
+  }
+  for (const auto& c : q.const_conditions) {
+    preds.push_back(attr_name(c.lhs) + " " + CmpOpToString(c.op) + " " +
+                    LiteralToSql(c.rhs));
+  }
+  return preds;
+}
+
+}  // namespace
+
+StatusOr<std::string> RenderFromClause(const Database& db,
+                                       const PathQuery& q) {
+  EBA_RETURN_IF_ERROR(q.Validate(db));
+  std::vector<std::string> items;
+  items.reserve(q.vars.size());
+  for (const auto& v : q.vars) items.push_back(v.table + " " + v.alias);
+  return Join(items, ", ");
+}
+
+StatusOr<std::string> RenderWhereClause(const Database& db,
+                                        const PathQuery& q) {
+  EBA_RETURN_IF_ERROR(q.Validate(db));
+  return Join(RenderPredicates(db, q), " AND ");
+}
+
+StatusOr<std::string> ToSql(const Database& db, const PathQuery& q,
+                            const SqlRenderOptions& options) {
+  EBA_RETURN_IF_ERROR(q.Validate(db));
+
+  auto attr_name = [&](const QAttr& a) -> std::string {
+    // Validate() guarantees resolvability.
+    auto name = q.AttrName(db, a);
+    return name.ok() ? *name : "?";
+  };
+
+  // SELECT clause.
+  std::string sql = "SELECT ";
+  if (options.count_distinct_lid) {
+    sql += "COUNT(DISTINCT " + attr_name(options.lid_attr) + ")";
+  } else {
+    std::vector<QAttr> attrs = q.projection;
+    if (attrs.empty()) attrs = q.ReferencedAttrs();
+    std::vector<std::string> names;
+    names.reserve(attrs.size());
+    for (const auto& a : attrs) names.push_back(attr_name(a));
+    sql += Join(names, ", ");
+  }
+
+  // FROM clause.
+  sql += "\nFROM ";
+  std::vector<std::string> from_items;
+  for (size_t i = 0; i < q.vars.size(); ++i) {
+    const TupleVar& v = q.vars[i];
+    if (options.dedup_subqueries && i != 0) {
+      // Project only the attributes the query touches on this variable.
+      std::set<std::string> cols;
+      EBA_ASSIGN_OR_RETURN(const Table* table, db.GetTable(v.table));
+      for (const auto& a : q.ReferencedAttrs()) {
+        if (a.var == static_cast<int>(i)) {
+          cols.insert(table->schema().column(static_cast<size_t>(a.col)).name);
+        }
+      }
+      if (!cols.empty()) {
+        from_items.push_back(
+            "(SELECT DISTINCT " +
+            Join(std::vector<std::string>(cols.begin(), cols.end()), ", ") +
+            " FROM " + v.table + ") " + v.alias);
+        continue;
+      }
+    }
+    from_items.push_back(v.table + " " + v.alias);
+  }
+  sql += Join(from_items, ", ");
+
+  // WHERE clause.
+  std::vector<std::string> preds = RenderPredicates(db, q);
+  if (!preds.empty()) {
+    sql += "\nWHERE " + Join(preds, "\n  AND ");
+  }
+  return sql;
+}
+
+}  // namespace eba

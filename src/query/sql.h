@@ -1,0 +1,42 @@
+// SQL rendering of PathQueries, matching the stylized form the paper prints
+// (§2.2, §3.2.1). Purely for display, logging, and admin review — queries
+// execute through the Executor, not through SQL.
+
+#ifndef EBA_QUERY_SQL_H_
+#define EBA_QUERY_SQL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/path_query.h"
+
+namespace eba {
+
+struct SqlRenderOptions {
+  /// Render SELECT COUNT(DISTINCT <lid>) instead of the projection list
+  /// (the support query of §3.2).
+  bool count_distinct_lid = false;
+  /// The lid attribute rendered in COUNT(DISTINCT ...).
+  QAttr lid_attr;
+  /// Wrap non-log tables in DISTINCT subqueries projecting only the needed
+  /// attributes — the "reducing result multiplicity" rewrite of §3.2.1.
+  bool dedup_subqueries = false;
+};
+
+/// Renders `q` as SQL text.
+StatusOr<std::string> ToSql(const Database& db, const PathQuery& q,
+                            const SqlRenderOptions& options = {});
+
+/// Renders the FROM clause body ("Log L, Appointments A"). Round-trips
+/// through ParsePathQuery.
+StatusOr<std::string> RenderFromClause(const Database& db, const PathQuery& q);
+
+/// Renders the WHERE clause body as a single line
+/// ("L.Patient = A.Patient AND A.Doctor = L.User"). Round-trips through
+/// ParsePathQuery (join chain first, then decorations).
+StatusOr<std::string> RenderWhereClause(const Database& db,
+                                        const PathQuery& q);
+
+}  // namespace eba
+
+#endif  // EBA_QUERY_SQL_H_

@@ -1,0 +1,133 @@
+#include "storage/column.h"
+
+#include "common/logging.h"
+
+namespace eba {
+
+Column::Column(DataType type) : type_(type) {
+  EBA_CHECK(type != DataType::kNull);
+}
+
+void Column::Reserve(size_t n) {
+  if (type_ == DataType::kDouble) {
+    doubles_.reserve(n);
+  } else {
+    ints_.reserve(n);
+  }
+}
+
+int64_t Column::InternString(const std::string& s) {
+  auto it = dict_lookup_.find(s);
+  if (it != dict_lookup_.end()) return it->second;
+  int64_t code = static_cast<int64_t>(dict_.size());
+  dict_.push_back(s);
+  dict_lookup_.emplace(s, code);
+  return code;
+}
+
+Status Column::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  if (v.type() != type_) {
+    return Status::InvalidArgument(
+        std::string("type mismatch: column is ") + DataTypeToString(type_) +
+        ", value is " + DataTypeToString(v.type()));
+  }
+  switch (type_) {
+    case DataType::kBool:
+      AppendBool(v.AsBool());
+      break;
+    case DataType::kInt64:
+      AppendInt64(v.AsInt64());
+      break;
+    case DataType::kDouble:
+      AppendDouble(v.AsDouble());
+      break;
+    case DataType::kString:
+      AppendString(v.AsString());
+      break;
+    case DataType::kTimestamp:
+      AppendTimestamp(v.AsTimestamp());
+      break;
+    case DataType::kNull:
+      break;  // unreachable
+  }
+  return Status::OK();
+}
+
+void Column::AppendInt64(int64_t v) {
+  EBA_CHECK(type_ == DataType::kInt64);
+  ints_.push_back(v);
+  if (!nulls_.empty()) nulls_.push_back(0);
+  ++size_;
+}
+
+void Column::AppendTimestamp(int64_t seconds) {
+  EBA_CHECK(type_ == DataType::kTimestamp);
+  ints_.push_back(seconds);
+  if (!nulls_.empty()) nulls_.push_back(0);
+  ++size_;
+}
+
+void Column::AppendBool(bool v) {
+  EBA_CHECK(type_ == DataType::kBool);
+  ints_.push_back(v ? 1 : 0);
+  if (!nulls_.empty()) nulls_.push_back(0);
+  ++size_;
+}
+
+void Column::AppendDouble(double v) {
+  EBA_CHECK(type_ == DataType::kDouble);
+  doubles_.push_back(v);
+  if (!nulls_.empty()) nulls_.push_back(0);
+  ++size_;
+}
+
+void Column::AppendString(const std::string& v) {
+  EBA_CHECK(type_ == DataType::kString);
+  ints_.push_back(InternString(v));
+  if (!nulls_.empty()) nulls_.push_back(0);
+  ++size_;
+}
+
+void Column::AppendNull() {
+  if (nulls_.empty()) nulls_.assign(size_, 0);
+  if (type_ == DataType::kDouble) {
+    doubles_.push_back(0);
+  } else {
+    ints_.push_back(0);
+  }
+  nulls_.push_back(1);
+  ++null_count_;
+  ++size_;
+}
+
+Value Column::Get(size_t row) const {
+  EBA_CHECK(row < size_);
+  if (IsNull(row)) return Value::Null();
+  switch (type_) {
+    case DataType::kBool:
+      return Value::Bool(ints_[row] != 0);
+    case DataType::kInt64:
+      return Value::Int64(ints_[row]);
+    case DataType::kDouble:
+      return Value::Double(doubles_[row]);
+    case DataType::kString:
+      return Value::String(dict_[static_cast<size_t>(ints_[row])]);
+    case DataType::kTimestamp:
+      return Value::Timestamp(ints_[row]);
+    case DataType::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+std::optional<int64_t> Column::FindStringCode(const std::string& s) const {
+  auto it = dict_lookup_.find(s);
+  if (it == dict_lookup_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace eba

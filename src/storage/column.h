@@ -1,0 +1,91 @@
+// Column: an append-only typed vector with dictionary-encoded strings.
+//
+// Integer-like types (bool/int64/timestamp) share an int64 payload vector so
+// the join machinery has a single fast path. Strings are dictionary-encoded:
+// the payload stores a code into a per-column dictionary, which makes
+// grouping and joining on strings cheap and keeps memory bounded for the
+// highly repetitive categorical attributes (department codes, action codes).
+
+#ifndef EBA_STORAGE_COLUMN_H_
+#define EBA_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace eba {
+
+class Column {
+ public:
+  explicit Column(DataType type);
+
+  DataType type() const { return type_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Reserve(size_t n);
+
+  /// Appends a value; the value must be NULL or match the column type.
+  Status Append(const Value& v);
+
+  /// Fast typed appends (no per-call type dispatch). CHECK on misuse.
+  void AppendInt64(int64_t v);
+  void AppendTimestamp(int64_t seconds);
+  void AppendBool(bool v);
+  void AppendDouble(double v);
+  void AppendString(const std::string& v);
+  void AppendNull();
+
+  bool IsNull(size_t row) const {
+    return !nulls_.empty() && nulls_[row] != 0;
+  }
+
+  /// Boxed accessor.
+  Value Get(size_t row) const;
+
+  /// Raw payload accessors (undefined for NULL rows; callers check IsNull).
+  int64_t Int64At(size_t row) const { return ints_[row]; }
+  double DoubleAt(size_t row) const { return doubles_[row]; }
+  const std::string& StringAt(size_t row) const {
+    return dict_[static_cast<size_t>(ints_[row])];
+  }
+  /// Dictionary code of a string cell.
+  int64_t StringCodeAt(size_t row) const { return ints_[row]; }
+
+  /// True for types whose payload lives in the int64 vector.
+  bool IsIntLike() const {
+    return type_ == DataType::kBool || type_ == DataType::kInt64 ||
+           type_ == DataType::kTimestamp;
+  }
+  bool IsString() const { return type_ == DataType::kString; }
+
+  /// Number of distinct strings in this column's dictionary.
+  size_t DictionarySize() const { return dict_.size(); }
+
+  /// Code for a string, if it occurs in this column.
+  std::optional<int64_t> FindStringCode(const std::string& s) const;
+
+  /// Number of NULL cells.
+  size_t NullCount() const { return null_count_; }
+
+ private:
+  int64_t InternString(const std::string& s);
+
+  DataType type_;
+  size_t size_ = 0;
+  size_t null_count_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int64_t> dict_lookup_;
+  std::vector<uint8_t> nulls_;  // allocated lazily on first NULL
+};
+
+}  // namespace eba
+
+#endif  // EBA_STORAGE_COLUMN_H_

@@ -1,0 +1,137 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+namespace eba {
+
+Status Database::CreateTable(TableSchema schema) {
+  EBA_RETURN_IF_ERROR(schema.Validate());
+  if (HasTable(schema.name())) {
+    return Status::AlreadyExists("table '" + schema.name() + "' exists");
+  }
+  std::string name = schema.name();
+  tables_.emplace(name, Table(std::move(schema)));
+  return Status::OK();
+}
+
+Status Database::AddTable(Table table) {
+  if (HasTable(table.name())) {
+    return Status::AlreadyExists("table '" + table.name() + "' exists");
+  }
+  std::string name = table.name();
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Status Database::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  tables_.erase(it);
+  mapping_tables_.erase(name);
+  auto drop_attr = [&name](const AttrId& a) { return a.table == name; };
+  fks_.erase(std::remove_if(fks_.begin(), fks_.end(),
+                            [&](const ForeignKey& fk) {
+                              return drop_attr(fk.from) || drop_attr(fk.to);
+                            }),
+             fks_.end());
+  admin_rels_.erase(std::remove_if(admin_rels_.begin(), admin_rels_.end(),
+                                   [&](const AdminRelationship& rel) {
+                                     return drop_attr(rel.a) ||
+                                            drop_attr(rel.b);
+                                   }),
+                    admin_rels_.end());
+  self_join_attrs_.erase(std::remove_if(self_join_attrs_.begin(),
+                                        self_join_attrs_.end(), drop_attr),
+                         self_join_attrs_.end());
+  return Status::OK();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+StatusOr<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
+  return &it->second;
+}
+
+StatusOr<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table '" + name + "'");
+  return &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+StatusOr<int> Database::ResolveColumn(const AttrId& attr) const {
+  EBA_ASSIGN_OR_RETURN(const Table* table, GetTable(attr.table));
+  int idx = table->schema().ColumnIndex(attr.column);
+  if (idx < 0) {
+    return Status::NotFound("no column '" + attr.ToString() + "'");
+  }
+  return idx;
+}
+
+Status Database::ValidateAttr(const AttrId& attr) const {
+  return ResolveColumn(attr).status();
+}
+
+Status Database::AddForeignKey(const AttrId& from, const AttrId& to) {
+  EBA_RETURN_IF_ERROR(ValidateAttr(from));
+  EBA_RETURN_IF_ERROR(ValidateAttr(to));
+  EBA_ASSIGN_OR_RETURN(const Table* parent, GetTable(to.table));
+  int pk = parent->schema().PrimaryKeyIndex();
+  if (pk < 0 || parent->schema().column(static_cast<size_t>(pk)).name != to.column) {
+    return Status::InvalidArgument("FK target " + to.ToString() +
+                                   " is not a primary key");
+  }
+  fks_.push_back(ForeignKey{from, to});
+  return Status::OK();
+}
+
+Status Database::AddAdminRelationship(const AttrId& a, const AttrId& b) {
+  EBA_RETURN_IF_ERROR(ValidateAttr(a));
+  EBA_RETURN_IF_ERROR(ValidateAttr(b));
+  if (a == b) {
+    return Status::InvalidArgument(
+        "admin relationship endpoints are identical: " + a.ToString() +
+        " (use AllowSelfJoin for self-joins)");
+  }
+  admin_rels_.push_back(AdminRelationship{a, b});
+  return Status::OK();
+}
+
+Status Database::AllowSelfJoin(const AttrId& attr) {
+  EBA_RETURN_IF_ERROR(ValidateAttr(attr));
+  if (!IsSelfJoinAllowed(attr)) self_join_attrs_.push_back(attr);
+  return Status::OK();
+}
+
+bool Database::IsSelfJoinAllowed(const AttrId& attr) const {
+  for (const auto& a : self_join_attrs_) {
+    if (a == attr) return true;
+  }
+  return false;
+}
+
+Status Database::MarkMappingTable(const std::string& name) {
+  if (!HasTable(name)) return Status::NotFound("no table '" + name + "'");
+  mapping_tables_.insert(name);
+  return Status::OK();
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table.num_rows();
+  return total;
+}
+
+}  // namespace eba

@@ -1,0 +1,112 @@
+// Database: the catalog of tables plus the join metadata the mining
+// algorithms are allowed to use (paper §3.1):
+//   (2) equi-joins along key/FK relationships (modeled as shared key
+//       domains plus explicitly declared foreign keys),
+//   (3) self-joins only on administrator-allowed attributes, and
+//       administrator-provided relationships between attribute pairs.
+// Mapping tables (e.g. the caregiver_id <-> audit_id table of §5.3.3) can be
+// marked so they count toward neither the table budget T nor the reported
+// template length.
+
+#ifndef EBA_STORAGE_DATABASE_H_
+#define EBA_STORAGE_DATABASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace eba {
+
+/// A declared foreign-key relationship (from child attr to parent key attr).
+struct ForeignKey {
+  AttrId from;
+  AttrId to;
+};
+
+/// An administrator-provided joinable attribute pair (paper §3.1 item 2).
+struct AdminRelationship {
+  AttrId a;
+  AttrId b;
+};
+
+class Database {
+ public:
+  Database() = default;
+
+  // Movable only: tables are not copyable.
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table with the given schema.
+  Status CreateTable(TableSchema schema);
+
+  /// Moves an already-populated table into the database.
+  Status AddTable(Table table);
+
+  /// Removes a table (and any metadata referencing it stays; callers that
+  /// drop tables should re-derive the schema graph).
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+  StatusOr<Table*> GetTable(const std::string& name);
+  StatusOr<const Table*> GetTable(const std::string& name) const;
+
+  /// All table names in deterministic (sorted) order.
+  std::vector<std::string> TableNames() const;
+
+  /// Resolves an attribute to (table, column index); errors if missing.
+  StatusOr<int> ResolveColumn(const AttrId& attr) const;
+
+  /// Declares a foreign key; both endpoints must exist and `to` must be a
+  /// primary key.
+  Status AddForeignKey(const AttrId& from, const AttrId& to);
+
+  /// Declares an administrator-provided relationship between two attributes.
+  Status AddAdminRelationship(const AttrId& a, const AttrId& b);
+
+  /// Allows `attr`'s table to participate in a self-join through `attr`
+  /// (paper §3.1 item 3).
+  Status AllowSelfJoin(const AttrId& attr);
+
+  /// Marks a table as an identifier-mapping table that is exempt from the
+  /// table budget T and from reported template length (paper §5.3.3).
+  Status MarkMappingTable(const std::string& name);
+
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+  const std::vector<AdminRelationship>& admin_relationships() const {
+    return admin_rels_;
+  }
+  const std::vector<AttrId>& self_join_attrs() const {
+    return self_join_attrs_;
+  }
+  bool IsSelfJoinAllowed(const AttrId& attr) const;
+  bool IsMappingTable(const std::string& name) const {
+    return mapping_tables_.count(name) > 0;
+  }
+  const std::set<std::string>& mapping_tables() const {
+    return mapping_tables_;
+  }
+
+  /// Total number of rows across all tables (diagnostics).
+  size_t TotalRows() const;
+
+ private:
+  Status ValidateAttr(const AttrId& attr) const;
+
+  std::map<std::string, Table> tables_;
+  std::vector<ForeignKey> fks_;
+  std::vector<AdminRelationship> admin_rels_;
+  std::vector<AttrId> self_join_attrs_;
+  std::set<std::string> mapping_tables_;
+};
+
+}  // namespace eba
+
+#endif  // EBA_STORAGE_DATABASE_H_

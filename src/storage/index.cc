@@ -1,0 +1,53 @@
+#include "storage/index.h"
+
+#include "common/logging.h"
+
+namespace eba {
+
+HashIndex::HashIndex(const Column* column) : column_(column) {
+  EBA_CHECK(column != nullptr);
+  const size_t n = column->size();
+  if (column->IsIntLike() || column->IsString()) {
+    int_map_.reserve(n);
+    for (size_t row = 0; row < n; ++row) {
+      if (column->IsNull(row)) continue;
+      int_map_[column->Int64At(row)].push_back(static_cast<uint32_t>(row));
+    }
+  } else {
+    value_map_.reserve(n);
+    for (size_t row = 0; row < n; ++row) {
+      if (column->IsNull(row)) continue;
+      value_map_[column->Get(row)].push_back(static_cast<uint32_t>(row));
+    }
+  }
+}
+
+const std::vector<uint32_t>& HashIndex::Lookup(const Value& v) const {
+  if (v.is_null()) return empty_;
+  if (column_->IsIntLike()) {
+    if (v.type() != DataType::kBool && v.type() != DataType::kInt64 &&
+        v.type() != DataType::kTimestamp) {
+      return empty_;
+    }
+    return LookupInt64(v.RawInt64());
+  }
+  if (column_->IsString()) {
+    if (v.type() != DataType::kString) return empty_;
+    auto code = column_->FindStringCode(v.AsString());
+    if (!code) return empty_;
+    return LookupInt64(*code);
+  }
+  auto it = value_map_.find(v);
+  return it == value_map_.end() ? empty_ : it->second;
+}
+
+const std::vector<uint32_t>& HashIndex::LookupInt64(int64_t key) const {
+  auto it = int_map_.find(key);
+  return it == int_map_.end() ? empty_ : it->second;
+}
+
+size_t HashIndex::NumDistinctKeys() const {
+  return int_map_.empty() ? value_map_.size() : int_map_.size();
+}
+
+}  // namespace eba

@@ -1,0 +1,44 @@
+// HashIndex: an equi-join index over one column.
+//
+// Integer-like columns index their raw int64 payloads; string columns index
+// dictionary codes (probing translates the probe string through the
+// dictionary, so cross-column string joins work); doubles fall back to a
+// Value-keyed map. NULL cells are never indexed — a NULL join key matches
+// nothing, mirroring SQL equi-join semantics.
+
+#ifndef EBA_STORAGE_INDEX_H_
+#define EBA_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/column.h"
+
+namespace eba {
+
+class HashIndex {
+ public:
+  /// Builds an index over `column`. The column must outlive the index.
+  explicit HashIndex(const Column* column);
+
+  /// Row ids whose cell equals `v`; empty if none (or v is NULL).
+  const std::vector<uint32_t>& Lookup(const Value& v) const;
+
+  /// Fast path for integer-like columns.
+  const std::vector<uint32_t>& LookupInt64(int64_t key) const;
+
+  /// Number of distinct (non-NULL) keys.
+  size_t NumDistinctKeys() const;
+
+ private:
+  const Column* column_;
+  std::unordered_map<int64_t, std::vector<uint32_t>> int_map_;
+  std::unordered_map<Value, std::vector<uint32_t>> value_map_;
+  std::vector<uint32_t> empty_;
+};
+
+}  // namespace eba
+
+#endif  // EBA_STORAGE_INDEX_H_

@@ -1,0 +1,201 @@
+#include "storage/persist.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace eba {
+
+namespace {
+
+constexpr char kHeader[] = "# eba database manifest v1";
+
+const char* TypeName(DataType type) { return DataTypeToString(type); }
+
+StatusOr<DataType> TypeFromName(const std::string& name) {
+  for (DataType t : {DataType::kBool, DataType::kInt64, DataType::kDouble,
+                     DataType::kString, DataType::kTimestamp}) {
+    if (name == DataTypeToString(t)) return t;
+  }
+  return Status::InvalidArgument("unknown column type: " + name);
+}
+
+StatusOr<AttrId> ParseAttr(const std::string& text) {
+  size_t dot = text.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= text.size()) {
+    return Status::InvalidArgument("expected Table.Column, got: " + text);
+  }
+  return AttrId{Trim(text.substr(0, dot)), Trim(text.substr(dot + 1))};
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory '" + directory +
+                            "': " + ec.message());
+  }
+
+  std::ostringstream manifest;
+  manifest << kHeader << "\n";
+  for (const std::string& name : db.TableNames()) {
+    EBA_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
+    manifest << "\nTABLE " << name << "\n";
+    for (const auto& def : table->schema().columns()) {
+      manifest << "COLUMN " << def.name << " " << TypeName(def.type);
+      if (!def.domain.empty()) manifest << " domain=" << def.domain;
+      if (def.is_primary_key) manifest << " pk";
+      manifest << "\n";
+    }
+    manifest << "END\n";
+    EBA_RETURN_IF_ERROR(
+        table->WriteCsv(directory + "/" + name + ".csv"));
+  }
+  manifest << "\n";
+  for (const std::string& name : db.mapping_tables()) {
+    manifest << "MAPPING " << name << "\n";
+  }
+  for (const auto& attr : db.self_join_attrs()) {
+    manifest << "SELFJOIN " << attr.ToString() << "\n";
+  }
+  for (const auto& rel : db.admin_relationships()) {
+    manifest << "ADMINREL " << rel.a.ToString() << " = " << rel.b.ToString()
+             << "\n";
+  }
+  for (const auto& fk : db.foreign_keys()) {
+    manifest << "FK " << fk.from.ToString() << " -> " << fk.to.ToString()
+             << "\n";
+  }
+
+  std::ofstream out(directory + "/manifest.txt");
+  if (!out) {
+    return Status::Internal("cannot write manifest in '" + directory + "'");
+  }
+  out << manifest.str();
+  if (!out) return Status::Internal("manifest write failed");
+  return Status::OK();
+}
+
+StatusOr<Database> LoadDatabase(const std::string& directory) {
+  std::ifstream in(directory + "/manifest.txt");
+  if (!in) {
+    return Status::NotFound("no manifest.txt in '" + directory + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::istringstream manifest(buffer.str());
+
+  Database db;
+  std::string line;
+  int line_number = 0;
+  bool saw_header = false;
+  std::string current_table;
+  std::vector<ColumnDef> current_columns;
+  auto parse_error = [&](const std::string& message) {
+    return Status::InvalidArgument("manifest line " +
+                                   std::to_string(line_number) + ": " +
+                                   message);
+  };
+
+  // Deferred metadata: validated after all tables are loaded.
+  std::vector<std::string> mapping_tables;
+  std::vector<AttrId> self_joins;
+  std::vector<std::pair<AttrId, AttrId>> admin_rels;
+  std::vector<std::pair<AttrId, AttrId>> fks;
+
+  auto finish_table = [&]() -> Status {
+    if (current_table.empty()) return Status::OK();
+    TableSchema schema(current_table, current_columns);
+    EBA_ASSIGN_OR_RETURN(
+        Table table,
+        Table::ReadCsv(directory + "/" + current_table + ".csv",
+                       std::move(schema)));
+    EBA_RETURN_IF_ERROR(db.AddTable(std::move(table)));
+    current_table.clear();
+    current_columns.clear();
+    return Status::OK();
+  };
+
+  while (std::getline(manifest, line)) {
+    ++line_number;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '#') {
+      if (StartsWith(trimmed, kHeader)) saw_header = true;
+      continue;
+    }
+    if (StartsWith(trimmed, "TABLE ")) {
+      if (!current_table.empty()) return parse_error("TABLE inside TABLE");
+      current_table = Trim(trimmed.substr(6));
+    } else if (StartsWith(trimmed, "COLUMN ")) {
+      if (current_table.empty()) return parse_error("COLUMN outside TABLE");
+      std::vector<std::string> parts;
+      for (const auto& p : Split(Trim(trimmed.substr(7)), ' ')) {
+        if (!Trim(p).empty()) parts.push_back(Trim(p));
+      }
+      if (parts.size() < 2) return parse_error("COLUMN needs name and type");
+      ColumnDef def;
+      def.name = parts[0];
+      EBA_ASSIGN_OR_RETURN(def.type, TypeFromName(parts[1]));
+      for (size_t i = 2; i < parts.size(); ++i) {
+        if (StartsWith(parts[i], "domain=")) {
+          def.domain = parts[i].substr(7);
+        } else if (parts[i] == "pk") {
+          def.is_primary_key = true;
+        } else {
+          return parse_error("unknown COLUMN attribute: " + parts[i]);
+        }
+      }
+      current_columns.push_back(std::move(def));
+    } else if (trimmed == "END") {
+      if (current_table.empty()) return parse_error("END outside TABLE");
+      EBA_RETURN_IF_ERROR(finish_table());
+    } else if (StartsWith(trimmed, "MAPPING ")) {
+      mapping_tables.push_back(Trim(trimmed.substr(8)));
+    } else if (StartsWith(trimmed, "SELFJOIN ")) {
+      EBA_ASSIGN_OR_RETURN(AttrId attr, ParseAttr(Trim(trimmed.substr(9))));
+      self_joins.push_back(attr);
+    } else if (StartsWith(trimmed, "ADMINREL ")) {
+      auto parts = Split(trimmed.substr(9), '=');
+      if (parts.size() != 2) return parse_error("ADMINREL needs a = b");
+      EBA_ASSIGN_OR_RETURN(AttrId a, ParseAttr(Trim(parts[0])));
+      EBA_ASSIGN_OR_RETURN(AttrId b, ParseAttr(Trim(parts[1])));
+      admin_rels.emplace_back(a, b);
+    } else if (StartsWith(trimmed, "FK ")) {
+      std::string body = trimmed.substr(3);
+      size_t arrow = body.find("->");
+      if (arrow == std::string::npos) return parse_error("FK needs a -> b");
+      EBA_ASSIGN_OR_RETURN(AttrId from, ParseAttr(Trim(body.substr(0, arrow))));
+      EBA_ASSIGN_OR_RETURN(AttrId to, ParseAttr(Trim(body.substr(arrow + 2))));
+      fks.emplace_back(from, to);
+    } else {
+      return parse_error("unrecognized directive: " + trimmed);
+    }
+  }
+  if (!current_table.empty()) {
+    return Status::InvalidArgument("manifest ends inside a TABLE block");
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("missing manifest header");
+  }
+
+  for (const auto& name : mapping_tables) {
+    EBA_RETURN_IF_ERROR(db.MarkMappingTable(name));
+  }
+  for (const auto& attr : self_joins) {
+    EBA_RETURN_IF_ERROR(db.AllowSelfJoin(attr));
+  }
+  for (const auto& [a, b] : admin_rels) {
+    EBA_RETURN_IF_ERROR(db.AddAdminRelationship(a, b));
+  }
+  for (const auto& [from, to] : fks) {
+    EBA_RETURN_IF_ERROR(db.AddForeignKey(from, to));
+  }
+  return db;
+}
+
+}  // namespace eba

@@ -1,0 +1,40 @@
+// Whole-database persistence: a directory with a human-readable schema
+// manifest plus one CSV file per table. This is how a deployment would load
+// a real EHR extract into the engine (the paper's study received flat
+// extracts of the CareWeb tables), and how synthetic data sets are frozen
+// for reproducibility.
+//
+// manifest.txt format:
+//
+//   # eba database manifest v1
+//   TABLE Users
+//   COLUMN uid int64 domain=user pk
+//   COLUMN Name string
+//   ...
+//   END
+//   MAPPING UserMap
+//   SELFJOIN Users.Department
+//   ADMINREL Appointments.Doctor = Doctor_Info.Doctor
+//   FK Appointments.Doctor -> Users.uid
+
+#ifndef EBA_STORAGE_PERSIST_H_
+#define EBA_STORAGE_PERSIST_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace eba {
+
+/// Writes `db` into `directory` (created if missing): manifest.txt plus
+/// one <table>.csv per table. Fails if an existing manifest in the
+/// directory cannot be overwritten.
+Status SaveDatabase(const Database& db, const std::string& directory);
+
+/// Loads a database previously written by SaveDatabase.
+StatusOr<Database> LoadDatabase(const std::string& directory);
+
+}  // namespace eba
+
+#endif  // EBA_STORAGE_PERSIST_H_

@@ -1,0 +1,47 @@
+#include "storage/statistics.h"
+
+#include <unordered_set>
+
+namespace eba {
+
+ColumnStats ComputeColumnStats(const Column& column) {
+  ColumnStats stats;
+  stats.num_rows = column.size();
+  stats.num_nulls = column.NullCount();
+
+  if (column.IsString()) {
+    // The dictionary may contain strings from rows that were appended and
+    // are all that exist, so dictionary size equals distinct count; min/max
+    // still require a scan because dictionary order is insertion order.
+    stats.num_distinct = column.DictionarySize();
+  }
+
+  bool first = true;
+  std::unordered_set<int64_t> distinct_ints;
+  std::unordered_set<Value> distinct_values;
+  for (size_t row = 0; row < column.size(); ++row) {
+    if (column.IsNull(row)) continue;
+    Value v = column.Get(row);
+    if (first) {
+      stats.min = v;
+      stats.max = v;
+      first = false;
+    } else {
+      if (v < stats.min) stats.min = v;
+      if (stats.max < v) stats.max = v;
+    }
+    if (column.IsString()) continue;  // distinct handled via dictionary
+    if (column.IsIntLike()) {
+      distinct_ints.insert(column.Int64At(row));
+    } else {
+      distinct_values.insert(v);
+    }
+  }
+  if (!column.IsString()) {
+    stats.num_distinct =
+        column.IsIntLike() ? distinct_ints.size() : distinct_values.size();
+  }
+  return stats;
+}
+
+}  // namespace eba

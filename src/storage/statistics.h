@@ -1,0 +1,37 @@
+// Per-column statistics used by the cardinality estimator ("the database
+// optimizer" in the paper's skip-non-selective-paths optimization, §3.2.1).
+
+#ifndef EBA_STORAGE_STATISTICS_H_
+#define EBA_STORAGE_STATISTICS_H_
+
+#include <cstddef>
+
+#include "common/value.h"
+#include "storage/column.h"
+
+namespace eba {
+
+/// Summary statistics of one column.
+struct ColumnStats {
+  size_t num_rows = 0;
+  size_t num_nulls = 0;
+  /// Distinct non-NULL values.
+  size_t num_distinct = 0;
+  /// Min/max over non-NULL values (NULL Values if the column is all-NULL).
+  Value min;
+  Value max;
+
+  /// Average rows per distinct key (>= 1 when non-empty).
+  double AvgMultiplicity() const {
+    if (num_distinct == 0) return 0.0;
+    return static_cast<double>(num_rows - num_nulls) /
+           static_cast<double>(num_distinct);
+  }
+};
+
+/// Computes exact statistics with a single pass over the column.
+ColumnStats ComputeColumnStats(const Column& column);
+
+}  // namespace eba
+
+#endif  // EBA_STORAGE_STATISTICS_H_

@@ -1,0 +1,165 @@
+#include "storage/table.h"
+
+#include "common/csv.h"
+#include "common/date.h"
+#include "common/logging.h"
+
+namespace eba {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  Status s = schema_.Validate();
+  EBA_CHECK_MSG(s.ok(), s.ToString());
+  columns_.reserve(schema_.num_columns());
+  for (const auto& def : schema_.columns()) {
+    columns_.emplace_back(def.type);
+  }
+  indexes_.resize(columns_.size());
+  stats_.resize(columns_.size());
+}
+
+void Table::Reserve(size_t rows) {
+  for (auto& col : columns_) col.Reserve(rows);
+}
+
+Status Table::AppendRow(const Row& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()) + " for table '" + name() + "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && row[i].type() != schema_.column(i).type) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.column(i).name + "': " +
+          DataTypeToString(row[i].type()) + " vs " +
+          DataTypeToString(schema_.column(i).type));
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    Status s = columns_[i].Append(row[i]);
+    EBA_CHECK_MSG(s.ok(), s.ToString());  // types were pre-validated
+  }
+  ++num_rows_;
+  InvalidateDerivedState();
+  return Status::OK();
+}
+
+Row Table::GetRow(size_t row) const {
+  EBA_CHECK(row < num_rows_);
+  Row out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col.Get(row));
+  return out;
+}
+
+Column* Table::mutable_column(size_t idx) {
+  InvalidateDerivedState();
+  return &columns_[idx];
+}
+
+StatusOr<const Column*> Table::ColumnByName(const std::string& col_name) const {
+  int idx = schema_.ColumnIndex(col_name);
+  if (idx < 0) {
+    return Status::NotFound("no column '" + col_name + "' in table '" +
+                            name() + "'");
+  }
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+const HashIndex& Table::GetOrBuildIndex(size_t col) const {
+  EBA_CHECK(col < columns_.size());
+  if (!indexes_[col]) {
+    indexes_[col] = std::make_unique<HashIndex>(&columns_[col]);
+  }
+  return *indexes_[col];
+}
+
+const ColumnStats& Table::GetOrComputeStats(size_t col) const {
+  EBA_CHECK(col < columns_.size());
+  if (!stats_[col]) {
+    stats_[col] = std::make_unique<ColumnStats>(ComputeColumnStats(columns_[col]));
+  }
+  return *stats_[col];
+}
+
+void Table::InvalidateDerivedState() const {
+  for (auto& idx : indexes_) idx.reset();
+  for (auto& st : stats_) st.reset();
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(num_rows_ + 1);
+  std::vector<std::string> header;
+  for (const auto& def : schema_.columns()) header.push_back(def.name);
+  rows.push_back(std::move(header));
+  for (size_t r = 0; r < num_rows_; ++r) {
+    std::vector<std::string> fields;
+    fields.reserve(columns_.size());
+    for (const auto& col : columns_) {
+      Value v = col.Get(r);
+      fields.push_back(v.is_null() ? "" : v.ToString());
+    }
+    rows.push_back(std::move(fields));
+  }
+  return CsvWriteFile(path, rows);
+}
+
+StatusOr<Table> Table::ReadCsv(const std::string& path, TableSchema schema) {
+  EBA_ASSIGN_OR_RETURN(auto rows, CsvReadFile(path));
+  if (rows.empty()) return Status::InvalidArgument("empty csv: " + path);
+  const auto& header = rows[0];
+  if (header.size() != schema.num_columns()) {
+    return Status::InvalidArgument("csv header arity mismatch in " + path);
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] != schema.column(i).name) {
+      return Status::InvalidArgument("csv header mismatch at column " +
+                                     std::to_string(i) + " in " + path);
+    }
+  }
+  Table table(std::move(schema));
+  table.Reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& fields = rows[r];
+    if (fields.size() != table.num_columns()) {
+      return Status::InvalidArgument("csv row arity mismatch at line " +
+                                     std::to_string(r + 1) + " in " + path);
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      const std::string& f = fields[c];
+      if (f.empty()) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (table.schema().column(c).type) {
+        case DataType::kBool:
+          row.push_back(Value::Bool(f == "true" || f == "1"));
+          break;
+        case DataType::kInt64:
+          row.push_back(Value::Int64(std::stoll(f)));
+          break;
+        case DataType::kDouble:
+          row.push_back(Value::Double(std::stod(f)));
+          break;
+        case DataType::kString:
+          row.push_back(Value::String(f));
+          break;
+        case DataType::kTimestamp: {
+          EBA_ASSIGN_OR_RETURN(Date d, Date::Parse(f));
+          row.push_back(Value::Timestamp(d.ToSeconds()));
+          break;
+        }
+        case DataType::kNull:
+          row.push_back(Value::Null());
+          break;
+      }
+    }
+    EBA_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace eba

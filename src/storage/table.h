@@ -1,0 +1,82 @@
+// Table: a column-oriented, append-only relation with lazily built hash
+// indexes and column statistics. Appends invalidate cached indexes/stats.
+
+#ifndef EBA_STORAGE_TABLE_H_
+#define EBA_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/column.h"
+#include "storage/index.h"
+#include "storage/schema.h"
+#include "storage/statistics.h"
+
+namespace eba {
+
+/// A boxed row (one Value per column).
+using Row = std::vector<Value>;
+
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  // Movable, not copyable (indexes hold pointers into columns).
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  void Reserve(size_t rows);
+
+  /// Appends a row; the arity and value types must match the schema.
+  Status AppendRow(const Row& row);
+
+  /// Cell accessors.
+  Value Get(size_t row, size_t col) const { return columns_[col].Get(row); }
+  Row GetRow(size_t row) const;
+
+  const Column& column(size_t idx) const { return columns_[idx]; }
+  Column* mutable_column(size_t idx);
+
+  /// Column by name; Status error if absent.
+  StatusOr<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Hash index over `col`, built on first use and cached until the next
+  /// append. Thread-compatible (callers serialize mutation).
+  const HashIndex& GetOrBuildIndex(size_t col) const;
+
+  /// Statistics for `col`, computed on first use and cached.
+  const ColumnStats& GetOrComputeStats(size_t col) const;
+
+  /// Drops cached indexes and statistics (called automatically on append).
+  void InvalidateDerivedState() const;
+
+  /// Dumps the table (header + rows) to CSV.
+  Status WriteCsv(const std::string& path) const;
+
+  /// Loads rows from a CSV file previously produced by WriteCsv (header row
+  /// required and validated against `schema`). Timestamps are parsed from
+  /// "YYYY-MM-DD HH:MM:SS"; empty fields load as NULL.
+  static StatusOr<Table> ReadCsv(const std::string& path, TableSchema schema);
+
+ private:
+  TableSchema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+
+  mutable std::vector<std::unique_ptr<HashIndex>> indexes_;
+  mutable std::vector<std::unique_ptr<ColumnStats>> stats_;
+};
+
+}  // namespace eba
+
+#endif  // EBA_STORAGE_TABLE_H_

@@ -1,0 +1,120 @@
+// Tests for the user-level anomaly baseline (graph/anomaly.h): scoring
+// semantics, ordering, and the paper's §6 contrast — isolated misuse does
+// not perturb a user's profile score, while a bulk snooper stands out.
+
+#include <gtest/gtest.h>
+
+#include "careweb/generator.h"
+#include "graph/anomaly.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+using testing_util::UnwrapOrDie;
+
+/// Log where users 1,2,3 form a tight team (share patients) and user 9
+/// accesses only records nobody else touches.
+Table MakeTeamPlusLonerLog() {
+  Table log(AccessLog::StandardSchema("Log"));
+  struct A {
+    int64_t user;
+    int64_t patient;
+  };
+  const A accesses[] = {
+      {1, 100}, {2, 100}, {3, 100}, {1, 101}, {2, 101},
+      {3, 101}, {1, 102}, {2, 102}, {9, 900}, {9, 901},
+  };
+  int64_t lid = 1;
+  for (const auto& a : accesses) {
+    Status s = log.AppendRow({Value::Int64(lid), Value::Timestamp(lid * 60),
+                              Value::Int64(a.user), Value::Int64(a.patient),
+                              Value::String("v")});
+    EBA_CHECK(s.ok());
+    ++lid;
+  }
+  return log;
+}
+
+TEST(AnomalyTest, LonerScoresHigherThanTeamMembers) {
+  Table table = MakeTeamPlusLonerLog();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
+  auto scores = UnwrapOrDie(ScoreUsersByDeviation(graph, log));
+  ASSERT_EQ(scores.size(), 4u);
+  // Most anomalous first: the loner (user 9, zero neighbors).
+  EXPECT_EQ(scores[0].user, 9);
+  EXPECT_EQ(scores[0].neighborhood_similarity, 0.0);
+  EXPECT_DOUBLE_EQ(scores[0].score, 1.0);
+  for (size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_LT(scores[i].score, 1.0);
+    EXPECT_GT(scores[i].neighborhood_similarity, 0.0);
+  }
+  EXPECT_EQ(RankOfUser(scores, 9), 1u);
+  EXPECT_EQ(RankOfUser(scores, 12345), 0u);
+}
+
+TEST(AnomalyTest, AccessCountsReported) {
+  Table table = MakeTeamPlusLonerLog();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
+  auto scores = UnwrapOrDie(ScoreUsersByDeviation(graph, log));
+  for (const auto& s : scores) {
+    if (s.user == 1) EXPECT_EQ(s.num_accesses, 3u);
+    if (s.user == 9) EXPECT_EQ(s.num_accesses, 2u);
+  }
+}
+
+TEST(AnomalyTest, InvalidOptionsRejected) {
+  Table table = MakeTeamPlusLonerLog();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
+  AnomalyOptions options;
+  options.k_nearest = 0;
+  EXPECT_FALSE(ScoreUsersByDeviation(graph, log, options).ok());
+}
+
+TEST(AnomalyTest, IsolatedMisuseBarelyMovesProfile) {
+  // The §6 contrast: one extra bad access does not change a team member's
+  // neighborhood similarity much, so their rank stays deep in the pack.
+  CareWebData data = UnwrapOrDie(GenerateCareWeb(CareWebConfig::Tiny()));
+  Table* log_table = data.db.GetTable("Log").value();
+  AccessLog before_log = UnwrapOrDie(AccessLog::Wrap(log_table));
+  UserGraph before_graph = UnwrapOrDie(UserGraph::Build(before_log));
+  auto before = UnwrapOrDie(ScoreUsersByDeviation(before_graph, before_log));
+
+  // A nurse on team 0 snoops once on a random patient.
+  int64_t snoop = data.truth.teams[0].members.back();
+  int64_t victim = data.truth.all_patients.back();
+  EBA_ASSERT_OK(log_table->AppendRow(
+      {Value::Int64(1000000), Value::Timestamp(before_log.MaxTime() + 60),
+       Value::Int64(snoop), Value::Int64(victim), Value::String("v")}));
+
+  AccessLog after_log = UnwrapOrDie(AccessLog::Wrap(log_table));
+  UserGraph after_graph = UnwrapOrDie(UserGraph::Build(after_log));
+  auto after = UnwrapOrDie(ScoreUsersByDeviation(after_graph, after_log));
+
+  size_t rank_before = RankOfUser(before, snoop);
+  size_t rank_after = RankOfUser(after, snoop);
+  ASSERT_GT(rank_before, 0u);
+  ASSERT_GT(rank_after, 0u);
+  // The rank moves by at most a modest amount; the user does NOT jump into
+  // the top decile because of one access.
+  EXPECT_GT(rank_after, after.size() / 10);
+}
+
+TEST(AnomalyTest, DeterministicOrdering) {
+  Table table = MakeTeamPlusLonerLog();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
+  auto a = UnwrapOrDie(ScoreUsersByDeviation(graph, log));
+  auto b = UnwrapOrDie(ScoreUsersByDeviation(graph, log));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace eba

@@ -1,0 +1,279 @@
+// Tests for the synthetic CareWeb generator and the workload scaffolding:
+// schema shape, ground-truth consistency, structural properties the paper's
+// results depend on, and log slicing / eval-log construction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "careweb/generator.h"
+#include "careweb/workload.h"
+#include "log/access_log.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+using testing_util::UnwrapOrDie;
+
+/// Shared tiny data set (generated once; tests treat it as read-only).
+const CareWebData& SharedTiny() {
+  static CareWebData* data = [] {
+    auto generated = GenerateCareWeb(CareWebConfig::Tiny());
+    EBA_CHECK_MSG(generated.ok(), generated.status().ToString());
+    return new CareWebData(std::move(generated).value());
+  }();
+  return *data;
+}
+
+TEST(CareWebTest, SchemaComplete) {
+  const CareWebData& data = SharedTiny();
+  for (const char* table :
+       {"Users", "Patients", "Appointments", "Visits", "Documents", "Labs",
+        "Medications", "Radiology", "UserMap", "Log"}) {
+    EXPECT_TRUE(data.db.HasTable(table)) << table;
+  }
+  EXPECT_TRUE(data.db.IsMappingTable("UserMap"));
+  EXPECT_TRUE(data.db.IsSelfJoinAllowed(AttrId{"Users", "Department"}));
+  // Log self-joins are intentionally NOT allowed for mining (§5.3.3): the
+  // undecorated Log-Log path would match every access against itself.
+  EXPECT_FALSE(data.db.IsSelfJoinAllowed(AttrId{"Log", "Patient"}));
+  EXPECT_FALSE(data.db.IsSelfJoinAllowed(AttrId{"Log", "User"}));
+}
+
+TEST(CareWebTest, DeterministicForSeed) {
+  CareWebConfig config = CareWebConfig::Tiny();
+  CareWebData a = UnwrapOrDie(GenerateCareWeb(config));
+  CareWebData b = UnwrapOrDie(GenerateCareWeb(config));
+  const Table* la = a.db.GetTable("Log").value();
+  const Table* lb = b.db.GetTable("Log").value();
+  ASSERT_EQ(la->num_rows(), lb->num_rows());
+  for (size_t r = 0; r < std::min<size_t>(la->num_rows(), 200); ++r) {
+    EXPECT_EQ(la->GetRow(r), lb->GetRow(r));
+  }
+}
+
+TEST(CareWebTest, LogShape) {
+  const CareWebData& data = SharedTiny();
+  const Table* log_table = data.db.GetTable("Log").value();
+  ASSERT_GT(log_table->num_rows(), 500u);
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(log_table));
+
+  // Lids sequential from 1, timestamps non-decreasing.
+  int64_t prev_time = 0;
+  for (size_t r = 0; r < log.size(); ++r) {
+    AccessLog::Entry e = log.Get(r);
+    EXPECT_EQ(e.lid, static_cast<int64_t>(r) + 1);
+    EXPECT_GE(e.time, prev_time);
+    prev_time = e.time;
+  }
+  // Log spans the configured number of days.
+  auto days = log.DayIndexes();
+  EXPECT_EQ(*std::max_element(days.begin(), days.end()), data.config.num_days);
+}
+
+TEST(CareWebTest, GroundTruthConsistent) {
+  const CareWebData& data = SharedTiny();
+  const Table* log_table = data.db.GetTable("Log").value();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(log_table));
+
+  // Every access has a reason tag; users/patients come from the population.
+  std::unordered_set<int64_t> users(data.truth.all_users.begin(),
+                                    data.truth.all_users.end());
+  std::unordered_set<int64_t> patients(data.truth.all_patients.begin(),
+                                       data.truth.all_patients.end());
+  for (size_t r = 0; r < log.size(); ++r) {
+    AccessLog::Entry e = log.Get(r);
+    ASSERT_TRUE(data.truth.access_reason.count(e.lid));
+    EXPECT_TRUE(users.count(e.user));
+    EXPECT_TRUE(patients.count(e.patient));
+  }
+  EXPECT_EQ(data.truth.teams.size(),
+            static_cast<size_t>(data.config.num_teams));
+  for (const auto& team : data.truth.teams) {
+    EXPECT_FALSE(team.doctors.empty());
+    EXPECT_GE(team.dept_codes.size(), 2u);
+  }
+}
+
+TEST(CareWebTest, UserMapBijection) {
+  const CareWebData& data = SharedTiny();
+  const Table* map = data.db.GetTable("UserMap").value();
+  EXPECT_EQ(map->num_rows(), data.truth.all_users.size());
+  for (size_t r = 0; r < map->num_rows(); ++r) {
+    EXPECT_EQ(map->Get(r, 1).AsInt64(),
+              map->Get(r, 0).AsInt64() + data.config.audit_id_offset);
+  }
+}
+
+TEST(CareWebTest, StructuralShapeMatchesPaper) {
+  const CareWebData& data = SharedTiny();
+  const Table* log_table = data.db.GetTable("Log").value();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(log_table));
+
+  // Repeat accesses are a substantial share of the log (paper: a majority).
+  size_t repeats = log.RepeatAccessLids().size();
+  double repeat_share = static_cast<double>(repeats) /
+                        static_cast<double>(log.size());
+  EXPECT_GT(repeat_share, 0.35);
+
+  // User-patient density is low (paper: 0.0003 at full scale; the tiny
+  // config is much denser but still small).
+  EXPECT_LT(log.UserPatientDensity(), 0.2);
+
+  // A small fraction of accesses is unexplainable by construction.
+  size_t unexplainable = 0;
+  for (const auto& [lid, reason] : data.truth.access_reason) {
+    if (reason == "random" || reason == "missing_event") ++unexplainable;
+  }
+  double unexplainable_share = static_cast<double>(unexplainable) /
+                               static_cast<double>(log.size());
+  EXPECT_GT(unexplainable_share, 0.0);
+  EXPECT_LT(unexplainable_share, 0.15);
+}
+
+TEST(CareWebTest, EventTablesPopulated) {
+  const CareWebData& data = SharedTiny();
+  for (const auto& [table, column] : AllEventTables()) {
+    const Table* t = data.db.GetTable(table).value();
+    EXPECT_GT(t->num_rows(), 0u) << table;
+    EXPECT_GE(t->schema().ColumnIndex(column), 0) << table;
+  }
+  EXPECT_EQ(DataSetAEventTables().size(), 3u);
+  EXPECT_EQ(DataSetBEventTables().size(), 3u);
+}
+
+TEST(CareWebTest, InvalidConfigRejected) {
+  CareWebConfig config = CareWebConfig::Tiny();
+  config.num_teams = 0;
+  EXPECT_FALSE(GenerateCareWeb(config).ok());
+}
+
+// --------------------------- Workload ---------------------------
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : data_(UnwrapOrDie(GenerateCareWeb(CareWebConfig::Tiny()))) {}
+  CareWebData data_;
+};
+
+TEST_F(WorkloadTest, AddLogSliceByDays) {
+  // Opt the source log into self-joins to verify allowances are mirrored.
+  EBA_ASSERT_OK(data_.db.AllowSelfJoin(AttrId{"Log", "Patient"}));
+  LogSlice slice = UnwrapOrDie(
+      AddLogSlice(&data_.db, "Log", "TrainLog", 1, 6, /*first_only=*/false));
+  ASSERT_TRUE(data_.db.HasTable("TrainLog"));
+  const Table* log = data_.db.GetTable("Log").value();
+  const Table* train = data_.db.GetTable("TrainLog").value();
+  EXPECT_LT(train->num_rows(), log->num_rows());
+  EXPECT_EQ(slice.lids.size(), train->num_rows());
+  // Self-join allowances mirrored (Patient was allowed on Log, User not).
+  EXPECT_TRUE(data_.db.IsSelfJoinAllowed(AttrId{"TrainLog", "Patient"}));
+  EXPECT_FALSE(data_.db.IsSelfJoinAllowed(AttrId{"TrainLog", "User"}));
+
+  // Day-7 slice + train slice partition the log.
+  LogSlice day7 = UnwrapOrDie(
+      AddLogSlice(&data_.db, "Log", "TestLog", 7, 7, /*first_only=*/false));
+  EXPECT_EQ(slice.lids.size() + day7.lids.size(), log->num_rows());
+}
+
+TEST_F(WorkloadTest, FirstOnlySliceUsesGlobalFirstMask) {
+  LogSlice first7 = UnwrapOrDie(
+      AddLogSlice(&data_.db, "Log", "FirstD7", 7, 7, /*first_only=*/true));
+  // Every lid in the slice must be a global first access.
+  const Table* log = data_.db.GetTable("Log").value();
+  AccessLog full = UnwrapOrDie(AccessLog::Wrap(log));
+  auto firsts = full.FirstAccessLids();
+  std::unordered_set<int64_t> first_set(firsts.begin(), firsts.end());
+  for (int64_t lid : first7.lids) {
+    EXPECT_TRUE(first_set.count(lid));
+  }
+  // A pair seen on earlier days must not reappear on day 7's first slice.
+  std::unordered_set<int64_t> d7(first7.lids.begin(), first7.lids.end());
+  auto days = full.DayIndexes();
+  for (size_t r = 0; r < full.size(); ++r) {
+    if (days[r] == 7 && !first_set.count(full.Get(r).lid)) {
+      EXPECT_FALSE(d7.count(full.Get(r).lid));
+    }
+  }
+}
+
+TEST_F(WorkloadTest, ExcludedLogsForFindsAllLogLikeTables) {
+  (void)UnwrapOrDie(
+      AddLogSlice(&data_.db, "Log", "TrainLog", 1, 6, false));
+  auto excluded = ExcludedLogsFor(data_.db, "TrainLog");
+  EXPECT_NE(std::find(excluded.begin(), excluded.end(), "Log"),
+            excluded.end());
+  EXPECT_EQ(std::find(excluded.begin(), excluded.end(), "TrainLog"),
+            excluded.end());
+}
+
+TEST_F(WorkloadTest, AddEvalLogBuildsCombinedTable) {
+  (void)UnwrapOrDie(AddLogSlice(&data_.db, "Log", "TestLog", 7, 7, true));
+  EvalLogSetup eval = UnwrapOrDie(
+      AddEvalLog(&data_.db, "TestLog", "EvalLog", data_.truth, 99));
+  const Table* combined = data_.db.GetTable("EvalLog").value();
+  EXPECT_EQ(combined->num_rows(),
+            eval.real_lids.size() + eval.fake_lids.size());
+  EXPECT_EQ(eval.real_lids.size(), eval.fake_lids.size());
+}
+
+TEST_F(WorkloadTest, BuildGroupsFromDaysMaterializesTable) {
+  GroupHierarchy h = UnwrapOrDie(BuildGroupsFromDays(
+      &data_.db, "Log", 1, 6, "Groups", HierarchyOptions{}));
+  ASSERT_TRUE(data_.db.HasTable("Groups"));
+  EXPECT_TRUE(data_.db.IsSelfJoinAllowed(AttrId{"Groups", "Group_id"}));
+  EXPECT_GE(h.max_depth(), 1);
+  // Depth 1 should find several collaborative groups.
+  EXPECT_GE(h.GroupsAtDepth(1).size(), 2u);
+}
+
+TEST_F(WorkloadTest, GroupsRecoverTeamStructure) {
+  GroupHierarchy h = UnwrapOrDie(BuildGroupsFromDays(
+      &data_.db, "Log", 1, 6, "Groups", HierarchyOptions{}));
+  // For most pairs of users in the same ground-truth team, the depth-1
+  // clustering should put them together.
+  size_t same = 0, total = 0;
+  for (const auto& team : data_.truth.teams) {
+    for (size_t i = 0; i < team.members.size(); ++i) {
+      for (size_t j = i + 1; j < team.members.size(); ++j) {
+        const GroupNode* gi = h.GroupOf(team.members[i], 1);
+        const GroupNode* gj = h.GroupOf(team.members[j], 1);
+        if (gi == nullptr || gj == nullptr) continue;
+        ++total;
+        if (gi->group_id == gj->group_id) ++same;
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(total), 0.5);
+}
+
+TEST_F(WorkloadTest, HandcraftedTemplatesParse) {
+  (void)UnwrapOrDie(BuildGroupsFromDays(&data_.db, "Log", 1, 6, "Groups",
+                                        HierarchyOptions{}));
+  EXPECT_TRUE(TemplateApptWithDoctor(data_.db).ok());
+  EXPECT_TRUE(TemplateVisitWithDoctor(data_.db).ok());
+  EXPECT_TRUE(TemplateVisitWithAttending(data_.db).ok());
+  EXPECT_TRUE(TemplateDocumentWithAuthor(data_.db).ok());
+  EXPECT_TRUE(TemplateRepeatAccess(data_.db).ok());
+  EXPECT_EQ(UnwrapOrDie(TemplatesDataSetB(data_.db)).size(), 7u);
+  EXPECT_EQ(UnwrapOrDie(TemplatesGroups(data_.db, 1, true)).size(), 6u);
+  EXPECT_EQ(UnwrapOrDie(TemplatesGroups(data_.db, -1, false)).size(), 3u);
+  EXPECT_EQ(UnwrapOrDie(TemplatesSameDepartment(data_.db)).size(), 3u);
+  EXPECT_EQ(UnwrapOrDie(TemplatesHandcraftedDirect(data_.db, true)).size(),
+            5u);
+}
+
+TEST_F(WorkloadTest, DataSetBTemplatesHaveMappingAdjustedLength) {
+  ExplanationTemplate lab =
+      UnwrapOrDie(TemplatesDataSetB(data_.db))[1];  // lab_resulted_by
+  EXPECT_EQ(lab.RawLength(), 3);
+  EXPECT_EQ(lab.ReportedLength(data_.db), 2);
+  EXPECT_EQ(lab.CountedTables(data_.db), 2);  // Log + Labs (UserMap exempt)
+}
+
+}  // namespace
+}  // namespace eba

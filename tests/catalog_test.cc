@@ -1,0 +1,149 @@
+// Tests for TemplateCatalog serialization: round-trips, validation against
+// the schema, and error handling for malformed catalog files.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/catalog.h"
+#include "query/sql.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+using testing_util::BuildPaperToyDatabase;
+using testing_util::UnwrapOrDie;
+
+ExplanationTemplate ApptTemplate(const Database& db) {
+  return UnwrapOrDie(ExplanationTemplate::Parse(
+      db, "appt_with_doctor", "Log L, Appointments A",
+      "L.Patient = A.Patient AND A.Doctor = L.User",
+      "[L.Patient] had an appointment with [L.User] on [A.Date]"));
+}
+
+ExplanationTemplate DecoratedTemplate(const Database& db) {
+  return UnwrapOrDie(ExplanationTemplate::Parse(
+      db, "repeat_access", "Log L, Log L2",
+      "L.Patient = L2.Patient AND L2.User = L.User AND L.Date > L2.Date",
+      "[L.User] previously accessed [L.Patient]'s record"));
+}
+
+ExplanationTemplate LiteralTemplate(const Database& db) {
+  return UnwrapOrDie(ExplanationTemplate::Parse(
+      db, "pediatrics_only", "Log L, Doctor_Info I",
+      "L.User = I.Doctor AND I.Department = 'Pediatrics'",
+      "[L.User] works in Pediatrics"));
+}
+
+TEST(CatalogTest, AddAndFind) {
+  Database db = BuildPaperToyDatabase();
+  TemplateCatalog catalog;
+  EBA_ASSERT_OK(catalog.Add(ApptTemplate(db)));
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_NE(catalog.Find("appt_with_doctor"), nullptr);
+  EXPECT_EQ(catalog.Find("missing"), nullptr);
+  EXPECT_TRUE(catalog.Add(ApptTemplate(db)).IsAlreadyExists());
+}
+
+TEST(CatalogTest, SerializeDeserializeRoundTrip) {
+  Database db = BuildPaperToyDatabase();
+  TemplateCatalog catalog;
+  EBA_ASSERT_OK(catalog.Add(ApptTemplate(db)));
+  EBA_ASSERT_OK(catalog.Add(DecoratedTemplate(db)));
+  EBA_ASSERT_OK(catalog.Add(LiteralTemplate(db)));
+
+  std::string text = UnwrapOrDie(catalog.Serialize(db));
+  TemplateCatalog loaded = UnwrapOrDie(TemplateCatalog::Deserialize(db, text));
+  ASSERT_EQ(loaded.size(), 3u);
+
+  // Same canonical condition sets, names and descriptions.
+  for (const auto& original : catalog.templates()) {
+    const ExplanationTemplate* restored = loaded.Find(original.name());
+    ASSERT_NE(restored, nullptr) << original.name();
+    EXPECT_EQ(UnwrapOrDie(restored->CanonicalKey(db)),
+              UnwrapOrDie(original.CanonicalKey(db)));
+    EXPECT_EQ(restored->description_format(), original.description_format());
+    EXPECT_EQ(restored->IsDecorated(), original.IsDecorated());
+  }
+
+  // A second round-trip is a fixed point.
+  std::string text2 = UnwrapOrDie(loaded.Serialize(db));
+  EXPECT_EQ(text, text2);
+}
+
+TEST(CatalogTest, RenderClausesRoundTripThroughParser) {
+  Database db = BuildPaperToyDatabase();
+  ExplanationTemplate tmpl = DecoratedTemplate(db);
+  std::string from = UnwrapOrDie(RenderFromClause(db, tmpl.query()));
+  std::string where = UnwrapOrDie(RenderWhereClause(db, tmpl.query()));
+  ExplanationTemplate reparsed = UnwrapOrDie(
+      ExplanationTemplate::Parse(db, "reparsed", from, where, "d"));
+  EXPECT_EQ(UnwrapOrDie(reparsed.CanonicalKey(db)),
+            UnwrapOrDie(tmpl.CanonicalKey(db)));
+}
+
+TEST(CatalogTest, FileRoundTrip) {
+  Database db = BuildPaperToyDatabase();
+  TemplateCatalog catalog;
+  EBA_ASSERT_OK(catalog.Add(ApptTemplate(db)));
+  std::string path = ::testing::TempDir() + "/eba_catalog_test.txt";
+  EBA_ASSERT_OK(catalog.SaveToFile(db, path));
+  TemplateCatalog loaded =
+      UnwrapOrDie(TemplateCatalog::LoadFromFile(db, path));
+  EXPECT_EQ(loaded.size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_TRUE(
+      TemplateCatalog::LoadFromFile(db, path).status().IsNotFound());
+}
+
+TEST(CatalogTest, DeserializeRejectsMalformedInput) {
+  Database db = BuildPaperToyDatabase();
+  // Missing header.
+  EXPECT_FALSE(TemplateCatalog::Deserialize(
+                   db, "TEMPLATE t\nFROM Log L\nWHERE \nDESC d\nEND\n")
+                   .ok());
+  // Content outside a block.
+  EXPECT_FALSE(TemplateCatalog::Deserialize(
+                   db, "# eba template catalog v1\nFROM Log L\n")
+                   .ok());
+  // Unterminated block.
+  EXPECT_FALSE(TemplateCatalog::Deserialize(
+                   db, "# eba template catalog v1\nTEMPLATE t\nFROM Log L\n")
+                   .ok());
+  // Unknown table fails schema validation.
+  EXPECT_FALSE(
+      TemplateCatalog::Deserialize(
+          db,
+          "# eba template catalog v1\nTEMPLATE t\nFROM Nope N\nWHERE "
+          "N.x = N.y\nDESC d\nEND\n")
+          .ok());
+  // Duplicate names rejected.
+  std::string dup =
+      "# eba template catalog v1\n"
+      "TEMPLATE t\nFROM Log L, Appointments A\n"
+      "WHERE L.Patient = A.Patient\nDESC d\nEND\n"
+      "TEMPLATE t\nFROM Log L, Appointments A\n"
+      "WHERE L.Patient = A.Patient\nDESC d\nEND\n";
+  EXPECT_TRUE(
+      TemplateCatalog::Deserialize(db, dup).status().IsAlreadyExists());
+}
+
+TEST(CatalogTest, DeserializeToleratesCommentsAndBlankLines) {
+  Database db = BuildPaperToyDatabase();
+  std::string text =
+      "# eba template catalog v1\n"
+      "\n"
+      "# the appointment template\n"
+      "TEMPLATE appt\n"
+      "FROM Log L, Appointments A\n"
+      "WHERE L.Patient = A.Patient AND A.Doctor = L.User\n"
+      "DESC [L.Patient] saw [L.User]\n"
+      "END\n";
+  TemplateCatalog catalog =
+      UnwrapOrDie(TemplateCatalog::Deserialize(db, text));
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+}  // namespace
+}  // namespace eba

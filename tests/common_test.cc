@@ -1,0 +1,363 @@
+// Unit tests for src/common: Status/StatusOr, Value, Date, Random, string
+// utilities, and CSV round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/csv.h"
+#include "common/date.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/value.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+// --------------------------- Status ---------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "no such table");
+  EXPECT_EQ(s.ToString(), "NotFound: no such table");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_NE(Status::Internal("x"), Status::Internal("y"));
+  EXPECT_NE(Status::Internal("x"), Status::NotFound("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= 7; ++code) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UsesReturnIfError(int x) {
+  EBA_RETURN_IF_ERROR(ParsePositive(x).status());
+  return Status::OK();
+}
+
+StatusOr<int> UsesAssignOrReturn(int x) {
+  EBA_ASSIGN_OR_RETURN(int a, ParsePositive(x));
+  EBA_ASSIGN_OR_RETURN(int b, ParsePositive(x + 1));
+  return a + b;
+}
+
+TEST(StatusOrTest, ValueAndErrorPaths) {
+  StatusOr<int> good = ParsePositive(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+  EXPECT_EQ(good.value_or(-1), 5);
+
+  StatusOr<int> bad = ParsePositive(-5);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MacrosPropagate) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_FALSE(UsesReturnIfError(0).ok());
+  StatusOr<int> combined = UsesAssignOrReturn(2);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(*combined, 5);
+  EXPECT_FALSE(UsesAssignOrReturn(0).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> p = std::make_unique<int>(7);
+  ASSERT_TRUE(p.ok());
+  std::unique_ptr<int> owned = std::move(p).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+// --------------------------- Value ---------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int64(-42).AsInt64(), -42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Timestamp(12345).AsTimestamp(), 12345);
+}
+
+TEST(ValueTest, TypeMismatchThrowsCheckFailure) {
+  EXPECT_THROW(Value::Int64(1).AsString(), CheckFailure);
+  EXPECT_THROW(Value::String("x").AsInt64(), CheckFailure);
+  EXPECT_THROW(Value::Double(1.0).RawInt64(), CheckFailure);
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value::Int64(3), Value::Int64(3));
+  EXPECT_NE(Value::Int64(3), Value::Int64(4));
+  EXPECT_NE(Value::Int64(3), Value::Timestamp(3));  // type matters
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+}
+
+TEST(ValueTest, OrderingWithinAndAcrossTypes) {
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  // Cross-type: ordered by type tag; NULL sorts first.
+  EXPECT_LT(Value::Null(), Value::Int64(-100));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(9).Hash(), Value::Int64(9).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_NE(Value::Int64(9).Hash(), Value::Timestamp(9).Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int64(17).ToString(), "17");
+  EXPECT_EQ(Value::String("x").ToString(), "x");
+  int64_t t = Date::FromCivil(2010, 1, 3, 10, 16, 57).ToSeconds();
+  EXPECT_EQ(Value::Timestamp(t).ToString(), "2010-01-03 10:16:57");
+}
+
+// --------------------------- Date ---------------------------
+
+TEST(DateTest, CivilRoundTrip) {
+  Date d = Date::FromCivil(2010, 1, 3, 10, 16, 57);
+  EXPECT_EQ(d.year(), 2010);
+  EXPECT_EQ(d.month(), 1);
+  EXPECT_EQ(d.day(), 3);
+  Date back = Date::FromSeconds(d.ToSeconds());
+  EXPECT_EQ(back, d);
+  EXPECT_EQ(back.hour(), 10);
+  EXPECT_EQ(back.minute(), 16);
+  EXPECT_EQ(back.second(), 57);
+}
+
+TEST(DateTest, EpochOrigin) {
+  Date epoch = Date::FromSeconds(0);
+  EXPECT_EQ(epoch.year(), 1970);
+  EXPECT_EQ(epoch.month(), 1);
+  EXPECT_EQ(epoch.day(), 1);
+  EXPECT_EQ(epoch.DayOfWeek(), 4);  // Thursday
+}
+
+TEST(DateTest, LogStringMatchesCareWebFormat) {
+  // The paper's example log line: "Mon Jan 03 10:16:57 2010".
+  Date d = Date::FromCivil(2010, 1, 3, 10, 16, 57);
+  // Jan 3 2010 was actually a Sunday.
+  EXPECT_EQ(d.ToLogString(), "Sun Jan 03 10:16:57 2010");
+  Date monday = Date::FromCivil(2010, 1, 4, 8, 0, 0);
+  EXPECT_EQ(monday.ToLogString(), "Mon Jan 04 08:00:00 2010");
+}
+
+TEST(DateTest, ParseFormats) {
+  Date d1 = testing_util::UnwrapOrDie(Date::Parse("2010-04-28"));
+  EXPECT_EQ(d1.month(), 4);
+  EXPECT_EQ(d1.hour(), 0);
+  Date d2 = testing_util::UnwrapOrDie(Date::Parse("2010-04-28 14:29:08"));
+  EXPECT_EQ(d2.second(), 8);
+  EXPECT_FALSE(Date::Parse("not a date").ok());
+  EXPECT_FALSE(Date::Parse("2010-13-01").ok());
+}
+
+TEST(DateTest, AddDaysAcrossMonthAndLeapYear) {
+  Date d = Date::FromCivil(2012, 2, 28, 12, 0, 0);
+  EXPECT_EQ(d.AddDays(1).day(), 29);  // 2012 is a leap year
+  EXPECT_EQ(d.AddDays(2).month(), 3);
+  Date d2 = Date::FromCivil(2010, 12, 31);
+  EXPECT_EQ(d2.AddDays(1).year(), 2011);
+}
+
+TEST(DateTest, NegativeSecondsBeforeEpoch) {
+  Date d = Date::FromSeconds(-1);
+  EXPECT_EQ(d.year(), 1969);
+  EXPECT_EQ(d.month(), 12);
+  EXPECT_EQ(d.day(), 31);
+  EXPECT_EQ(d.hour(), 23);
+  EXPECT_EQ(d.second(), 59);
+}
+
+TEST(DateTest, EpochDaysInverse) {
+  for (int64_t days : {-1000L, -1L, 0L, 1L, 365L, 14610L, 20000L}) {
+    int y, m, dd;
+    Date::CivilFromEpochDays(days, &y, &m, &dd);
+    EXPECT_EQ(Date::EpochDaysFromCivil(y, m, dd), days);
+  }
+}
+
+// --------------------------- Random ---------------------------
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformBounds) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t r = rng.UniformRange(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, ZipfSkewsTowardLowRanks) {
+  Random rng(3);
+  size_t low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 1.0) < 10) ++low;
+  }
+  // With s=1 over 100 items, ranks 0-9 carry ~52% of the mass.
+  EXPECT_GT(low, static_cast<size_t>(n) * 40 / 100);
+  // Uniform (s=0) should not skew.
+  low = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 0.0) < 10) ++low;
+  }
+  EXPECT_LT(low, static_cast<size_t>(n) * 15 / 100);
+}
+
+TEST(RandomTest, PoissonMeanRoughlyLambda) {
+  Random rng(4);
+  for (double lambda : {0.5, 3.0, 20.0, 100.0}) {
+    double sum = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(lambda));
+    double mean = sum / n;
+    EXPECT_NEAR(mean, lambda, std::max(0.3, lambda * 0.1));
+  }
+}
+
+TEST(RandomTest, SampleWithoutReplacementDistinct) {
+  Random rng(5);
+  for (size_t k : {0ul, 1ul, 5ul, 50ul, 100ul}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (size_t v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RandomTest, WeightedIndexRespectsWeights) {
+  Random rng(6);
+  std::vector<double> weights = {0.0, 9.0, 1.0};
+  size_t counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) counts[rng.WeightedIndex(weights)]++;
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Random rng(7);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+// --------------------------- String utils ---------------------------
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join(std::vector<std::string>{"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, TrimAndCase) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("AND", "and"));
+  EXPECT_FALSE(EqualsIgnoreCase("AND", "an"));
+}
+
+TEST(StringUtilTest, AffixChecks) {
+  EXPECT_TRUE(StartsWith("Log.Patient", "Log"));
+  EXPECT_FALSE(StartsWith("Log", "Log.Patient"));
+  EXPECT_TRUE(EndsWith("Log.Patient", "Patient"));
+}
+
+TEST(StringUtilTest, StrFormatAndReplace) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(ReplaceAll("a.b.c", ".", "::"), "a::b::c");
+  EXPECT_EQ(ReplaceAll("aaa", "a", "aa"), "aaaaaa");
+}
+
+TEST(StringUtilTest, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(4512345), "4,512,345");
+  EXPECT_EQ(FormatCount(-1234), "-1,234");
+}
+
+// --------------------------- CSV ---------------------------
+
+TEST(CsvTest, EncodeDecodeRoundTrip) {
+  std::vector<std::string> fields = {"plain", "with,comma", "with\"quote",
+                                     ""};
+  std::string line = CsvEncodeRow(fields);
+  auto decoded = testing_util::UnwrapOrDie(CsvDecodeRow(line));
+  EXPECT_EQ(decoded, fields);
+}
+
+TEST(CsvTest, DecodeRejectsMalformed) {
+  EXPECT_FALSE(CsvDecodeRow("a,\"unterminated").ok());
+  EXPECT_FALSE(CsvDecodeRow("a,b\"mid").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/eba_csv_test.csv";
+  std::vector<std::vector<std::string>> rows = {
+      {"h1", "h2"}, {"1", "x,y"}, {"2", "z"}};
+  EBA_ASSERT_OK(CsvWriteFile(path, rows));
+  auto read = testing_util::UnwrapOrDie(CsvReadFile(path));
+  EXPECT_EQ(read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(CsvReadFile("/nonexistent/path.csv").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace eba

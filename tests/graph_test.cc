@@ -1,0 +1,432 @@
+// Unit tests for src/graph: schema-graph edges and restricted simple paths,
+// the §4.1 user collaboration graph (checked against the paper's worked
+// Example 4.1), modularity clustering, and the group hierarchy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/hierarchy.h"
+#include "graph/modularity.h"
+#include "graph/schema_graph.h"
+#include "graph/user_graph.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+using testing_util::BuildPaperToyDatabase;
+using testing_util::UnwrapOrDie;
+
+// --------------------------- SchemaGraph ---------------------------
+
+TEST(SchemaGraphTest, DomainEdgesGenerated) {
+  Database db = BuildPaperToyDatabase();
+  SchemaGraph graph = UnwrapOrDie(SchemaGraph::Build(db));
+  // patient domain: Log.Patient <-> Appointments.Patient (both directions).
+  auto from_start = graph.EdgesFrom(AttrId{"Log", "Patient"});
+  ASSERT_EQ(from_start.size(), 1u);
+  EXPECT_EQ(from_start[0].to, (AttrId{"Appointments", "Patient"}));
+  // user domain: Log.User, Appointments.Doctor, Doctor_Info.Doctor.
+  auto to_user = graph.EdgesTo(AttrId{"Log", "User"});
+  EXPECT_EQ(to_user.size(), 2u);
+  // dept self-join edge present.
+  bool found_self = false;
+  for (const auto& e : graph.edges()) {
+    if (e.IsSelfJoin() &&
+        e.from == (AttrId{"Doctor_Info", "Department"})) {
+      found_self = true;
+      EXPECT_EQ(e.from, e.to);
+    }
+  }
+  EXPECT_TRUE(found_self);
+}
+
+TEST(SchemaGraphTest, ExcludedTablesHaveNoEdges) {
+  Database db = BuildPaperToyDatabase();
+  SchemaGraph graph = UnwrapOrDie(SchemaGraph::Build(db, {"Doctor_Info"}));
+  for (const auto& e : graph.edges()) {
+    EXPECT_NE(e.from.table, "Doctor_Info");
+    EXPECT_NE(e.to.table, "Doctor_Info");
+  }
+}
+
+TEST(SchemaGraphTest, AdminRelationshipAddsEdge) {
+  Database db = BuildPaperToyDatabase();
+  EBA_ASSERT_OK(db.AddAdminRelationship(AttrId{"Appointments", "Date"},
+                                        AttrId{"Log", "Date"}));
+  SchemaGraph graph = UnwrapOrDie(SchemaGraph::Build(db));
+  EXPECT_EQ(graph.EdgesFrom(AttrId{"Appointments", "Date"}).size(), 1u);
+}
+
+// --------------------------- Paths ---------------------------
+
+class PathTest : public ::testing::Test {
+ protected:
+  PathTest() : db_(BuildPaperToyDatabase()) {
+    rules_.start = AttrId{"Log", "Patient"};
+    rules_.end = AttrId{"Log", "User"};
+    rules_.max_length = 5;
+    rules_.max_tables = 3;
+  }
+
+  JoinEdge E(const std::string& t1, const std::string& c1,
+             const std::string& t2, const std::string& c2) {
+    return JoinEdge{AttrId{t1, c1}, AttrId{t2, c2}};
+  }
+
+  Database db_;
+  PathRules rules_;
+};
+
+TEST_F(PathTest, TemplateAPathIsExplanation) {
+  MiningPath path({E("Log", "Patient", "Appointments", "Patient"),
+                   E("Appointments", "Doctor", "Log", "User")});
+  EXPECT_TRUE(IsRestrictedSimplePath(db_, rules_, path, true));
+  EXPECT_TRUE(IsExplanationPath(db_, rules_, path));
+}
+
+TEST_F(PathTest, TemplateBPathIsExplanation) {
+  MiningPath path({E("Log", "Patient", "Appointments", "Patient"),
+                   E("Appointments", "Doctor", "Doctor_Info", "Doctor"),
+                   E("Doctor_Info", "Department", "Doctor_Info", "Department"),
+                   E("Doctor_Info", "Doctor", "Log", "User")});
+  EXPECT_TRUE(IsExplanationPath(db_, rules_, path));
+}
+
+TEST_F(PathTest, PartialForwardPathValidButNotExplanation) {
+  MiningPath path({E("Log", "Patient", "Appointments", "Patient")});
+  EXPECT_TRUE(IsRestrictedSimplePath(db_, rules_, path, true));
+  EXPECT_FALSE(IsExplanationPath(db_, rules_, path));
+}
+
+TEST_F(PathTest, BackwardPathAnchorsAtEnd) {
+  MiningPath path({E("Appointments", "Doctor", "Log", "User")});
+  EXPECT_TRUE(IsRestrictedSimplePath(db_, rules_, path, false));
+  EXPECT_FALSE(IsRestrictedSimplePath(db_, rules_, path, true));
+}
+
+TEST_F(PathTest, PassThroughOnSingleNodeRejected) {
+  // Enter and leave Appointments on the same attribute: not simple.
+  MiningPath path({E("Log", "Patient", "Appointments", "Patient"),
+                   E("Appointments", "Patient", "Log", "Patient")});
+  EXPECT_FALSE(IsRestrictedSimplePath(db_, rules_, path, true));
+}
+
+TEST_F(PathTest, EdgeReuseRejected) {
+  MiningPath path({E("Log", "Patient", "Appointments", "Patient"),
+                   E("Appointments", "Patient", "Log", "Patient"),
+                   E("Log", "Patient", "Appointments", "Patient")});
+  EXPECT_FALSE(IsRestrictedSimplePath(db_, rules_, path, true));
+}
+
+TEST_F(PathTest, SelfJoinWithoutAllowanceRejected) {
+  // Doctor_Info.Doctor self-join was never allowed.
+  MiningPath path({E("Log", "Patient", "Appointments", "Patient"),
+                   E("Appointments", "Doctor", "Doctor_Info", "Doctor"),
+                   E("Doctor_Info", "Doctor", "Doctor_Info", "Doctor"),
+                   E("Doctor_Info", "Doctor", "Log", "User")});
+  EXPECT_FALSE(IsExplanationPath(db_, rules_, path));
+}
+
+TEST_F(PathTest, LogSelfJoinRequiresAllowance) {
+  MiningPath repeat({E("Log", "Patient", "Log", "Patient"),
+                     E("Log", "User", "Log", "User")});
+  EXPECT_FALSE(IsExplanationPath(db_, rules_, repeat));
+  EBA_ASSERT_OK(db_.AllowSelfJoin(AttrId{"Log", "Patient"}));
+  EBA_ASSERT_OK(db_.AllowSelfJoin(AttrId{"Log", "User"}));
+  EXPECT_TRUE(IsExplanationPath(db_, rules_, repeat));
+}
+
+TEST_F(PathTest, LengthBudgetEnforced) {
+  rules_.max_length = 3;
+  MiningPath path({E("Log", "Patient", "Appointments", "Patient"),
+                   E("Appointments", "Doctor", "Doctor_Info", "Doctor"),
+                   E("Doctor_Info", "Department", "Doctor_Info", "Department"),
+                   E("Doctor_Info", "Doctor", "Log", "User")});
+  EXPECT_FALSE(IsExplanationPath(db_, rules_, path));
+}
+
+TEST_F(PathTest, TableBudgetEnforced) {
+  rules_.max_tables = 2;  // Log + Appointments only
+  MiningPath path({E("Log", "Patient", "Appointments", "Patient"),
+                   E("Appointments", "Doctor", "Doctor_Info", "Doctor"),
+                   E("Doctor_Info", "Department", "Doctor_Info", "Department"),
+                   E("Doctor_Info", "Doctor", "Log", "User")});
+  EXPECT_FALSE(IsExplanationPath(db_, rules_, path));
+  MiningPath short_path({E("Log", "Patient", "Appointments", "Patient"),
+                         E("Appointments", "Doctor", "Log", "User")});
+  EXPECT_TRUE(IsExplanationPath(db_, rules_, short_path));
+}
+
+TEST_F(PathTest, MappingTableExemptFromBudgets) {
+  EBA_ASSERT_OK(db_.MarkMappingTable("Doctor_Info"));
+  rules_.max_tables = 2;
+  MiningPath path({E("Log", "Patient", "Appointments", "Patient"),
+                   E("Appointments", "Doctor", "Doctor_Info", "Doctor"),
+                   E("Doctor_Info", "Department", "Doctor_Info", "Department"),
+                   E("Doctor_Info", "Doctor", "Log", "User")});
+  // Doctor_Info no longer counts toward T (2 counted: Log, Appointments).
+  EXPECT_TRUE(IsExplanationPath(db_, rules_, path));
+}
+
+TEST_F(PathTest, CanonicalKeyInvariantUnderReversal) {
+  MiningPath fwd({E("Log", "Patient", "Appointments", "Patient"),
+                  E("Appointments", "Doctor", "Log", "User")});
+  MiningPath rev({E("Log", "User", "Appointments", "Doctor"),
+                  E("Appointments", "Patient", "Log", "Patient")});
+  EXPECT_EQ(fwd.CanonicalKey(), rev.CanonicalKey());
+  MiningPath other({E("Log", "Patient", "Appointments", "Patient")});
+  EXPECT_NE(fwd.CanonicalKey(), other.CanonicalKey());
+}
+
+TEST_F(PathTest, PathToQueryProducesValidQuery) {
+  MiningPath path({E("Log", "Patient", "Appointments", "Patient"),
+                   E("Appointments", "Doctor", "Log", "User")});
+  PathQuery q = UnwrapOrDie(PathToQuery(db_, rules_, path));
+  EXPECT_EQ(q.vars.size(), 2u);  // Log closes back to variable 0
+  EXPECT_EQ(q.vars[0].alias, "L");
+  EXPECT_EQ(q.join_chain.size(), 2u);
+  // Final condition ties back to variable 0.
+  EXPECT_EQ(q.join_chain[1].rhs.var, 0);
+}
+
+TEST_F(PathTest, PathToQuerySelfJoinAliases) {
+  EBA_ASSERT_OK(db_.AllowSelfJoin(AttrId{"Log", "Patient"}));
+  EBA_ASSERT_OK(db_.AllowSelfJoin(AttrId{"Log", "User"}));
+  MiningPath repeat({E("Log", "Patient", "Log", "Patient"),
+                     E("Log", "User", "Log", "User")});
+  PathQuery q = UnwrapOrDie(PathToQuery(db_, rules_, repeat));
+  ASSERT_EQ(q.vars.size(), 2u);
+  EXPECT_EQ(q.vars[1].alias, "L2");
+  EXPECT_EQ(q.vars[1].table, "Log");
+}
+
+// --------------------------- UserGraph (Example 4.1) ---------------------------
+
+/// Builds the log of Figure 5: patients A,B,C,D accessed by user sets
+/// {0,1,2}, {0,2}, {1,2}, {2,3}.
+Table MakeFigure5Log() {
+  Table log(AccessLog::StandardSchema("Log"));
+  struct Access {
+    int64_t patient;
+    int64_t user;
+  };
+  const Access accesses[] = {{1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 2},
+                             {3, 1}, {3, 2}, {4, 2}, {4, 3}};
+  int64_t lid = 1;
+  for (const auto& a : accesses) {
+    Status s = log.AppendRow({Value::Int64(lid), Value::Timestamp(lid * 60),
+                              Value::Int64(a.user), Value::Int64(a.patient),
+                              Value::String("viewed")});
+    EBA_CHECK(s.ok());
+    ++lid;
+  }
+  return log;
+}
+
+TEST(UserGraphTest, Figure5Weights) {
+  Table table = MakeFigure5Log();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
+  ASSERT_EQ(graph.num_users(), 4u);
+
+  auto idx = [&](int64_t uid) {
+    int i = graph.NodeIndex(uid);
+    EBA_CHECK(i >= 0);
+    return static_cast<size_t>(i);
+  };
+  // W[0,1] = 1/9 (patient A only) = 0.11
+  EXPECT_NEAR(graph.EdgeWeight(idx(0), idx(1)), 1.0 / 9.0, 1e-9);
+  // W[0,2] = 1/9 + 1/4 = 0.36
+  EXPECT_NEAR(graph.EdgeWeight(idx(0), idx(2)), 1.0 / 9.0 + 0.25, 1e-9);
+  // W[1,2] = 1/9 + 1/4 = 0.36
+  EXPECT_NEAR(graph.EdgeWeight(idx(1), idx(2)), 1.0 / 9.0 + 0.25, 1e-9);
+  // W[2,3] = 1/4 = 0.25
+  EXPECT_NEAR(graph.EdgeWeight(idx(2), idx(3)), 0.25, 1e-9);
+  // No edge between 0 and 3 or 1 and 3.
+  EXPECT_EQ(graph.EdgeWeight(idx(0), idx(3)), 0.0);
+  EXPECT_EQ(graph.EdgeWeight(idx(1), idx(3)), 0.0);
+  // Duplicate accesses must not change weights (binary access model).
+  EXPECT_EQ(graph.NumEdges(), 4u);
+}
+
+TEST(UserGraphTest, RepeatAccessesDoNotChangeWeights) {
+  Table table = MakeFigure5Log();
+  // user 0 accesses patient 1 again.
+  EBA_ASSERT_OK(table.AppendRow({Value::Int64(99), Value::Timestamp(9999),
+                                 Value::Int64(0), Value::Int64(1),
+                                 Value::String("viewed")}));
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
+  auto idx = [&](int64_t uid) {
+    return static_cast<size_t>(graph.NodeIndex(uid));
+  };
+  EXPECT_NEAR(graph.EdgeWeight(idx(0), idx(1)), 1.0 / 9.0, 1e-9);
+}
+
+TEST(UserGraphTest, BuildFromRowsSubset) {
+  Table table = MakeFigure5Log();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  // Only patient A's accesses (rows 0-2).
+  UserGraph graph = UnwrapOrDie(UserGraph::BuildFromRows(log, {0, 1, 2}));
+  EXPECT_EQ(graph.num_users(), 3u);
+  EXPECT_EQ(graph.NodeIndex(3), -1);
+}
+
+// --------------------------- Modularity ---------------------------
+
+/// Two 4-cliques connected by one weak edge.
+WeightedGraph TwoCliques() {
+  WeightedGraph g;
+  g.adjacency.resize(8);
+  g.self_loops.assign(8, 0.0);
+  auto add = [&](uint32_t a, uint32_t b, double w) {
+    g.adjacency[a].emplace_back(b, w);
+    g.adjacency[b].emplace_back(a, w);
+  };
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = i + 1; j < 4; ++j) {
+      add(i, j, 1.0);
+      add(i + 4, j + 4, 1.0);
+    }
+  }
+  add(0, 4, 0.05);
+  return g;
+}
+
+TEST(ModularityTest, RecoversTwoCliques) {
+  Clustering c = ClusterGraph(TwoCliques());
+  EXPECT_EQ(c.num_clusters, 2);
+  // All of 0-3 together, all of 4-7 together.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(c.assignment[static_cast<size_t>(i)], c.assignment[0]);
+    EXPECT_EQ(c.assignment[static_cast<size_t>(i + 4)], c.assignment[4]);
+  }
+  EXPECT_NE(c.assignment[0], c.assignment[4]);
+  EXPECT_GT(c.modularity, 0.3);
+}
+
+TEST(ModularityTest, ComputeModularityMatchesDefinition) {
+  WeightedGraph g = TwoCliques();
+  // All in one cluster: Q = sum_in/2m - 1 = 0 (single community covers all).
+  std::vector<int> one(8, 0);
+  EXPECT_NEAR(ComputeModularity(g, one), 0.0, 1e-9);
+  // Perfect split beats the single community.
+  std::vector<int> split = {0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_GT(ComputeModularity(g, split), 0.3);
+}
+
+TEST(ModularityTest, EmptyAndSingletonGraphs) {
+  WeightedGraph empty;
+  Clustering c = ClusterGraph(empty);
+  EXPECT_EQ(c.num_clusters, 0);
+
+  WeightedGraph single;
+  single.adjacency.resize(1);
+  single.self_loops.assign(1, 0.0);
+  Clustering c1 = ClusterGraph(single);
+  EXPECT_EQ(c1.num_clusters, 1);
+}
+
+TEST(ModularityTest, DeterministicForSeed) {
+  WeightedGraph g = TwoCliques();
+  LouvainOptions opts;
+  opts.seed = 99;
+  Clustering a = ClusterGraph(g, opts);
+  Clustering b = ClusterGraph(g, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(ModularityTest, InduceSubgraph) {
+  WeightedGraph g = TwoCliques();
+  WeightedGraph sub = g.Induce({0, 1, 2, 3});
+  EXPECT_EQ(sub.num_nodes(), 4u);
+  // Each node keeps its 3 intra-clique edges; the weak bridge is dropped.
+  EXPECT_EQ(sub.adjacency[0].size(), 3u);
+}
+
+// --------------------------- Hierarchy ---------------------------
+
+TEST(HierarchyTest, DepthZeroIsGlobalGroup) {
+  Table table = MakeFigure5Log();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
+  HierarchyOptions options;
+  options.max_depth = 2;
+  GroupHierarchy h = UnwrapOrDie(GroupHierarchy::Build(graph, options));
+  auto depth0 = h.GroupsAtDepth(0);
+  ASSERT_EQ(depth0.size(), 1u);
+  EXPECT_EQ(depth0[0]->users.size(), 4u);
+}
+
+TEST(HierarchyTest, EveryDepthPartitionsAllUsers) {
+  Table table = MakeFigure5Log();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
+  HierarchyOptions options;
+  options.max_depth = 4;
+  options.min_cluster_size = 2;
+  GroupHierarchy h = UnwrapOrDie(GroupHierarchy::Build(graph, options));
+  for (int depth = 0; depth <= h.max_depth(); ++depth) {
+    size_t covered = 0;
+    std::set<int64_t> seen;
+    for (const GroupNode* g : h.GroupsAtDepth(depth)) {
+      covered += g->users.size();
+      seen.insert(g->users.begin(), g->users.end());
+    }
+    EXPECT_EQ(covered, graph.num_users()) << "depth " << depth;
+    EXPECT_EQ(seen.size(), graph.num_users()) << "depth " << depth;
+  }
+}
+
+TEST(HierarchyTest, GroupIdsGloballyUnique) {
+  Table table = MakeFigure5Log();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
+  GroupHierarchy h = UnwrapOrDie(GroupHierarchy::Build(graph));
+  std::set<int64_t> ids;
+  for (const auto& node : h.nodes()) {
+    EXPECT_TRUE(ids.insert(node.group_id).second);
+  }
+}
+
+TEST(HierarchyTest, GroupOfFindsUser) {
+  Table table = MakeFigure5Log();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
+  GroupHierarchy h = UnwrapOrDie(GroupHierarchy::Build(graph));
+  const GroupNode* g = h.GroupOf(0, 0);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->depth, 0);
+  EXPECT_EQ(h.GroupOf(12345, 0), nullptr);
+}
+
+TEST(HierarchyTest, ToGroupsTableSchemaAndContent) {
+  Table table = MakeFigure5Log();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
+  HierarchyOptions options;
+  options.max_depth = 2;
+  GroupHierarchy h = UnwrapOrDie(GroupHierarchy::Build(graph, options));
+  Table groups =
+      UnwrapOrDie(h.ToGroupsTable("Groups", /*include_depth_zero=*/true));
+  EXPECT_EQ(groups.schema().ColumnIndex("Group_Depth"), 0);
+  EXPECT_EQ(groups.schema().ColumnIndex("Group_id"), 1);
+  EXPECT_EQ(groups.schema().ColumnIndex("User"), 2);
+  EXPECT_EQ(groups.schema().column(1).domain, "group");
+  EXPECT_EQ(groups.schema().column(2).domain, "user");
+  size_t expected = 0;
+  for (const auto& node : h.nodes()) expected += node.users.size();
+  EXPECT_EQ(groups.num_rows(), expected);
+
+  // By default the depth-0 all-users baseline group is excluded.
+  Table without = UnwrapOrDie(h.ToGroupsTable("Groups2"));
+  EXPECT_EQ(without.num_rows(), expected - graph.num_users());
+  for (size_t r = 0; r < without.num_rows(); ++r) {
+    EXPECT_GE(without.Get(r, 0).AsInt64(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace eba

@@ -1,0 +1,282 @@
+// End-to-end integration tests: generate the synthetic hospital, build
+// collaborative groups, register hand-crafted templates, mine templates,
+// and validate the paper's headline claims hold qualitatively on the
+// synthetic data (events exist for ~all accesses; direct + group + repeat
+// templates explain the overwhelming majority; mined templates match the
+// hand-crafted ones; fake accesses are rarely explained).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <unordered_set>
+
+#include "careweb/generator.h"
+#include "careweb/workload.h"
+#include "core/auditor.h"
+#include "core/metrics.h"
+#include "core/miner.h"
+#include "log/access_log.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+using testing_util::UnwrapOrDie;
+
+/// One shared, fully prepared environment (expensive pieces run once).
+class IntegrationEnv {
+ public:
+  static IntegrationEnv& Get() {
+    static IntegrationEnv* env = new IntegrationEnv();
+    return *env;
+  }
+
+  CareWebData data;
+  GroupHierarchy hierarchy;
+  LogSlice train_first;  // first accesses, days 1-6
+  LogSlice test_first;   // first accesses, day 7
+  EvalLogSetup eval;     // day-7 first accesses + fake
+  MiningResult mined;
+
+ private:
+  IntegrationEnv()
+      : data(UnwrapOrDie(GenerateCareWeb(CareWebConfig::Tiny()))),
+        hierarchy(UnwrapOrDie(BuildGroupsFromDays(
+            &data.db, "Log", 1, 6, "Groups", HierarchyOptions{}))),
+        train_first(UnwrapOrDie(
+            AddLogSlice(&data.db, "Log", "TrainFirst", 1, 6, true))),
+        test_first(UnwrapOrDie(
+            AddLogSlice(&data.db, "Log", "TestFirst", 7, 7, true))),
+        eval(UnwrapOrDie(AddEvalLog(&data.db, "TestFirst", "EvalLog",
+                                    data.truth, 4242))) {
+    MinerOptions options;
+    options.log_table = "TrainFirst";
+    options.support_fraction = 0.02;
+    options.max_length = 5;
+    options.max_tables = 3;
+    options.excluded_tables = ExcludedLogsFor(data.db, "TrainFirst");
+    mined = UnwrapOrDie(TemplateMiner(&data.db, options).MineOneWay());
+  }
+};
+
+TEST(IntegrationTest, MostAccessesHaveEvents) {
+  IntegrationEnv& env = IntegrationEnv::Get();
+  MetricsEvaluator evaluator(&env.data.db, "Log");
+  auto with_event = UnwrapOrDie(evaluator.LidsWithAnyEvent(AllEventTables()));
+  const Table* log = env.data.db.GetTable("Log").value();
+  AccessLog access_log = UnwrapOrDie(AccessLog::Wrap(log));
+  std::unordered_set<int64_t> event_set(with_event.begin(), with_event.end());
+  size_t covered = 0;
+  for (size_t r = 0; r < access_log.size(); ++r) {
+    if (event_set.count(access_log.Get(r).lid)) ++covered;
+  }
+  double frac =
+      static_cast<double>(covered) / static_cast<double>(access_log.size());
+  // Paper Figure 6: ~97% of accesses correspond to a patient with an event.
+  EXPECT_GT(frac, 0.85);
+}
+
+TEST(IntegrationTest, HeadlineCoverageWithGroupsAndRepeat) {
+  IntegrationEnv& env = IntegrationEnv::Get();
+  Database& db = env.data.db;
+  ExplanationEngine engine = UnwrapOrDie(ExplanationEngine::Create(&db, "Log"));
+  for (auto& tmpl : UnwrapOrDie(TemplatesHandcraftedDirect(db, true))) {
+    EBA_ASSERT_OK(engine.AddTemplate(tmpl));
+  }
+  for (auto& tmpl : UnwrapOrDie(TemplatesDataSetB(db))) {
+    EBA_ASSERT_OK(engine.AddTemplate(tmpl));
+  }
+  for (auto& tmpl : UnwrapOrDie(TemplatesGroups(db, 1, true))) {
+    EBA_ASSERT_OK(engine.AddTemplate(tmpl));
+  }
+  ExplanationReport report = UnwrapOrDie(engine.ExplainAll());
+  // Paper headline: >94% of all accesses explained. The tiny config is
+  // noisier; require a strong majority and confirm unexplained accesses are
+  // dominated by ground-truth noise.
+  EXPECT_GT(report.Coverage(), 0.80);
+
+  size_t noise = 0;
+  for (int64_t lid : report.unexplained_lids) {
+    const std::string& reason = env.data.truth.access_reason.at(lid);
+    if (reason == "random" || reason == "missing_event") ++noise;
+  }
+  EXPECT_GT(static_cast<double>(noise) /
+                static_cast<double>(report.unexplained_lids.size()),
+            0.3);
+}
+
+TEST(IntegrationTest, GroupTemplatesBoostFirstAccessRecall) {
+  IntegrationEnv& env = IntegrationEnv::Get();
+  Database& db = env.data.db;
+  MetricsEvaluator evaluator(&db, "EvalLog");
+
+  auto direct = UnwrapOrDie(TemplatesHandcraftedDirect(db, false));
+  PrecisionRecall direct_pr = UnwrapOrDie(evaluator.Evaluate(
+      direct, env.eval.real_lids, env.eval.fake_lids, env.eval.real_lids));
+
+  auto with_groups = direct;
+  for (auto& tmpl : UnwrapOrDie(TemplatesGroups(db, 1, true))) {
+    with_groups.push_back(tmpl);
+  }
+  PrecisionRecall group_pr = UnwrapOrDie(evaluator.Evaluate(
+      with_groups, env.eval.real_lids, env.eval.fake_lids,
+      env.eval.real_lids));
+
+  // Figure 12's shape: groups raise recall substantially over direct
+  // templates on first accesses, while precision stays high.
+  EXPECT_GT(group_pr.Recall(), direct_pr.Recall() + 0.1);
+  EXPECT_GT(group_pr.Precision(), 0.7);
+}
+
+TEST(IntegrationTest, ShallowDepthTradesPrecisionForRecall) {
+  // Figure 12's qualitative trend: shallower groups (coarser clusters)
+  // explain more accesses but admit more false positives than deep groups.
+  IntegrationEnv& env = IntegrationEnv::Get();
+  Database& db = env.data.db;
+  MetricsEvaluator evaluator(&db, "EvalLog");
+  int deepest = env.hierarchy.max_depth();
+  ASSERT_GE(deepest, 2);
+  auto shallow = UnwrapOrDie(TemplatesGroups(db, 1, true));
+  auto deep = UnwrapOrDie(TemplatesGroups(db, deepest, true));
+  PrecisionRecall pr_shallow = UnwrapOrDie(evaluator.Evaluate(
+      shallow, env.eval.real_lids, env.eval.fake_lids, env.eval.real_lids));
+  PrecisionRecall pr_deep = UnwrapOrDie(evaluator.Evaluate(
+      deep, env.eval.real_lids, env.eval.fake_lids, env.eval.real_lids));
+  EXPECT_GE(pr_shallow.Recall(), pr_deep.Recall());
+  EXPECT_LE(pr_deep.fake_explained, pr_shallow.fake_explained);
+}
+
+TEST(IntegrationTest, MinerRecoversHandcraftedTemplates) {
+  IntegrationEnv& env = IntegrationEnv::Get();
+  Database& db = env.data.db;
+
+  std::set<std::string> mined_keys;
+  for (const auto& mined : env.mined.templates) {
+    mined_keys.insert(UnwrapOrDie(mined.tmpl.CanonicalKey(db)));
+  }
+  ASSERT_FALSE(mined_keys.empty());
+
+  // The appointment-with-doctor template must be discovered (§5.3.3: the
+  // miner found all supported hand-crafted templates).
+  ExplanationTemplate appt = UnwrapOrDie(TemplateApptWithDoctor(db));
+  EXPECT_TRUE(mined_keys.count(UnwrapOrDie(appt.CanonicalKey(db))));
+
+  // Group-based templates are discovered too.
+  bool mined_group_template = false;
+  for (const auto& mined : env.mined.templates) {
+    for (const auto& var : mined.tmpl.query().vars) {
+      if (var.table == "Groups") mined_group_template = true;
+    }
+  }
+  EXPECT_TRUE(mined_group_template);
+}
+
+TEST(IntegrationTest, MinedTemplatesRespectBudgets) {
+  IntegrationEnv& env = IntegrationEnv::Get();
+  Database& db = env.data.db;
+  for (const auto& mined : env.mined.templates) {
+    EXPECT_LE(mined.tmpl.RawLength(), 5);
+    EXPECT_LE(mined.tmpl.CountedTables(db), 3);
+    EXPECT_GE(static_cast<double>(mined.support),
+              env.mined.support_threshold);
+  }
+}
+
+TEST(IntegrationTest, MinedTemplatesGeneralizeToDay7) {
+  IntegrationEnv& env = IntegrationEnv::Get();
+  Database& db = env.data.db;
+  MetricsEvaluator evaluator(&db, "EvalLog");
+  std::vector<ExplanationTemplate> all;
+  std::vector<ExplanationTemplate> length2;
+  for (const auto& mined : env.mined.templates) {
+    all.push_back(mined.tmpl);
+    if (mined.tmpl.ReportedLength(db) == 2) length2.push_back(mined.tmpl);
+  }
+  ASSERT_FALSE(length2.empty());
+
+  // Figure 14's qualitative shape. Short templates are near-exact: a fake
+  // access almost never coincides with a real appointment/order. The union
+  // of all templates trades precision for recall; at the tiny config's
+  // user-patient density (~0.13 vs the paper's 0.0003) union precision is
+  // structurally depressed, so only a loose bound is meaningful here — the
+  // paper-scale shape is regenerated by bench_fig14_predictive.
+  PrecisionRecall pr2 = UnwrapOrDie(evaluator.Evaluate(
+      length2, env.eval.real_lids, env.eval.fake_lids, env.eval.real_lids));
+  EXPECT_GT(pr2.Precision(), 0.75);
+
+  PrecisionRecall pr_all = UnwrapOrDie(evaluator.Evaluate(
+      all, env.eval.real_lids, env.eval.fake_lids, env.eval.real_lids));
+  EXPECT_GT(pr_all.Recall(), pr2.Recall());
+  EXPECT_GT(pr_all.Recall(), 0.4);
+  EXPECT_GT(pr_all.Precision(), 0.3);
+  EXPECT_LE(pr_all.Precision(), pr2.Precision());
+}
+
+TEST(IntegrationTest, AuditorEndToEnd) {
+  // Use a private copy since the auditor mutates the database (Groups).
+  CareWebData data = UnwrapOrDie(GenerateCareWeb(CareWebConfig::Tiny()));
+  Auditor auditor = UnwrapOrDie(Auditor::Create(&data.db));
+  EBA_ASSERT_OK(auditor.BuildCollaborativeGroups());
+  ASSERT_TRUE(auditor.hierarchy().has_value());
+
+  for (auto& tmpl :
+       UnwrapOrDie(TemplatesHandcraftedDirect(data.db, true))) {
+    EBA_ASSERT_OK(auditor.AddTemplate(tmpl));
+  }
+  for (auto& tmpl : UnwrapOrDie(TemplatesGroups(data.db, 1, true))) {
+    EBA_ASSERT_OK(auditor.AddTemplate(tmpl));
+  }
+
+  // Pick an explained access from ground truth (a doctor's appointment
+  // access) and audit that patient.
+  const Table* log = data.db.GetTable("Log").value();
+  AccessLog access_log = UnwrapOrDie(AccessLog::Wrap(log));
+  int64_t target_patient = -1;
+  for (size_t r = 0; r < access_log.size(); ++r) {
+    AccessLog::Entry e = access_log.Get(r);
+    if (data.truth.access_reason.at(e.lid) == "appt_doctor") {
+      target_patient = e.patient;
+      break;
+    }
+  }
+  ASSERT_GT(target_patient, 0);
+
+  auto entries = UnwrapOrDie(auditor.AuditPatient(target_patient));
+  ASSERT_FALSE(entries.empty());
+  bool any_explained = false;
+  for (const auto& entry : entries) {
+    EXPECT_EQ(entry.access.patient, target_patient);
+    if (!entry.explanations.empty()) any_explained = true;
+  }
+  EXPECT_TRUE(any_explained);
+
+  ExplanationReport report = UnwrapOrDie(auditor.FindUnexplained());
+  EXPECT_GT(report.Coverage(), 0.5);
+
+  // Template persistence: save the registered set, reload into a fresh
+  // auditor, and verify it reproduces the coverage.
+  std::string path = ::testing::TempDir() + "/eba_auditor_catalog.txt";
+  EBA_ASSERT_OK(auditor.SaveTemplates(path));
+  Auditor reloaded = UnwrapOrDie(Auditor::Create(&data.db));
+  EBA_ASSERT_OK(reloaded.LoadTemplates(path));
+  EXPECT_EQ(reloaded.engine().num_templates(),
+            auditor.engine().num_templates());
+  ExplanationReport report2 = UnwrapOrDie(reloaded.FindUnexplained());
+  EXPECT_EQ(report2.explained_lids.size(), report.explained_lids.size());
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, FakeAccessesRarelyExplainedByDirectTemplates) {
+  IntegrationEnv& env = IntegrationEnv::Get();
+  Database& db = env.data.db;
+  MetricsEvaluator evaluator(&db, "EvalLog");
+  auto direct = UnwrapOrDie(TemplatesHandcraftedDirect(db, false));
+  PrecisionRecall pr = UnwrapOrDie(evaluator.Evaluate(
+      direct, env.eval.real_lids, env.eval.fake_lids, env.eval.real_lids));
+  // Length-2 templates have near-perfect precision (Figure 14).
+  EXPECT_GT(pr.Precision(), 0.9);
+}
+
+}  // namespace
+}  // namespace eba

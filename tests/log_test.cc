@@ -1,0 +1,193 @@
+// Unit tests for src/log: AccessLog analyses and the fake-log generator.
+
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "log/access_log.h"
+#include "log/fake_log.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+using testing_util::UnwrapOrDie;
+
+/// Builds a log with a known access pattern over 3 days:
+///   day 1: (u1,p1) L1, (u2,p1) L2
+///   day 2: (u1,p1) L3  <- repeat
+///   day 3: (u1,p2) L4, (u2,p1) L5 <- L5 repeat
+Table MakeLog() {
+  Table log(AccessLog::StandardSchema("Log"));
+  auto ts = [](int day, int hour) {
+    return Date::FromCivil(2010, 1, day, hour, 0, 0).ToSeconds();
+  };
+  auto add = [&](int64_t lid, int64_t t, int64_t user, int64_t patient) {
+    Status s = log.AppendRow({Value::Int64(lid), Value::Timestamp(t),
+                              Value::Int64(user), Value::Int64(patient),
+                              Value::String("viewed")});
+    EBA_CHECK(s.ok());
+  };
+  add(1, ts(4, 9), 1, 1);
+  add(2, ts(4, 10), 2, 1);
+  add(3, ts(5, 9), 1, 1);
+  add(4, ts(6, 9), 1, 2);
+  add(5, ts(6, 10), 2, 1);
+  return log;
+}
+
+TEST(AccessLogTest, WrapValidatesSchema) {
+  Table log = MakeLog();
+  EXPECT_TRUE(AccessLog::Wrap(&log).ok());
+  EXPECT_FALSE(AccessLog::Wrap(nullptr).ok());
+
+  Table bad(TableSchema("X", {ColumnDef{"Lid", DataType::kInt64, "lid", true}}));
+  EXPECT_FALSE(AccessLog::Wrap(&bad).ok());
+
+  // Wrong column type.
+  Table wrong_type(TableSchema(
+      "Y", {ColumnDef{"Lid", DataType::kInt64, "lid", true},
+            ColumnDef{"Date", DataType::kInt64, "", false},  // not timestamp
+            ColumnDef{"User", DataType::kInt64, "user", false},
+            ColumnDef{"Patient", DataType::kInt64, "patient", false}}));
+  EXPECT_FALSE(AccessLog::Wrap(&wrong_type).ok());
+}
+
+TEST(AccessLogTest, EntryDecoding) {
+  Table table = MakeLog();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  AccessLog::Entry e = log.Get(0);
+  EXPECT_EQ(e.lid, 1);
+  EXPECT_EQ(e.user, 1);
+  EXPECT_EQ(e.patient, 1);
+}
+
+TEST(AccessLogTest, FirstAndRepeatAccesses) {
+  Table table = MakeLog();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  auto mask = log.FirstAccessMask();
+  // L1 first (u1,p1); L2 first (u2,p1); L3 repeat; L4 first (u1,p2);
+  // L5 repeat.
+  EXPECT_EQ(mask, (std::vector<uint8_t>{1, 1, 0, 1, 0}));
+  EXPECT_EQ(log.FirstAccessLids(), (std::vector<int64_t>{1, 2, 4}));
+  EXPECT_EQ(log.RepeatAccessLids(), (std::vector<int64_t>{3, 5}));
+}
+
+TEST(AccessLogTest, FirstAccessRespectsTimeNotRowOrder) {
+  // Insert rows out of time order; the earliest timestamp wins.
+  Table table(AccessLog::StandardSchema("Log"));
+  auto ts = [](int day) { return Date::FromCivil(2010, 1, day).ToSeconds(); };
+  EBA_ASSERT_OK(table.AppendRow({Value::Int64(1), Value::Timestamp(ts(10)),
+                                 Value::Int64(1), Value::Int64(1),
+                                 Value::String("v")}));
+  EBA_ASSERT_OK(table.AppendRow({Value::Int64(2), Value::Timestamp(ts(5)),
+                                 Value::Int64(1), Value::Int64(1),
+                                 Value::String("v")}));
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  auto mask = log.FirstAccessMask();
+  EXPECT_EQ(mask[0], 0);  // later access
+  EXPECT_EQ(mask[1], 1);  // earlier access is the first
+}
+
+TEST(AccessLogTest, DistinctCountsAndDensity) {
+  Table table = MakeLog();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  EXPECT_EQ(log.NumDistinctUsers(), 2u);
+  EXPECT_EQ(log.NumDistinctPatients(), 2u);
+  EXPECT_EQ(log.NumDistinctPairs(), 3u);
+  EXPECT_DOUBLE_EQ(log.UserPatientDensity(), 3.0 / 4.0);
+}
+
+TEST(AccessLogTest, DaySlicing) {
+  Table table = MakeLog();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  auto days = log.DayIndexes();
+  EXPECT_EQ(days, (std::vector<int>{1, 1, 2, 3, 3}));
+  EXPECT_EQ(log.RowsInDayRange(1, 2).size(), 3u);
+  EXPECT_EQ(log.RowsInDayRange(3, 3).size(), 2u);
+  EXPECT_TRUE(log.RowsInDayRange(4, 9).empty());
+}
+
+TEST(AccessLogTest, MakeSlice) {
+  Table table = MakeLog();
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  Table slice = UnwrapOrDie(log.MakeSlice("Day3", log.RowsInDayRange(3, 3)));
+  EXPECT_EQ(slice.name(), "Day3");
+  EXPECT_EQ(slice.num_rows(), 2u);
+  EXPECT_EQ(slice.Get(0, 0), Value::Int64(4));
+  EXPECT_FALSE(log.MakeSlice("Bad", {99}).ok());
+}
+
+TEST(AccessLogTest, EmptyLog) {
+  Table table(AccessLog::StandardSchema("Empty"));
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.MinTime(), 0);
+  EXPECT_TRUE(log.FirstAccessLids().empty());
+  EXPECT_EQ(log.UserPatientDensity(), 0.0);
+}
+
+// --------------------------- Fake log ---------------------------
+
+TEST(FakeLogTest, GeneratesRequestedShape) {
+  Random rng(42);
+  FakeLogOptions options;
+  options.num_accesses = 100;
+  options.first_lid = 1000;
+  options.min_time = 0;
+  options.max_time = 86400;
+  Table fake = UnwrapOrDie(GenerateFakeLog("Fake", {1, 2, 3}, {10, 20},
+                                           options, &rng));
+  ASSERT_EQ(fake.num_rows(), 100u);
+  AccessLog log = UnwrapOrDie(AccessLog::Wrap(&fake));
+  for (size_t r = 0; r < log.size(); ++r) {
+    AccessLog::Entry e = log.Get(r);
+    EXPECT_GE(e.lid, 1000);
+    EXPECT_LT(e.lid, 1100);
+    EXPECT_TRUE(e.user >= 1 && e.user <= 3);
+    EXPECT_TRUE(e.patient == 10 || e.patient == 20);
+    EXPECT_GE(e.time, 0);
+    EXPECT_LE(e.time, 86400);
+  }
+}
+
+TEST(FakeLogTest, RejectsBadInputs) {
+  Random rng(1);
+  FakeLogOptions options;
+  options.num_accesses = 1;
+  EXPECT_FALSE(GenerateFakeLog("F", {}, {1}, options, &rng).ok());
+  EXPECT_FALSE(GenerateFakeLog("F", {1}, {}, options, &rng).ok());
+  options.min_time = 10;
+  options.max_time = 5;
+  EXPECT_FALSE(GenerateFakeLog("F", {1}, {1}, options, &rng).ok());
+}
+
+TEST(FakeLogTest, CombineTracksRealAndFakeLids) {
+  Table real = MakeLog();
+  Random rng(7);
+  FakeLogOptions options;
+  options.num_accesses = 5;
+  options.first_lid = 100;
+  options.max_time = 86400;
+  Table fake =
+      UnwrapOrDie(GenerateFakeLog("Fake", {1, 2}, {1, 2}, options, &rng));
+  CombinedLog combined = UnwrapOrDie(CombineRealAndFake("Eval", real, fake));
+  EXPECT_EQ(combined.table.num_rows(), 10u);
+  EXPECT_EQ(combined.real_lids.size(), 5u);
+  EXPECT_EQ(combined.fake_lids.size(), 5u);
+  EXPECT_EQ(combined.table.name(), "Eval");
+}
+
+TEST(FakeLogTest, CombineRejectsLidCollision) {
+  Table real = MakeLog();
+  Random rng(7);
+  FakeLogOptions options;
+  options.num_accesses = 2;
+  options.first_lid = 1;  // collides with real lids
+  options.max_time = 1;
+  Table fake =
+      UnwrapOrDie(GenerateFakeLog("Fake", {1}, {1}, options, &rng));
+  EXPECT_FALSE(CombineRealAndFake("Eval", real, fake).ok());
+}
+
+}  // namespace
+}  // namespace eba

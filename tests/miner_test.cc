@@ -1,0 +1,235 @@
+// Unit tests for the template miner: Algorithm 1 on the paper's Figure 3
+// example, two-way and bridged variants, optimization toggles, and
+// algorithm-agreement properties.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/miner.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+using testing_util::BuildPaperToyDatabase;
+using testing_util::UnwrapOrDie;
+
+MinerOptions ToyOptions(double support_fraction) {
+  MinerOptions options;
+  options.log_table = "Log";
+  options.support_fraction = support_fraction;
+  options.max_length = 4;
+  options.max_tables = 3;
+  // The toy database is tiny; estimates are too coarse to be useful.
+  options.skip_nonselective = false;
+  return options;
+}
+
+std::set<std::string> Keys(const Database& db, const MiningResult& result) {
+  std::set<std::string> keys;
+  for (const auto& mined : result.templates) {
+    keys.insert(UnwrapOrDie(mined.tmpl.CanonicalKey(db)));
+  }
+  return keys;
+}
+
+TEST(MinerTest, Figure3MinesTemplatesAAndB) {
+  Database db = BuildPaperToyDatabase();
+  TemplateMiner miner(&db, ToyOptions(0.5));
+  MiningResult result = UnwrapOrDie(miner.MineOneWay());
+
+  // Expect at least: template (A) appointment (support 1 = 50%) and
+  // template (B) same-department (support 2 = 100%).
+  ASSERT_GE(result.templates.size(), 2u);
+  bool found_a = false, found_b = false;
+  for (const auto& mined : result.templates) {
+    if (mined.tmpl.RawLength() == 2 && mined.support == 1) found_a = true;
+    if (mined.tmpl.RawLength() == 4 && mined.support == 2) found_b = true;
+  }
+  EXPECT_TRUE(found_a) << "template (A) not mined";
+  EXPECT_TRUE(found_b) << "template (B) not mined";
+  EXPECT_EQ(result.log_size, 2);
+  EXPECT_DOUBLE_EQ(result.support_threshold, 1.0);
+}
+
+TEST(MinerTest, SupportThresholdPrunes) {
+  Database db = BuildPaperToyDatabase();
+  // Threshold 100%: template (A) (support 50%) must be pruned.
+  TemplateMiner miner(&db, ToyOptions(1.0));
+  MiningResult result = UnwrapOrDie(miner.MineOneWay());
+  for (const auto& mined : result.templates) {
+    EXPECT_GE(mined.support, 2);
+    EXPECT_DOUBLE_EQ(mined.support_fraction, 1.0);
+  }
+}
+
+TEST(MinerTest, MaxLengthRestricts) {
+  Database db = BuildPaperToyDatabase();
+  MinerOptions options = ToyOptions(0.5);
+  options.max_length = 2;
+  TemplateMiner miner(&db, options);
+  MiningResult result = UnwrapOrDie(miner.MineOneWay());
+  for (const auto& mined : result.templates) {
+    EXPECT_LE(mined.tmpl.RawLength(), 2);
+  }
+  // Template (B) (length 4) must be absent.
+  for (const auto& mined : result.templates) {
+    EXPECT_NE(mined.support, 2);
+  }
+}
+
+TEST(MinerTest, MaxTablesRestricts) {
+  Database db = BuildPaperToyDatabase();
+  MinerOptions options = ToyOptions(0.5);
+  options.max_tables = 2;  // Log + one event table; Doctor_Info paths die
+  TemplateMiner miner(&db, options);
+  MiningResult result = UnwrapOrDie(miner.MineOneWay());
+  for (const auto& mined : result.templates) {
+    EXPECT_LE(mined.tmpl.CountedTables(db), 2);
+  }
+}
+
+TEST(MinerTest, AllAlgorithmsAgreeOnFigure3) {
+  Database db = BuildPaperToyDatabase();
+  TemplateMiner miner(&db, ToyOptions(0.5));
+  MiningResult one_way = UnwrapOrDie(miner.MineOneWay());
+  MiningResult two_way = UnwrapOrDie(miner.MineTwoWay());
+  MiningResult bridge2 = UnwrapOrDie(miner.MineBridged(2));
+  MiningResult bridge3 = UnwrapOrDie(miner.MineBridged(3));
+
+  std::set<std::string> base = Keys(db, one_way);
+  EXPECT_EQ(Keys(db, two_way), base);
+  EXPECT_EQ(Keys(db, bridge2), base);
+  EXPECT_EQ(Keys(db, bridge3), base);
+  EXPECT_FALSE(base.empty());
+}
+
+TEST(MinerTest, SupportValuesAgreeAcrossAlgorithms) {
+  Database db = BuildPaperToyDatabase();
+  TemplateMiner miner(&db, ToyOptions(0.5));
+  auto support_by_key = [&](const MiningResult& r) {
+    std::map<std::string, int64_t> m;
+    for (const auto& mined : r.templates) {
+      m[UnwrapOrDie(mined.tmpl.CanonicalKey(db))] = mined.support;
+    }
+    return m;
+  };
+  auto one_way = support_by_key(UnwrapOrDie(miner.MineOneWay()));
+  auto bridge = support_by_key(UnwrapOrDie(miner.MineBridged(2)));
+  EXPECT_EQ(one_way, bridge);
+}
+
+TEST(MinerTest, CacheReducesSupportQueries) {
+  Database db = BuildPaperToyDatabase();
+  MinerOptions with_cache = ToyOptions(0.5);
+  MinerOptions no_cache = with_cache;
+  no_cache.cache_support = false;
+
+  MiningResult cached = UnwrapOrDie(TemplateMiner(&db, with_cache).MineTwoWay());
+  MiningResult uncached = UnwrapOrDie(TemplateMiner(&db, no_cache).MineTwoWay());
+  EXPECT_EQ(Keys(db, cached), Keys(db, uncached));
+  EXPECT_GT(cached.stats.cache_hits, 0u);
+  EXPECT_LT(cached.stats.support_queries, uncached.stats.support_queries);
+}
+
+TEST(MinerTest, SkipOptimizationNeverChangesResults) {
+  Database db = BuildPaperToyDatabase();
+  MinerOptions skip_on = ToyOptions(0.5);
+  skip_on.skip_nonselective = true;
+  skip_on.skip_constant_c = 0.0;  // skip as aggressively as possible
+  MinerOptions skip_off = ToyOptions(0.5);
+
+  MiningResult on = UnwrapOrDie(TemplateMiner(&db, skip_on).MineOneWay());
+  MiningResult off = UnwrapOrDie(TemplateMiner(&db, skip_off).MineOneWay());
+  // Skipping defers support checks but never drops explanations (§3.2.1).
+  EXPECT_EQ(Keys(db, on), Keys(db, off));
+}
+
+TEST(MinerTest, SupportStrategiesAgree) {
+  Database db = BuildPaperToyDatabase();
+  MinerOptions naive = ToyOptions(0.5);
+  naive.support_strategy = Executor::SupportStrategy::kNaive;
+  MinerOptions dedup = ToyOptions(0.5);
+  dedup.support_strategy = Executor::SupportStrategy::kDedupFrontier;
+  EXPECT_EQ(Keys(db, UnwrapOrDie(TemplateMiner(&db, naive).MineOneWay())),
+            Keys(db, UnwrapOrDie(TemplateMiner(&db, dedup).MineOneWay())));
+}
+
+TEST(MinerTest, TimingsRecordedPerLength) {
+  Database db = BuildPaperToyDatabase();
+  MinerOptions options = ToyOptions(0.5);
+  options.max_length = 4;
+  MiningResult result = UnwrapOrDie(TemplateMiner(&db, options).MineOneWay());
+  ASSERT_EQ(result.stats.timings.size(), 4u);
+  for (size_t i = 1; i < result.stats.timings.size(); ++i) {
+    EXPECT_EQ(result.stats.timings[i].length,
+              result.stats.timings[i - 1].length + 1);
+    EXPECT_GE(result.stats.timings[i].cumulative_seconds,
+              result.stats.timings[i - 1].cumulative_seconds);
+  }
+}
+
+TEST(MinerTest, MinedTemplatesAreExecutable) {
+  Database db = BuildPaperToyDatabase();
+  MiningResult result =
+      UnwrapOrDie(TemplateMiner(&db, ToyOptions(0.5)).MineOneWay());
+  Executor executor(&db);
+  for (const auto& mined : result.templates) {
+    int64_t support = UnwrapOrDie(executor.CountDistinct(
+        mined.tmpl.query(), mined.tmpl.lid_attr(),
+        Executor::SupportStrategy::kDedupFrontier));
+    EXPECT_EQ(support, mined.support) << mined.tmpl.name();
+  }
+}
+
+TEST(MinerTest, MinedRepeatAccessWhenLogSelfJoinAllowed) {
+  Database db = BuildPaperToyDatabase();
+  // Add a repeat access and allow log self-joins.
+  Table* log = db.GetTable("Log").value();
+  EBA_ASSERT_OK(log->AppendRow(
+      {Value::Int64(3),
+       Value::Timestamp(Date::FromCivil(2010, 3, 1).ToSeconds()),
+       Value::Int64(testing_util::kDave), Value::Int64(testing_util::kAlice),
+       Value::String("viewed record")}));
+  EBA_ASSERT_OK(db.AllowSelfJoin(AttrId{"Log", "Patient"}));
+  EBA_ASSERT_OK(db.AllowSelfJoin(AttrId{"Log", "User"}));
+
+  MinerOptions options = ToyOptions(0.3);
+  MiningResult result = UnwrapOrDie(TemplateMiner(&db, options).MineOneWay());
+  bool found_repeat = false;
+  for (const auto& mined : result.templates) {
+    bool all_log = true;
+    for (const auto& var : mined.tmpl.query().vars) {
+      if (var.table != "Log") all_log = false;
+    }
+    if (all_log && mined.tmpl.RawLength() == 2) found_repeat = true;
+  }
+  EXPECT_TRUE(found_repeat);
+}
+
+TEST(MinerTest, InvalidOptionsRejected) {
+  Database db = BuildPaperToyDatabase();
+  MinerOptions options = ToyOptions(0.5);
+  options.log_table = "Nope";
+  EXPECT_FALSE(TemplateMiner(&db, options).MineOneWay().ok());
+
+  MinerOptions bad_bridge = ToyOptions(0.5);
+  EXPECT_FALSE(TemplateMiner(&db, bad_bridge).MineBridged(1).ok());
+}
+
+TEST(MinerTest, ExcludedTablesNotTraversed) {
+  Database db = BuildPaperToyDatabase();
+  MinerOptions options = ToyOptions(0.5);
+  options.excluded_tables = {"Doctor_Info"};
+  MiningResult result = UnwrapOrDie(TemplateMiner(&db, options).MineOneWay());
+  for (const auto& mined : result.templates) {
+    for (const auto& var : mined.tmpl.query().vars) {
+      EXPECT_NE(var.table, "Doctor_Info");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eba

@@ -1,0 +1,124 @@
+// Tests for whole-database persistence: manifest + CSV round-trips
+// preserving schemas, rows, domains, and join metadata.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "careweb/generator.h"
+#include "storage/persist.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+using testing_util::BuildPaperToyDatabase;
+using testing_util::UnwrapOrDie;
+
+std::string TempDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << a.name();
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << a.name();
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    const ColumnDef& da = a.schema().column(c);
+    const ColumnDef& db_ = b.schema().column(c);
+    EXPECT_EQ(da.name, db_.name);
+    EXPECT_EQ(da.type, db_.type);
+    EXPECT_EQ(da.domain, db_.domain);
+    EXPECT_EQ(da.is_primary_key, db_.is_primary_key);
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    ASSERT_EQ(a.GetRow(r), b.GetRow(r)) << a.name() << " row " << r;
+  }
+}
+
+TEST(PersistTest, ToyDatabaseRoundTrip) {
+  Database db = BuildPaperToyDatabase();
+  EBA_ASSERT_OK(db.AddAdminRelationship(AttrId{"Appointments", "Date"},
+                                        AttrId{"Log", "Date"}));
+  std::string dir = TempDir("eba_persist_toy");
+  EBA_ASSERT_OK(SaveDatabase(db, dir));
+
+  Database loaded = UnwrapOrDie(LoadDatabase(dir));
+  EXPECT_EQ(loaded.TableNames(), db.TableNames());
+  for (const std::string& name : db.TableNames()) {
+    ExpectTablesEqual(*UnwrapOrDie(db.GetTable(name)),
+                      *UnwrapOrDie(loaded.GetTable(name)));
+  }
+  EXPECT_TRUE(loaded.IsSelfJoinAllowed(AttrId{"Doctor_Info", "Department"}));
+  ASSERT_EQ(loaded.admin_relationships().size(), 1u);
+  EXPECT_EQ(loaded.admin_relationships()[0].a,
+            (AttrId{"Appointments", "Date"}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistTest, CareWebRoundTripPreservesMetadata) {
+  CareWebData data = UnwrapOrDie(GenerateCareWeb(CareWebConfig::Tiny()));
+  std::string dir = TempDir("eba_persist_careweb");
+  EBA_ASSERT_OK(SaveDatabase(data.db, dir));
+  Database loaded = UnwrapOrDie(LoadDatabase(dir));
+
+  EXPECT_TRUE(loaded.IsMappingTable("UserMap"));
+  EXPECT_TRUE(loaded.IsSelfJoinAllowed(AttrId{"Users", "Department"}));
+  EXPECT_EQ(loaded.TableNames(), data.db.TableNames());
+  // Spot-check a large table fully and key dimension tables.
+  ExpectTablesEqual(*UnwrapOrDie(data.db.GetTable("Log")),
+                    *UnwrapOrDie(loaded.GetTable("Log")));
+  ExpectTablesEqual(*UnwrapOrDie(data.db.GetTable("Users")),
+                    *UnwrapOrDie(loaded.GetTable("Users")));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistTest, ForeignKeysRoundTrip) {
+  Database db;
+  EBA_ASSERT_OK(db.CreateTable(TableSchema(
+      "Parent", {ColumnDef{"id", DataType::kInt64, "d", true}})));
+  EBA_ASSERT_OK(db.CreateTable(TableSchema(
+      "Child", {ColumnDef{"ref", DataType::kInt64, "d", false}})));
+  EBA_ASSERT_OK(db.AddForeignKey(AttrId{"Child", "ref"}, AttrId{"Parent", "id"}));
+  std::string dir = TempDir("eba_persist_fk");
+  EBA_ASSERT_OK(SaveDatabase(db, dir));
+  Database loaded = UnwrapOrDie(LoadDatabase(dir));
+  ASSERT_EQ(loaded.foreign_keys().size(), 1u);
+  EXPECT_EQ(loaded.foreign_keys()[0].from, (AttrId{"Child", "ref"}));
+  EXPECT_EQ(loaded.foreign_keys()[0].to, (AttrId{"Parent", "id"}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistTest, LoadErrors) {
+  EXPECT_TRUE(LoadDatabase("/nonexistent/dir").status().IsNotFound());
+
+  // Manifest referencing a missing CSV.
+  std::string dir = TempDir("eba_persist_bad");
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir + "/manifest.txt");
+    out << "# eba database manifest v1\n"
+        << "TABLE Ghost\nCOLUMN id int64 domain=d pk\nEND\n";
+  }
+  EXPECT_FALSE(LoadDatabase(dir).ok());
+
+  // Unknown directive.
+  {
+    std::ofstream out(dir + "/manifest.txt");
+    out << "# eba database manifest v1\nBOGUS x\n";
+  }
+  EXPECT_FALSE(LoadDatabase(dir).ok());
+
+  // Missing header.
+  {
+    std::ofstream out(dir + "/manifest.txt");
+    out << "MAPPING X\n";
+  }
+  EXPECT_FALSE(LoadDatabase(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace eba

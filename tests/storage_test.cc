@@ -1,0 +1,342 @@
+// Unit tests for src/storage: schemas, columns, tables, indexes, statistics
+// and the database catalog.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/database.h"
+#include "storage/index.h"
+#include "storage/statistics.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+using testing_util::UnwrapOrDie;
+
+TableSchema SimpleSchema() {
+  return TableSchema("T", {ColumnDef{"id", DataType::kInt64, "id", true},
+                           ColumnDef{"name", DataType::kString, "", false},
+                           ColumnDef{"score", DataType::kDouble, "", false}});
+}
+
+// --------------------------- Schema ---------------------------
+
+TEST(SchemaTest, ColumnLookup) {
+  TableSchema s = SimpleSchema();
+  EXPECT_EQ(s.ColumnIndex("id"), 0);
+  EXPECT_EQ(s.ColumnIndex("score"), 2);
+  EXPECT_EQ(s.ColumnIndex("missing"), -1);
+  EXPECT_TRUE(s.HasColumn("name"));
+  EXPECT_EQ(s.PrimaryKeyIndex(), 0);
+}
+
+TEST(SchemaTest, ColumnsInDomain) {
+  TableSchema s("E", {ColumnDef{"a", DataType::kInt64, "user", false},
+                      ColumnDef{"b", DataType::kInt64, "user", false},
+                      ColumnDef{"c", DataType::kInt64, "patient", false}});
+  EXPECT_EQ(s.ColumnsInDomain("user").size(), 2u);
+  EXPECT_EQ(s.ColumnsInDomain("patient").size(), 1u);
+  EXPECT_TRUE(s.ColumnsInDomain("").empty());
+}
+
+TEST(SchemaTest, ValidationCatchesErrors) {
+  EXPECT_FALSE(TableSchema("", {ColumnDef{"a", DataType::kInt64, "", false}})
+                   .Validate()
+                   .ok());
+  EXPECT_FALSE(TableSchema("T", {}).Validate().ok());
+  EXPECT_FALSE(TableSchema("T", {ColumnDef{"a", DataType::kInt64, "", false},
+                                 ColumnDef{"a", DataType::kInt64, "", false}})
+                   .Validate()
+                   .ok());
+  // Primary key without a domain.
+  EXPECT_FALSE(
+      TableSchema("T", {ColumnDef{"a", DataType::kInt64, "", true}})
+          .Validate()
+          .ok());
+  // Two primary keys.
+  EXPECT_FALSE(TableSchema("T", {ColumnDef{"a", DataType::kInt64, "d", true},
+                                 ColumnDef{"b", DataType::kInt64, "d", true}})
+                   .Validate()
+                   .ok());
+  EXPECT_TRUE(SimpleSchema().Validate().ok());
+}
+
+TEST(AttrIdTest, EqualityAndOrdering) {
+  AttrId a{"Log", "User"};
+  AttrId b{"Log", "User"};
+  AttrId c{"Log", "Patient"};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(c, a);  // Patient < User
+  EXPECT_EQ(a.ToString(), "Log.User");
+}
+
+// --------------------------- Column ---------------------------
+
+TEST(ColumnTest, IntAppendAndGet) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(5);
+  col.AppendInt64(-3);
+  EXPECT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.Get(0), Value::Int64(5));
+  EXPECT_EQ(col.Int64At(1), -3);
+  EXPECT_TRUE(col.IsIntLike());
+}
+
+TEST(ColumnTest, StringDictionaryEncoding) {
+  Column col(DataType::kString);
+  col.AppendString("alpha");
+  col.AppendString("beta");
+  col.AppendString("alpha");
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.DictionarySize(), 2u);
+  EXPECT_EQ(col.StringCodeAt(0), col.StringCodeAt(2));
+  EXPECT_NE(col.StringCodeAt(0), col.StringCodeAt(1));
+  EXPECT_EQ(col.StringAt(2), "alpha");
+  EXPECT_EQ(*col.FindStringCode("beta"), col.StringCodeAt(1));
+  EXPECT_FALSE(col.FindStringCode("gamma").has_value());
+}
+
+TEST(ColumnTest, NullHandling) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(1);
+  col.AppendNull();
+  col.AppendInt64(3);
+  EXPECT_EQ(col.NullCount(), 1u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_TRUE(col.Get(1).is_null());
+  EXPECT_EQ(col.Get(2), Value::Int64(3));
+}
+
+TEST(ColumnTest, AppendValueTypeChecked) {
+  Column col(DataType::kInt64);
+  EXPECT_TRUE(col.Append(Value::Int64(1)).ok());
+  EXPECT_TRUE(col.Append(Value::Null()).ok());
+  EXPECT_FALSE(col.Append(Value::String("x")).ok());
+  EXPECT_THROW(col.AppendString("x"), CheckFailure);
+}
+
+// --------------------------- Index ---------------------------
+
+TEST(IndexTest, IntLookup) {
+  Column col(DataType::kInt64);
+  for (int64_t v : {7, 8, 7, 9, 7}) col.AppendInt64(v);
+  HashIndex idx(&col);
+  EXPECT_EQ(idx.NumDistinctKeys(), 3u);
+  EXPECT_EQ(idx.LookupInt64(7).size(), 3u);
+  EXPECT_EQ(idx.Lookup(Value::Int64(9)).size(), 1u);
+  EXPECT_TRUE(idx.Lookup(Value::Int64(100)).empty());
+  EXPECT_TRUE(idx.Lookup(Value::Null()).empty());
+  EXPECT_TRUE(idx.Lookup(Value::String("7")).empty());  // wrong type
+}
+
+TEST(IndexTest, StringLookupThroughDictionary) {
+  Column col(DataType::kString);
+  for (const char* v : {"a", "b", "a"}) col.AppendString(v);
+  HashIndex idx(&col);
+  EXPECT_EQ(idx.Lookup(Value::String("a")).size(), 2u);
+  EXPECT_TRUE(idx.Lookup(Value::String("zzz")).empty());
+}
+
+TEST(IndexTest, NullsNotIndexed) {
+  Column col(DataType::kInt64);
+  col.AppendInt64(1);
+  col.AppendNull();
+  HashIndex idx(&col);
+  EXPECT_EQ(idx.NumDistinctKeys(), 1u);
+}
+
+TEST(IndexTest, DoubleColumnFallback) {
+  Column col(DataType::kDouble);
+  col.AppendDouble(1.5);
+  col.AppendDouble(1.5);
+  col.AppendDouble(2.5);
+  HashIndex idx(&col);
+  EXPECT_EQ(idx.Lookup(Value::Double(1.5)).size(), 2u);
+  EXPECT_EQ(idx.NumDistinctKeys(), 2u);
+}
+
+// --------------------------- Statistics ---------------------------
+
+TEST(StatisticsTest, IntStats) {
+  Column col(DataType::kInt64);
+  for (int64_t v : {5, 1, 5, 9}) col.AppendInt64(v);
+  col.AppendNull();
+  ColumnStats stats = ComputeColumnStats(col);
+  EXPECT_EQ(stats.num_rows, 5u);
+  EXPECT_EQ(stats.num_nulls, 1u);
+  EXPECT_EQ(stats.num_distinct, 3u);
+  EXPECT_EQ(stats.min, Value::Int64(1));
+  EXPECT_EQ(stats.max, Value::Int64(9));
+  EXPECT_DOUBLE_EQ(stats.AvgMultiplicity(), 4.0 / 3.0);
+}
+
+TEST(StatisticsTest, StringStatsUseDictionary) {
+  Column col(DataType::kString);
+  for (const char* v : {"m", "a", "z", "a"}) col.AppendString(v);
+  ColumnStats stats = ComputeColumnStats(col);
+  EXPECT_EQ(stats.num_distinct, 3u);
+  EXPECT_EQ(stats.min, Value::String("a"));
+  EXPECT_EQ(stats.max, Value::String("z"));
+}
+
+TEST(StatisticsTest, EmptyColumn) {
+  Column col(DataType::kInt64);
+  ColumnStats stats = ComputeColumnStats(col);
+  EXPECT_EQ(stats.num_rows, 0u);
+  EXPECT_EQ(stats.num_distinct, 0u);
+  EXPECT_EQ(stats.AvgMultiplicity(), 0.0);
+}
+
+// --------------------------- Table ---------------------------
+
+TEST(TableTest, AppendAndGet) {
+  Table t(SimpleSchema());
+  EBA_ASSERT_OK(t.AppendRow(
+      {Value::Int64(1), Value::String("x"), Value::Double(0.5)}));
+  EBA_ASSERT_OK(t.AppendRow(
+      {Value::Int64(2), Value::String("y"), Value::Null()}));
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.Get(0, 1), Value::String("x"));
+  EXPECT_TRUE(t.Get(1, 2).is_null());
+  Row row = t.GetRow(1);
+  EXPECT_EQ(row[0], Value::Int64(2));
+}
+
+TEST(TableTest, AppendValidation) {
+  Table t(SimpleSchema());
+  EXPECT_FALSE(t.AppendRow({Value::Int64(1)}).ok());  // wrong arity
+  EXPECT_FALSE(
+      t.AppendRow({Value::String("not an int"), Value::String("x"),
+                   Value::Double(1)})
+          .ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, IndexAndStatsCachesInvalidatedOnAppend) {
+  Table t(SimpleSchema());
+  EBA_ASSERT_OK(t.AppendRow(
+      {Value::Int64(1), Value::String("x"), Value::Double(0.5)}));
+  const HashIndex& idx1 = t.GetOrBuildIndex(0);
+  EXPECT_EQ(idx1.LookupInt64(1).size(), 1u);
+  EXPECT_EQ(t.GetOrComputeStats(0).num_distinct, 1u);
+
+  EBA_ASSERT_OK(t.AppendRow(
+      {Value::Int64(1), Value::String("y"), Value::Double(1.5)}));
+  const HashIndex& idx2 = t.GetOrBuildIndex(0);
+  EXPECT_EQ(idx2.LookupInt64(1).size(), 2u);
+  EXPECT_EQ(t.GetOrComputeStats(1).num_distinct, 2u);
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t(SimpleSchema());
+  EXPECT_TRUE(t.ColumnByName("name").ok());
+  EXPECT_TRUE(t.ColumnByName("nope").status().IsNotFound());
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t(SimpleSchema());
+  EBA_ASSERT_OK(t.AppendRow(
+      {Value::Int64(1), Value::String("a,b"), Value::Double(0.25)}));
+  EBA_ASSERT_OK(
+      t.AppendRow({Value::Int64(2), Value::Null(), Value::Double(1)}));
+  std::string path = ::testing::TempDir() + "/eba_table_test.csv";
+  EBA_ASSERT_OK(t.WriteCsv(path));
+  Table loaded = UnwrapOrDie(Table::ReadCsv(path, SimpleSchema()));
+  ASSERT_EQ(loaded.num_rows(), 2u);
+  EXPECT_EQ(loaded.Get(0, 1), Value::String("a,b"));
+  EXPECT_TRUE(loaded.Get(1, 1).is_null());
+  EXPECT_DOUBLE_EQ(loaded.Get(0, 2).AsDouble(), 0.25);
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, CsvTimestampRoundTrip) {
+  TableSchema schema("TS", {ColumnDef{"t", DataType::kTimestamp, "", false}});
+  Table t(schema);
+  int64_t when = Date::FromCivil(2010, 4, 28, 14, 29, 8).ToSeconds();
+  EBA_ASSERT_OK(t.AppendRow({Value::Timestamp(when)}));
+  std::string path = ::testing::TempDir() + "/eba_ts_test.csv";
+  EBA_ASSERT_OK(t.WriteCsv(path));
+  Table loaded = UnwrapOrDie(Table::ReadCsv(path, schema));
+  EXPECT_EQ(loaded.Get(0, 0).AsTimestamp(), when);
+  std::remove(path.c_str());
+}
+
+// --------------------------- Database ---------------------------
+
+TEST(DatabaseTest, CreateGetDrop) {
+  Database db;
+  EBA_ASSERT_OK(db.CreateTable(SimpleSchema()));
+  EXPECT_TRUE(db.HasTable("T"));
+  EXPECT_TRUE(db.CreateTable(SimpleSchema()).IsAlreadyExists());
+  EXPECT_TRUE(db.GetTable("T").ok());
+  EXPECT_TRUE(db.GetTable("missing").status().IsNotFound());
+  EBA_ASSERT_OK(db.DropTable("T"));
+  EXPECT_FALSE(db.HasTable("T"));
+  EXPECT_TRUE(db.DropTable("T").IsNotFound());
+}
+
+TEST(DatabaseTest, ForeignKeyRequiresPrimaryKeyTarget) {
+  Database db;
+  EBA_ASSERT_OK(db.CreateTable(SimpleSchema()));  // T.id is PK
+  EBA_ASSERT_OK(db.CreateTable(TableSchema(
+      "Child", {ColumnDef{"ref", DataType::kInt64, "id", false}})));
+  EBA_ASSERT_OK(db.AddForeignKey(AttrId{"Child", "ref"}, AttrId{"T", "id"}));
+  // Non-PK target rejected.
+  EXPECT_FALSE(
+      db.AddForeignKey(AttrId{"T", "id"}, AttrId{"Child", "ref"}).ok());
+  // Missing attr rejected.
+  EXPECT_FALSE(
+      db.AddForeignKey(AttrId{"Child", "nope"}, AttrId{"T", "id"}).ok());
+  EXPECT_EQ(db.foreign_keys().size(), 1u);
+}
+
+TEST(DatabaseTest, SelfJoinAllowance) {
+  Database db = testing_util::BuildPaperToyDatabase();
+  EXPECT_TRUE(db.IsSelfJoinAllowed(AttrId{"Doctor_Info", "Department"}));
+  EXPECT_FALSE(db.IsSelfJoinAllowed(AttrId{"Doctor_Info", "Doctor"}));
+  // Idempotent.
+  EBA_ASSERT_OK(db.AllowSelfJoin(AttrId{"Doctor_Info", "Department"}));
+  EXPECT_EQ(db.self_join_attrs().size(), 1u);
+}
+
+TEST(DatabaseTest, AdminRelationshipValidation) {
+  Database db = testing_util::BuildPaperToyDatabase();
+  EBA_ASSERT_OK(db.AddAdminRelationship(AttrId{"Appointments", "Doctor"},
+                                        AttrId{"Doctor_Info", "Doctor"}));
+  EXPECT_FALSE(db.AddAdminRelationship(AttrId{"Appointments", "Doctor"},
+                                       AttrId{"Appointments", "Doctor"})
+                   .ok());
+}
+
+TEST(DatabaseTest, MappingTables) {
+  Database db = testing_util::BuildPaperToyDatabase();
+  EXPECT_FALSE(db.MarkMappingTable("nope").ok());
+  EBA_ASSERT_OK(db.MarkMappingTable("Doctor_Info"));
+  EXPECT_TRUE(db.IsMappingTable("Doctor_Info"));
+  EXPECT_FALSE(db.IsMappingTable("Log"));
+}
+
+TEST(DatabaseTest, DropTableCleansMetadata) {
+  Database db = testing_util::BuildPaperToyDatabase();
+  EBA_ASSERT_OK(db.AddAdminRelationship(AttrId{"Appointments", "Doctor"},
+                                        AttrId{"Doctor_Info", "Doctor"}));
+  EBA_ASSERT_OK(db.DropTable("Doctor_Info"));
+  EXPECT_TRUE(db.admin_relationships().empty());
+  EXPECT_TRUE(db.self_join_attrs().empty());
+}
+
+TEST(DatabaseTest, ResolveColumnAndTotals) {
+  Database db = testing_util::BuildPaperToyDatabase();
+  EXPECT_EQ(*db.ResolveColumn(AttrId{"Log", "Patient"}), 3);
+  EXPECT_FALSE(db.ResolveColumn(AttrId{"Log", "nope"}).ok());
+  EXPECT_EQ(db.TotalRows(), 6u);  // 2 appts + 2 doctors + 2 log rows
+  EXPECT_EQ(db.TableNames().size(), 3u);
+}
+
+}  // namespace
+}  // namespace eba

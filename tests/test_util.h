@@ -1,0 +1,95 @@
+// Shared test fixtures: the paper's Figure 3 toy database and helpers.
+
+#ifndef EBA_TESTS_TEST_UTIL_H_
+#define EBA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/date.h"
+#include "common/logging.h"
+#include "log/access_log.h"
+#include "storage/database.h"
+
+namespace eba {
+namespace testing_util {
+
+/// Asserts a Status is OK with a useful failure message.
+#define EBA_ASSERT_OK(expr)                                 \
+  do {                                                      \
+    const ::eba::Status _s = (expr);                        \
+    ASSERT_TRUE(_s.ok()) << _s.ToString();                  \
+  } while (0)
+
+#define EBA_EXPECT_OK(expr)                                 \
+  do {                                                      \
+    const ::eba::Status _s = (expr);                        \
+    EXPECT_TRUE(_s.ok()) << _s.ToString();                  \
+  } while (0)
+
+/// Unwraps a StatusOr or fails the test.
+template <typename T>
+T UnwrapOrDie(StatusOr<T> s, const char* what = "StatusOr") {
+  EXPECT_TRUE(s.ok()) << what << ": " << s.status().ToString();
+  if (!s.ok()) throw std::runtime_error(s.status().ToString());
+  return std::move(s).value();
+}
+
+// Ids used in the Figure 3 toy database.
+inline constexpr int64_t kAlice = 1;
+inline constexpr int64_t kBob = 2;
+inline constexpr int64_t kDave = 10;
+inline constexpr int64_t kMike = 11;
+
+/// Builds the example database of Figure 3:
+///   Appointments(Patient, Date, Doctor): (Alice, 1/1/2010, Dave),
+///                                        (Bob,   2/2/2010, Mike)
+///   Doctor_Info(Doctor, Department):     (Mike, Pediatrics),
+///                                        (Dave, Pediatrics)
+///   Log(Lid, Date, User, Patient, Action):
+///     L1 = (1, 1/1/2010, Dave, Alice), L2 = (2, 2/2/2010, Dave, Bob)
+/// with a Doctor_Info.Department self-join allowance.
+inline Database BuildPaperToyDatabase() {
+  Database db;
+  auto must = [](const Status& s) {
+    EBA_CHECK_MSG(s.ok(), s.ToString());
+  };
+  must(db.CreateTable(TableSchema(
+      "Appointments",
+      {ColumnDef{"Patient", DataType::kInt64, "patient", false},
+       ColumnDef{"Date", DataType::kTimestamp, "", false},
+       ColumnDef{"Doctor", DataType::kInt64, "user", false}})));
+  must(db.CreateTable(TableSchema(
+      "Doctor_Info", {ColumnDef{"Doctor", DataType::kInt64, "user", false},
+                      ColumnDef{"Department", DataType::kString, "dept",
+                                false}})));
+  must(db.CreateTable(AccessLog::StandardSchema("Log")));
+  must(db.AllowSelfJoin(AttrId{"Doctor_Info", "Department"}));
+
+  Table* appt = db.GetTable("Appointments").value();
+  int64_t jan1 = Date::FromCivil(2010, 1, 1, 9, 0, 0).ToSeconds();
+  int64_t feb2 = Date::FromCivil(2010, 2, 2, 9, 0, 0).ToSeconds();
+  must(appt->AppendRow({Value::Int64(kAlice), Value::Timestamp(jan1),
+                        Value::Int64(kDave)}));
+  must(appt->AppendRow({Value::Int64(kBob), Value::Timestamp(feb2),
+                        Value::Int64(kMike)}));
+
+  Table* info = db.GetTable("Doctor_Info").value();
+  must(info->AppendRow({Value::Int64(kMike), Value::String("Pediatrics")}));
+  must(info->AppendRow({Value::Int64(kDave), Value::String("Pediatrics")}));
+
+  Table* log = db.GetTable("Log").value();
+  must(log->AppendRow({Value::Int64(1), Value::Timestamp(jan1 + 3600),
+                       Value::Int64(kDave), Value::Int64(kAlice),
+                       Value::String("viewed record")}));
+  must(log->AppendRow({Value::Int64(2), Value::Timestamp(feb2 + 3600),
+                       Value::Int64(kDave), Value::Int64(kBob),
+                       Value::String("viewed record")}));
+  return db;
+}
+
+}  // namespace testing_util
+}  // namespace eba
+
+#endif  // EBA_TESTS_TEST_UTIL_H_
