@@ -1,0 +1,127 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace eba {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  EBA_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    EBA_CHECK_MSG(!shutting_down_, "Submit after ThreadPool destruction began");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(size_t num_threads, size_t num_shards,
+                 const std::function<void(size_t)>& fn) {
+  if (num_threads <= 1 || num_shards <= 1) {
+    ParallelFor(nullptr, num_shards, fn);
+    return;
+  }
+  ThreadPool pool(std::min(num_threads, num_shards));
+  ParallelFor(&pool, num_shards, fn);
+}
+
+void ParallelFor(ThreadPool* pool, size_t num_shards,
+                 const std::function<void(size_t)>& fn) {
+  if (num_shards == 0) return;
+  std::vector<std::exception_ptr> errors(num_shards);
+  if (pool == nullptr || num_shards == 1) {
+    // Same contract as the pooled path: every shard runs, then the first
+    // error (in shard order) is rethrown.
+    for (size_t s = 0; s < num_shards; ++s) {
+      try {
+        fn(s);
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    }
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) {
+      pool->Submit([&fn, &errors, s] {
+        try {
+          fn(s);
+        } catch (...) {
+          errors[s] = std::current_exception();
+        }
+      });
+    }
+    pool->Wait();
+  }
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::vector<ShardRange> SplitShards(size_t n, size_t max_shards,
+                                    size_t min_per_shard) {
+  std::vector<ShardRange> shards;
+  if (n == 0) return shards;
+  size_t per = std::max<size_t>(1, min_per_shard);
+  size_t count = std::max<size_t>(1, std::min(max_shards, n / per));
+  size_t base = n / count;
+  size_t extra = n % count;  // first `extra` shards get one more row
+  size_t begin = 0;
+  for (size_t s = 0; s < count; ++s) {
+    size_t len = base + (s < extra ? 1 : 0);
+    shards.push_back(ShardRange{begin, begin + len});
+    begin += len;
+  }
+  return shards;
+}
+
+size_t HardwareThreads() {
+  unsigned int n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+}  // namespace eba

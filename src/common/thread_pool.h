@@ -1,0 +1,87 @@
+// ThreadPool: a fixed-size worker pool with one shared FIFO queue (no work
+// stealing). Intended for coarse-grained, read-mostly parallelism such as
+// evaluating independent explanation templates or classifying disjoint log
+// shards; tasks should be large enough to amortize one mutex hop each.
+//
+// ParallelFor is the main entry point for callers: it fans a shard function
+// out over an ephemeral pool and blocks until every shard finished, running
+// inline when parallelism would not help (one thread or one shard).
+
+#ifndef EBA_COMMON_THREAD_POOL_H_
+#define EBA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace eba {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Blocks until all submitted tasks finished, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task. Tasks must not throw; wrap fallible work so failures
+  /// are reported through captured state (e.g. a StatusOr slot per task).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;  // queued + currently running
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs fn(shard) for every shard in [0, num_shards), using up to
+/// `num_threads` workers, and blocks until all shards finished. Runs inline
+/// on the calling thread when num_threads <= 1 or num_shards <= 1. If any
+/// shard throws, the first exception (in shard order) is rethrown on the
+/// calling thread after all shards finished.
+void ParallelFor(size_t num_threads, size_t num_shards,
+                 const std::function<void(size_t)>& fn);
+
+/// Same contract, but reuses an existing pool (spawning threads once and
+/// fanning several ParallelFor rounds over them). `pool == nullptr` runs
+/// inline. The pool must be otherwise idle: the call waits for all of the
+/// pool's tasks before returning.
+void ParallelFor(ThreadPool* pool, size_t num_shards,
+                 const std::function<void(size_t)>& fn);
+
+/// A contiguous half-open range of rows assigned to one shard.
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Splits [0, n) into at most `max_shards` contiguous ranges of at least
+/// `min_per_shard` elements each; when the division is uneven, the leading
+/// shards each take one extra element. Returns an empty vector when n == 0.
+std::vector<ShardRange> SplitShards(size_t n, size_t max_shards,
+                                    size_t min_per_shard);
+
+/// std::thread::hardware_concurrency with a floor of 1.
+size_t HardwareThreads();
+
+}  // namespace eba
+
+#endif  // EBA_COMMON_THREAD_POOL_H_

@@ -1,8 +1,10 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "log/access_log.h"
 
 namespace eba {
@@ -71,26 +73,65 @@ StatusOr<std::vector<int64_t>> ExplanationEngine::ExplainedLids(
 }
 
 StatusOr<ExplanationReport> ExplanationEngine::ExplainAll() const {
+  return ExplainAll(ExplainAllOptions{});
+}
+
+StatusOr<ExplanationReport> ExplanationEngine::ExplainAll(
+    const ExplainAllOptions& options) const {
   EBA_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(log_table_));
   EBA_ASSIGN_OR_RETURN(AccessLog log, AccessLog::Wrap(table));
 
   ExplanationReport report;
   report.log_size = log.size();
 
+  const size_t threads = std::max<size_t>(1, options.num_threads);
+
+  // One pool serves both phases (spawn/join threads once per call); null
+  // when serial, which ParallelFor runs inline.
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  // Phase 1: evaluate templates concurrently. Each slot is written by
+  // exactly one worker; ExplainedLids constructs a private Executor, and the
+  // shared read-only tables serialize lazy index construction internally.
+  std::vector<StatusOr<std::vector<int64_t>>> per_template(
+      templates_.size(),
+      StatusOr<std::vector<int64_t>>(Status::Internal("not evaluated")));
+  ParallelFor(pool.get(), templates_.size(),
+              [&](size_t i) { per_template[i] = ExplainedLids(i); });
+
   std::unordered_set<int64_t> explained;
-  for (size_t i = 0; i < templates_.size(); ++i) {
-    EBA_ASSIGN_OR_RETURN(std::vector<int64_t> lids, ExplainedLids(i));
-    report.per_template_counts.push_back(lids.size());
-    explained.insert(lids.begin(), lids.end());
+  for (auto& lids_or : per_template) {
+    if (!lids_or.ok()) return lids_or.status();
+    report.per_template_counts.push_back(lids_or->size());
+    explained.insert(lids_or->begin(), lids_or->end());
   }
 
-  for (size_t r = 0; r < log.size(); ++r) {
-    int64_t lid = log.Get(r).lid;
-    if (explained.count(lid)) {
-      report.explained_lids.push_back(lid);
-    } else {
-      report.unexplained_lids.push_back(lid);
+  // Phase 2: classify log rows against the merged lid set in contiguous
+  // shards, then concatenate per-shard results in shard order. Shard
+  // boundaries never reorder rows, so the merged vectors match the serial
+  // scan before the final sort — the report is thread-count invariant.
+  std::vector<ShardRange> shards =
+      SplitShards(log.size(), threads, options.min_rows_per_shard);
+  std::vector<std::vector<int64_t>> shard_explained(shards.size());
+  std::vector<std::vector<int64_t>> shard_unexplained(shards.size());
+  ParallelFor(pool.get(), shards.size(), [&](size_t s) {
+    for (size_t r = shards[s].begin; r < shards[s].end; ++r) {
+      int64_t lid = log.Get(r).lid;
+      if (explained.count(lid)) {
+        shard_explained[s].push_back(lid);
+      } else {
+        shard_unexplained[s].push_back(lid);
+      }
     }
+  });
+  for (size_t s = 0; s < shards.size(); ++s) {
+    report.explained_lids.insert(report.explained_lids.end(),
+                                 shard_explained[s].begin(),
+                                 shard_explained[s].end());
+    report.unexplained_lids.insert(report.unexplained_lids.end(),
+                                   shard_unexplained[s].begin(),
+                                   shard_unexplained[s].end());
   }
   std::sort(report.explained_lids.begin(), report.explained_lids.end());
   std::sort(report.unexplained_lids.begin(), report.unexplained_lids.end());

@@ -22,6 +22,17 @@
 
 namespace eba {
 
+/// Tuning knobs for ExplainAll.
+struct ExplainAllOptions {
+  /// Worker threads. <= 1 evaluates everything on the calling thread; any
+  /// higher value fans templates and log shards out over a fixed pool. The
+  /// report is byte-identical regardless of the thread count.
+  size_t num_threads = 1;
+  /// Lower bound on log rows per classification shard, so tiny logs are not
+  /// split into shards smaller than the fan-out overhead.
+  size_t min_rows_per_shard = 1024;
+};
+
 /// Result of ExplainAll.
 struct ExplanationReport {
   size_t log_size = 0;
@@ -64,8 +75,15 @@ class ExplanationEngine {
   /// Lids explained by template `index`.
   StatusOr<std::vector<int64_t>> ExplainedLids(size_t index) const;
 
-  /// Full-log coverage report.
+  /// Full-log coverage report (serial; equivalent to ExplainAll({})).
   StatusOr<ExplanationReport> ExplainAll() const;
+
+  /// Full-log coverage report. With options.num_threads > 1, templates are
+  /// evaluated concurrently (one executor per worker) and the log is
+  /// partitioned into contiguous shards for classification; per-shard
+  /// results are merged in shard order, so the report is deterministic and
+  /// identical to the serial one.
+  StatusOr<ExplanationReport> ExplainAll(const ExplainAllOptions& options) const;
 
  private:
   ExplanationEngine(const Database* db, std::string log_table, QAttr lid_attr);

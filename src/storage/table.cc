@@ -6,7 +6,8 @@
 
 namespace eba {
 
-Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+Table::Table(TableSchema schema)
+    : schema_(std::move(schema)), lazy_mu_(std::make_unique<std::mutex>()) {
   Status s = schema_.Validate();
   EBA_CHECK_MSG(s.ok(), s.ToString());
   columns_.reserve(schema_.num_columns());
@@ -68,6 +69,7 @@ StatusOr<const Column*> Table::ColumnByName(const std::string& col_name) const {
 
 const HashIndex& Table::GetOrBuildIndex(size_t col) const {
   EBA_CHECK(col < columns_.size());
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
   if (!indexes_[col]) {
     indexes_[col] = std::make_unique<HashIndex>(&columns_[col]);
   }
@@ -76,6 +78,7 @@ const HashIndex& Table::GetOrBuildIndex(size_t col) const {
 
 const ColumnStats& Table::GetOrComputeStats(size_t col) const {
   EBA_CHECK(col < columns_.size());
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
   if (!stats_[col]) {
     stats_[col] = std::make_unique<ColumnStats>(ComputeColumnStats(columns_[col]));
   }
@@ -83,6 +86,7 @@ const ColumnStats& Table::GetOrComputeStats(size_t col) const {
 }
 
 void Table::InvalidateDerivedState() const {
+  std::lock_guard<std::mutex> lock(*lazy_mu_);
   for (auto& idx : indexes_) idx.reset();
   for (auto& st : stats_) st.reset();
 }

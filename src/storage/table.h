@@ -5,6 +5,7 @@
 #define EBA_STORAGE_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,10 +52,13 @@ class Table {
   StatusOr<const Column*> ColumnByName(const std::string& name) const;
 
   /// Hash index over `col`, built on first use and cached until the next
-  /// append. Thread-compatible (callers serialize mutation).
+  /// append. Safe to call from concurrent readers (lazy construction is
+  /// serialized internally); appends still require external serialization
+  /// against all readers.
   const HashIndex& GetOrBuildIndex(size_t col) const;
 
-  /// Statistics for `col`, computed on first use and cached.
+  /// Statistics for `col`, computed on first use and cached. Same thread
+  /// safety as GetOrBuildIndex.
   const ColumnStats& GetOrComputeStats(size_t col) const;
 
   /// Drops cached indexes and statistics (called automatically on append).
@@ -73,6 +77,10 @@ class Table {
   std::vector<Column> columns_;
   size_t num_rows_ = 0;
 
+  // Guards lazy construction of indexes_/stats_ so concurrent readers can
+  // share a table. Boxed so the table stays movable (moved-from tables must
+  // not be used).
+  mutable std::unique_ptr<std::mutex> lazy_mu_;
   mutable std::vector<std::unique_ptr<HashIndex>> indexes_;
   mutable std::vector<std::unique_ptr<ColumnStats>> stats_;
 };

@@ -60,8 +60,12 @@ TEST(AnomalyTest, AccessCountsReported) {
   UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
   auto scores = UnwrapOrDie(ScoreUsersByDeviation(graph, log));
   for (const auto& s : scores) {
-    if (s.user == 1) EXPECT_EQ(s.num_accesses, 3u);
-    if (s.user == 9) EXPECT_EQ(s.num_accesses, 2u);
+    if (s.user == 1) {
+      EXPECT_EQ(s.num_accesses, 3u);
+    }
+    if (s.user == 9) {
+      EXPECT_EQ(s.num_accesses, 2u);
+    }
   }
 }
 

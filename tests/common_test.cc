@@ -3,14 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include "common/csv.h"
 #include "common/date.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/value.h"
 #include "tests/test_util.h"
 
@@ -357,6 +361,117 @@ TEST(CsvTest, FileRoundTrip) {
 
 TEST(CsvTest, MissingFileIsNotFound) {
   EXPECT_TRUE(CsvReadFile("/nonexistent/path.csv").status().IsNotFound());
+}
+
+// --------------------------- ThreadPool ---------------------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ParallelForTest, CoversEachShardExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{3}, size_t{8}}) {
+    // Each shard owns its slot, and ParallelFor joins before the reads, so
+    // plain ints suffice.
+    std::vector<int> hits(17, 0);
+    ParallelFor(threads, hits.size(), [&hits](size_t s) { ++hits[s]; });
+    for (size_t s = 0; s < hits.size(); ++s) {
+      EXPECT_EQ(hits[s], 1) << "shard " << s << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, ZeroShardsIsANoop) {
+  ParallelFor(4, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, RethrowsFirstShardError) {
+  EXPECT_THROW(
+      ParallelFor(4, 8,
+                  [](size_t s) {
+                    if (s % 2 == 1) throw std::runtime_error("shard failed");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, InlinePathRunsAllShardsDespiteError) {
+  // The serial (num_threads == 1) path has the same contract as the pooled
+  // one: every shard runs before the first error is rethrown.
+  std::vector<int> hits(5, 0);
+  EXPECT_THROW(ParallelFor(1, hits.size(),
+                           [&hits](size_t s) {
+                             ++hits[s];
+                             if (s == 1) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1, 1, 1}));
+}
+
+TEST(SplitShardsTest, PartitionsWithoutGapsOrOverlap) {
+  auto shards = SplitShards(1000, 4, 1);
+  ASSERT_EQ(shards.size(), 4u);
+  size_t expect_begin = 0;
+  size_t total = 0;
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.begin, expect_begin);
+    EXPECT_LT(s.begin, s.end);
+    total += s.end - s.begin;
+    expect_begin = s.end;
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(shards.back().end, 1000u);
+}
+
+TEST(SplitShardsTest, RespectsMinimumShardSize) {
+  // 100 rows with a 64-row minimum: only one shard fits.
+  auto shards = SplitShards(100, 8, 64);
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0].begin, 0u);
+  EXPECT_EQ(shards[0].end, 100u);
+}
+
+TEST(SplitShardsTest, EmptyInputYieldsNoShards) {
+  EXPECT_TRUE(SplitShards(0, 4, 1).empty());
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(HardwareThreads(), 1u);
+}
+
+TEST(SplitShardsTest, UnevenRemainderSpreadsOverLeadingShards) {
+  auto shards = SplitShards(10, 4, 1);
+  ASSERT_EQ(shards.size(), 4u);
+  std::vector<size_t> sizes;
+  for (const auto& s : shards) sizes.push_back(s.end - s.begin);
+  EXPECT_EQ(sizes, (std::vector<size_t>{3, 3, 2, 2}));
 }
 
 }  // namespace

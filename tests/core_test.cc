@@ -5,6 +5,8 @@
 
 #include <set>
 
+#include "careweb/generator.h"
+#include "careweb/workload.h"
 #include "core/engine.h"
 #include "core/instance.h"
 #include "core/metrics.h"
@@ -182,6 +184,64 @@ TEST(EngineTest, ExplainAllReportsCoverageAndUnexplained) {
   report = UnwrapOrDie(engine.ExplainAll());
   EXPECT_DOUBLE_EQ(report.Coverage(), 1.0);
   EXPECT_TRUE(report.unexplained_lids.empty());
+}
+
+// The multithreaded report must be byte-identical to the serial one: same
+// per-template counts, same (sorted) explained/unexplained lids. Forcing
+// min_rows_per_shard to 1 exercises the shard merge even on the 2-row toy
+// log.
+TEST(EngineTest, ExplainAllParallelMatchesSerialOnToyDatabase) {
+  Database db = BuildPaperToyDatabase();
+  ExplanationEngine engine =
+      UnwrapOrDie(ExplanationEngine::Create(&db, "Log"));
+  EBA_ASSERT_OK(engine.AddTemplate(UnwrapOrDie(ApptTemplate(db))));
+  EBA_ASSERT_OK(engine.AddTemplate(UnwrapOrDie(DeptTemplate(db))));
+
+  // ExplainAll is the function under test here: assert on its StatusOr
+  // directly (ASSERT semantics) rather than going through UnwrapOrDie.
+  EBA_ASSERT_OK_AND_ASSIGN(ExplanationReport serial, engine.ExplainAll());
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    ExplainAllOptions options;
+    options.num_threads = threads;
+    options.min_rows_per_shard = 1;
+    EBA_ASSERT_OK_AND_ASSIGN(ExplanationReport parallel,
+                             engine.ExplainAll(options));
+    EXPECT_EQ(parallel.log_size, serial.log_size) << threads << " threads";
+    EXPECT_EQ(parallel.per_template_counts, serial.per_template_counts)
+        << threads << " threads";
+    EXPECT_EQ(parallel.explained_lids, serial.explained_lids)
+        << threads << " threads";
+    EXPECT_EQ(parallel.unexplained_lids, serial.unexplained_lids)
+        << threads << " threads";
+  }
+}
+
+TEST(EngineTest, ExplainAllParallelMatchesSerialOnCareWebLog) {
+  CareWebConfig config = CareWebConfig::Small();
+  config.num_days = 14;  // ~18k accesses, > the 10k the determinism spec asks
+  CareWebData data = UnwrapOrDie(GenerateCareWeb(config));
+  const Table* log = UnwrapOrDie(data.db.GetTable("Log"));
+  ASSERT_GE(log->num_rows(), 10000u);
+
+  ExplanationEngine engine =
+      UnwrapOrDie(ExplanationEngine::Create(&data.db, "Log"));
+  for (auto& tmpl : UnwrapOrDie(TemplatesHandcraftedDirect(data.db, true))) {
+    EBA_ASSERT_OK(engine.AddTemplate(tmpl));
+  }
+  ASSERT_GT(engine.num_templates(), 0u);
+
+  EBA_ASSERT_OK_AND_ASSIGN(ExplanationReport serial, engine.ExplainAll());
+  EXPECT_EQ(serial.explained_lids.size() + serial.unexplained_lids.size(),
+            serial.log_size);
+
+  ExplainAllOptions options;
+  options.num_threads = 4;
+  EBA_ASSERT_OK_AND_ASSIGN(ExplanationReport parallel,
+                           engine.ExplainAll(options));
+  EXPECT_EQ(parallel.log_size, serial.log_size);
+  EXPECT_EQ(parallel.per_template_counts, serial.per_template_counts);
+  EXPECT_EQ(parallel.explained_lids, serial.explained_lids);
+  EXPECT_EQ(parallel.unexplained_lids, serial.unexplained_lids);
 }
 
 TEST(EngineTest, TemplatesRebindToEngineLog) {

@@ -68,6 +68,7 @@ std::set<std::string> MinerKeys(const Database& db,
                                 const MiningResult& result,
                                 const PathRules& rules) {
   std::set<std::string> keys;
+  (void)db;
   (void)rules;
   for (const auto& mined : result.templates) {
     keys.insert(mined.path.CanonicalKey());

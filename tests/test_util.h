@@ -5,7 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include <stdexcept>
+#include <cstdlib>
+#include <utility>
 
 #include "common/date.h"
 #include "common/logging.h"
@@ -28,13 +29,35 @@ namespace testing_util {
     EXPECT_TRUE(_s.ok()) << _s.ToString();                  \
   } while (0)
 
-/// Unwraps a StatusOr or fails the test.
+/// Unwraps a StatusOr, or records a *fatal* gtest assertion and stops the
+/// test binary. A value-returning helper cannot use ASSERT_* directly (those
+/// require a void context), and throwing — the previous behaviour — sends an
+/// exception through unrelated stack frames where code under test may catch
+/// and swallow it. Instead the fatal failure is recorded from a void lambda
+/// (so gtest prints the full message and marks the test failed) and the
+/// process exits: an unwrap failure means the fixture itself is broken, so
+/// nothing after it can produce meaningful results.
 template <typename T>
 T UnwrapOrDie(StatusOr<T> s, const char* what = "StatusOr") {
-  EXPECT_TRUE(s.ok()) << what << ": " << s.status().ToString();
-  if (!s.ok()) throw std::runtime_error(s.status().ToString());
+  if (!s.ok()) {
+    [&] { FAIL() << what << ": " << s.status().ToString(); }();
+    std::exit(EXIT_FAILURE);
+  }
   return std::move(s).value();
 }
+
+/// Fatal unwrap-and-assign for statement contexts:
+///   EBA_ASSERT_OK_AND_ASSIGN(AccessLog log, AccessLog::Wrap(&table));
+/// Unlike UnwrapOrDie this aborts only the current test (standard ASSERT
+/// semantics), so prefer it in new code; it requires a void context.
+#define EBA_ASSERT_OK_AND_ASSIGN(lhs, rexpr)                          \
+  EBA_ASSERT_OK_AND_ASSIGN_IMPL(                                      \
+      EBA_MACRO_CONCAT(_eba_test_statusor_, __LINE__), lhs, rexpr)
+
+#define EBA_ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)               \
+  auto tmp = (rexpr);                                                 \
+  ASSERT_TRUE(tmp.ok()) << #rexpr << ": " << tmp.status().ToString(); \
+  lhs = std::move(tmp).value()
 
 // Ids used in the Figure 3 toy database.
 inline constexpr int64_t kAlice = 1;
