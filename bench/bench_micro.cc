@@ -4,7 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
@@ -40,6 +43,53 @@ template <typename T>
 T Unwrap(StatusOr<T> s) {
   EBA_CHECK_MSG(s.ok(), s.status().ToString());
   return std::move(s).value();
+}
+
+/// ~18k-row hospital log for the executor A/B benches: the Small config at
+/// 14 days, matching the scale of the engine determinism test.
+const CareWebData& ExecutorBenchData() {
+  static CareWebData* data = [] {
+    CareWebConfig config = CareWebConfig::Small();
+    config.num_days = 14;
+    auto generated = GenerateCareWeb(config);
+    EBA_CHECK_MSG(generated.ok(), generated.status().ToString());
+    return new CareWebData(std::move(generated).value());
+  }();
+  return *data;
+}
+
+/// The three executor configurations under comparison, indexed by
+/// state.range(0) / JSON row: the boxed reference engine, the
+/// late-materialization frame engine, and the frame engine plus cost-based
+/// join ordering.
+ExecutorOptions ExecConfig(int idx) {
+  ExecutorOptions options;
+  switch (idx) {
+    case 0:
+      options.engine = ExecutorOptions::Engine::kBoxedReference;
+      options.join_order = ExecutorOptions::JoinOrder::kDeclared;
+      break;
+    case 1:
+      options.engine = ExecutorOptions::Engine::kLateMaterialization;
+      options.join_order = ExecutorOptions::JoinOrder::kDeclared;
+      break;
+    default:
+      options.engine = ExecutorOptions::Engine::kLateMaterialization;
+      options.join_order = ExecutorOptions::JoinOrder::kCostBased;
+      break;
+  }
+  return options;
+}
+
+const char* ExecConfigName(int idx) {
+  switch (idx) {
+    case 0:
+      return "boxed_reference";
+    case 1:
+      return "late_materialization";
+    default:
+      return "late_materialization_cost_ordering";
+  }
 }
 
 void BM_HashIndexBuild(benchmark::State& state) {
@@ -194,6 +244,50 @@ void ExplainAllThreadCounts(benchmark::internal::Benchmark* b) {
 }
 BENCHMARK(BM_ExplainAll)->Apply(ExplainAllThreadCounts);
 
+// Join materialization over the ~18k-row hospital log: boxed reference (0)
+// vs late-materialization (1) vs +cost-based ordering (2).
+void BM_ExecutorJoin(benchmark::State& state) {
+  const CareWebData& data = ExecutorBenchData();
+  Executor executor(&data.db, ExecConfig(static_cast<int>(state.range(0))));
+  ExplanationTemplate tmpl = Unwrap(TemplateApptWithDoctor(data.db));
+  for (auto _ : state) {
+    auto rel = executor.Materialize(tmpl.query());
+    EBA_CHECK_MSG(rel.ok(), rel.status().ToString());
+    benchmark::DoNotOptimize(rel->rows.size());
+  }
+  const Table* log = Unwrap(data.db.GetTable("Log"));
+  state.SetLabel(ExecConfigName(static_cast<int>(state.range(0))));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(log->num_rows()));
+}
+BENCHMARK(BM_ExecutorJoin)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+// Distinct-lid support evaluation (the miner's and ExplainAll's hot call)
+// over every hand-crafted direct template, same three configurations. The
+// late configurations run the semi-join fast path end to end.
+void BM_DistinctLids(benchmark::State& state) {
+  const CareWebData& data = ExecutorBenchData();
+  Executor executor(&data.db, ExecConfig(static_cast<int>(state.range(0))));
+  static const std::vector<ExplanationTemplate>* templates =
+      new std::vector<ExplanationTemplate>(
+          Unwrap(TemplatesHandcraftedDirect(ExecutorBenchData().db, true)));
+  for (auto _ : state) {
+    size_t total = 0;
+    for (const auto& tmpl : *templates) {
+      auto lids = executor.DistinctLids(tmpl.query(), tmpl.lid_attr());
+      EBA_CHECK_MSG(lids.ok(), lids.status().ToString());
+      total += lids->size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  const Table* log = Unwrap(data.db.GetTable("Log"));
+  state.SetLabel(ExecConfigName(static_cast<int>(state.range(0))));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(log->num_rows()) *
+                          static_cast<int64_t>(templates->size()));
+}
+BENCHMARK(BM_DistinctLids)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
 void BM_MineOneWayTinyLog(benchmark::State& state) {
   const CareWebData& data = SharedData();
   // Mining over day 1's first accesses only (kept small so the benchmark
@@ -219,21 +313,128 @@ void BM_MineOneWayTinyLog(benchmark::State& state) {
 }
 BENCHMARK(BM_MineOneWayTinyLog);
 
+// ---------------------------------------------------------------------------
+// Machine-readable executor comparison: --executor_json=PATH times the three
+// executor configurations on the BM_ExecutorJoin / BM_DistinctLids workloads
+// with a steady clock and writes speedups to a JSON file (the bench
+// trajectory artifact; CI runs the smoke variant on every push).
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+double SecondsPerIter(Fn&& fn, double min_seconds, int max_iters) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm-up: builds the lazy hash indexes and column stats
+  int iters = 0;
+  double elapsed = 0.0;
+  const auto start = Clock::now();
+  while (iters < 1 || (elapsed < min_seconds && iters < max_iters)) {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  return elapsed / iters;
+}
+
+int RunExecutorJsonBench(const std::string& path, bool smoke) {
+  const CareWebData& data = ExecutorBenchData();
+  const Table* log = Unwrap(data.db.GetTable("Log"));
+  const std::vector<ExplanationTemplate> templates =
+      Unwrap(TemplatesHandcraftedDirect(data.db, true));
+  const ExplanationTemplate appt = Unwrap(TemplateApptWithDoctor(data.db));
+  const double min_seconds = smoke ? 0.02 : 0.5;
+  const int max_iters = smoke ? 3 : 200;
+
+  double join_s[3];
+  double lids_s[3];
+  for (int cfg = 0; cfg < 3; ++cfg) {
+    Executor executor(&data.db, ExecConfig(cfg));
+    join_s[cfg] = SecondsPerIter(
+        [&] {
+          auto rel = executor.Materialize(appt.query());
+          EBA_CHECK_MSG(rel.ok(), rel.status().ToString());
+          benchmark::DoNotOptimize(rel->rows.size());
+        },
+        min_seconds, max_iters);
+    lids_s[cfg] = SecondsPerIter(
+        [&] {
+          size_t total = 0;
+          for (const auto& tmpl : templates) {
+            auto lids = executor.DistinctLids(tmpl.query(), tmpl.lid_attr());
+            EBA_CHECK_MSG(lids.ok(), lids.status().ToString());
+            total += lids->size();
+          }
+          benchmark::DoNotOptimize(total);
+        },
+        min_seconds, max_iters);
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"generated_by\": \"bench_micro --executor_json\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"log_rows\": %zu,\n", log->num_rows());
+  std::fprintf(f, "  \"templates\": %zu,\n", templates.size());
+  std::fprintf(f, "  \"benchmarks\": {\n");
+  auto emit = [&](const char* name, const double s[3], bool last) {
+    std::fprintf(f, "    \"%s\": {\n", name);
+    for (int cfg = 0; cfg < 3; ++cfg) {
+      std::fprintf(f, "      \"%s_seconds_per_iter\": %.6f,\n",
+                   ExecConfigName(cfg), s[cfg]);
+    }
+    std::fprintf(f, "      \"speedup_late_vs_boxed\": %.2f,\n", s[0] / s[1]);
+    std::fprintf(f, "      \"speedup_late_cost_vs_boxed\": %.2f\n",
+                 s[0] / s[2]);
+    std::fprintf(f, "    }%s\n", last ? "" : ",");
+  };
+  emit("BM_ExecutorJoin", join_s, /*last=*/false);
+  emit("BM_DistinctLids", lids_s, /*last=*/true);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+
+  std::printf("wrote %s\n", path.c_str());
+  std::printf("BM_ExecutorJoin : boxed %.3f ms, late %.3f ms (%.1fx), "
+              "late+cost %.3f ms (%.1fx)\n",
+              join_s[0] * 1e3, join_s[1] * 1e3, join_s[0] / join_s[1],
+              join_s[2] * 1e3, join_s[0] / join_s[2]);
+  std::printf("BM_DistinctLids : boxed %.3f ms, late %.3f ms (%.1fx), "
+              "late+cost %.3f ms (%.1fx)\n",
+              lids_s[0] * 1e3, lids_s[1] * 1e3, lids_s[0] / lids_s[1],
+              lids_s[2] * 1e3, lids_s[0] / lids_s[2]);
+  return 0;
+}
+
 }  // namespace
 }  // namespace eba
 
-// Custom main instead of BENCHMARK_MAIN so CI can pass --smoke: every
+// Custom main instead of BENCHMARK_MAIN so CI can pass --smoke (every
 // benchmark runs for a token min time, proving the binary and all cases
-// work without paying for statistically meaningful timings.
+// work without paying for statistically meaningful timings) and
+// --executor_json=PATH (the machine-readable executor A/B comparison;
+// defaults to BENCH_executor.json and exits without running the
+// google-benchmark suite).
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool smoke = false;
+  bool executor_json = false;
+  std::string json_path = "BENCH_executor.json";
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--executor_json") == 0) {
+      executor_json = true;
+    } else if (std::strncmp(argv[i], "--executor_json=", 16) == 0) {
+      executor_json = true;
+      json_path = argv[i] + 16;
     } else {
       args.push_back(argv[i]);
     }
+  }
+  if (executor_json) {
+    return eba::RunExecutorJsonBench(json_path, smoke);
   }
   static char min_time_flag[] = "--benchmark_min_time=0.001";
   if (smoke) args.push_back(min_time_flag);

@@ -56,20 +56,20 @@ StatusOr<std::vector<ExplanationInstance>> ExplanationEngine::Explain(
 
 StatusOr<std::vector<int64_t>> ExplanationEngine::ExplainedLids(
     size_t index) const {
+  return ExplainedLids(index, ExecutorOptions{});
+}
+
+StatusOr<std::vector<int64_t>> ExplanationEngine::ExplainedLids(
+    size_t index, const ExecutorOptions& executor_options) const {
   if (index >= templates_.size()) {
     return Status::OutOfRange("template index out of range");
   }
-  Executor executor(db_);
+  Executor executor(db_, executor_options);
   const auto& tmpl = templates_[index];
-  EBA_ASSIGN_OR_RETURN(
-      std::vector<Value> values,
-      executor.DistinctValues(tmpl.query(), tmpl.lid_attr(),
-                              Executor::SupportStrategy::kDedupFrontier));
-  std::vector<int64_t> lids;
-  lids.reserve(values.size());
-  for (const auto& v : values) lids.push_back(v.AsInt64());
-  std::sort(lids.begin(), lids.end());
-  return lids;
+  // DistinctLids is the semi-join fast path: row ids flow through the whole
+  // pipeline and the sorted lid vector is materialized straight from the
+  // log's Lid column.
+  return executor.DistinctLids(tmpl.query(), tmpl.lid_attr());
 }
 
 StatusOr<ExplanationReport> ExplanationEngine::ExplainAll() const {
@@ -97,8 +97,9 @@ StatusOr<ExplanationReport> ExplanationEngine::ExplainAll(
   std::vector<StatusOr<std::vector<int64_t>>> per_template(
       templates_.size(),
       StatusOr<std::vector<int64_t>>(Status::Internal("not evaluated")));
-  ParallelFor(pool.get(), templates_.size(),
-              [&](size_t i) { per_template[i] = ExplainedLids(i); });
+  ParallelFor(pool.get(), templates_.size(), [&](size_t i) {
+    per_template[i] = ExplainedLids(i, options.executor);
+  });
 
   std::unordered_set<int64_t> explained;
   for (auto& lids_or : per_template) {

@@ -31,6 +31,10 @@ struct ExplainAllOptions {
   /// Lower bound on log rows per classification shard, so tiny logs are not
   /// split into shards smaller than the fan-out overhead.
   size_t min_rows_per_shard = 1024;
+  /// Executor engine/join-order knobs used for template evaluation. The
+  /// defaults run the late-materialization engine with cost-based join
+  /// ordering; the boxed reference engine is available for A/B comparison.
+  ExecutorOptions executor;
 };
 
 /// Result of ExplainAll.
@@ -72,8 +76,12 @@ class ExplanationEngine {
   /// All explanation instances for one access, ranked by path length.
   StatusOr<std::vector<ExplanationInstance>> Explain(int64_t lid) const;
 
-  /// Lids explained by template `index`.
+  /// Lids explained by template `index` (ascending). Evaluated through
+  /// Executor::DistinctLids — the semi-join fast path that never builds a
+  /// boxed row.
   StatusOr<std::vector<int64_t>> ExplainedLids(size_t index) const;
+  StatusOr<std::vector<int64_t>> ExplainedLids(
+      size_t index, const ExecutorOptions& executor_options) const;
 
   /// Full-log coverage report (serial; equivalent to ExplainAll({})).
   StatusOr<ExplanationReport> ExplainAll() const;

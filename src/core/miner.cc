@@ -69,6 +69,7 @@ struct TemplateMiner::Context {
   SchemaGraph graph;
   PathRules rules;
   QAttr lid_attr;
+  bool lid_fast_path = false;  // DistinctLids usable for support counting
   int64_t log_size = 0;
   double threshold = 0.0;  // S
   Executor executor;
@@ -82,7 +83,8 @@ struct TemplateMiner::Context {
   MiningStats stats;
   Clock::time_point start_time;
 
-  explicit Context(const Database* db) : executor(db), estimator(db) {}
+  Context(const Database* db, const ExecutorOptions& executor_options)
+      : executor(db, executor_options), estimator(db) {}
 };
 
 TemplateMiner::TemplateMiner(const Database* db, MinerOptions options)
@@ -91,7 +93,7 @@ TemplateMiner::TemplateMiner(const Database* db, MinerOptions options)
 }
 
 StatusOr<TemplateMiner::Context> TemplateMiner::MakeContext() const {
-  Context ctx(db_);
+  Context ctx(db_, options_.executor);
   EBA_ASSIGN_OR_RETURN(const Table* log_table,
                        db_->GetTable(options_.log_table));
   int lid_col = log_table->schema().ColumnIndex(options_.lid_column);
@@ -110,6 +112,12 @@ StatusOr<TemplateMiner::Context> TemplateMiner::MakeContext() const {
   ctx.rules.max_length = options_.max_length;
   ctx.rules.max_tables = options_.max_tables;
   ctx.lid_attr = QAttr{0, lid_col};
+  // The DistinctLids semi-join fast path returns non-NULL integer lids;
+  // it is only an exact substitute for CountDistinct when the lid column
+  // is integer-like with no NULL cells (always true for the standard log
+  // schema). Otherwise every strategy routes through CountDistinct.
+  const Column& lid_column = log_table->column(static_cast<size_t>(lid_col));
+  ctx.lid_fast_path = lid_column.IsIntLike() && lid_column.NullCount() == 0;
   ctx.log_size = static_cast<int64_t>(log_table->num_rows());
   ctx.threshold =
       options_.support_fraction * static_cast<double>(ctx.log_size);
@@ -140,10 +148,18 @@ StatusOr<int64_t> TemplateMiner::PathSupport(Context* ctx,
     }
   }
 
-  EBA_ASSIGN_OR_RETURN(
-      int64_t support,
-      ctx->executor.CountDistinct(q, ctx->lid_attr,
-                                  options_.support_strategy));
+  int64_t support = 0;
+  if (ctx->lid_fast_path &&
+      options_.support_strategy == Executor::SupportStrategy::kDedupFrontier) {
+    // The semi-join fast path: distinct log ids without ever boxing a row.
+    EBA_ASSIGN_OR_RETURN(std::vector<int64_t> lids,
+                         ctx->executor.DistinctLids(q, ctx->lid_attr));
+    support = static_cast<int64_t>(lids.size());
+  } else {
+    EBA_ASSIGN_OR_RETURN(support,
+                         ctx->executor.CountDistinct(
+                             q, ctx->lid_attr, options_.support_strategy));
+  }
   ctx->stats.support_queries++;
   if (options_.cache_support) ctx->support_cache.emplace(key, support);
   return support;

@@ -52,6 +52,10 @@ struct MinerOptions {
   bool cache_support = true;
   Executor::SupportStrategy support_strategy =
       Executor::SupportStrategy::kDedupFrontier;
+  /// Executor engine/join-order knobs for support evaluation (threaded to
+  /// every support query; the benches A/B the boxed reference engine
+  /// against the late-materialization one through this).
+  ExecutorOptions executor;
   bool skip_nonselective = true;
   /// The constant c that widens the skip threshold to S*c.
   double skip_constant_c = 10.0;

@@ -1,15 +1,57 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "query/optimizer.h"
 
 namespace eba {
 
 namespace {
+
+// ===========================================================================
+// Shared helpers.
+// ===========================================================================
+
+/// Raw typed comparison, mirroring Value's same-type ordering.
+template <typename T>
+bool RawCmp(const T& a, CmpOp op, const T& b) {
+  switch (op) {
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kGe:
+      return a >= b;
+    case CmpOp::kGt:
+      return a > b;
+  }
+  return false;
+}
+
+/// Matches of `lid` in the index over `col`, using the raw int64 probe when
+/// both sides are integer-like (the standard Lid column) instead of routing
+/// a boxed Value through HashIndex::Lookup.
+const std::vector<uint32_t>& LidMatches(const HashIndex& idx,
+                                        const Column& col, const Value& lid) {
+  if (col.IsIntLike() &&
+      (lid.type() == DataType::kBool || lid.type() == DataType::kInt64 ||
+       lid.type() == DataType::kTimestamp)) {
+    return idx.LookupInt64(lid.RawInt64());
+  }
+  return idx.Lookup(lid);
+}
+
+// ===========================================================================
+// Boxed reference engine helpers.
+// ===========================================================================
 
 struct RowHasher {
   size_t operator()(const Row& row) const {
@@ -24,9 +66,9 @@ struct RowEq {
 };
 
 /// Projects `rel` onto `attrs` (all of which must be present), optionally
-/// deduplicating rows.
-Relation Project(const Relation& rel, const std::vector<QAttr>& attrs,
-                 bool dedup) {
+/// deduplicating rows. Takes the relation by value so callers can move it in
+/// and the no-op fast path moves it back out instead of deep-copying.
+Relation Project(Relation rel, const std::vector<QAttr>& attrs, bool dedup) {
   // Fast path: identical header, no dedup.
   if (!dedup && attrs == rel.attrs) return rel;
   std::vector<int> positions;
@@ -39,28 +81,610 @@ Relation Project(const Relation& rel, const std::vector<QAttr>& attrs,
   Relation out;
   out.attrs = attrs;
   out.rows.reserve(rel.rows.size());
-  std::unordered_set<Row, RowHasher, RowEq> seen;
+  std::optional<std::unordered_set<Row, RowHasher, RowEq>> seen;
+  if (dedup) seen.emplace();
   for (const auto& row : rel.rows) {
     Row projected;
     projected.reserve(positions.size());
     for (int p : positions) projected.push_back(row[static_cast<size_t>(p)]);
-    if (dedup) {
-      if (!seen.insert(projected).second) continue;
+    if (seen) {
+      if (!seen->insert(projected).second) continue;
     }
     out.rows.push_back(std::move(projected));
   }
   return out;
 }
 
+// ===========================================================================
+// Late-materialization engine: the row-id frame.
+// ===========================================================================
+
+/// A struct-of-arrays intermediate: one row-id column per bound tuple
+/// variable. Tuple i of the frame is (ids[0][i], ids[1][i], ...) — row ids
+/// into the tables of vars[0], vars[1], ... No boxed Value exists here.
+struct Frame {
+  std::vector<int> vars;                   // slot -> tuple variable
+  std::vector<std::vector<uint32_t>> ids;  // slot -> row ids (equal lengths)
+
+  size_t size() const { return ids.empty() ? 0 : ids[0].size(); }
+
+  int SlotOf(int var) const {
+    for (size_t s = 0; s < vars.size(); ++s) {
+      if (vars[s] == var) return static_cast<int>(s);
+    }
+    return -1;
+  }
+};
+
+std::vector<uint32_t> GatherU32(const std::vector<uint32_t>& src,
+                                const std::vector<uint32_t>& sel) {
+  std::vector<uint32_t> out(sel.size());
+  for (size_t i = 0; i < sel.size(); ++i) out[i] = src[sel[i]];
+  return out;
+}
+
+/// Keeps exactly the tuples for which `pred(i)` holds, compacting every
+/// row-id column. The predicate runs before any column moves.
+template <typename Pred>
+void FilterFrame(Frame* f, Pred pred) {
+  const size_t n = f->size();
+  std::vector<uint32_t> keep;
+  keep.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (pred(i)) keep.push_back(i);
+  }
+  if (keep.size() == n) return;
+  for (auto& col : f->ids) col = GatherU32(col, keep);
+}
+
+void ClearFrame(Frame* f) {
+  for (auto& col : f->ids) col.clear();
+}
+
+/// Applies a bound-bound condition directly against raw column payloads.
+/// Same-type integer-like columns compare int64 payloads, strings compare
+/// dictionary codes (same column) or dictionary strings, doubles compare
+/// raw doubles; any cross-type pair falls back to boxed EvalCmp so the
+/// result is bit-identical to the reference engine.
+void ApplyVarVarFilter(Frame* f, int lslot, int rslot, const Column* lc,
+                       const Column* rc, CmpOp op) {
+  const std::vector<uint32_t>& lids = f->ids[static_cast<size_t>(lslot)];
+  const std::vector<uint32_t>& rids = f->ids[static_cast<size_t>(rslot)];
+  if (lc->type() == rc->type() && lc->IsIntLike()) {
+    FilterFrame(f, [&](uint32_t i) {
+      const uint32_t lr = lids[i], rr = rids[i];
+      if (lc->IsNull(lr) || rc->IsNull(rr)) return false;
+      return RawCmp(lc->Int64At(lr), op, rc->Int64At(rr));
+    });
+  } else if (lc->type() == rc->type() && lc->IsString()) {
+    if (op == CmpOp::kEq && lc == rc) {
+      FilterFrame(f, [&](uint32_t i) {
+        const uint32_t lr = lids[i], rr = rids[i];
+        if (lc->IsNull(lr) || rc->IsNull(rr)) return false;
+        return lc->StringCodeAt(lr) == rc->StringCodeAt(rr);
+      });
+    } else {
+      FilterFrame(f, [&](uint32_t i) {
+        const uint32_t lr = lids[i], rr = rids[i];
+        if (lc->IsNull(lr) || rc->IsNull(rr)) return false;
+        return RawCmp(lc->StringAt(lr), op, rc->StringAt(rr));
+      });
+    }
+  } else if (lc->type() == rc->type() && lc->type() == DataType::kDouble) {
+    FilterFrame(f, [&](uint32_t i) {
+      const uint32_t lr = lids[i], rr = rids[i];
+      if (lc->IsNull(lr) || rc->IsNull(rr)) return false;
+      return RawCmp(lc->DoubleAt(lr), op, rc->DoubleAt(rr));
+    });
+  } else {
+    FilterFrame(f, [&](uint32_t i) {
+      return EvalCmp(lc->Get(lids[i]), op, rc->Get(rids[i]));
+    });
+  }
+}
+
+/// Applies an attribute-literal condition against raw column payloads; the
+/// literal is resolved once (raw int64 / dictionary code / string) instead
+/// of per row. Cross-type pairs fall back to boxed EvalCmp.
+void ApplyConstFilter(Frame* f, int slot, const Column* c, CmpOp op,
+                      const Value& rhs) {
+  const std::vector<uint32_t>& sids = f->ids[static_cast<size_t>(slot)];
+  if (rhs.is_null()) {
+    ClearFrame(f);  // NULL literal: EvalCmp is false for every row
+    return;
+  }
+  if (c->IsIntLike() && rhs.type() == c->type()) {
+    const int64_t key = rhs.RawInt64();
+    FilterFrame(f, [&](uint32_t i) {
+      const uint32_t r = sids[i];
+      if (c->IsNull(r)) return false;
+      return RawCmp(c->Int64At(r), op, key);
+    });
+  } else if (c->IsString() && rhs.type() == DataType::kString) {
+    if (op == CmpOp::kEq) {
+      auto code = c->FindStringCode(rhs.AsString());
+      if (!code) {
+        ClearFrame(f);  // literal not in the dictionary: no row can match
+        return;
+      }
+      const int64_t key = *code;
+      FilterFrame(f, [&](uint32_t i) {
+        const uint32_t r = sids[i];
+        if (c->IsNull(r)) return false;
+        return c->StringCodeAt(r) == key;
+      });
+    } else {
+      const std::string& key = rhs.AsString();
+      FilterFrame(f, [&](uint32_t i) {
+        const uint32_t r = sids[i];
+        if (c->IsNull(r)) return false;
+        return RawCmp(c->StringAt(r), op, key);
+      });
+    }
+  } else if (c->type() == DataType::kDouble &&
+             rhs.type() == DataType::kDouble) {
+    const double key = rhs.AsDouble();
+    FilterFrame(f, [&](uint32_t i) {
+      const uint32_t r = sids[i];
+      if (c->IsNull(r)) return false;
+      return RawCmp(c->DoubleAt(r), op, key);
+    });
+  } else {
+    FilterFrame(f, [&](uint32_t i) { return EvalCmp(c->Get(sids[i]), op, rhs); });
+  }
+}
+
+struct U32VecHasher {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t h = 0x7a3c19d5;
+    for (uint32_t x : v) h = HashCombine(h, std::hash<uint32_t>{}(x));
+    return h;
+  }
+};
+
+/// Removes duplicate row-id tuples. Specialized for the 1- and 2-slot
+/// frames the distinct-lid semi-join produces (a packed integer key)
+/// before falling back to a generic tuple set.
+void DedupFrame(Frame* f) {
+  const size_t n = f->size();
+  if (n == 0 || f->ids.empty()) return;
+  std::vector<uint32_t> keep;
+  keep.reserve(n);
+  if (f->ids.size() == 1) {
+    const auto& c0 = f->ids[0];
+    std::unordered_set<uint32_t> seen;
+    seen.reserve(2 * n);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (seen.insert(c0[i]).second) keep.push_back(i);
+    }
+  } else if (f->ids.size() == 2) {
+    const auto& c0 = f->ids[0];
+    const auto& c1 = f->ids[1];
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(2 * n);
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint64_t key = (static_cast<uint64_t>(c0[i]) << 32) | c1[i];
+      if (seen.insert(key).second) keep.push_back(i);
+    }
+  } else {
+    std::unordered_set<std::vector<uint32_t>, U32VecHasher> seen;
+    seen.reserve(2 * n);
+    std::vector<uint32_t> tuple(f->ids.size());
+    for (uint32_t i = 0; i < n; ++i) {
+      for (size_t s = 0; s < f->ids.size(); ++s) tuple[s] = f->ids[s][i];
+      if (seen.insert(tuple).second) keep.push_back(i);
+    }
+  }
+  if (keep.size() == n) return;
+  for (auto& col : f->ids) col = GatherU32(col, keep);
+}
+
+/// Runs a PathQuery over the row-id frame. One instance per Execute call;
+/// owns the condition bookkeeping and the join-order policy.
+class FrameExecutor {
+ public:
+  FrameExecutor(const Database* db, const ExecutorOptions& options,
+                ExecStats* stats)
+      : db_(db), options_(options), stats_(stats) {}
+
+  /// Executes the query pipeline and returns the final frame. The frame
+  /// holds a slot for every tuple variable referenced by `output_attrs`
+  /// (plus, without `dedup_frontier`, every bound variable).
+  StatusOr<Frame> Run(const PathQuery& q,
+                      const std::vector<QAttr>& output_attrs,
+                      bool dedup_frontier, const std::vector<Value>* lid_filter,
+                      QAttr lid_attr) {
+    EBA_RETURN_IF_ERROR(q.Validate(*db_));
+    *stats_ = ExecStats{};
+    output_attrs_ = &output_attrs;
+    dedup_frontier_ = dedup_frontier;
+    join_dropped_ = false;
+
+    tables_.resize(q.vars.size());
+    for (size_t i = 0; i < q.vars.size(); ++i) {
+      EBA_ASSIGN_OR_RETURN(tables_[i], db_->GetTable(q.vars[i].table));
+    }
+
+    joins_ = q.join_chain;
+    join_applied_.assign(joins_.size(), false);
+    extras_ = q.extra_conditions;
+    extra_applied_.assign(extras_.size(), false);
+    consts_ = q.const_conditions;
+    const_applied_.assign(consts_.size(), false);
+    bound_.assign(q.vars.size(), false);
+    bound_[0] = true;
+
+    std::optional<CardinalityEstimator> estimator;
+    if (options_.join_order == ExecutorOptions::JoinOrder::kCostBased) {
+      estimator.emplace(db_);
+      stats_->used_cost_based_order = true;
+    }
+
+    // --- Initial frame: variable 0 (the log). ---
+    Frame frame;
+    frame.vars.push_back(0);
+    frame.ids.emplace_back();
+    const Table* log_table = tables_[0];
+    std::vector<uint32_t>& scan = frame.ids[0];
+    if (lid_filter != nullptr) {
+      const HashIndex& idx =
+          log_table->GetOrBuildIndex(static_cast<size_t>(lid_attr.col));
+      const Column& lid_col = log_table->column(static_cast<size_t>(lid_attr.col));
+      size_t total = 0;
+      for (const auto& lid : *lid_filter) {
+        total += LidMatches(idx, lid_col, lid).size();
+      }
+      scan.reserve(total);
+      std::unordered_set<uint32_t> rows_seen;
+      rows_seen.reserve(2 * total);
+      for (const auto& lid : *lid_filter) {
+        for (uint32_t r : LidMatches(idx, lid_col, lid)) {
+          if (rows_seen.insert(r).second) scan.push_back(r);
+        }
+      }
+    } else {
+      scan.resize(log_table->num_rows());
+      for (uint32_t r = 0; r < scan.size(); ++r) scan[r] = r;
+    }
+    stats_->peak_intermediate = std::max(stats_->peak_intermediate, frame.size());
+    ApplyFilters(&frame);
+    DropAndDedup(&frame);
+
+    // --- Join loop: apply chain conditions. ---
+    size_t remaining = joins_.size();
+    while (remaining > 0) {
+      // Fully-bound conditions always apply first (they only shrink the
+      // frame); among binding joins the policy picks declaration order or
+      // the smallest predicted intermediate.
+      int pick = -1;
+      bool pick_is_filter = false;
+      double pick_est = -1.0;
+      for (size_t i = 0; i < joins_.size(); ++i) {
+        if (join_applied_[i]) continue;
+        const bool lb = bound_[static_cast<size_t>(joins_[i].lhs.var)];
+        const bool rb = bound_[static_cast<size_t>(joins_[i].rhs.var)];
+        if (lb && rb) {
+          pick = static_cast<int>(i);
+          pick_is_filter = true;
+          pick_est = -1.0;
+          break;
+        }
+        if (!lb && !rb) continue;
+        if (!estimator) {
+          if (pick < 0) pick = static_cast<int>(i);
+          continue;
+        }
+        const QAttr probe = lb ? joins_[i].lhs : joins_[i].rhs;
+        const QAttr build = lb ? joins_[i].rhs : joins_[i].lhs;
+        EBA_ASSIGN_OR_RETURN(
+            double est,
+            estimator->EstimateJoinStep(
+                q, static_cast<double>(frame.size()), probe, build));
+        if (pick < 0 || est < pick_est) {
+          pick = static_cast<int>(i);
+          pick_est = est;
+        }
+      }
+      if (pick < 0) {
+        return Status::InvalidArgument(
+            "query is disconnected: no join condition touches a bound "
+            "variable");
+      }
+      const VarCondition& c = joins_[static_cast<size_t>(pick)];
+      join_applied_[static_cast<size_t>(pick)] = true;
+      --remaining;
+
+      if (pick_is_filter) {
+        const int ls = frame.SlotOf(c.lhs.var);
+        const int rs = frame.SlotOf(c.rhs.var);
+        EBA_CHECK(ls >= 0 && rs >= 0);
+        ApplyVarVarFilter(&frame, ls, rs, ColumnOf(c.lhs), ColumnOf(c.rhs),
+                          c.op);
+      } else {
+        if (c.op != CmpOp::kEq) {
+          return Status::Unimplemented(
+              "non-equality join in chain; put theta conditions in "
+              "extra_conditions");
+        }
+        EBA_RETURN_IF_ERROR(ExecuteJoin(&frame, c));
+      }
+
+      ApplyFilters(&frame);
+      DropAndDedup(&frame);
+      ExecStats::JoinStep step;
+      step.condition_index = pick;
+      step.is_filter = pick_is_filter;
+      step.rows_after = frame.size();
+      step.estimated_rows = pick_est;
+      stats_->join_order.push_back(step);
+    }
+
+    // Every variable must have been bound (otherwise the query was not a
+    // connected path) and every decoration applied.
+    for (size_t i = 0; i < q.vars.size(); ++i) {
+      if (!bound_[i]) {
+        return Status::InvalidArgument("tuple variable '" + q.vars[i].alias +
+                                       "' is not connected to the query path");
+      }
+    }
+    for (size_t i = 0; i < extras_.size(); ++i) {
+      if (!extra_applied_[i]) {
+        return Status::Internal("decoration condition left unapplied");
+      }
+    }
+    for (size_t i = 0; i < consts_.size(); ++i) {
+      if (!const_applied_[i]) {
+        return Status::Internal("literal condition left unapplied");
+      }
+    }
+    stats_->used_semi_join = dedup_frontier_;
+    return frame;
+  }
+
+  const std::vector<const Table*>& tables() const { return tables_; }
+
+ private:
+  const Column* ColumnOf(const QAttr& a) const {
+    return &tables_[static_cast<size_t>(a.var)]->column(
+        static_cast<size_t>(a.col));
+  }
+
+  /// Applies every decoration whose variables are all bound.
+  void ApplyFilters(Frame* frame) {
+    for (size_t i = 0; i < extras_.size(); ++i) {
+      if (extra_applied_[i]) continue;
+      const VarCondition& c = extras_[i];
+      if (!bound_[static_cast<size_t>(c.lhs.var)] ||
+          !bound_[static_cast<size_t>(c.rhs.var)]) {
+        continue;
+      }
+      const int ls = frame->SlotOf(c.lhs.var);
+      const int rs = frame->SlotOf(c.rhs.var);
+      EBA_CHECK(ls >= 0 && rs >= 0);
+      extra_applied_[i] = true;
+      ApplyVarVarFilter(frame, ls, rs, ColumnOf(c.lhs), ColumnOf(c.rhs), c.op);
+    }
+    for (size_t i = 0; i < consts_.size(); ++i) {
+      if (const_applied_[i]) continue;
+      const ConstCondition& c = consts_[i];
+      if (!bound_[static_cast<size_t>(c.lhs.var)]) continue;
+      const int slot = frame->SlotOf(c.lhs.var);
+      EBA_CHECK(slot >= 0);
+      const_applied_[i] = true;
+      ApplyConstFilter(frame, slot, ColumnOf(c.lhs), c.op, c.rhs);
+    }
+  }
+
+  /// Variables still needed downstream: referenced by an unapplied
+  /// condition or by an output attribute.
+  std::vector<bool> NeededVars() const {
+    std::vector<bool> needed(bound_.size(), false);
+    for (const auto& a : *output_attrs_) needed[static_cast<size_t>(a.var)] = true;
+    for (size_t i = 0; i < joins_.size(); ++i) {
+      if (join_applied_[i]) continue;
+      needed[static_cast<size_t>(joins_[i].lhs.var)] = true;
+      needed[static_cast<size_t>(joins_[i].rhs.var)] = true;
+    }
+    for (size_t i = 0; i < extras_.size(); ++i) {
+      if (extra_applied_[i]) continue;
+      needed[static_cast<size_t>(extras_[i].lhs.var)] = true;
+      needed[static_cast<size_t>(extras_[i].rhs.var)] = true;
+    }
+    for (size_t i = 0; i < consts_.size(); ++i) {
+      if (const_applied_[i]) continue;
+      needed[static_cast<size_t>(consts_[i].lhs.var)] = true;
+    }
+    return needed;
+  }
+
+  /// The semi-join step: drops every frame column whose tuple variable is
+  /// no longer needed (see NeededVars), then deduplicates the surviving
+  /// row-id tuples. Join and filter steps keep tuples unique, so dedup is
+  /// only needed when a column was dropped — here or inside the preceding
+  /// join (join_dropped_).
+  void DropAndDedup(Frame* frame) {
+    if (!dedup_frontier_) return;
+    const std::vector<bool> needed = NeededVars();
+    bool dropped = join_dropped_;
+    join_dropped_ = false;
+    for (size_t s = 0; s < frame->vars.size();) {
+      if (!needed[static_cast<size_t>(frame->vars[s])]) {
+        frame->vars.erase(frame->vars.begin() + static_cast<long>(s));
+        frame->ids.erase(frame->ids.begin() + static_cast<long>(s));
+        dropped = true;
+      } else {
+        ++s;
+      }
+    }
+    if (dropped) DedupFrame(frame);
+  }
+
+  /// One hash-join step: probes the build side's index with raw payloads
+  /// (or pre-translated dictionary codes) and appends row ids — the
+  /// accumulated tuple is never copied as boxed values, only its uint32
+  /// columns are gathered through the selection vector.
+  Status ExecuteJoin(Frame* frame, const VarCondition& c) {
+    const bool lhs_bound = bound_[static_cast<size_t>(c.lhs.var)];
+    const QAttr bound_attr = lhs_bound ? c.lhs : c.rhs;
+    const QAttr new_attr = lhs_bound ? c.rhs : c.lhs;
+    const int new_var = new_attr.var;
+    const Table* new_table = tables_[static_cast<size_t>(new_var)];
+    const HashIndex& idx =
+        new_table->GetOrBuildIndex(static_cast<size_t>(new_attr.col));
+    const Column& build_col =
+        new_table->column(static_cast<size_t>(new_attr.col));
+    const Column& probe_col = *ColumnOf(bound_attr);
+
+    const int probe_slot = frame->SlotOf(bound_attr.var);
+    EBA_CHECK(probe_slot >= 0);
+    const std::vector<uint32_t>& pids =
+        frame->ids[static_cast<size_t>(probe_slot)];
+    const size_t n = frame->size();
+
+    std::vector<uint32_t> sel;
+    std::vector<uint32_t> new_ids;
+    auto emit = [&](uint32_t i, const std::vector<uint32_t>& matches) {
+      for (uint32_t m : matches) {
+        sel.push_back(i);
+        new_ids.push_back(m);
+      }
+    };
+    if (probe_col.IsIntLike() && build_col.IsIntLike()) {
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t r = pids[i];
+        if (probe_col.IsNull(r)) continue;
+        emit(i, idx.LookupInt64(probe_col.Int64At(r)));
+      }
+    } else if (probe_col.IsString() && build_col.IsString()) {
+      if (&probe_col == &build_col) {
+        for (uint32_t i = 0; i < n; ++i) {
+          const uint32_t r = pids[i];
+          if (probe_col.IsNull(r)) continue;
+          emit(i, idx.LookupCode(probe_col.StringCodeAt(r)));
+        }
+      } else {
+        const std::vector<int64_t> translated =
+            idx.TranslateCodesFrom(probe_col);
+        for (uint32_t i = 0; i < n; ++i) {
+          const uint32_t r = pids[i];
+          if (probe_col.IsNull(r)) continue;
+          const int64_t code =
+              translated[static_cast<size_t>(probe_col.StringCodeAt(r))];
+          if (code < 0) continue;
+          emit(i, idx.LookupCode(code));
+        }
+      }
+    } else {
+      // Doubles and mismatched column kinds: boxed probes, identical to the
+      // reference engine's Lookup semantics (NULLs and cross-kind probes
+      // match nothing).
+      for (uint32_t i = 0; i < n; ++i) {
+        emit(i, idx.Lookup(probe_col.Get(pids[i])));
+      }
+    }
+
+    // In semi-join mode, columns whose variable is already doomed (the
+    // just-applied join was marked applied before this call, so NeededVars
+    // reflects the post-join state) are never gathered: they would be
+    // dropped by DropAndDedup right after the decorations run.
+    std::vector<bool> keep_slot(frame->ids.size(), true);
+    bool keep_new = true;
+    if (dedup_frontier_) {
+      const std::vector<bool> needed = NeededVars();
+      for (size_t s = 0; s < frame->vars.size(); ++s) {
+        keep_slot[s] = needed[static_cast<size_t>(frame->vars[s])];
+      }
+      keep_new = needed[static_cast<size_t>(new_var)];
+    }
+    Frame next;
+    next.vars.reserve(frame->vars.size() + 1);
+    next.ids.reserve(frame->ids.size() + 1);
+    for (size_t s = 0; s < frame->ids.size(); ++s) {
+      if (!keep_slot[s]) {
+        join_dropped_ = true;
+        continue;
+      }
+      next.vars.push_back(frame->vars[s]);
+      next.ids.push_back(GatherU32(frame->ids[s], sel));
+    }
+    if (keep_new) {
+      next.vars.push_back(new_var);
+      next.ids.push_back(std::move(new_ids));
+    } else {
+      join_dropped_ = true;
+    }
+    bound_[static_cast<size_t>(new_var)] = true;
+    stats_->joins_executed++;
+    stats_->rows_emitted += next.size();
+    stats_->peak_intermediate = std::max(stats_->peak_intermediate, next.size());
+    *frame = std::move(next);
+    return Status::OK();
+  }
+
+  const Database* db_;
+  ExecutorOptions options_;
+  ExecStats* stats_;
+
+  const std::vector<QAttr>* output_attrs_ = nullptr;
+  bool dedup_frontier_ = false;
+  bool join_dropped_ = false;  // a join skipped a doomed column; dedup due
+  std::vector<const Table*> tables_;
+  std::vector<VarCondition> joins_;
+  std::vector<bool> join_applied_;
+  std::vector<VarCondition> extras_;
+  std::vector<bool> extra_applied_;
+  std::vector<ConstCondition> consts_;
+  std::vector<bool> const_applied_;
+  std::vector<bool> bound_;
+};
+
+/// Materializes the frame onto `output_attrs`: one MaterializeInto gather
+/// per output column — the only place boxed Values are created.
+Relation MaterializeFrame(const Frame& frame,
+                          const std::vector<const Table*>& tables,
+                          const std::vector<QAttr>& output_attrs) {
+  Relation out;
+  out.attrs = output_attrs;
+  const size_t n = frame.size();
+  std::vector<std::vector<Value>> cols(output_attrs.size());
+  for (size_t j = 0; j < output_attrs.size(); ++j) {
+    const QAttr& a = output_attrs[j];
+    const int slot = frame.SlotOf(a.var);
+    EBA_CHECK_MSG(slot >= 0, "projection variable missing from frame");
+    const Column& col =
+        tables[static_cast<size_t>(a.var)]->column(static_cast<size_t>(a.col));
+    col.MaterializeInto(frame.ids[static_cast<size_t>(slot)], &cols[j]);
+  }
+  out.rows.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    Row& row = out.rows[i];
+    row.reserve(cols.size());
+    for (size_t j = 0; j < cols.size(); ++j) row.push_back(std::move(cols[j][i]));
+  }
+  return out;
+}
+
 }  // namespace
 
-Executor::Executor(const Database* db) : db_(db) { EBA_CHECK(db != nullptr); }
+Executor::Executor(const Database* db) : Executor(db, ExecutorOptions{}) {}
+
+Executor::Executor(const Database* db, ExecutorOptions options)
+    : db_(db), options_(options) {
+  EBA_CHECK(db != nullptr);
+}
 
 StatusOr<Relation> Executor::Materialize(const PathQuery& q) const {
   std::vector<QAttr> output = q.projection;
   if (output.empty()) output = q.ReferencedAttrs();
-  return Execute(q, output, /*dedup_intermediate=*/false,
-                 /*lid_filter=*/nullptr, QAttr{});
+  if (options_.engine == ExecutorOptions::Engine::kBoxedReference) {
+    return ExecuteBoxed(q, output, /*dedup_intermediate=*/false,
+                        /*lid_filter=*/nullptr, QAttr{});
+  }
+  FrameExecutor exec(db_, options_, &stats_);
+  EBA_ASSIGN_OR_RETURN(Frame frame,
+                       exec.Run(q, output, /*dedup_frontier=*/false,
+                                /*lid_filter=*/nullptr, QAttr{}));
+  return MaterializeFrame(frame, exec.tables(), output);
 }
 
 StatusOr<Relation> Executor::MaterializeForLogIds(
@@ -74,7 +698,15 @@ StatusOr<Relation> Executor::MaterializeForLogIds(
   if (std::find(output.begin(), output.end(), lid_attr) == output.end()) {
     output.insert(output.begin(), lid_attr);
   }
-  return Execute(q, output, /*dedup_intermediate=*/false, &lids, lid_attr);
+  if (options_.engine == ExecutorOptions::Engine::kBoxedReference) {
+    return ExecuteBoxed(q, output, /*dedup_intermediate=*/false, &lids,
+                        lid_attr);
+  }
+  FrameExecutor exec(db_, options_, &stats_);
+  EBA_ASSIGN_OR_RETURN(
+      Frame frame,
+      exec.Run(q, output, /*dedup_frontier=*/false, &lids, lid_attr));
+  return MaterializeFrame(frame, exec.tables(), output);
 }
 
 StatusOr<int64_t> Executor::CountDistinct(const PathQuery& q, QAttr lid_attr,
@@ -89,22 +721,117 @@ StatusOr<std::vector<Value>> Executor::DistinctValues(
     return Status::InvalidArgument("lid attribute must belong to variable 0");
   }
   std::vector<QAttr> output = {lid_attr};
+  if (options_.engine == ExecutorOptions::Engine::kBoxedReference) {
+    EBA_ASSIGN_OR_RETURN(
+        Relation rel,
+        ExecuteBoxed(q, output, strategy == SupportStrategy::kDedupFrontier,
+                     /*lid_filter=*/nullptr, lid_attr));
+    std::set<Value> distinct;
+    for (const auto& row : rel.rows) distinct.insert(row[0]);
+    return std::vector<Value>(distinct.begin(), distinct.end());
+  }
+
+  FrameExecutor exec(db_, options_, &stats_);
   EBA_ASSIGN_OR_RETURN(
-      Relation rel,
-      Execute(q, output,
-              strategy == SupportStrategy::kDedupFrontier,
-              /*lid_filter=*/nullptr, lid_attr));
-  std::unordered_set<Value> distinct;
-  distinct.reserve(rel.rows.size());
-  for (const auto& row : rel.rows) distinct.insert(row[0]);
+      Frame frame,
+      exec.Run(q, output, strategy == SupportStrategy::kDedupFrontier,
+               /*lid_filter=*/nullptr, lid_attr));
+  const int slot = frame.SlotOf(lid_attr.var);
+  EBA_CHECK(slot >= 0);
+  const std::vector<uint32_t>& ids = frame.ids[static_cast<size_t>(slot)];
+  const Column& col = exec.tables()[0]->column(static_cast<size_t>(lid_attr.col));
+
+  if (col.IsIntLike()) {
+    // Distinct raw payloads, boxed once at the very end; NULL (if any)
+    // sorts first, matching Value ordering.
+    bool has_null = false;
+    std::vector<int64_t> raw;
+    raw.reserve(ids.size());
+    for (uint32_t r : ids) {
+      if (col.IsNull(r)) {
+        has_null = true;
+      } else {
+        raw.push_back(col.Int64At(r));
+      }
+    }
+    std::sort(raw.begin(), raw.end());
+    raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+    std::vector<Value> values;
+    values.reserve(raw.size() + (has_null ? 1 : 0));
+    if (has_null) values.push_back(Value::Null());
+    for (int64_t v : raw) {
+      switch (col.type()) {
+        case DataType::kBool:
+          values.push_back(Value::Bool(v != 0));
+          break;
+        case DataType::kTimestamp:
+          values.push_back(Value::Timestamp(v));
+          break;
+        default:
+          values.push_back(Value::Int64(v));
+          break;
+      }
+    }
+    return values;
+  }
+  std::set<Value> distinct;
+  for (uint32_t r : ids) distinct.insert(col.Get(r));
   return std::vector<Value>(distinct.begin(), distinct.end());
 }
 
-StatusOr<Relation> Executor::Execute(const PathQuery& q,
-                                     const std::vector<QAttr>& output_attrs,
-                                     bool dedup_intermediate,
-                                     const std::vector<Value>* lid_filter,
-                                     QAttr lid_attr) const {
+StatusOr<std::vector<int64_t>> Executor::DistinctLids(const PathQuery& q,
+                                                      QAttr lid_attr) const {
+  if (lid_attr.var != 0) {
+    return Status::InvalidArgument("lid attribute must belong to variable 0");
+  }
+  if (q.vars.empty()) {
+    return Status::InvalidArgument("query has no tuple variables");
+  }
+  EBA_ASSIGN_OR_RETURN(const Table* log_table, db_->GetTable(q.vars[0].table));
+  if (lid_attr.col < 0 ||
+      static_cast<size_t>(lid_attr.col) >= log_table->num_columns()) {
+    return Status::InvalidArgument("lid attribute column out of range");
+  }
+  const Column& col = log_table->column(static_cast<size_t>(lid_attr.col));
+  if (!col.IsIntLike()) {
+    return Status::InvalidArgument(
+        "DistinctLids requires an integer-like lid column");
+  }
+
+  if (options_.engine == ExecutorOptions::Engine::kBoxedReference) {
+    EBA_ASSIGN_OR_RETURN(
+        std::vector<Value> values,
+        DistinctValues(q, lid_attr, SupportStrategy::kDedupFrontier));
+    std::vector<int64_t> lids;
+    lids.reserve(values.size());
+    for (const auto& v : values) {
+      if (!v.is_null()) lids.push_back(v.RawInt64());
+    }
+    std::sort(lids.begin(), lids.end());
+    return lids;
+  }
+
+  std::vector<QAttr> output = {lid_attr};
+  FrameExecutor exec(db_, options_, &stats_);
+  EBA_ASSIGN_OR_RETURN(Frame frame,
+                       exec.Run(q, output, /*dedup_frontier=*/true,
+                                /*lid_filter=*/nullptr, lid_attr));
+  const int slot = frame.SlotOf(lid_attr.var);
+  EBA_CHECK(slot >= 0);
+  std::vector<int64_t> lids;
+  lids.reserve(frame.size());
+  for (uint32_t r : frame.ids[static_cast<size_t>(slot)]) {
+    if (!col.IsNull(r)) lids.push_back(col.Int64At(r));
+  }
+  std::sort(lids.begin(), lids.end());
+  lids.erase(std::unique(lids.begin(), lids.end()), lids.end());
+  return lids;
+}
+
+StatusOr<Relation> Executor::ExecuteBoxed(
+    const PathQuery& q, const std::vector<QAttr>& output_attrs,
+    bool dedup_intermediate, const std::vector<Value>* lid_filter,
+    QAttr lid_attr) const {
   EBA_RETURN_IF_ERROR(q.Validate(*db_));
   stats_ = ExecStats{};
 
@@ -174,14 +901,13 @@ StatusOr<Relation> Executor::Execute(const PathQuery& q,
   // Applies every filter condition whose variables are all bound and whose
   // attributes are materialized in `rel`.
   auto apply_filters = [&](Relation* rel) {
-    auto run_filter = [&](auto get_lhs, auto pass) {
+    auto run_filter = [&](auto pass) {
       std::vector<Row> kept;
       kept.reserve(rel->rows.size());
       for (auto& row : rel->rows) {
         if (pass(row)) kept.push_back(std::move(row));
       }
       rel->rows = std::move(kept);
-      (void)get_lhs;
     };
     for (size_t i = 0; i < extras.size(); ++i) {
       if (extra_applied[i]) continue;
@@ -191,7 +917,7 @@ StatusOr<Relation> Executor::Execute(const PathQuery& q,
       int ri = rel->AttrIndex(c.rhs);
       EBA_CHECK(li >= 0 && ri >= 0);
       extra_applied[i] = true;
-      run_filter(nullptr, [&](const Row& row) {
+      run_filter([&](const Row& row) {
         return EvalCmp(row[static_cast<size_t>(li)], c.op,
                        row[static_cast<size_t>(ri)]);
       });
@@ -203,7 +929,7 @@ StatusOr<Relation> Executor::Execute(const PathQuery& q,
       int li = rel->AttrIndex(c.lhs);
       EBA_CHECK(li >= 0);
       const_applied[i] = true;
-      run_filter(nullptr, [&](const Row& row) {
+      run_filter([&](const Row& row) {
         return EvalCmp(row[static_cast<size_t>(li)], c.op, c.rhs);
       });
     }
@@ -224,9 +950,17 @@ StatusOr<Relation> Executor::Execute(const PathQuery& q,
   if (lid_filter != nullptr) {
     const HashIndex& idx =
         log_table->GetOrBuildIndex(static_cast<size_t>(lid_attr.col));
-    std::unordered_set<size_t> rows_seen;
+    const Column& lid_col =
+        log_table->column(static_cast<size_t>(lid_attr.col));
+    size_t total = 0;
     for (const auto& lid : *lid_filter) {
-      for (uint32_t r : idx.Lookup(lid)) {
+      total += LidMatches(idx, lid_col, lid).size();
+    }
+    rel.rows.reserve(total);
+    std::unordered_set<size_t> rows_seen;
+    rows_seen.reserve(2 * total);
+    for (const auto& lid : *lid_filter) {
+      for (uint32_t r : LidMatches(idx, lid_col, lid)) {
         if (rows_seen.insert(r).second) emit_log_row(r);
       }
     }
@@ -237,7 +971,8 @@ StatusOr<Relation> Executor::Execute(const PathQuery& q,
   stats_.peak_intermediate = std::max(stats_.peak_intermediate, rel.rows.size());
   apply_filters(&rel);
   if (dedup_intermediate) {
-    rel = Project(rel, downstream_attrs(rel), /*dedup=*/true);
+    std::vector<QAttr> frontier = downstream_attrs(rel);
+    rel = Project(std::move(rel), frontier, /*dedup=*/true);
   }
 
   // --- Join loop: greedily apply chain conditions. ---
@@ -323,8 +1058,14 @@ StatusOr<Relation> Executor::Execute(const PathQuery& q,
 
     apply_filters(&rel);
     if (dedup_intermediate) {
-      rel = Project(rel, downstream_attrs(rel), /*dedup=*/true);
+      std::vector<QAttr> frontier = downstream_attrs(rel);
+      rel = Project(std::move(rel), frontier, /*dedup=*/true);
     }
+    ExecStats::JoinStep step;
+    step.condition_index = pick;
+    step.is_filter = pick_is_filter;
+    step.rows_after = rel.rows.size();
+    stats_.join_order.push_back(step);
   }
 
   // Every variable must have been bound (otherwise the query was not a
@@ -346,7 +1087,7 @@ StatusOr<Relation> Executor::Execute(const PathQuery& q,
     }
   }
 
-  return Project(rel, output_attrs, /*dedup=*/dedup_intermediate);
+  return Project(std::move(rel), output_attrs, /*dedup=*/dedup_intermediate);
 }
 
 }  // namespace eba

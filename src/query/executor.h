@@ -1,18 +1,38 @@
 // Executor: evaluates PathQueries with pipelined hash joins.
 //
-// Two support-evaluation strategies are provided (DESIGN.md decision 2):
-//  - kNaive materializes the full join then counts distinct log ids;
-//  - kDedupFrontier deduplicates the intermediate relation after every join,
-//    carrying only the attributes still needed downstream. This generalizes
-//    the paper's "reducing result multiplicity" optimization (§3.2.1): the
-//    intermediate stays bounded by |Log| x (frontier domain) instead of
-//    growing with event multiplicity.
+// Two execution engines are provided (ExecutorOptions::engine):
 //
-// Join order: conditions are applied greedily starting from tuple variable 0
-// (the log); each join step must be an equi-join that binds exactly one new
-// tuple variable; conditions whose variables are already bound are applied
-// as filters. Decorations (extra/const conditions) are applied as soon as
-// their variables are bound.
+//  - kLateMaterialization (default): intermediates are a struct-of-arrays
+//    *frame* — one std::vector<uint32_t> of row ids per bound tuple variable.
+//    A hash-join probe appends row ids instead of copying boxed rows,
+//    filters evaluate compiled per-condition closures directly against
+//    Column raw payloads / dictionary codes, and boxed Values are
+//    materialized exactly once, at the final projection
+//    (Column::MaterializeInto). Distinct-lid evaluation takes a semi-join
+//    fast path: tuple-variable columns are dropped from the frame as soon as
+//    no unapplied condition touches them, and the surviving row-id tuples
+//    are deduplicated in place — the row-id analog of the paper's "reducing
+//    result multiplicity" optimization (§3.2.1), without ever building a
+//    boxed row.
+//
+//  - kBoxedReference: the original Row = std::vector<Value> implementation,
+//    retained as the equivalence oracle for tests and as the baseline for
+//    the A/B benchmarks (BM_ExecutorJoin / BM_DistinctLids).
+//
+// Join ordering (ExecutorOptions::join_order): conditions whose variables
+// are already bound always apply first as filters; among chain conditions
+// that bind a new tuple variable, kDeclared picks the first in declaration
+// order (the historical greedy behavior) while kCostBased (default) asks
+// the CardinalityEstimator for each candidate's predicted intermediate size
+// and picks the smallest, breaking ties by declaration order so plans stay
+// deterministic. The chosen order and per-step cardinalities are surfaced
+// in ExecStats::join_order.
+//
+// Support-evaluation strategies (DESIGN.md decision 2): kNaive enumerates
+// the full join then counts distinct log ids; kDedupFrontier deduplicates
+// the intermediate after every step, carrying only what is still needed
+// downstream — the intermediate stays bounded by |Log| x (frontier domain)
+// instead of growing with event multiplicity.
 
 #ifndef EBA_QUERY_EXECUTOR_H_
 #define EBA_QUERY_EXECUTOR_H_
@@ -40,11 +60,43 @@ struct Relation {
   }
 };
 
+/// Execution knobs, threaded from ExplainAllOptions / MinerOptions so every
+/// entry point (engine, miner, metrics, benches) can A/B the engines.
+struct ExecutorOptions {
+  enum class Engine {
+    kBoxedReference,      // original boxed-Row executor (oracle/baseline)
+    kLateMaterialization  // row-id frame executor
+  };
+  enum class JoinOrder {
+    kDeclared,  // first applicable chain condition in declaration order
+    kCostBased  // smallest predicted intermediate (CardinalityEstimator)
+  };
+
+  Engine engine = Engine::kLateMaterialization;
+  /// Applies to kLateMaterialization only: the boxed reference engine is a
+  /// fixed oracle and always runs the declared greedy order.
+  JoinOrder join_order = JoinOrder::kCostBased;
+};
+
 /// Counters describing the last execution (exposed for tests/benchmarks).
 struct ExecStats {
   size_t joins_executed = 0;
   size_t rows_emitted = 0;       // total rows produced across all joins
   size_t peak_intermediate = 0;  // max intermediate row count
+
+  /// One entry per applied chain condition, in application order.
+  struct JoinStep {
+    int condition_index = -1;     // index into PathQuery::join_chain
+    bool is_filter = false;       // both sides were already bound
+    size_t rows_after = 0;        // intermediate size after this step
+    double estimated_rows = -1.0; // cost-based prediction; -1 if not consulted
+  };
+  std::vector<JoinStep> join_order;
+
+  bool used_cost_based_order = false;
+  /// True when the distinct-lid semi-join fast path ran (frame columns
+  /// dropped + row-id dedup instead of boxed-row projection).
+  bool used_semi_join = false;
 };
 
 class Executor {
@@ -53,6 +105,9 @@ class Executor {
 
   /// The database must outlive the executor.
   explicit Executor(const Database* db);
+  Executor(const Database* db, ExecutorOptions options);
+
+  const ExecutorOptions& options() const { return options_; }
 
   /// Materializes explanation instances: all qualifying bindings projected
   /// onto q.projection (or onto every referenced attribute if empty).
@@ -68,21 +123,30 @@ class Executor {
                                   SupportStrategy strategy) const;
 
   /// The distinct values of `lid_attr` in the query result (the explained
-  /// log ids). Used by the metrics module.
+  /// log ids), in ascending Value order. Used by the metrics module.
   StatusOr<std::vector<Value>> DistinctValues(const PathQuery& q,
                                               QAttr lid_attr,
                                               SupportStrategy strategy) const;
 
+  /// The distinct log ids in the query result as a sorted int64 vector —
+  /// the hot entry point for the miner's support counting and ExplainAll's
+  /// per-template classification. `lid_attr` must belong to variable 0 and
+  /// reference an integer-like column. Under kLateMaterialization this is
+  /// the semi-join fast path end to end: no boxed row is ever built.
+  StatusOr<std::vector<int64_t>> DistinctLids(const PathQuery& q,
+                                              QAttr lid_attr) const;
+
   const ExecStats& last_stats() const { return stats_; }
 
  private:
-  StatusOr<Relation> Execute(const PathQuery& q,
-                             const std::vector<QAttr>& output_attrs,
-                             bool dedup_intermediate,
-                             const std::vector<Value>* lid_filter,
-                             QAttr lid_attr) const;
+  StatusOr<Relation> ExecuteBoxed(const PathQuery& q,
+                                  const std::vector<QAttr>& output_attrs,
+                                  bool dedup_intermediate,
+                                  const std::vector<Value>* lid_filter,
+                                  QAttr lid_attr) const;
 
   const Database* db_;
+  ExecutorOptions options_;
   mutable ExecStats stats_;
 };
 

@@ -29,6 +29,15 @@ class CardinalityEstimator {
   StatusOr<double> EstimateDistinctLogIds(const PathQuery& q,
                                           QAttr lid_attr) const;
 
+  /// Expected intermediate size after equi-joining a `current_rows`-row
+  /// intermediate whose join key is `probe` against the full table bound by
+  /// `build` (both attrs resolved through `q`): the textbook
+  /// |R| * |S| / max(ndv(R.a), ndv(S.b)) formula. The executor's cost-based
+  /// join ordering asks this for every applicable chain condition and picks
+  /// the smallest predicted intermediate.
+  StatusOr<double> EstimateJoinStep(const PathQuery& q, double current_rows,
+                                    QAttr probe, QAttr build) const;
+
  private:
   const Database* db_;
 };

@@ -124,6 +124,13 @@ Value Column::Get(size_t row) const {
   return Value::Null();
 }
 
+void Column::MaterializeInto(const std::vector<uint32_t>& row_ids,
+                             std::vector<Value>* out) const {
+  EBA_CHECK(out != nullptr);
+  out->reserve(out->size() + row_ids.size());
+  for (uint32_t row : row_ids) out->push_back(Get(row));
+}
+
 std::optional<int64_t> Column::FindStringCode(const std::string& s) const {
   auto it = dict_lookup_.find(s);
   if (it == dict_lookup_.end()) return std::nullopt;

@@ -57,6 +57,12 @@ class Column {
   /// Dictionary code of a string cell.
   int64_t StringCodeAt(size_t row) const { return ints_[row]; }
 
+  /// The string a dictionary code decodes to. `code` must come from this
+  /// column (0 <= code < DictionarySize()).
+  const std::string& DictionaryEntry(int64_t code) const {
+    return dict_[static_cast<size_t>(code)];
+  }
+
   /// True for types whose payload lives in the int64 vector.
   bool IsIntLike() const {
     return type_ == DataType::kBool || type_ == DataType::kInt64 ||
@@ -72,6 +78,13 @@ class Column {
 
   /// Number of NULL cells.
   size_t NullCount() const { return null_count_; }
+
+  /// Appends boxed Values for `row_ids` (one per id, in order) onto `out`.
+  /// This is the single materialization point of the late-materialization
+  /// executor: row ids flow through joins and filters unboxed, and boxed
+  /// Values are produced here exactly once, at the final projection.
+  void MaterializeInto(const std::vector<uint32_t>& row_ids,
+                       std::vector<Value>* out) const;
 
  private:
   int64_t InternString(const std::string& s);

@@ -41,6 +41,19 @@ const std::vector<uint32_t>& HashIndex::Lookup(const Value& v) const {
   return it == value_map_.end() ? empty_ : it->second;
 }
 
+std::vector<int64_t> HashIndex::TranslateCodesFrom(
+    const Column& probe_column) const {
+  EBA_CHECK(column_->IsString());
+  EBA_CHECK(probe_column.IsString());
+  std::vector<int64_t> translated(probe_column.DictionarySize(), -1);
+  for (size_t code = 0; code < translated.size(); ++code) {
+    auto own = column_->FindStringCode(
+        probe_column.DictionaryEntry(static_cast<int64_t>(code)));
+    if (own) translated[code] = *own;
+  }
+  return translated;
+}
+
 const std::vector<uint32_t>& HashIndex::LookupInt64(int64_t key) const {
   auto it = int_map_.find(key);
   return it == int_map_.end() ? empty_ : it->second;

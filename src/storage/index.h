@@ -29,6 +29,21 @@ class HashIndex {
   /// Fast path for integer-like columns.
   const std::vector<uint32_t>& LookupInt64(int64_t key) const;
 
+  /// Fast path for string columns: probes by a dictionary code of the
+  /// *indexed* column (string payloads are codes, so this is the string
+  /// analog of LookupInt64). Foreign codes must be translated first — see
+  /// TranslateCodesFrom.
+  const std::vector<uint32_t>& LookupCode(int64_t code) const {
+    return LookupInt64(code);
+  }
+
+  /// Builds the probe-side code translation for a string-string equi-join:
+  /// result[c] is the indexed column's code for probe_column's dictionary
+  /// entry `c`, or -1 when the string does not occur in the indexed column.
+  /// Computed once per join (O(|probe dictionary|)), it turns every probe
+  /// into an array lookup plus LookupCode — no per-row string hashing.
+  std::vector<int64_t> TranslateCodesFrom(const Column& probe_column) const;
+
   /// Number of distinct (non-NULL) keys.
   size_t NumDistinctKeys() const;
 

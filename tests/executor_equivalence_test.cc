@@ -1,0 +1,354 @@
+// Equivalence tests for the late-materialization executor: the boxed
+// reference engine (ExecutorOptions::Engine::kBoxedReference) is the oracle,
+// and the row-id frame engine — with and without cost-based join ordering —
+// must return identical results across randomized path queries over the
+// Figure 3 toy database and a generated CareWeb database, plus targeted
+// unit tests for the distinct-lid semi-join fast path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "careweb/generator.h"
+#include "careweb/workload.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "graph/schema_graph.h"
+#include "query/executor.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+using testing_util::BuildPaperToyDatabase;
+using testing_util::UnwrapOrDie;
+
+ExecutorOptions BoxedReference() {
+  ExecutorOptions o;
+  o.engine = ExecutorOptions::Engine::kBoxedReference;
+  o.join_order = ExecutorOptions::JoinOrder::kDeclared;
+  return o;
+}
+
+ExecutorOptions LateDeclared() {
+  ExecutorOptions o;
+  o.engine = ExecutorOptions::Engine::kLateMaterialization;
+  o.join_order = ExecutorOptions::JoinOrder::kDeclared;
+  return o;
+}
+
+ExecutorOptions LateCostBased() {
+  ExecutorOptions o;
+  o.engine = ExecutorOptions::Engine::kLateMaterialization;
+  o.join_order = ExecutorOptions::JoinOrder::kCostBased;
+  return o;
+}
+
+/// Rows of a relation as a sorted multiset (join order permutes row order,
+/// so equivalence is on content).
+std::vector<Row> SortedRows(Relation rel) {
+  std::sort(rel.rows.begin(), rel.rows.end());
+  return std::move(rel.rows);
+}
+
+std::string DescribeQuery(const Database& db, const PathQuery& q) {
+  std::string out = "FROM ";
+  for (const auto& v : q.vars) out += v.table + " " + v.alias + ", ";
+  out += "| " + std::to_string(q.join_chain.size()) + " chain, " +
+         std::to_string(q.extra_conditions.size()) + " extra, " +
+         std::to_string(q.const_conditions.size()) + " const";
+  (void)db;
+  return out;
+}
+
+/// Generates a random executable path query: a restricted simple path grown
+/// forward from Log.Patient (so variable 0 is always connected), decorated
+/// with random literal/attribute conditions and a random projection.
+struct QueryGenerator {
+  const Database* db;
+  SchemaGraph graph;
+  PathRules rules;
+  Random rng;
+
+  QueryGenerator(const Database* database, uint64_t seed)
+      : db(database), rng(seed) {
+    graph = UnwrapOrDie(SchemaGraph::Build(*db));
+    rules.start = AttrId{"Log", "Patient"};
+    rules.end = AttrId{"Log", "User"};
+    rules.max_length = 5;
+    rules.max_tables = 3;
+  }
+
+  StatusOr<PathQuery> Next() {
+    const int target_len = 1 + static_cast<int>(rng.Uniform(3));
+    MiningPath path;
+    for (int step = 0; step < target_len; ++step) {
+      std::vector<MiningPath> extensions;
+      for (const auto& edge : graph.edges()) {
+        MiningPath candidate =
+            path.empty() ? MiningPath({edge}) : path.Extend(edge);
+        if (candidate.FirstAttr() != rules.start) continue;
+        if (IsRestrictedSimplePath(*db, rules, candidate,
+                                   /*anchored_forward=*/true)) {
+          extensions.push_back(std::move(candidate));
+        }
+      }
+      if (extensions.empty()) break;
+      path = rng.Choice(extensions);
+    }
+    if (path.empty()) return Status::Internal("no extensions from start");
+    EBA_ASSIGN_OR_RETURN(PathQuery q, PathToQuery(*db, rules, path));
+    Decorate(&q);
+    return q;
+  }
+
+  void Decorate(PathQuery* q) {
+    // Literal decoration: an actual cell value of a random referenced
+    // column, so the condition is satisfiable but selective.
+    if (rng.Bernoulli(0.5)) {
+      const int var = static_cast<int>(rng.Uniform(q->vars.size()));
+      const Table* table =
+          UnwrapOrDie(db->GetTable(q->vars[static_cast<size_t>(var)].table));
+      if (table->num_rows() > 0) {
+        const int col = static_cast<int>(rng.Uniform(table->num_columns()));
+        const size_t row = static_cast<size_t>(rng.Uniform(table->num_rows()));
+        Value literal = table->Get(row, static_cast<size_t>(col));
+        const CmpOp op = rng.Bernoulli(0.7) ? CmpOp::kEq
+                         : rng.Bernoulli(0.5) ? CmpOp::kLe
+                                              : CmpOp::kGe;
+        q->const_conditions.push_back(
+            ConstCondition{QAttr{var, col}, op, std::move(literal)});
+      }
+    }
+    // Attribute-attribute decoration between two same-type columns.
+    if (rng.Bernoulli(0.3)) {
+      std::vector<std::pair<QAttr, DataType>> attrs;
+      for (size_t v = 0; v < q->vars.size(); ++v) {
+        const Table* table = UnwrapOrDie(db->GetTable(q->vars[v].table));
+        for (size_t c = 0; c < table->num_columns(); ++c) {
+          attrs.push_back({QAttr{static_cast<int>(v), static_cast<int>(c)},
+                           table->column(c).type()});
+        }
+      }
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const auto& a = attrs[rng.Uniform(attrs.size())];
+        const auto& b = attrs[rng.Uniform(attrs.size())];
+        if (a.first == b.first || a.second != b.second) continue;
+        const CmpOp op = rng.Bernoulli(0.5) ? CmpOp::kEq : CmpOp::kLt;
+        q->extra_conditions.push_back(VarCondition{a.first, op, b.first});
+        break;
+      }
+    }
+    // Random projection over referenced attributes (empty = all referenced).
+    if (rng.Bernoulli(0.5)) {
+      std::vector<QAttr> referenced = q->ReferencedAttrs();
+      rng.Shuffle(&referenced);
+      const size_t keep = 1 + rng.Uniform(referenced.size());
+      referenced.resize(keep);
+      q->projection = std::move(referenced);
+    }
+  }
+};
+
+/// Runs one query through the oracle and both frame configurations and
+/// asserts identical result sets, distinct values, and counts.
+void ExpectEquivalent(const Database& db, const PathQuery& q, QAttr lid_attr) {
+  Executor reference(&db, BoxedReference());
+  Executor late(&db, LateDeclared());
+  Executor late_cost(&db, LateCostBased());
+  const std::string desc = DescribeQuery(db, q);
+
+  auto ref_rel = reference.Materialize(q);
+  auto late_rel = late.Materialize(q);
+  auto cost_rel = late_cost.Materialize(q);
+  ASSERT_EQ(ref_rel.ok(), late_rel.ok()) << desc;
+  ASSERT_EQ(ref_rel.ok(), cost_rel.ok()) << desc;
+  if (ref_rel.ok()) {
+    ASSERT_EQ(ref_rel->attrs, late_rel->attrs) << desc;
+    ASSERT_EQ(ref_rel->attrs, cost_rel->attrs) << desc;
+    // Same join order must give byte-identical row order, not just the same
+    // multiset; cost-based ordering may permute rows.
+    EXPECT_EQ(ref_rel->rows, late_rel->rows) << desc;
+    EXPECT_EQ(SortedRows(std::move(*ref_rel)), SortedRows(std::move(*cost_rel)))
+        << desc;
+  }
+
+  for (auto strategy : {Executor::SupportStrategy::kNaive,
+                        Executor::SupportStrategy::kDedupFrontier}) {
+    auto ref_vals = reference.DistinctValues(q, lid_attr, strategy);
+    auto late_vals = late.DistinctValues(q, lid_attr, strategy);
+    auto cost_vals = late_cost.DistinctValues(q, lid_attr, strategy);
+    ASSERT_EQ(ref_vals.ok(), late_vals.ok()) << desc;
+    ASSERT_EQ(ref_vals.ok(), cost_vals.ok()) << desc;
+    if (ref_vals.ok()) {
+      EXPECT_EQ(*ref_vals, *late_vals) << desc;
+      EXPECT_EQ(*ref_vals, *cost_vals) << desc;
+    }
+  }
+
+  auto ref_lids = reference.DistinctLids(q, lid_attr);
+  auto late_lids = late.DistinctLids(q, lid_attr);
+  auto cost_lids = late_cost.DistinctLids(q, lid_attr);
+  ASSERT_EQ(ref_lids.ok(), late_lids.ok()) << desc;
+  ASSERT_EQ(ref_lids.ok(), cost_lids.ok()) << desc;
+  if (ref_lids.ok()) {
+    EXPECT_EQ(*ref_lids, *late_lids) << desc;
+    EXPECT_EQ(*ref_lids, *cost_lids) << desc;
+  }
+}
+
+/// Property sweep over one database; `queries` counts executed (non-skipped)
+/// queries. Oversized plans (estimator predicts a huge boxed intermediate)
+/// are skipped so the oracle stays fast.
+void RunPropertySweep(const Database& db, uint64_t seed, int queries) {
+  QueryGenerator gen(&db, seed);
+  CardinalityEstimator estimator(&db);
+  const Table* log = UnwrapOrDie(db.GetTable("Log"));
+  const int lid_col = log->schema().ColumnIndex("Lid");
+  ASSERT_GE(lid_col, 0);
+  const QAttr lid_attr{0, lid_col};
+
+  int executed = 0;
+  int attempts = 0;
+  while (executed < queries && attempts < queries * 20) {
+    ++attempts;
+    auto q = gen.Next();
+    if (!q.ok()) continue;
+    auto est = estimator.EstimateRows(*q);
+    if (!est.ok() || *est > 5e4) continue;
+    ExpectEquivalent(db, *q, lid_attr);
+    if (::testing::Test::HasFatalFailure()) return;
+    ++executed;
+  }
+  EXPECT_EQ(executed, queries) << "generator starved after " << attempts
+                               << " attempts";
+}
+
+TEST(ExecutorEquivalenceTest, RandomQueriesOnPaperToyDatabase) {
+  Database db = BuildPaperToyDatabase();
+  RunPropertySweep(db, /*seed=*/0x5eed0001, /*queries=*/60);
+}
+
+TEST(ExecutorEquivalenceTest, RandomQueriesOnCareWebDatabase) {
+  CareWebData data = UnwrapOrDie(GenerateCareWeb(CareWebConfig::Tiny()));
+  RunPropertySweep(data.db, /*seed=*/0x5eed0002, /*queries=*/60);
+}
+
+TEST(ExecutorEquivalenceTest, ExplainAllReportsMatchAcrossEngines) {
+  CareWebData data = UnwrapOrDie(GenerateCareWeb(CareWebConfig::Tiny()));
+  ExplanationEngine engine =
+      UnwrapOrDie(ExplanationEngine::Create(&data.db, "Log"));
+  for (auto& tmpl : UnwrapOrDie(TemplatesHandcraftedDirect(data.db, true))) {
+    EBA_ASSERT_OK(engine.AddTemplate(tmpl));
+  }
+  ASSERT_GT(engine.num_templates(), 0u);
+
+  ExplainAllOptions boxed;
+  boxed.executor = BoxedReference();
+  EBA_ASSERT_OK_AND_ASSIGN(ExplanationReport reference,
+                           engine.ExplainAll(boxed));
+
+  for (const auto& options : {LateDeclared(), LateCostBased()}) {
+    ExplainAllOptions late;
+    late.executor = options;
+    EBA_ASSERT_OK_AND_ASSIGN(ExplanationReport report, engine.ExplainAll(late));
+    EXPECT_EQ(report.log_size, reference.log_size);
+    EXPECT_EQ(report.per_template_counts, reference.per_template_counts);
+    EXPECT_EQ(report.explained_lids, reference.explained_lids);
+    EXPECT_EQ(report.unexplained_lids, reference.unexplained_lids);
+  }
+}
+
+// --------------------- Semi-join fast path unit tests ---------------------
+
+class SemiJoinTest : public ::testing::Test {
+ protected:
+  SemiJoinTest() : db_(BuildPaperToyDatabase()) {}
+
+  /// Template (B): Appointments, Doctor_Info x2 — every non-log variable is
+  /// dangling (never projected) when only distinct lids are requested.
+  PathQuery TemplateB() {
+    return UnwrapOrDie(ParsePathQuery(
+        db_, "Log L, Appointments A, Doctor_Info I1, Doctor_Info I2",
+        "L.Patient = A.Patient AND A.Doctor = I1.Doctor AND "
+        "I1.Department = I2.Department AND I2.Doctor = L.User"));
+  }
+  QAttr Lid() { return QAttr{0, 0}; }
+
+  Database db_;
+};
+
+TEST_F(SemiJoinTest, DistinctLidsTakesSemiJoinPath) {
+  Executor late(&db_, LateDeclared());
+  auto lids = UnwrapOrDie(late.DistinctLids(TemplateB(), Lid()));
+  EXPECT_EQ(lids, (std::vector<int64_t>{1, 2}));
+  EXPECT_TRUE(late.last_stats().used_semi_join);
+  EXPECT_EQ(late.last_stats().joins_executed, 3u);
+}
+
+TEST_F(SemiJoinTest, DanglingVariableDedupBoundsIntermediate) {
+  // Multiply the dangling Appointments variable: 6 duplicate appointments
+  // explode the naive intermediate but the semi-join frontier stays at the
+  // distinct (lid) domain after the dangling variable is dropped.
+  Table* appt = db_.GetTable("Appointments").value();
+  for (int i = 0; i < 6; ++i) {
+    EBA_ASSERT_OK(appt->AppendRow(
+        {Value::Int64(testing_util::kAlice),
+         Value::Timestamp(Date::FromCivil(2011, 1, 1 + i).ToSeconds()),
+         Value::Int64(testing_util::kDave)}));
+  }
+  PathQuery q = UnwrapOrDie(ParsePathQuery(
+      db_, "Log L, Appointments A",
+      "L.Patient = A.Patient AND A.Doctor = L.User"));
+
+  Executor late(&db_, LateDeclared());
+  EXPECT_EQ(UnwrapOrDie(late.CountDistinct(
+                q, Lid(), Executor::SupportStrategy::kNaive)),
+            1);
+  const size_t naive_peak = late.last_stats().peak_intermediate;
+
+  EXPECT_EQ(UnwrapOrDie(late.CountDistinct(
+                q, Lid(), Executor::SupportStrategy::kDedupFrontier)),
+            1);
+  EXPECT_TRUE(late.last_stats().used_semi_join);
+  EXPECT_LE(late.last_stats().peak_intermediate, naive_peak);
+
+  // The boxed oracle agrees.
+  Executor reference(&db_, BoxedReference());
+  EXPECT_EQ(UnwrapOrDie(reference.CountDistinct(
+                q, Lid(), Executor::SupportStrategy::kDedupFrontier)),
+            1);
+}
+
+TEST_F(SemiJoinTest, CostBasedOrderRecordedInStats) {
+  Executor late_cost(&db_, LateCostBased());
+  (void)UnwrapOrDie(late_cost.DistinctLids(TemplateB(), Lid()));
+  const ExecStats& stats = late_cost.last_stats();
+  EXPECT_TRUE(stats.used_cost_based_order);
+  ASSERT_EQ(stats.join_order.size(), 4u);  // 3 binding joins + 1 filter
+  for (const auto& step : stats.join_order) {
+    EXPECT_GE(step.condition_index, 0);
+    EXPECT_LT(step.condition_index, 4);
+    if (!step.is_filter) {
+      EXPECT_GE(step.estimated_rows, 0.0);  // the estimator was consulted
+    }
+  }
+}
+
+TEST_F(SemiJoinTest, MaterializeForLogIdsMatchesReference) {
+  PathQuery q = TemplateB();
+  const std::vector<Value> lids = {Value::Int64(2), Value::Int64(1)};
+  Executor reference(&db_, BoxedReference());
+  Executor late(&db_, LateDeclared());
+  Relation ref_rel = UnwrapOrDie(reference.MaterializeForLogIds(q, Lid(), lids));
+  Relation late_rel = UnwrapOrDie(late.MaterializeForLogIds(q, Lid(), lids));
+  EXPECT_EQ(ref_rel.attrs, late_rel.attrs);
+  EXPECT_EQ(ref_rel.rows, late_rel.rows);
+}
+
+}  // namespace
+}  // namespace eba
