@@ -73,7 +73,7 @@ int Run(int argc, char** argv) {
                          .count();
     std::printf("  %-12s %10.3f %10zu %10zu %10zu %10zu\n", c.name, seconds,
                 result.templates.size(), result.stats.support_queries,
-                result.stats.cache_hits, result.stats.skipped_paths);
+                result.stats.support_cache_hits, result.stats.skipped_paths);
 
     std::set<std::string> keys;
     for (const auto& m : result.templates) {

@@ -92,7 +92,8 @@ int Run(int argc, char** argv) {
       std::printf("  %-10s %10zu %10zu %10zu %10zu %10zu\n", algos[i].name,
                   results[i].templates.size(),
                   results[i].stats.support_queries,
-                  results[i].stats.cache_hits, results[i].stats.skipped_paths,
+                  results[i].stats.support_cache_hits,
+                  results[i].stats.skipped_paths,
                   results[i].stats.candidates_considered);
     }
     return results;

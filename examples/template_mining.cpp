@@ -57,9 +57,10 @@ int main() {
 
   std::printf("Mined %zu templates (support threshold %.0f accesses).\n",
               result.templates.size(), result.support_threshold);
-  std::printf("Support queries: %zu, cache hits: %zu, paths skipped by the "
-              "optimizer estimate: %zu\n\n",
-              result.stats.support_queries, result.stats.cache_hits,
+  std::printf("Support queries: %zu, support-cache hits: %zu, plan-cache "
+              "hits: %zu, paths skipped by the optimizer estimate: %zu\n\n",
+              result.stats.support_queries,
+              result.stats.support_cache_hits, result.stats.plan_cache_hits,
               result.stats.skipped_paths);
 
   // Sort by support for review; show the strongest template per reported

@@ -1,7 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
+#include <memory>
 #include <utility>
 
 #include "common/logging.h"
@@ -67,17 +69,55 @@ void ParallelFor(size_t num_threads, size_t num_shards,
     ParallelFor(nullptr, num_shards, fn);
     return;
   }
-  ThreadPool pool(std::min(num_threads, num_shards));
+  // The pooled overload runs shards on the calling thread too, so spawn one
+  // fewer worker to keep total concurrency at num_threads.
+  ThreadPool pool(std::min(num_threads - 1, num_shards - 1));
   ParallelFor(&pool, num_shards, fn);
 }
+
+namespace {
+
+/// Per-call completion state for the pooled ParallelFor. Shards are handed
+/// out through an atomic counter so the caller and any number of pool
+/// helpers can pull work concurrently; `errors` is written at distinct
+/// indices only and read after every shard completed.
+struct ParallelForState {
+  std::atomic<size_t> next_shard{0};
+  std::atomic<size_t> completed{0};
+  std::mutex mu;
+  std::condition_variable done;
+  std::vector<std::exception_ptr> errors;
+};
+
+/// Pulls shards until the dispatch counter runs dry. `fn` is guaranteed
+/// alive whenever a shard is claimed: the caller blocks until every claimed
+/// shard reported completion.
+void RunShards(const std::shared_ptr<ParallelForState>& state,
+               const std::function<void(size_t)>* fn, size_t num_shards) {
+  for (;;) {
+    const size_t s = state->next_shard.fetch_add(1);
+    if (s >= num_shards) return;
+    try {
+      (*fn)(s);
+    } catch (...) {
+      state->errors[s] = std::current_exception();
+    }
+    if (state->completed.fetch_add(1) + 1 == num_shards) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done.notify_all();
+    }
+  }
+}
+
+}  // namespace
 
 void ParallelFor(ThreadPool* pool, size_t num_shards,
                  const std::function<void(size_t)>& fn) {
   if (num_shards == 0) return;
-  std::vector<std::exception_ptr> errors(num_shards);
   if (pool == nullptr || num_shards == 1) {
     // Same contract as the pooled path: every shard runs, then the first
     // error (in shard order) is rethrown.
+    std::vector<std::exception_ptr> errors(num_shards);
     for (size_t s = 0; s < num_shards; ++s) {
       try {
         fn(s);
@@ -85,19 +125,30 @@ void ParallelFor(ThreadPool* pool, size_t num_shards,
         errors[s] = std::current_exception();
       }
     }
-  } else {
-    for (size_t s = 0; s < num_shards; ++s) {
-      pool->Submit([&fn, &errors, s] {
-        try {
-          fn(s);
-        } catch (...) {
-          errors[s] = std::current_exception();
-        }
-      });
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
     }
-    pool->Wait();
+    return;
   }
-  for (auto& e : errors) {
+  auto state = std::make_shared<ParallelForState>();
+  state->errors.resize(num_shards);
+  // The caller is one worker; enlist at most num_shards - 1 helpers. A
+  // helper that wakes up after the shards ran out exits touching only its
+  // shared_ptr copy of the state.
+  const size_t helpers = std::min(pool->num_threads(), num_shards - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state, fn_ptr = &fn, num_shards] {
+      RunShards(state, fn_ptr, num_shards);
+    });
+  }
+  RunShards(state, &fn, num_shards);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock, [&] {
+      return state->completed.load() == num_shards;
+    });
+  }
+  for (auto& e : state->errors) {
     if (e) std::rethrow_exception(e);
   }
 }

@@ -53,17 +53,20 @@ class ThreadPool {
 };
 
 /// Runs fn(shard) for every shard in [0, num_shards), using up to
-/// `num_threads` workers, and blocks until all shards finished. Runs inline
-/// on the calling thread when num_threads <= 1 or num_shards <= 1. If any
-/// shard throws, the first exception (in shard order) is rethrown on the
-/// calling thread after all shards finished.
+/// `num_threads` workers (the calling thread counts as one), and blocks
+/// until all shards finished. Runs inline on the calling thread when
+/// num_threads <= 1 or num_shards <= 1. If any shard throws, the first
+/// exception (in shard order) is rethrown on the calling thread after all
+/// shards finished.
 void ParallelFor(size_t num_threads, size_t num_shards,
                  const std::function<void(size_t)>& fn);
 
 /// Same contract, but reuses an existing pool (spawning threads once and
 /// fanning several ParallelFor rounds over them). `pool == nullptr` runs
-/// inline. The pool must be otherwise idle: the call waits for all of the
-/// pool's tasks before returning.
+/// inline. Completion is tracked per call, not pool-wide, and the calling
+/// thread participates in running shards, so the call is safe to nest: an
+/// inner ParallelFor issued from inside a shard of an outer one always makes
+/// progress on the caller's own thread even when every pool worker is busy.
 void ParallelFor(ThreadPool* pool, size_t num_shards,
                  const std::function<void(size_t)>& fn);
 

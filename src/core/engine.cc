@@ -87,9 +87,25 @@ StatusOr<ExplanationReport> ExplanationEngine::ExplainAll(
   const size_t threads = std::max<size_t>(1, options.num_threads);
 
   // One pool serves both phases (spawn/join threads once per call); null
-  // when serial, which ParallelFor runs inline.
+  // when serial, which ParallelFor runs inline. The calling thread
+  // participates in every ParallelFor round, so the pool only needs
+  // threads - 1 workers.
   std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+
+  // Template evaluation shares the engine's persistent plan cache (unless
+  // the caller wired their own), so a repeated ExplainAll skips planning,
+  // and the same pool drives probe-phase morsels inside each executor —
+  // ParallelFor is nesting-safe, so template fan-out and probe fan-out
+  // coexist on the same workers.
+  ExecutorOptions exec = options.executor;
+  if (exec.plan_cache == nullptr && options.use_engine_plan_cache) {
+    exec.plan_cache = plan_cache_.get();
+  }
+  if (exec.pool == nullptr && pool != nullptr) {
+    exec.pool = pool.get();
+    if (exec.num_threads <= 1) exec.num_threads = threads;
+  }
 
   // Phase 1: evaluate templates concurrently. Each slot is written by
   // exactly one worker; ExplainedLids constructs a private Executor, and the
@@ -98,7 +114,7 @@ StatusOr<ExplanationReport> ExplanationEngine::ExplainAll(
       templates_.size(),
       StatusOr<std::vector<int64_t>>(Status::Internal("not evaluated")));
   ParallelFor(pool.get(), templates_.size(), [&](size_t i) {
-    per_template[i] = ExplainedLids(i, options.executor);
+    per_template[i] = ExplainedLids(i, exec);
   });
 
   std::unordered_set<int64_t> explained;

@@ -10,6 +10,7 @@
 #define EBA_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "core/instance.h"
 #include "core/template.h"
 #include "query/executor.h"
+#include "query/plan_cache.h"
 #include "storage/database.h"
 
 namespace eba {
@@ -31,10 +33,18 @@ struct ExplainAllOptions {
   /// Lower bound on log rows per classification shard, so tiny logs are not
   /// split into shards smaller than the fan-out overhead.
   size_t min_rows_per_shard = 1024;
-  /// Executor engine/join-order knobs used for template evaluation. The
-  /// defaults run the late-materialization engine with cost-based join
-  /// ordering; the boxed reference engine is available for A/B comparison.
+  /// Executor engine/join-order/parallelism knobs used for template
+  /// evaluation. The defaults run the late-materialization engine with
+  /// cost-based join ordering; the boxed reference engine is available for
+  /// A/B comparison. ExplainAll threads its own pool into
+  /// `executor.pool`/`executor.num_threads` when they are unset, so probe
+  /// morsels and template fan-out share the same workers.
   ExecutorOptions executor;
+  /// When true (default) and `executor.plan_cache` is null, template
+  /// evaluation shares the engine's persistent plan cache, so repeated
+  /// ExplainAll calls skip planning for every registered template. Epoch
+  /// validation drops stale plans when a table mutates.
+  bool use_engine_plan_cache = true;
 };
 
 /// Result of ExplainAll.
@@ -93,6 +103,10 @@ class ExplanationEngine {
   /// identical to the serial one.
   StatusOr<ExplanationReport> ExplainAll(const ExplainAllOptions& options) const;
 
+  /// The engine's persistent compiled-plan cache (shared by default across
+  /// ExplainAll calls; see ExplainAllOptions::use_engine_plan_cache).
+  PlanCache* plan_cache() const { return plan_cache_.get(); }
+
  private:
   ExplanationEngine(const Database* db, std::string log_table, QAttr lid_attr);
 
@@ -100,6 +114,9 @@ class ExplanationEngine {
   std::string log_table_;
   QAttr lid_attr_;
   std::vector<ExplanationTemplate> templates_;
+  // shared_ptr (not a member by value) keeps the engine movable/copyable;
+  // copies deliberately share the cache.
+  std::shared_ptr<PlanCache> plan_cache_ = std::make_shared<PlanCache>();
 };
 
 }  // namespace eba

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "query/plan_cache.h"
 
 namespace eba {
 
@@ -72,6 +73,10 @@ struct TemplateMiner::Context {
   bool lid_fast_path = false;  // DistinctLids usable for support counting
   int64_t log_size = 0;
   double threshold = 0.0;  // S
+  // Heap-allocated (and declared before executor): the executor's options
+  // may point at it, and the pointer must survive Context being moved out
+  // of MakeContext.
+  std::shared_ptr<PlanCache> plan_cache = std::make_shared<PlanCache>();
   Executor executor;
   CardinalityEstimator estimator;
 
@@ -83,8 +88,38 @@ struct TemplateMiner::Context {
   MiningStats stats;
   Clock::time_point start_time;
 
-  Context(const Database* db, const ExecutorOptions& executor_options)
-      : executor(db, executor_options), estimator(db) {}
+  Context(const Database* db, const MinerOptions& options)
+      : executor(db, PatchedExecutorOptions(options, plan_cache.get())),
+        estimator(db) {
+    // Baseline for FinishStats: an external cache shared across mining runs
+    // arrives with lifetime counters; this run reports only its delta.
+    if (const PlanCache* cache = executor.options().plan_cache) {
+      plan_cache_baseline = cache->stats();
+    }
+  }
+
+  /// Routes support queries through the context-owned plan cache when the
+  /// caller enabled plan caching without supplying an external cache.
+  static ExecutorOptions PatchedExecutorOptions(const MinerOptions& options,
+                                                PlanCache* owned) {
+    ExecutorOptions exec = options.executor;
+    if (options.cache_plans && exec.plan_cache == nullptr) {
+      exec.plan_cache = owned;
+    }
+    return exec;
+  }
+
+  /// Folds this run's plan-cache counter deltas into the mining stats.
+  void FinishStats() {
+    if (const PlanCache* cache = executor.options().plan_cache) {
+      const PlanCache::Stats cache_stats = cache->stats();
+      stats.plan_cache_hits = cache_stats.hits - plan_cache_baseline.hits;
+      stats.plan_cache_invalidations =
+          cache_stats.invalidations - plan_cache_baseline.invalidations;
+    }
+  }
+
+  PlanCache::Stats plan_cache_baseline;
 };
 
 TemplateMiner::TemplateMiner(const Database* db, MinerOptions options)
@@ -93,7 +128,7 @@ TemplateMiner::TemplateMiner(const Database* db, MinerOptions options)
 }
 
 StatusOr<TemplateMiner::Context> TemplateMiner::MakeContext() const {
-  Context ctx(db_, options_.executor);
+  Context ctx(db_, options_);
   EBA_ASSIGN_OR_RETURN(const Table* log_table,
                        db_->GetTable(options_.log_table));
   int lid_col = log_table->schema().ColumnIndex(options_.lid_column);
@@ -132,7 +167,7 @@ StatusOr<int64_t> TemplateMiner::PathSupport(Context* ctx,
   if (options_.cache_support) {
     auto it = ctx->support_cache.find(key);
     if (it != ctx->support_cache.end()) {
-      ctx->stats.cache_hits++;
+      ctx->stats.support_cache_hits++;
       return it->second;
     }
   }
@@ -275,6 +310,7 @@ StatusOr<MiningResult> TemplateMiner::MineOneWay() const {
   for (auto& [key, mined] : ctx.explanations) {
     result.templates.push_back(std::move(mined));
   }
+  ctx.FinishStats();
   result.stats = std::move(ctx.stats);
   return result;
 }
@@ -305,6 +341,7 @@ StatusOr<MiningResult> TemplateMiner::MineTwoWay() const {
   for (auto& [key, mined] : ctx.explanations) {
     result.templates.push_back(std::move(mined));
   }
+  ctx.FinishStats();
   result.stats = std::move(ctx.stats);
   return result;
 }
@@ -413,6 +450,7 @@ StatusOr<MiningResult> TemplateMiner::MineBridged(int bridge_length) const {
   for (auto& [key, mined] : ctx.explanations) {
     result.templates.push_back(std::move(mined));
   }
+  ctx.FinishStats();
   result.stats = std::move(ctx.stats);
   return result;
 }

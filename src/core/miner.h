@@ -56,6 +56,14 @@ struct MinerOptions {
   /// every support query; the benches A/B the boxed reference engine
   /// against the late-materialization one through this).
   ExecutorOptions executor;
+  /// Cache compiled physical plans (join order, condition closures,
+  /// dictionary translations, index bindings) across support queries,
+  /// keyed on the canonical condition set plus table epochs. Orthogonal to
+  /// cache_support, which caches final support *counts*: plan caching also
+  /// pays off when the same template shape is re-executed (e.g. with
+  /// support caching disabled for ablation, or across mining runs sharing
+  /// an external cache via executor.plan_cache).
+  bool cache_plans = true;
   bool skip_nonselective = true;
   /// The constant c that widens the skip threshold to S*c.
   double skip_constant_c = 10.0;
@@ -79,7 +87,13 @@ struct LengthTiming {
 struct MiningStats {
   size_t candidates_considered = 0;
   size_t support_queries = 0;
-  size_t cache_hits = 0;
+  /// Support-count cache hits (the §3.2.1 caching optimization): the query
+  /// was skipped entirely because its canonical key already had a count.
+  size_t support_cache_hits = 0;
+  /// Compiled-plan cache hits: the query ran, but replayed a cached
+  /// physical plan instead of planning from scratch.
+  size_t plan_cache_hits = 0;
+  size_t plan_cache_invalidations = 0;
   size_t skipped_paths = 0;
   size_t pruned_paths = 0;  // candidates failing the support threshold
   std::vector<LengthTiming> timings;

@@ -1,6 +1,7 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 #include <set>
 #include <unordered_set>
@@ -9,6 +10,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "query/optimizer.h"
+#include "query/plan_cache.h"
 
 namespace eba {
 
@@ -123,115 +125,76 @@ std::vector<uint32_t> GatherU32(const std::vector<uint32_t>& src,
   return out;
 }
 
-/// Keeps exactly the tuples for which `pred(i)` holds, compacting every
-/// row-id column. The predicate runs before any column moves.
-template <typename Pred>
-void FilterFrame(Frame* f, Pred pred) {
-  const size_t n = f->size();
-  std::vector<uint32_t> keep;
-  keep.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    if (pred(i)) keep.push_back(i);
+/// Morsel fan-out context for one execution: how probe and filter scans are
+/// partitioned over the thread pool. Morsels() returns an empty vector as
+/// the "run serial" sentinel (no pool, one thread, or too few rows).
+struct ParCtx {
+  ThreadPool* pool = nullptr;
+  size_t threads = 1;
+  size_t min_rows = 4096;
+  ExecStats* stats = nullptr;
+
+  std::vector<ShardRange> Morsels(size_t n) const {
+    if (pool == nullptr || threads <= 1) return {};
+    std::vector<ShardRange> shards =
+        SplitShards(n, threads, std::max<size_t>(1, min_rows));
+    if (shards.size() <= 1) return {};
+    if (stats != nullptr) {
+      stats->max_probe_shards = std::max(stats->max_probe_shards, shards.size());
+    }
+    return shards;
   }
-  if (keep.size() == n) return;
-  for (auto& col : f->ids) col = GatherU32(col, keep);
+};
+
+/// Keeps exactly the tuples for which `pred(i)` holds, compacting every
+/// row-id column. The predicate runs before any column moves. With morsels,
+/// per-shard keep lists are built independently and concatenated in shard
+/// order — byte-identical to the serial scan at any thread count.
+template <typename Pred>
+void FilterFrame(Frame* f, const ParCtx& par, Pred pred) {
+  const size_t n = f->size();
+  if (n == 0) return;
+  const std::vector<ShardRange> shards = par.Morsels(n);
+  if (shards.empty()) {
+    std::vector<uint32_t> keep;
+    keep.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (pred(i)) keep.push_back(i);
+    }
+    if (keep.size() == n) return;
+    for (auto& col : f->ids) col = GatherU32(col, keep);
+    return;
+  }
+  std::vector<std::vector<uint32_t>> keeps(shards.size());
+  ParallelFor(par.pool, shards.size(), [&](size_t s) {
+    std::vector<uint32_t>& k = keeps[s];
+    k.reserve(shards[s].end - shards[s].begin);
+    for (size_t i = shards[s].begin; i < shards[s].end; ++i) {
+      if (pred(static_cast<uint32_t>(i))) k.push_back(static_cast<uint32_t>(i));
+    }
+  });
+  size_t total = 0;
+  std::vector<size_t> offsets(shards.size());
+  for (size_t s = 0; s < shards.size(); ++s) {
+    offsets[s] = total;
+    total += keeps[s].size();
+  }
+  if (total == n) return;
+  std::vector<std::vector<uint32_t>> compacted(f->ids.size(),
+                                               std::vector<uint32_t>(total));
+  ParallelFor(par.pool, shards.size(), [&](size_t s) {
+    for (size_t c = 0; c < f->ids.size(); ++c) {
+      const std::vector<uint32_t>& src = f->ids[c];
+      std::vector<uint32_t>& dst = compacted[c];
+      size_t o = offsets[s];
+      for (uint32_t i : keeps[s]) dst[o++] = src[i];
+    }
+  });
+  f->ids = std::move(compacted);
 }
 
 void ClearFrame(Frame* f) {
   for (auto& col : f->ids) col.clear();
-}
-
-/// Applies a bound-bound condition directly against raw column payloads.
-/// Same-type integer-like columns compare int64 payloads, strings compare
-/// dictionary codes (same column) or dictionary strings, doubles compare
-/// raw doubles; any cross-type pair falls back to boxed EvalCmp so the
-/// result is bit-identical to the reference engine.
-void ApplyVarVarFilter(Frame* f, int lslot, int rslot, const Column* lc,
-                       const Column* rc, CmpOp op) {
-  const std::vector<uint32_t>& lids = f->ids[static_cast<size_t>(lslot)];
-  const std::vector<uint32_t>& rids = f->ids[static_cast<size_t>(rslot)];
-  if (lc->type() == rc->type() && lc->IsIntLike()) {
-    FilterFrame(f, [&](uint32_t i) {
-      const uint32_t lr = lids[i], rr = rids[i];
-      if (lc->IsNull(lr) || rc->IsNull(rr)) return false;
-      return RawCmp(lc->Int64At(lr), op, rc->Int64At(rr));
-    });
-  } else if (lc->type() == rc->type() && lc->IsString()) {
-    if (op == CmpOp::kEq && lc == rc) {
-      FilterFrame(f, [&](uint32_t i) {
-        const uint32_t lr = lids[i], rr = rids[i];
-        if (lc->IsNull(lr) || rc->IsNull(rr)) return false;
-        return lc->StringCodeAt(lr) == rc->StringCodeAt(rr);
-      });
-    } else {
-      FilterFrame(f, [&](uint32_t i) {
-        const uint32_t lr = lids[i], rr = rids[i];
-        if (lc->IsNull(lr) || rc->IsNull(rr)) return false;
-        return RawCmp(lc->StringAt(lr), op, rc->StringAt(rr));
-      });
-    }
-  } else if (lc->type() == rc->type() && lc->type() == DataType::kDouble) {
-    FilterFrame(f, [&](uint32_t i) {
-      const uint32_t lr = lids[i], rr = rids[i];
-      if (lc->IsNull(lr) || rc->IsNull(rr)) return false;
-      return RawCmp(lc->DoubleAt(lr), op, rc->DoubleAt(rr));
-    });
-  } else {
-    FilterFrame(f, [&](uint32_t i) {
-      return EvalCmp(lc->Get(lids[i]), op, rc->Get(rids[i]));
-    });
-  }
-}
-
-/// Applies an attribute-literal condition against raw column payloads; the
-/// literal is resolved once (raw int64 / dictionary code / string) instead
-/// of per row. Cross-type pairs fall back to boxed EvalCmp.
-void ApplyConstFilter(Frame* f, int slot, const Column* c, CmpOp op,
-                      const Value& rhs) {
-  const std::vector<uint32_t>& sids = f->ids[static_cast<size_t>(slot)];
-  if (rhs.is_null()) {
-    ClearFrame(f);  // NULL literal: EvalCmp is false for every row
-    return;
-  }
-  if (c->IsIntLike() && rhs.type() == c->type()) {
-    const int64_t key = rhs.RawInt64();
-    FilterFrame(f, [&](uint32_t i) {
-      const uint32_t r = sids[i];
-      if (c->IsNull(r)) return false;
-      return RawCmp(c->Int64At(r), op, key);
-    });
-  } else if (c->IsString() && rhs.type() == DataType::kString) {
-    if (op == CmpOp::kEq) {
-      auto code = c->FindStringCode(rhs.AsString());
-      if (!code) {
-        ClearFrame(f);  // literal not in the dictionary: no row can match
-        return;
-      }
-      const int64_t key = *code;
-      FilterFrame(f, [&](uint32_t i) {
-        const uint32_t r = sids[i];
-        if (c->IsNull(r)) return false;
-        return c->StringCodeAt(r) == key;
-      });
-    } else {
-      const std::string& key = rhs.AsString();
-      FilterFrame(f, [&](uint32_t i) {
-        const uint32_t r = sids[i];
-        if (c->IsNull(r)) return false;
-        return RawCmp(c->StringAt(r), op, key);
-      });
-    }
-  } else if (c->type() == DataType::kDouble &&
-             rhs.type() == DataType::kDouble) {
-    const double key = rhs.AsDouble();
-    FilterFrame(f, [&](uint32_t i) {
-      const uint32_t r = sids[i];
-      if (c->IsNull(r)) return false;
-      return RawCmp(c->DoubleAt(r), op, key);
-    });
-  } else {
-    FilterFrame(f, [&](uint32_t i) { return EvalCmp(c->Get(sids[i]), op, rhs); });
-  }
 }
 
 struct U32VecHasher {
@@ -244,7 +207,8 @@ struct U32VecHasher {
 
 /// Removes duplicate row-id tuples. Specialized for the 1- and 2-slot
 /// frames the distinct-lid semi-join produces (a packed integer key)
-/// before falling back to a generic tuple set.
+/// before falling back to a generic tuple set. First-occurrence order is
+/// semantic, so this stays serial.
 void DedupFrame(Frame* f) {
   const size_t n = f->size();
   if (n == 0 || f->ids.empty()) return;
@@ -279,30 +243,357 @@ void DedupFrame(Frame* f) {
   for (auto& col : f->ids) col = GatherU32(col, keep);
 }
 
-/// Runs a PathQuery over the row-id frame. One instance per Execute call;
-/// owns the condition bookkeeping and the join-order policy.
-class FrameExecutor {
- public:
-  FrameExecutor(const Database* db, const ExecutorOptions& options,
-                ExecStats* stats)
-      : db_(db), options_(options), stats_(stats) {}
+// ===========================================================================
+// Compiled-plan step application. Each function interprets one frozen
+// PlanStep against the frame; record and replay share these, so a replayed
+// plan is executed by exactly the code that executed it at record time.
+// ===========================================================================
 
-  /// Executes the query pipeline and returns the final frame. The frame
-  /// holds a slot for every tuple variable referenced by `output_attrs`
-  /// (plus, without `dedup_frontier`, every bound variable).
+/// Applies a bound-bound condition directly against raw column payloads
+/// (kJoinFilter / kVarVarFilter steps). Same-type integer-like columns
+/// compare int64 payloads, strings compare dictionary codes (same column)
+/// or dictionary strings, doubles compare raw doubles; any cross-type pair
+/// falls back to boxed EvalCmp so the result is bit-identical to the
+/// reference engine.
+void ApplyVarVarStep(Frame* f, const PlanStep& st, const ParCtx& par) {
+  const std::vector<uint32_t>& lids = f->ids[static_cast<size_t>(st.lhs_slot)];
+  const std::vector<uint32_t>& rids = f->ids[static_cast<size_t>(st.rhs_slot)];
+  const Column* lc = st.lhs_col;
+  const Column* rc = st.rhs_col;
+  const CmpOp op = st.op;
+  if (lc->type() == rc->type() && lc->IsIntLike()) {
+    FilterFrame(f, par, [&](uint32_t i) {
+      const uint32_t lr = lids[i], rr = rids[i];
+      if (lc->IsNull(lr) || rc->IsNull(rr)) return false;
+      return RawCmp(lc->Int64At(lr), op, rc->Int64At(rr));
+    });
+  } else if (lc->type() == rc->type() && lc->IsString()) {
+    if (op == CmpOp::kEq && lc == rc) {
+      FilterFrame(f, par, [&](uint32_t i) {
+        const uint32_t lr = lids[i], rr = rids[i];
+        if (lc->IsNull(lr) || rc->IsNull(rr)) return false;
+        return lc->StringCodeAt(lr) == rc->StringCodeAt(rr);
+      });
+    } else {
+      FilterFrame(f, par, [&](uint32_t i) {
+        const uint32_t lr = lids[i], rr = rids[i];
+        if (lc->IsNull(lr) || rc->IsNull(rr)) return false;
+        return RawCmp(lc->StringAt(lr), op, rc->StringAt(rr));
+      });
+    }
+  } else if (lc->type() == rc->type() && lc->type() == DataType::kDouble) {
+    FilterFrame(f, par, [&](uint32_t i) {
+      const uint32_t lr = lids[i], rr = rids[i];
+      if (lc->IsNull(lr) || rc->IsNull(rr)) return false;
+      return RawCmp(lc->DoubleAt(lr), op, rc->DoubleAt(rr));
+    });
+  } else {
+    FilterFrame(f, par, [&](uint32_t i) {
+      return EvalCmp(lc->Get(lids[i]), op, rc->Get(rids[i]));
+    });
+  }
+}
+
+/// Compiles an attribute-literal condition: the literal is resolved once at
+/// plan time (raw int64 / dictionary code / string / double) instead of per
+/// row per execution. Cross-type pairs fall back to boxed EvalCmp.
+PlanStep CompileConstFilter(int slot, const Column* c, CmpOp op,
+                            const Value& rhs) {
+  PlanStep st;
+  st.kind = PlanStep::Kind::kConstFilter;
+  st.lhs_slot = slot;
+  st.lhs_col = c;
+  st.op = op;
+  if (rhs.is_null()) {
+    st.lit_kind = PlanStep::LitKind::kNeverMatches;  // EvalCmp is false
+  } else if (c->IsIntLike() && rhs.type() == c->type()) {
+    st.lit_kind = PlanStep::LitKind::kInt64;
+    st.lit_int = rhs.RawInt64();
+  } else if (c->IsString() && rhs.type() == DataType::kString) {
+    if (op == CmpOp::kEq) {
+      auto code = c->FindStringCode(rhs.AsString());
+      if (code) {
+        st.lit_kind = PlanStep::LitKind::kStringCode;
+        st.lit_int = *code;
+      } else {
+        // Literal not in the dictionary: no row can match.
+        st.lit_kind = PlanStep::LitKind::kNeverMatches;
+      }
+    } else {
+      st.lit_kind = PlanStep::LitKind::kString;
+      st.lit_string = rhs.AsString();
+    }
+  } else if (c->type() == DataType::kDouble &&
+             rhs.type() == DataType::kDouble) {
+    st.lit_kind = PlanStep::LitKind::kDouble;
+    st.lit_double = rhs.AsDouble();
+  } else {
+    st.lit_kind = PlanStep::LitKind::kBoxed;
+    st.lit_value = rhs;
+  }
+  return st;
+}
+
+void ApplyConstStep(Frame* f, const PlanStep& st, const ParCtx& par) {
+  const std::vector<uint32_t>& sids = f->ids[static_cast<size_t>(st.lhs_slot)];
+  const Column* c = st.lhs_col;
+  const CmpOp op = st.op;
+  switch (st.lit_kind) {
+    case PlanStep::LitKind::kNeverMatches:
+      ClearFrame(f);
+      return;
+    case PlanStep::LitKind::kInt64: {
+      const int64_t key = st.lit_int;
+      FilterFrame(f, par, [&](uint32_t i) {
+        const uint32_t r = sids[i];
+        if (c->IsNull(r)) return false;
+        return RawCmp(c->Int64At(r), op, key);
+      });
+      return;
+    }
+    case PlanStep::LitKind::kStringCode: {
+      const int64_t key = st.lit_int;
+      FilterFrame(f, par, [&](uint32_t i) {
+        const uint32_t r = sids[i];
+        if (c->IsNull(r)) return false;
+        return c->StringCodeAt(r) == key;
+      });
+      return;
+    }
+    case PlanStep::LitKind::kString: {
+      const std::string& key = st.lit_string;
+      FilterFrame(f, par, [&](uint32_t i) {
+        const uint32_t r = sids[i];
+        if (c->IsNull(r)) return false;
+        return RawCmp(c->StringAt(r), op, key);
+      });
+      return;
+    }
+    case PlanStep::LitKind::kDouble: {
+      const double key = st.lit_double;
+      FilterFrame(f, par, [&](uint32_t i) {
+        const uint32_t r = sids[i];
+        if (c->IsNull(r)) return false;
+        return RawCmp(c->DoubleAt(r), op, key);
+      });
+      return;
+    }
+    case PlanStep::LitKind::kBoxed:
+      FilterFrame(f, par, [&](uint32_t i) {
+        return EvalCmp(c->Get(sids[i]), op, st.lit_value);
+      });
+      return;
+  }
+}
+
+/// Applies a semi-join drop step: rebuilds the frame from the surviving
+/// slots, then deduplicates the remaining row-id tuples.
+void ApplyDropStep(Frame* f, const PlanStep& st) {
+  if (st.drop_keep_slots.size() != f->ids.size()) {
+    Frame next;
+    next.vars.reserve(st.drop_keep_slots.size());
+    next.ids.reserve(st.drop_keep_slots.size());
+    for (uint32_t s : st.drop_keep_slots) {
+      next.vars.push_back(f->vars[s]);
+      next.ids.push_back(std::move(f->ids[s]));
+    }
+    *f = std::move(next);
+  }
+  if (st.dedup) DedupFrame(f);
+}
+
+/// One hash-join step: probes the build side's index with raw payloads (or
+/// pre-translated dictionary codes) and appends row ids — the accumulated
+/// tuple is never copied as boxed values, only its uint32 columns are
+/// gathered through the selection vector. With morsels, the probe column is
+/// partitioned into contiguous shards; per-shard selection vectors are
+/// built independently and concatenated in shard order, so the output frame
+/// is byte-identical to the serial probe at any thread count.
+void ExecuteJoinStep(Frame* f, const PlanStep& st, const ParCtx& par,
+                     ExecStats* stats) {
+  const std::vector<uint32_t>& pids = f->ids[static_cast<size_t>(st.probe_slot)];
+  const size_t n = f->size();
+  const Column& probe_col = *st.probe_col;
+  const HashIndex& idx = *st.index;
+
+  auto probe_range = [&](size_t begin, size_t end, std::vector<uint32_t>* sel,
+                         std::vector<uint32_t>* new_ids) {
+    auto emit = [&](size_t i, const std::vector<uint32_t>& matches) {
+      for (uint32_t m : matches) {
+        sel->push_back(static_cast<uint32_t>(i));
+        new_ids->push_back(m);
+      }
+    };
+    switch (st.probe_kind) {
+      case PlanStep::ProbeKind::kInt64:
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t r = pids[i];
+          if (probe_col.IsNull(r)) continue;
+          emit(i, idx.LookupInt64(probe_col.Int64At(r)));
+        }
+        break;
+      case PlanStep::ProbeKind::kStringSameColumn:
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t r = pids[i];
+          if (probe_col.IsNull(r)) continue;
+          emit(i, idx.LookupCode(probe_col.StringCodeAt(r)));
+        }
+        break;
+      case PlanStep::ProbeKind::kStringTranslated:
+        for (size_t i = begin; i < end; ++i) {
+          const uint32_t r = pids[i];
+          if (probe_col.IsNull(r)) continue;
+          const int64_t code =
+              st.translated_codes[static_cast<size_t>(probe_col.StringCodeAt(r))];
+          if (code < 0) continue;
+          emit(i, idx.LookupCode(code));
+        }
+        break;
+      case PlanStep::ProbeKind::kBoxed:
+        // Doubles and mismatched column kinds: boxed probes, identical to
+        // the reference engine's Lookup semantics (NULLs and cross-kind
+        // probes match nothing).
+        for (size_t i = begin; i < end; ++i) {
+          emit(i, idx.Lookup(probe_col.Get(pids[i])));
+        }
+        break;
+    }
+  };
+
+  Frame next;
+  next.vars.reserve(st.keep_slots.size() + 1);
+  next.ids.resize(st.keep_slots.size() + (st.keep_new ? 1 : 0));
+  for (uint32_t s : st.keep_slots) next.vars.push_back(f->vars[s]);
+  if (st.keep_new) next.vars.push_back(st.new_var);
+
+  const std::vector<ShardRange> shards = par.Morsels(n);
+  if (shards.empty()) {
+    std::vector<uint32_t> sel;
+    std::vector<uint32_t> new_ids;
+    probe_range(0, n, &sel, &new_ids);
+    size_t out = 0;
+    for (uint32_t s : st.keep_slots) {
+      next.ids[out++] = GatherU32(f->ids[s], sel);
+    }
+    if (st.keep_new) next.ids[out] = std::move(new_ids);
+  } else {
+    std::vector<std::vector<uint32_t>> sels(shards.size());
+    std::vector<std::vector<uint32_t>> nids(shards.size());
+    ParallelFor(par.pool, shards.size(), [&](size_t s) {
+      probe_range(shards[s].begin, shards[s].end, &sels[s], &nids[s]);
+    });
+    size_t total = 0;
+    std::vector<size_t> offsets(shards.size());
+    for (size_t s = 0; s < shards.size(); ++s) {
+      offsets[s] = total;
+      total += sels[s].size();
+    }
+    for (auto& col : next.ids) col.resize(total);
+    ParallelFor(par.pool, shards.size(), [&](size_t s) {
+      size_t out = 0;
+      for (uint32_t slot : st.keep_slots) {
+        const std::vector<uint32_t>& src = f->ids[slot];
+        std::vector<uint32_t>& dst = next.ids[out++];
+        size_t o = offsets[s];
+        for (uint32_t i : sels[s]) dst[o++] = src[i];
+      }
+      if (st.keep_new) {
+        std::vector<uint32_t>& dst = next.ids[out];
+        std::copy(nids[s].begin(), nids[s].end(),
+                  dst.begin() + static_cast<long>(offsets[s]));
+      }
+    });
+  }
+
+  stats->joins_executed++;
+  stats->rows_emitted += next.size();
+  stats->peak_intermediate = std::max(stats->peak_intermediate, next.size());
+  *f = std::move(next);
+}
+
+/// Interprets one frozen step against the frame.
+void ApplyStep(Frame* f, const PlanStep& st, const ParCtx& par,
+               ExecStats* stats) {
+  switch (st.kind) {
+    case PlanStep::Kind::kJoin:
+      ExecuteJoinStep(f, st, par, stats);
+      break;
+    case PlanStep::Kind::kJoinFilter:
+    case PlanStep::Kind::kVarVarFilter:
+      ApplyVarVarStep(f, st, par);
+      break;
+    case PlanStep::Kind::kConstFilter:
+      ApplyConstStep(f, st, par);
+      break;
+    case PlanStep::Kind::kDrop:
+      ApplyDropStep(f, st);
+      break;
+  }
+}
+
+/// Builds the initial variable-0 scan: the full log, or the distinct row
+/// ids matching `lid_filter` (first-occurrence order preserved).
+void InitialScan(const Table* log_table, const std::vector<Value>* lid_filter,
+                 QAttr lid_attr, std::vector<uint32_t>* scan) {
+  if (lid_filter != nullptr) {
+    const HashIndex& idx =
+        log_table->GetOrBuildIndex(static_cast<size_t>(lid_attr.col));
+    const Column& lid_col =
+        log_table->column(static_cast<size_t>(lid_attr.col));
+    size_t total = 0;
+    for (const auto& lid : *lid_filter) {
+      total += LidMatches(idx, lid_col, lid).size();
+    }
+    scan->reserve(total);
+    std::unordered_set<uint32_t> rows_seen;
+    rows_seen.reserve(2 * total);
+    for (const auto& lid : *lid_filter) {
+      for (uint32_t r : LidMatches(idx, lid_col, lid)) {
+        if (rows_seen.insert(r).second) scan->push_back(r);
+      }
+    }
+  } else {
+    scan->resize(log_table->num_rows());
+    for (uint32_t r = 0; r < scan->size(); ++r) (*scan)[r] = r;
+  }
+}
+
+// ===========================================================================
+// Planning executor: runs a PathQuery over the row-id frame while recording
+// the fully-compiled plan — chosen join order, resolved condition closures,
+// pre-translated dictionary codes, index bindings, and the semi-join drop
+// schedule. One instance per Execute call.
+// ===========================================================================
+
+class PlanningExecutor {
+ public:
+  PlanningExecutor(const Database* db, const ExecutorOptions& options,
+                   ExecStats* stats, const ParCtx& par)
+      : db_(db), options_(options), stats_(stats), par_(par) {}
+
+  /// Executes the query pipeline, records it into `plan`, and returns the
+  /// final frame. The frame holds a slot for every tuple variable referenced
+  /// by `output_attrs` (plus, without `dedup_frontier`, every bound
+  /// variable).
   StatusOr<Frame> Run(const PathQuery& q,
                       const std::vector<QAttr>& output_attrs,
                       bool dedup_frontier, const std::vector<Value>* lid_filter,
-                      QAttr lid_attr) {
+                      QAttr lid_attr, CompiledPlan* plan) {
     EBA_RETURN_IF_ERROR(q.Validate(*db_));
-    *stats_ = ExecStats{};
+    plan_ = plan;
     output_attrs_ = &output_attrs;
     dedup_frontier_ = dedup_frontier;
     join_dropped_ = false;
 
-    tables_.resize(q.vars.size());
+    plan_->db = db_;
+    plan_->catalog_generation = db_->catalog_generation();
+    plan_->tables.resize(q.vars.size());
     for (size_t i = 0; i < q.vars.size(); ++i) {
-      EBA_ASSIGN_OR_RETURN(tables_[i], db_->GetTable(q.vars[i].table));
+      EBA_ASSIGN_OR_RETURN(plan_->tables[i], db_->GetTable(q.vars[i].table));
+    }
+    plan_->table_epochs.reserve(q.vars.size());
+    for (const Table* t : plan_->tables) {
+      plan_->table_epochs.push_back(t->epoch());
     }
 
     joins_ = q.join_chain;
@@ -318,35 +609,16 @@ class FrameExecutor {
     if (options_.join_order == ExecutorOptions::JoinOrder::kCostBased) {
       estimator.emplace(db_);
       stats_->used_cost_based_order = true;
+      plan_->used_cost_based_order = true;
     }
 
     // --- Initial frame: variable 0 (the log). ---
     Frame frame;
     frame.vars.push_back(0);
     frame.ids.emplace_back();
-    const Table* log_table = tables_[0];
-    std::vector<uint32_t>& scan = frame.ids[0];
-    if (lid_filter != nullptr) {
-      const HashIndex& idx =
-          log_table->GetOrBuildIndex(static_cast<size_t>(lid_attr.col));
-      const Column& lid_col = log_table->column(static_cast<size_t>(lid_attr.col));
-      size_t total = 0;
-      for (const auto& lid : *lid_filter) {
-        total += LidMatches(idx, lid_col, lid).size();
-      }
-      scan.reserve(total);
-      std::unordered_set<uint32_t> rows_seen;
-      rows_seen.reserve(2 * total);
-      for (const auto& lid : *lid_filter) {
-        for (uint32_t r : LidMatches(idx, lid_col, lid)) {
-          if (rows_seen.insert(r).second) scan.push_back(r);
-        }
-      }
-    } else {
-      scan.resize(log_table->num_rows());
-      for (uint32_t r = 0; r < scan.size(); ++r) scan[r] = r;
-    }
-    stats_->peak_intermediate = std::max(stats_->peak_intermediate, frame.size());
+    InitialScan(plan_->tables[0], lid_filter, lid_attr, &frame.ids[0]);
+    stats_->peak_intermediate =
+        std::max(stats_->peak_intermediate, frame.size());
     ApplyFilters(&frame);
     DropAndDedup(&frame);
 
@@ -376,10 +648,10 @@ class FrameExecutor {
         }
         const QAttr probe = lb ? joins_[i].lhs : joins_[i].rhs;
         const QAttr build = lb ? joins_[i].rhs : joins_[i].lhs;
-        EBA_ASSIGN_OR_RETURN(
-            double est,
-            estimator->EstimateJoinStep(
-                q, static_cast<double>(frame.size()), probe, build));
+        const double est = estimator->EstimateJoinStep(
+            plan_->tables[static_cast<size_t>(probe.var)], probe,
+            plan_->tables[static_cast<size_t>(build.var)], build,
+            static_cast<double>(frame.size()));
         if (pick < 0 || est < pick_est) {
           pick = static_cast<int>(i);
           pick_est = est;
@@ -398,19 +670,32 @@ class FrameExecutor {
         const int ls = frame.SlotOf(c.lhs.var);
         const int rs = frame.SlotOf(c.rhs.var);
         EBA_CHECK(ls >= 0 && rs >= 0);
-        ApplyVarVarFilter(&frame, ls, rs, ColumnOf(c.lhs), ColumnOf(c.rhs),
-                          c.op);
+        PlanStep st;
+        st.kind = PlanStep::Kind::kJoinFilter;
+        st.condition_index = pick;
+        st.lhs_slot = ls;
+        st.rhs_slot = rs;
+        st.lhs_col = ColumnOf(c.lhs);
+        st.rhs_col = ColumnOf(c.rhs);
+        st.op = c.op;
+        Record(&frame, std::move(st));
       } else {
         if (c.op != CmpOp::kEq) {
           return Status::Unimplemented(
               "non-equality join in chain; put theta conditions in "
               "extra_conditions");
         }
-        EBA_RETURN_IF_ERROR(ExecuteJoin(&frame, c));
+        EBA_RETURN_IF_ERROR(CompileAndExecuteJoin(&frame, c, pick, pick_est));
       }
 
       ApplyFilters(&frame);
       DropAndDedup(&frame);
+      CompiledPlan::StatsPoint sp;
+      sp.after_step = plan_->steps.size() - 1;
+      sp.condition_index = pick;
+      sp.is_filter = pick_is_filter;
+      sp.estimated_rows = pick_est;
+      plan_->stats_points.push_back(sp);
       ExecStats::JoinStep step;
       step.condition_index = pick;
       step.is_filter = pick_is_filter;
@@ -438,15 +723,21 @@ class FrameExecutor {
       }
     }
     stats_->used_semi_join = dedup_frontier_;
+    plan_->used_semi_join = dedup_frontier_;
+    plan_->final_vars = frame.vars;
     return frame;
   }
 
-  const std::vector<const Table*>& tables() const { return tables_; }
-
  private:
   const Column* ColumnOf(const QAttr& a) const {
-    return &tables_[static_cast<size_t>(a.var)]->column(
+    return &plan_->tables[static_cast<size_t>(a.var)]->column(
         static_cast<size_t>(a.col));
+  }
+
+  /// Executes `st` against the frame and appends it to the plan.
+  void Record(Frame* frame, PlanStep st) {
+    ApplyStep(frame, st, par_, stats_);
+    plan_->steps.push_back(std::move(st));
   }
 
   /// Applies every decoration whose variables are all bound.
@@ -462,7 +753,14 @@ class FrameExecutor {
       const int rs = frame->SlotOf(c.rhs.var);
       EBA_CHECK(ls >= 0 && rs >= 0);
       extra_applied_[i] = true;
-      ApplyVarVarFilter(frame, ls, rs, ColumnOf(c.lhs), ColumnOf(c.rhs), c.op);
+      PlanStep st;
+      st.kind = PlanStep::Kind::kVarVarFilter;
+      st.lhs_slot = ls;
+      st.rhs_slot = rs;
+      st.lhs_col = ColumnOf(c.lhs);
+      st.rhs_col = ColumnOf(c.rhs);
+      st.op = c.op;
+      Record(frame, std::move(st));
     }
     for (size_t i = 0; i < consts_.size(); ++i) {
       if (const_applied_[i]) continue;
@@ -471,7 +769,7 @@ class FrameExecutor {
       const int slot = frame->SlotOf(c.lhs.var);
       EBA_CHECK(slot >= 0);
       const_applied_[i] = true;
-      ApplyConstFilter(frame, slot, ColumnOf(c.lhs), c.op, c.rhs);
+      Record(frame, CompileConstFilter(slot, ColumnOf(c.lhs), c.op, c.rhs));
     }
   }
 
@@ -479,7 +777,9 @@ class FrameExecutor {
   /// condition or by an output attribute.
   std::vector<bool> NeededVars() const {
     std::vector<bool> needed(bound_.size(), false);
-    for (const auto& a : *output_attrs_) needed[static_cast<size_t>(a.var)] = true;
+    for (const auto& a : *output_attrs_) {
+      needed[static_cast<size_t>(a.var)] = true;
+    }
     for (size_t i = 0; i < joins_.size(); ++i) {
       if (join_applied_[i]) continue;
       needed[static_cast<size_t>(joins_[i].lhs.var)] = true;
@@ -507,128 +807,97 @@ class FrameExecutor {
     const std::vector<bool> needed = NeededVars();
     bool dropped = join_dropped_;
     join_dropped_ = false;
-    for (size_t s = 0; s < frame->vars.size();) {
-      if (!needed[static_cast<size_t>(frame->vars[s])]) {
-        frame->vars.erase(frame->vars.begin() + static_cast<long>(s));
-        frame->ids.erase(frame->ids.begin() + static_cast<long>(s));
-        dropped = true;
+    std::vector<uint32_t> keep;
+    keep.reserve(frame->vars.size());
+    for (size_t s = 0; s < frame->vars.size(); ++s) {
+      if (needed[static_cast<size_t>(frame->vars[s])]) {
+        keep.push_back(static_cast<uint32_t>(s));
       } else {
-        ++s;
+        dropped = true;
       }
     }
-    if (dropped) DedupFrame(frame);
+    if (!dropped) return;
+    PlanStep st;
+    st.kind = PlanStep::Kind::kDrop;
+    st.drop_keep_slots = std::move(keep);
+    st.dedup = true;
+    Record(frame, std::move(st));
   }
 
-  /// One hash-join step: probes the build side's index with raw payloads
-  /// (or pre-translated dictionary codes) and appends row ids — the
-  /// accumulated tuple is never copied as boxed values, only its uint32
-  /// columns are gathered through the selection vector.
-  Status ExecuteJoin(Frame* frame, const VarCondition& c) {
+  /// Compiles one binding hash-join: resolves the probe dispatch, the index
+  /// binding, the dictionary-code translation, and the semi-join keep mask,
+  /// then executes the recorded step.
+  Status CompileAndExecuteJoin(Frame* frame, const VarCondition& c, int pick,
+                               double pick_est) {
     const bool lhs_bound = bound_[static_cast<size_t>(c.lhs.var)];
     const QAttr bound_attr = lhs_bound ? c.lhs : c.rhs;
     const QAttr new_attr = lhs_bound ? c.rhs : c.lhs;
     const int new_var = new_attr.var;
-    const Table* new_table = tables_[static_cast<size_t>(new_var)];
+    const Table* new_table = plan_->tables[static_cast<size_t>(new_var)];
     const HashIndex& idx =
         new_table->GetOrBuildIndex(static_cast<size_t>(new_attr.col));
     const Column& build_col =
         new_table->column(static_cast<size_t>(new_attr.col));
     const Column& probe_col = *ColumnOf(bound_attr);
 
-    const int probe_slot = frame->SlotOf(bound_attr.var);
-    EBA_CHECK(probe_slot >= 0);
-    const std::vector<uint32_t>& pids =
-        frame->ids[static_cast<size_t>(probe_slot)];
-    const size_t n = frame->size();
-
-    std::vector<uint32_t> sel;
-    std::vector<uint32_t> new_ids;
-    auto emit = [&](uint32_t i, const std::vector<uint32_t>& matches) {
-      for (uint32_t m : matches) {
-        sel.push_back(i);
-        new_ids.push_back(m);
-      }
-    };
+    PlanStep st;
+    st.kind = PlanStep::Kind::kJoin;
+    st.condition_index = pick;
+    st.estimated_rows = pick_est;
+    st.probe_slot = frame->SlotOf(bound_attr.var);
+    EBA_CHECK(st.probe_slot >= 0);
+    st.probe_col = &probe_col;
+    st.index = &idx;
+    st.new_var = new_var;
     if (probe_col.IsIntLike() && build_col.IsIntLike()) {
-      for (uint32_t i = 0; i < n; ++i) {
-        const uint32_t r = pids[i];
-        if (probe_col.IsNull(r)) continue;
-        emit(i, idx.LookupInt64(probe_col.Int64At(r)));
-      }
+      st.probe_kind = PlanStep::ProbeKind::kInt64;
     } else if (probe_col.IsString() && build_col.IsString()) {
       if (&probe_col == &build_col) {
-        for (uint32_t i = 0; i < n; ++i) {
-          const uint32_t r = pids[i];
-          if (probe_col.IsNull(r)) continue;
-          emit(i, idx.LookupCode(probe_col.StringCodeAt(r)));
-        }
+        st.probe_kind = PlanStep::ProbeKind::kStringSameColumn;
       } else {
-        const std::vector<int64_t> translated =
-            idx.TranslateCodesFrom(probe_col);
-        for (uint32_t i = 0; i < n; ++i) {
-          const uint32_t r = pids[i];
-          if (probe_col.IsNull(r)) continue;
-          const int64_t code =
-              translated[static_cast<size_t>(probe_col.StringCodeAt(r))];
-          if (code < 0) continue;
-          emit(i, idx.LookupCode(code));
-        }
+        st.probe_kind = PlanStep::ProbeKind::kStringTranslated;
+        st.translated_codes = idx.TranslateCodesFrom(probe_col);
       }
     } else {
-      // Doubles and mismatched column kinds: boxed probes, identical to the
-      // reference engine's Lookup semantics (NULLs and cross-kind probes
-      // match nothing).
-      for (uint32_t i = 0; i < n; ++i) {
-        emit(i, idx.Lookup(probe_col.Get(pids[i])));
-      }
+      st.probe_kind = PlanStep::ProbeKind::kBoxed;
     }
 
     // In semi-join mode, columns whose variable is already doomed (the
     // just-applied join was marked applied before this call, so NeededVars
     // reflects the post-join state) are never gathered: they would be
     // dropped by DropAndDedup right after the decorations run.
-    std::vector<bool> keep_slot(frame->ids.size(), true);
-    bool keep_new = true;
+    st.keep_slots.reserve(frame->ids.size());
+    st.keep_new = true;
     if (dedup_frontier_) {
       const std::vector<bool> needed = NeededVars();
       for (size_t s = 0; s < frame->vars.size(); ++s) {
-        keep_slot[s] = needed[static_cast<size_t>(frame->vars[s])];
+        if (needed[static_cast<size_t>(frame->vars[s])]) {
+          st.keep_slots.push_back(static_cast<uint32_t>(s));
+        } else {
+          join_dropped_ = true;
+        }
       }
-      keep_new = needed[static_cast<size_t>(new_var)];
-    }
-    Frame next;
-    next.vars.reserve(frame->vars.size() + 1);
-    next.ids.reserve(frame->ids.size() + 1);
-    for (size_t s = 0; s < frame->ids.size(); ++s) {
-      if (!keep_slot[s]) {
-        join_dropped_ = true;
-        continue;
-      }
-      next.vars.push_back(frame->vars[s]);
-      next.ids.push_back(GatherU32(frame->ids[s], sel));
-    }
-    if (keep_new) {
-      next.vars.push_back(new_var);
-      next.ids.push_back(std::move(new_ids));
+      st.keep_new = needed[static_cast<size_t>(new_var)];
+      if (!st.keep_new) join_dropped_ = true;
     } else {
-      join_dropped_ = true;
+      for (size_t s = 0; s < frame->vars.size(); ++s) {
+        st.keep_slots.push_back(static_cast<uint32_t>(s));
+      }
     }
     bound_[static_cast<size_t>(new_var)] = true;
-    stats_->joins_executed++;
-    stats_->rows_emitted += next.size();
-    stats_->peak_intermediate = std::max(stats_->peak_intermediate, next.size());
-    *frame = std::move(next);
+    Record(frame, std::move(st));
     return Status::OK();
   }
 
   const Database* db_;
   ExecutorOptions options_;
   ExecStats* stats_;
+  ParCtx par_;
+  CompiledPlan* plan_ = nullptr;
 
   const std::vector<QAttr>* output_attrs_ = nullptr;
   bool dedup_frontier_ = false;
   bool join_dropped_ = false;  // a join skipped a doomed column; dedup due
-  std::vector<const Table*> tables_;
   std::vector<VarCondition> joins_;
   std::vector<bool> join_applied_;
   std::vector<VarCondition> extras_;
@@ -637,6 +906,121 @@ class FrameExecutor {
   std::vector<bool> const_applied_;
   std::vector<bool> bound_;
 };
+
+/// Replays a cached compiled plan: the initial scan is rebuilt from the
+/// runtime inputs (full log or lid filter), then every frozen step is
+/// interpreted in order. No validation, table resolution, cardinality
+/// estimation, or closure compilation happens here.
+Frame ReplayPlan(const CompiledPlan& plan, const std::vector<Value>* lid_filter,
+                 QAttr lid_attr, const ParCtx& par, ExecStats* stats) {
+  stats->plan_cache_hit = true;
+  stats->used_cost_based_order = plan.used_cost_based_order;
+  Frame frame;
+  frame.vars.push_back(0);
+  frame.ids.emplace_back();
+  InitialScan(plan.tables[0], lid_filter, lid_attr, &frame.ids[0]);
+  stats->peak_intermediate = std::max(stats->peak_intermediate, frame.size());
+  size_t sp = 0;
+  for (size_t k = 0; k < plan.steps.size(); ++k) {
+    ApplyStep(&frame, plan.steps[k], par, stats);
+    for (; sp < plan.stats_points.size() &&
+           plan.stats_points[sp].after_step == k;
+         ++sp) {
+      ExecStats::JoinStep step;
+      step.condition_index = plan.stats_points[sp].condition_index;
+      step.is_filter = plan.stats_points[sp].is_filter;
+      step.rows_after = frame.size();
+      step.estimated_rows = plan.stats_points[sp].estimated_rows;
+      stats->join_order.push_back(step);
+    }
+  }
+  stats->used_semi_join = plan.used_semi_join;
+  // Replay invariant: interpreting the frozen steps must land on exactly
+  // the slot layout the recording execution ended with.
+  EBA_CHECK(frame.vars == plan.final_vars);
+  return frame;
+}
+
+/// Structural cache key for a compiled plan: every input that shapes the
+/// recorded pipeline — tables, conditions, resolved literals, projection,
+/// semi-join mode, lid-filter mode, and the join-order policy. Two queries
+/// with equal keys compile to interchangeable plans (aliases do not affect
+/// execution, so they are deliberately excluded).
+std::string PlanKey(const PathQuery& q, const std::vector<QAttr>& output_attrs,
+                    bool dedup_frontier, bool has_lid_filter, QAttr lid_attr,
+                    const ExecutorOptions& options) {
+  std::string key;
+  key.reserve(64 + 16 * (q.vars.size() + q.join_chain.size() +
+                         q.extra_conditions.size() +
+                         q.const_conditions.size() + output_attrs.size()));
+  auto attr = [&key](const QAttr& a) {
+    key += std::to_string(a.var);
+    key += '.';
+    key += std::to_string(a.col);
+  };
+  // Length-prefixed, so free-form text (table names, string literals)
+  // cannot forge the key's separators.
+  auto text = [&key](const std::string& s) {
+    key += std::to_string(s.size());
+    key += '#';
+    key += s;
+  };
+  auto literal = [&](const Value& v) {
+    key += DataTypeToString(v.type());
+    key += ':';
+    if (v.is_null()) {
+      key += "null";
+    } else if (v.type() == DataType::kDouble) {
+      // Bit-exact: ToString's %g rendering would collide nearby doubles
+      // onto one key and replay the wrong resolved literal.
+      const double d = v.AsDouble();
+      uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      key += std::to_string(bits);
+    } else {
+      text(v.ToString());
+    }
+  };
+  key += options.join_order == ExecutorOptions::JoinOrder::kCostBased ? 'C'
+                                                                      : 'D';
+  key += dedup_frontier ? 'F' : 'f';
+  if (has_lid_filter) {
+    key += 'L';
+    attr(lid_attr);
+  }
+  key += '|';
+  for (const auto& v : q.vars) {
+    text(v.table);
+    key += ',';
+  }
+  key += '|';
+  for (const auto& c : q.join_chain) {
+    attr(c.lhs);
+    key += CmpOpToString(c.op);
+    attr(c.rhs);
+    key += '&';
+  }
+  key += '|';
+  for (const auto& c : q.extra_conditions) {
+    attr(c.lhs);
+    key += CmpOpToString(c.op);
+    attr(c.rhs);
+    key += '&';
+  }
+  key += '|';
+  for (const auto& c : q.const_conditions) {
+    attr(c.lhs);
+    key += CmpOpToString(c.op);
+    literal(c.rhs);
+    key += '&';
+  }
+  key += '|';
+  for (const auto& a : output_attrs) {
+    attr(a);
+    key += ',';
+  }
+  return key;
+}
 
 /// Materializes the frame onto `output_attrs`: one MaterializeInto gather
 /// per output column — the only place boxed Values are created.
@@ -666,11 +1050,79 @@ Relation MaterializeFrame(const Frame& frame,
 
 }  // namespace
 
+// ===========================================================================
+// Executor: public entry points.
+// ===========================================================================
+
+struct Executor::FrameRun {
+  Frame frame;
+  std::vector<const Table*> tables;  // per tuple variable
+};
+
 Executor::Executor(const Database* db) : Executor(db, ExecutorOptions{}) {}
 
 Executor::Executor(const Database* db, ExecutorOptions options)
     : db_(db), options_(options) {
   EBA_CHECK(db != nullptr);
+}
+
+ThreadPool* Executor::ProbePool() const {
+  // num_threads governs: <= 1 is serial regardless of an attached pool.
+  if (options_.num_threads <= 1) return nullptr;
+  if (options_.pool != nullptr) return options_.pool;
+  if (owned_pool_ == nullptr) {
+    // The calling thread participates in every ParallelFor, so the owned
+    // pool only needs num_threads - 1 workers.
+    owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads - 1);
+  }
+  return owned_pool_.get();
+}
+
+StatusOr<Executor::FrameRun> Executor::RunFrame(
+    const PathQuery& q, const std::vector<QAttr>& output_attrs,
+    bool dedup_frontier, const std::vector<Value>* lid_filter,
+    QAttr lid_attr) const {
+  stats_ = ExecStats{};
+  ParCtx par;
+  par.pool = ProbePool();
+  par.threads = par.pool == nullptr ? 1 : options_.num_threads;
+  par.min_rows = std::max<size_t>(1, options_.min_rows_per_morsel);
+  par.stats = &stats_;
+
+  PlanCache* cache = options_.plan_cache;
+  auto snapshot_cache_stats = [&] {
+    const PlanCache::Stats cs = cache->stats();
+    stats_.plan_cache_hits = cs.hits;
+    stats_.plan_cache_misses = cs.misses;
+    stats_.plan_cache_invalidations = cs.invalidations;
+  };
+  std::string key;
+  if (cache != nullptr) {
+    key = PlanKey(q, output_attrs, dedup_frontier, lid_filter != nullptr,
+                  lid_attr, options_);
+    std::shared_ptr<const CompiledPlan> plan = cache->Lookup(key, db_);
+    if (plan != nullptr) {
+      FrameRun run;
+      run.frame = ReplayPlan(*plan, lid_filter, lid_attr, par, &stats_);
+      run.tables = plan->tables;
+      snapshot_cache_stats();
+      return run;
+    }
+  }
+
+  auto plan = std::make_shared<CompiledPlan>();
+  PlanningExecutor exec(db_, options_, &stats_, par);
+  EBA_ASSIGN_OR_RETURN(
+      Frame frame, exec.Run(q, output_attrs, dedup_frontier, lid_filter,
+                            lid_attr, plan.get()));
+  FrameRun run;
+  run.frame = std::move(frame);
+  run.tables = plan->tables;
+  if (cache != nullptr) {
+    cache->Insert(key, std::move(plan));
+    snapshot_cache_stats();
+  }
+  return run;
 }
 
 StatusOr<Relation> Executor::Materialize(const PathQuery& q) const {
@@ -680,11 +1132,10 @@ StatusOr<Relation> Executor::Materialize(const PathQuery& q) const {
     return ExecuteBoxed(q, output, /*dedup_intermediate=*/false,
                         /*lid_filter=*/nullptr, QAttr{});
   }
-  FrameExecutor exec(db_, options_, &stats_);
-  EBA_ASSIGN_OR_RETURN(Frame frame,
-                       exec.Run(q, output, /*dedup_frontier=*/false,
+  EBA_ASSIGN_OR_RETURN(FrameRun run,
+                       RunFrame(q, output, /*dedup_frontier=*/false,
                                 /*lid_filter=*/nullptr, QAttr{}));
-  return MaterializeFrame(frame, exec.tables(), output);
+  return MaterializeFrame(run.frame, run.tables, output);
 }
 
 StatusOr<Relation> Executor::MaterializeForLogIds(
@@ -702,11 +1153,10 @@ StatusOr<Relation> Executor::MaterializeForLogIds(
     return ExecuteBoxed(q, output, /*dedup_intermediate=*/false, &lids,
                         lid_attr);
   }
-  FrameExecutor exec(db_, options_, &stats_);
   EBA_ASSIGN_OR_RETURN(
-      Frame frame,
-      exec.Run(q, output, /*dedup_frontier=*/false, &lids, lid_attr));
-  return MaterializeFrame(frame, exec.tables(), output);
+      FrameRun run,
+      RunFrame(q, output, /*dedup_frontier=*/false, &lids, lid_attr));
+  return MaterializeFrame(run.frame, run.tables, output);
 }
 
 StatusOr<int64_t> Executor::CountDistinct(const PathQuery& q, QAttr lid_attr,
@@ -731,15 +1181,14 @@ StatusOr<std::vector<Value>> Executor::DistinctValues(
     return std::vector<Value>(distinct.begin(), distinct.end());
   }
 
-  FrameExecutor exec(db_, options_, &stats_);
   EBA_ASSIGN_OR_RETURN(
-      Frame frame,
-      exec.Run(q, output, strategy == SupportStrategy::kDedupFrontier,
+      FrameRun run,
+      RunFrame(q, output, strategy == SupportStrategy::kDedupFrontier,
                /*lid_filter=*/nullptr, lid_attr));
-  const int slot = frame.SlotOf(lid_attr.var);
+  const int slot = run.frame.SlotOf(lid_attr.var);
   EBA_CHECK(slot >= 0);
-  const std::vector<uint32_t>& ids = frame.ids[static_cast<size_t>(slot)];
-  const Column& col = exec.tables()[0]->column(static_cast<size_t>(lid_attr.col));
+  const std::vector<uint32_t>& ids = run.frame.ids[static_cast<size_t>(slot)];
+  const Column& col = run.tables[0]->column(static_cast<size_t>(lid_attr.col));
 
   if (col.IsIntLike()) {
     // Distinct raw payloads, boxed once at the very end; NULL (if any)
@@ -812,15 +1261,14 @@ StatusOr<std::vector<int64_t>> Executor::DistinctLids(const PathQuery& q,
   }
 
   std::vector<QAttr> output = {lid_attr};
-  FrameExecutor exec(db_, options_, &stats_);
-  EBA_ASSIGN_OR_RETURN(Frame frame,
-                       exec.Run(q, output, /*dedup_frontier=*/true,
+  EBA_ASSIGN_OR_RETURN(FrameRun run,
+                       RunFrame(q, output, /*dedup_frontier=*/true,
                                 /*lid_filter=*/nullptr, lid_attr));
-  const int slot = frame.SlotOf(lid_attr.var);
+  const int slot = run.frame.SlotOf(lid_attr.var);
   EBA_CHECK(slot >= 0);
   std::vector<int64_t> lids;
-  lids.reserve(frame.size());
-  for (uint32_t r : frame.ids[static_cast<size_t>(slot)]) {
+  lids.reserve(run.frame.size());
+  for (uint32_t r : run.frame.ids[static_cast<size_t>(slot)]) {
     if (!col.IsNull(r)) lids.push_back(col.Int64At(r));
   }
   std::sort(lids.begin(), lids.end());

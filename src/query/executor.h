@@ -38,13 +38,17 @@
 #define EBA_QUERY_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "query/path_query.h"
 #include "storage/database.h"
 
 namespace eba {
+
+class PlanCache;
 
 /// An intermediate or final relation: a header of query attributes plus rows.
 struct Relation {
@@ -75,7 +79,34 @@ struct ExecutorOptions {
   Engine engine = Engine::kLateMaterialization;
   /// Applies to kLateMaterialization only: the boxed reference engine is a
   /// fixed oracle and always runs the declared greedy order.
+  /// kDeclared is retired from the benches and exists solely as the
+  /// byte-identical-row-order oracle in tests/executor_equivalence_test.cc.
   JoinOrder join_order = JoinOrder::kCostBased;
+
+  /// Morsel-parallel probe phase (kLateMaterialization only): each join
+  /// step's probe column — and every filter scan — is partitioned into
+  /// contiguous shards, per-shard selection vectors are built independently,
+  /// and the shards are concatenated in shard order, so frames, DistinctLids
+  /// results, and ExplainAll reports are byte-identical to serial execution
+  /// at any thread count. <= 1 runs everything on the calling thread.
+  size_t num_threads = 1;
+  /// Optional external pool the morsels run on when num_threads > 1 (not
+  /// owned; e.g. ExplainAll's pool — ParallelFor is nesting-safe, the
+  /// calling thread always participates). Ignored while num_threads <= 1:
+  /// num_threads alone governs the fan-out width. When null and
+  /// num_threads > 1 the executor lazily creates its own pool.
+  ThreadPool* pool = nullptr;
+  /// Lower bound on probe/filter rows per morsel, so small frames are not
+  /// split into shards smaller than the fan-out overhead.
+  size_t min_rows_per_morsel = 4096;
+
+  /// Optional shared compiled-plan cache (not owned; see
+  /// query/plan_cache.h). When set, executions record their fully-compiled
+  /// physical plan — chosen join order, compiled condition closures,
+  /// pre-translated dictionary codes, index bindings — keyed on the query's
+  /// canonical condition-set key plus the referenced tables' epochs, and
+  /// structurally identical queries replay it, skipping planning entirely.
+  PlanCache* plan_cache = nullptr;
 };
 
 /// Counters describing the last execution (exposed for tests/benchmarks).
@@ -97,6 +128,17 @@ struct ExecStats {
   /// True when the distinct-lid semi-join fast path ran (frame columns
   /// dropped + row-id dedup instead of boxed-row projection).
   bool used_semi_join = false;
+
+  /// True when this execution replayed a cached compiled plan instead of
+  /// planning from scratch.
+  bool plan_cache_hit = false;
+  /// Cumulative counters of the attached PlanCache, snapshotted after this
+  /// execution (all zero when no cache is attached).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_invalidations = 0;
+  /// Largest morsel count any probe/filter scan was split into (1 = serial).
+  size_t max_probe_shards = 1;
 };
 
 class Executor {
@@ -139,15 +181,32 @@ class Executor {
   const ExecStats& last_stats() const { return stats_; }
 
  private:
+  /// Frame + resolved per-variable tables from one late-materialization run.
+  struct FrameRun;
+
   StatusOr<Relation> ExecuteBoxed(const PathQuery& q,
                                   const std::vector<QAttr>& output_attrs,
                                   bool dedup_intermediate,
                                   const std::vector<Value>* lid_filter,
                                   QAttr lid_attr) const;
 
+  /// Late-materialization entry point: replays a cached compiled plan when
+  /// options_.plan_cache holds a fresh one for this query shape, otherwise
+  /// records the plan while executing (and caches it).
+  StatusOr<FrameRun> RunFrame(const PathQuery& q,
+                              const std::vector<QAttr>& output_attrs,
+                              bool dedup_frontier,
+                              const std::vector<Value>* lid_filter,
+                              QAttr lid_attr) const;
+
+  /// The pool probe morsels fan out over: the external options_.pool when
+  /// set, else a lazily created owned pool (num_threads > 1), else null.
+  ThreadPool* ProbePool() const;
+
   const Database* db_;
   ExecutorOptions options_;
   mutable ExecStats stats_;
+  mutable std::unique_ptr<ThreadPool> owned_pool_;
 };
 
 }  // namespace eba

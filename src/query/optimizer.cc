@@ -93,6 +93,15 @@ StatusOr<double> CardinalityEstimator::EstimateJoinStep(const PathQuery& q,
   EBA_ASSIGN_OR_RETURN(
       const Table* build_table,
       db_->GetTable(q.vars[static_cast<size_t>(build.var)].table));
+  return EstimateJoinStep(probe_table, probe, build_table, build,
+                          current_rows);
+}
+
+double CardinalityEstimator::EstimateJoinStep(const Table* probe_table,
+                                              QAttr probe,
+                                              const Table* build_table,
+                                              QAttr build,
+                                              double current_rows) const {
   auto ndv = [](const Table* t, int col) {
     const ColumnStats& stats = t->GetOrComputeStats(static_cast<size_t>(col));
     return std::max<double>(1.0, static_cast<double>(stats.num_distinct));

@@ -38,6 +38,13 @@ class CardinalityEstimator {
   StatusOr<double> EstimateJoinStep(const PathQuery& q, double current_rows,
                                     QAttr probe, QAttr build) const;
 
+  /// Same estimate with the endpoint tables already resolved — the plan
+  /// recorder resolves every tuple-variable table once per query, so its
+  /// O(joins^2) ordering probes skip the per-call name lookups.
+  double EstimateJoinStep(const Table* probe_table, QAttr probe,
+                          const Table* build_table, QAttr build,
+                          double current_rows) const;
+
  private:
   const Database* db_;
 };

@@ -1,0 +1,57 @@
+#include "query/plan_cache.h"
+
+#include <utility>
+
+namespace eba {
+
+bool CompiledPlan::IsFresh() const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i]->epoch() != table_epochs[i]) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const CompiledPlan> PlanCache::Lookup(const std::string& key,
+                                                      const Database* db) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    // The catalog-generation check runs first: it guarantees every Table*
+    // in the plan is still alive before IsFresh dereferences them. IsFresh
+    // takes each table's lazy mutex; those are leaf locks, so holding the
+    // cache mutex across the check cannot deadlock.
+    if (it->second->db == db &&
+        it->second->catalog_generation == db->catalog_generation() &&
+        it->second->IsFresh()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    plans_.erase(it);
+    ++stats_.invalidations;
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const CompiledPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_[key] = std::move(plan);
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+}
+
+}  // namespace eba

@@ -1,0 +1,173 @@
+// PlanCache: a persistent cache of fully-compiled physical plans for the
+// late-materialization executor.
+//
+// A CompiledPlan freezes everything the executor decides or resolves before
+// the first row moves: the chosen join order (including every cost-based
+// ordering decision), per-step condition "closures" with literals resolved
+// to raw payloads / dictionary codes, pre-computed dictionary-code
+// translation tables for cross-column string joins, hash-index bindings,
+// and the semi-join column-drop schedule. Replaying a plan skips query
+// validation, table resolution, cardinality estimation and closure
+// compilation entirely — exactly the per-query planning cost the miner pays
+// thousands of times for structurally identical support queries.
+//
+// Staleness: plans hold pointers into tables and their derived state (hash
+// indexes, dictionary codes) that mutations invalidate. Every plan records
+// the database's catalog generation (so a CreateTable/AddTable/DropTable
+// invalidates it before any freed Table pointer could be dereferenced) and
+// the epoch (Table::epoch) of each referenced table at build time; Lookup
+// revalidates both and drops the entry — counted as an invalidation — when
+// anything mutated since. The cache is therefore safe to hold across
+// mutations and catalog changes, but like all executor reads, lookups must
+// be externally serialized against concurrent writers.
+//
+// Thread safety: Lookup/Insert/stats are mutex-guarded, and cached plans are
+// immutable shared_ptrs, so concurrent executors (e.g. ExplainAll's template
+// fan-out) can share one cache.
+
+#ifndef EBA_QUERY_PLAN_CACHE_H_
+#define EBA_QUERY_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "query/expr.h"
+#include "storage/database.h"
+#include "storage/index.h"
+
+namespace eba {
+
+/// One frozen pipeline operation over the executor's row-id frame. Slot
+/// numbers refer to the frame layout at the point the step applies; the
+/// layout evolves deterministically from the initial [variable 0] frame, so
+/// recorded slots stay valid on every replay.
+struct PlanStep {
+  enum class Kind : uint8_t {
+    kJoin,          // hash-probe binding a new tuple variable
+    kJoinFilter,    // chain condition whose sides were both already bound
+    kVarVarFilter,  // decoration between two bound attributes
+    kConstFilter,   // decoration against a pre-resolved literal
+    kDrop,          // semi-join column drop (+ row-id tuple dedup)
+  };
+  /// Probe dispatch resolved at compile time (kJoin).
+  enum class ProbeKind : uint8_t {
+    kInt64,             // integer-like payloads probe LookupInt64
+    kStringSameColumn,  // shared dictionary: codes probe LookupCode directly
+    kStringTranslated,  // codes route through translated_codes first
+    kBoxed,             // doubles / mismatched kinds: boxed Lookup
+  };
+  /// Literal dispatch resolved at compile time (kConstFilter).
+  enum class LitKind : uint8_t {
+    kInt64,        // raw int64 comparison
+    kStringCode,   // dictionary-code equality
+    kString,       // dictionary-string ordering comparison
+    kDouble,       // raw double comparison
+    kBoxed,        // cross-type fallback through EvalCmp
+    kNeverMatches  // NULL literal or string absent from the dictionary
+  };
+
+  Kind kind = Kind::kDrop;
+  int condition_index = -1;      // join_chain index (kJoin / kJoinFilter)
+  double estimated_rows = -1.0;  // cost-based prediction; -1 if not consulted
+
+  // kJoin.
+  int probe_slot = -1;
+  const Column* probe_col = nullptr;
+  const HashIndex* index = nullptr;
+  int new_var = -1;
+  ProbeKind probe_kind = ProbeKind::kBoxed;
+  std::vector<int64_t> translated_codes;  // kStringTranslated only
+  std::vector<uint32_t> keep_slots;       // surviving pre-join slots, in order
+  bool keep_new = true;                   // gather the newly bound column
+
+  // kJoinFilter / kVarVarFilter (kConstFilter uses the lhs side + op).
+  int lhs_slot = -1;
+  int rhs_slot = -1;
+  const Column* lhs_col = nullptr;
+  const Column* rhs_col = nullptr;
+  CmpOp op = CmpOp::kEq;
+
+  // kConstFilter.
+  LitKind lit_kind = LitKind::kBoxed;
+  int64_t lit_int = 0;
+  double lit_double = 0.0;
+  std::string lit_string;
+  Value lit_value;
+
+  // kDrop.
+  std::vector<uint32_t> drop_keep_slots;  // slots that survive, in order
+  bool dedup = false;
+};
+
+/// A fully-compiled physical plan: the frozen step pipeline plus everything
+/// needed to revalidate it. Immutable once built (replay never mutates).
+struct CompiledPlan {
+  const Database* db = nullptr;
+  /// Database::catalog_generation at build time. Table pointers are only
+  /// dereferenced while the catalog is unchanged (map nodes are stable
+  /// within a generation); any CreateTable/AddTable/DropTable invalidates
+  /// the plan before IsFresh could touch a freed Table.
+  uint64_t catalog_generation = 0;
+  std::vector<const Table*> tables;    // per tuple variable
+  std::vector<uint64_t> table_epochs;  // Table::epoch at build time
+
+  std::vector<PlanStep> steps;
+
+  /// Where to record an ExecStats::JoinStep during replay: after applying
+  /// steps[after_step] (i.e. once the join's trailing filters and drops have
+  /// run), mirroring the recording execution's bookkeeping.
+  struct StatsPoint {
+    size_t after_step = 0;
+    int condition_index = -1;
+    bool is_filter = false;
+    double estimated_rows = -1.0;
+  };
+  std::vector<StatsPoint> stats_points;
+
+  std::vector<int> final_vars;  // final frame slot -> tuple variable
+  bool used_cost_based_order = false;
+  bool used_semi_join = false;
+
+  /// True while every referenced table is still at its build-time epoch.
+  bool IsFresh() const;
+};
+
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;  // stale entries dropped on lookup
+  };
+
+  PlanCache() = default;
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for `key` if it exists, was built against `db`,
+  /// and is still fresh; counts a hit. A stale or foreign-database entry is
+  /// evicted (counted as an invalidation) and the lookup counts as a miss.
+  std::shared_ptr<const CompiledPlan> Lookup(const std::string& key,
+                                             const Database* db);
+
+  /// Inserts (or replaces) the plan for `key`.
+  void Insert(const std::string& key, std::shared_ptr<const CompiledPlan> plan);
+
+  Stats stats() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledPlan>> plans_;
+  Stats stats_;
+};
+
+}  // namespace eba
+
+#endif  // EBA_QUERY_PLAN_CACHE_H_

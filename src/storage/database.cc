@@ -11,6 +11,7 @@ Status Database::CreateTable(TableSchema schema) {
   }
   std::string name = schema.name();
   tables_.emplace(name, Table(std::move(schema)));
+  ++catalog_generation_;
   return Status::OK();
 }
 
@@ -20,6 +21,7 @@ Status Database::AddTable(Table table) {
   }
   std::string name = table.name();
   tables_.emplace(name, std::move(table));
+  ++catalog_generation_;
   return Status::OK();
 }
 
@@ -29,6 +31,7 @@ Status Database::DropTable(const std::string& name) {
     return Status::NotFound("no table '" + name + "'");
   }
   tables_.erase(it);
+  ++catalog_generation_;
   mapping_tables_.erase(name);
   auto drop_attr = [&name](const AttrId& a) { return a.table == name; };
   fks_.erase(std::remove_if(fks_.begin(), fks_.end(),

@@ -97,10 +97,18 @@ class Database {
   /// Total number of rows across all tables (diagnostics).
   size_t TotalRows() const;
 
+  /// Monotonic catalog counter: advanced by CreateTable/AddTable/DropTable.
+  /// Within one generation, Table pointers returned by GetTable are stable
+  /// (std::map nodes only die on erase); consumers caching Table pointers
+  /// (e.g. compiled query plans) record the generation at build time and
+  /// treat a mismatch as "stale — do not dereference".
+  uint64_t catalog_generation() const { return catalog_generation_; }
+
  private:
   Status ValidateAttr(const AttrId& attr) const;
 
   std::map<std::string, Table> tables_;
+  uint64_t catalog_generation_ = 0;
   std::vector<ForeignKey> fks_;
   std::vector<AdminRelationship> admin_rels_;
   std::vector<AttrId> self_join_attrs_;

@@ -89,6 +89,7 @@ void Table::InvalidateDerivedState() const {
   std::lock_guard<std::mutex> lock(*lazy_mu_);
   for (auto& idx : indexes_) idx.reset();
   for (auto& st : stats_) st.reset();
+  ++epoch_;
 }
 
 Status Table::WriteCsv(const std::string& path) const {

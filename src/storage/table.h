@@ -61,8 +61,18 @@ class Table {
   /// safety as GetOrBuildIndex.
   const ColumnStats& GetOrComputeStats(size_t col) const;
 
-  /// Drops cached indexes and statistics (called automatically on append).
+  /// Drops cached indexes and statistics (called automatically on append)
+  /// and advances the table epoch.
   void InvalidateDerivedState() const;
+
+  /// Monotonic mutation counter: advanced by every append / mutable access /
+  /// explicit invalidation. Consumers holding derived state (hash-index
+  /// pointers, compiled query plans) record the epoch at build time and
+  /// treat a mismatch as "stale — rebuild".
+  uint64_t epoch() const {
+    std::lock_guard<std::mutex> lock(*lazy_mu_);
+    return epoch_;
+  }
 
   /// Dumps the table (header + rows) to CSV.
   Status WriteCsv(const std::string& path) const;
@@ -83,6 +93,7 @@ class Table {
   mutable std::unique_ptr<std::mutex> lazy_mu_;
   mutable std::vector<std::unique_ptr<HashIndex>> indexes_;
   mutable std::vector<std::unique_ptr<ColumnStats>> stats_;
+  mutable uint64_t epoch_ = 0;
 };
 
 }  // namespace eba

@@ -3,11 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "common/csv.h"
 #include "common/date.h"
@@ -433,6 +435,33 @@ TEST(ParallelForTest, InlinePathRunsAllShardsDespiteError) {
                            }),
                std::runtime_error);
   EXPECT_EQ(hits, (std::vector<int>{1, 1, 1, 1, 1}));
+}
+
+TEST(ParallelForTest, NestedCallsOnSharedPoolComplete) {
+  // An inner ParallelFor issued from inside an outer shard on the same pool
+  // must not deadlock: completion is tracked per call and the calling
+  // thread participates, so every inner call can finish even when all pool
+  // workers are tied up in outer shards.
+  ThreadPool pool(2);
+  std::array<std::array<std::atomic<int>, 4>, 4> hits{};
+  ParallelFor(&pool, 4, [&](size_t outer) {
+    ParallelFor(&pool, 4, [&, outer](size_t inner) { ++hits[outer][inner]; });
+  });
+  for (const auto& row : hits) {
+    for (const auto& cell : row) EXPECT_EQ(cell.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, ConcurrentCallsOnSharedPoolAreIndependent) {
+  // Two ParallelFor rounds issued from different threads over one pool must
+  // each wait only for their own shards.
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::thread other(
+      [&] { ParallelFor(&pool, 16, [&](size_t) { ++total; }); });
+  ParallelFor(&pool, 16, [&](size_t) { ++total; });
+  other.join();
+  EXPECT_EQ(total.load(), 32);
 }
 
 TEST(SplitShardsTest, PartitionsWithoutGapsOrOverlap) {

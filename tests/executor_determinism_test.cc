@@ -1,0 +1,335 @@
+// Determinism suite for the morsel-parallel probe phase and the compiled
+// plan cache: at every tested thread count {1, 2, 4, 8} the
+// late-materialization executor must produce byte-identical frames
+// (Materialize row order included), DistinctLids vectors, and ExplainAll
+// reports — per-shard selection vectors are concatenated in shard order, so
+// sharding must never reorder output. Plan-cache tests assert that a replay
+// is bit-identical to the recording execution, and that mutating a table
+// (epoch bump) invalidates the stale plan instead of replaying it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "careweb/generator.h"
+#include "careweb/workload.h"
+#include "common/date.h"
+#include "core/engine.h"
+#include "core/miner.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "query/plan_cache.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+using testing_util::BuildPaperToyDatabase;
+using testing_util::UnwrapOrDie;
+
+constexpr size_t kThreadCounts[] = {2, 4, 8};
+
+/// Parallel executor options: min_rows_per_morsel = 1 forces multi-shard
+/// probes even on tiny frames, so the toy database exercises the same
+/// concatenation machinery as the large log.
+ExecutorOptions Threaded(size_t num_threads) {
+  ExecutorOptions options;
+  options.num_threads = num_threads;
+  options.min_rows_per_morsel = 1;
+  return options;
+}
+
+/// The Figure 3 toy queries the semi-join unit tests use, plus a decorated
+/// variant, parsed fresh per call.
+std::vector<PathQuery> ToyQueries(const Database& db) {
+  std::vector<PathQuery> queries;
+  queries.push_back(UnwrapOrDie(ParsePathQuery(
+      db, "Log L, Appointments A",
+      "L.Patient = A.Patient AND A.Doctor = L.User")));
+  queries.push_back(UnwrapOrDie(ParsePathQuery(
+      db, "Log L, Appointments A, Doctor_Info I1, Doctor_Info I2",
+      "L.Patient = A.Patient AND A.Doctor = I1.Doctor AND "
+      "I1.Department = I2.Department AND I2.Doctor = L.User")));
+  return queries;
+}
+
+/// Runs every (query, thread count) combination and asserts the parallel
+/// executor reproduces the serial executor's output byte for byte.
+void ExpectIdenticalAcrossThreadCounts(const Database& db,
+                                       const std::vector<PathQuery>& queries,
+                                       QAttr lid_attr) {
+  Executor serial(&db);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const PathQuery& q = queries[qi];
+    const std::vector<int64_t> ref_lids =
+        UnwrapOrDie(serial.DistinctLids(q, lid_attr));
+    const Relation ref_rel = UnwrapOrDie(serial.Materialize(q));
+    for (size_t threads : kThreadCounts) {
+      Executor parallel(&db, Threaded(threads));
+      EXPECT_EQ(UnwrapOrDie(parallel.DistinctLids(q, lid_attr)), ref_lids)
+          << "query " << qi << " threads " << threads;
+      const Relation rel = UnwrapOrDie(parallel.Materialize(q));
+      EXPECT_EQ(rel.attrs, ref_rel.attrs);
+      // Byte-identical row order, not just the same multiset: shard-ordered
+      // concatenation must reproduce the serial probe order exactly.
+      EXPECT_EQ(rel.rows, ref_rel.rows)
+          << "query " << qi << " threads " << threads;
+    }
+  }
+}
+
+TEST(ExecutorDeterminismTest, ToyDatabaseIdenticalAcrossThreadCounts) {
+  Database db = BuildPaperToyDatabase();
+  ExpectIdenticalAcrossThreadCounts(db, ToyQueries(db), QAttr{0, 0});
+}
+
+TEST(ExecutorDeterminismTest, CareWebLogIdenticalAcrossThreadCounts) {
+  // The ~18k-row generated hospital log (Small config at 14 days), probing
+  // with every hand-crafted direct template.
+  CareWebConfig config = CareWebConfig::Small();
+  config.num_days = 14;
+  CareWebData data = UnwrapOrDie(GenerateCareWeb(config));
+  const Table* log = UnwrapOrDie(data.db.GetTable("Log"));
+  ASSERT_GT(log->num_rows(), 10000u);
+  const QAttr lid_attr{0, log->schema().ColumnIndex("Lid")};
+  std::vector<PathQuery> queries;
+  for (const auto& tmpl :
+       UnwrapOrDie(TemplatesHandcraftedDirect(data.db, true))) {
+    queries.push_back(tmpl.query());
+  }
+  ASSERT_FALSE(queries.empty());
+  ExpectIdenticalAcrossThreadCounts(data.db, queries, lid_attr);
+}
+
+TEST(ExecutorDeterminismTest, ExplainAllReportIdenticalAcrossThreadCounts) {
+  CareWebData data = UnwrapOrDie(GenerateCareWeb(CareWebConfig::Tiny()));
+  ExplanationEngine engine =
+      UnwrapOrDie(ExplanationEngine::Create(&data.db, "Log"));
+  for (auto& tmpl : UnwrapOrDie(TemplatesHandcraftedDirect(data.db, true))) {
+    EBA_ASSERT_OK(engine.AddTemplate(tmpl));
+  }
+  ASSERT_GT(engine.num_templates(), 0u);
+
+  const ExplanationReport reference = UnwrapOrDie(engine.ExplainAll());
+  for (size_t threads : kThreadCounts) {
+    ExplainAllOptions options;
+    options.num_threads = threads;
+    options.executor.num_threads = threads;
+    options.executor.min_rows_per_morsel = 1;
+    const ExplanationReport report = UnwrapOrDie(engine.ExplainAll(options));
+    EXPECT_EQ(report.log_size, reference.log_size) << threads;
+    EXPECT_EQ(report.per_template_counts, reference.per_template_counts)
+        << threads;
+    EXPECT_EQ(report.explained_lids, reference.explained_lids) << threads;
+    EXPECT_EQ(report.unexplained_lids, reference.unexplained_lids) << threads;
+  }
+}
+
+// --------------------------- Plan cache tests ---------------------------
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  PlanCacheTest() : db_(BuildPaperToyDatabase()) {}
+
+  ExecutorOptions Cached() {
+    ExecutorOptions options;
+    options.plan_cache = &cache_;
+    return options;
+  }
+
+  PathQuery ApptQuery() {
+    return UnwrapOrDie(ParsePathQuery(
+        db_, "Log L, Appointments A",
+        "L.Patient = A.Patient AND A.Doctor = L.User"));
+  }
+  QAttr Lid() { return QAttr{0, 0}; }
+
+  Database db_;
+  PlanCache cache_;
+};
+
+TEST_F(PlanCacheTest, SecondExecutionReplaysCachedPlan) {
+  Executor cached(&db_, Cached());
+  Executor fresh(&db_);
+  const PathQuery q = ApptQuery();
+
+  const std::vector<int64_t> first = UnwrapOrDie(cached.DistinctLids(q, Lid()));
+  EXPECT_FALSE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(cached.last_stats().plan_cache_misses, 1u);
+  EXPECT_EQ(cache_.size(), 1u);
+  const ExecStats recorded = cached.last_stats();
+
+  const std::vector<int64_t> second =
+      UnwrapOrDie(cached.DistinctLids(q, Lid()));
+  EXPECT_TRUE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(cached.last_stats().plan_cache_hits, 1u);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(second, UnwrapOrDie(fresh.DistinctLids(q, Lid())));
+
+  // The replayed execution reports the same frozen join order and
+  // intermediate cardinalities as the recording execution.
+  const ExecStats& replayed = cached.last_stats();
+  ASSERT_EQ(replayed.join_order.size(), recorded.join_order.size());
+  for (size_t i = 0; i < replayed.join_order.size(); ++i) {
+    EXPECT_EQ(replayed.join_order[i].condition_index,
+              recorded.join_order[i].condition_index);
+    EXPECT_EQ(replayed.join_order[i].is_filter,
+              recorded.join_order[i].is_filter);
+    EXPECT_EQ(replayed.join_order[i].rows_after,
+              recorded.join_order[i].rows_after);
+  }
+  EXPECT_EQ(replayed.joins_executed, recorded.joins_executed);
+  EXPECT_EQ(replayed.used_semi_join, recorded.used_semi_join);
+}
+
+TEST_F(PlanCacheTest, MutationInvalidatesStalePlan) {
+  Executor cached(&db_, Cached());
+  const PathQuery q = ApptQuery();
+
+  const std::vector<int64_t> before =
+      UnwrapOrDie(cached.DistinctLids(q, Lid()));
+  EXPECT_EQ(before, (std::vector<int64_t>{1}));
+
+  // Mutating a joined table bumps its epoch; the cached plan (which holds
+  // bindings into the table's now-dropped index) must not be reused.
+  Table* appt = db_.GetTable("Appointments").value();
+  EBA_ASSERT_OK(appt->AppendRow(
+      {Value::Int64(testing_util::kBob),
+       Value::Timestamp(Date::FromCivil(2010, 2, 2, 9, 0, 0).ToSeconds()),
+       Value::Int64(testing_util::kDave)}));
+
+  const std::vector<int64_t> after =
+      UnwrapOrDie(cached.DistinctLids(q, Lid()));
+  EXPECT_FALSE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(cached.last_stats().plan_cache_invalidations, 1u);
+  // The new appointment (Bob with Dave) explains L2 as well — the stale
+  // plan's answer would have been {1}.
+  EXPECT_EQ(after, (std::vector<int64_t>{1, 2}));
+  Executor fresh(&db_);
+  EXPECT_EQ(after, UnwrapOrDie(fresh.DistinctLids(q, Lid())));
+
+  // The rebuilt plan is cached again and fresh.
+  const std::vector<int64_t> again = UnwrapOrDie(cached.DistinctLids(q, Lid()));
+  EXPECT_TRUE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(again, after);
+}
+
+TEST_F(PlanCacheTest, DropAndRecreateTableInvalidatesPlan) {
+  Executor cached(&db_, Cached());
+  const PathQuery q = ApptQuery();
+  EXPECT_EQ(UnwrapOrDie(cached.DistinctLids(q, Lid())),
+            (std::vector<int64_t>{1}));
+
+  // Replace the Appointments table wholesale. The cached plan holds
+  // pointers into the dropped table; the catalog-generation check must
+  // reject the plan without ever dereferencing them.
+  TableSchema schema = db_.GetTable("Appointments").value()->schema();
+  EBA_ASSERT_OK(db_.DropTable("Appointments"));
+  EBA_ASSERT_OK(db_.CreateTable(schema));
+  Table* appt = db_.GetTable("Appointments").value();
+  EBA_ASSERT_OK(appt->AppendRow(
+      {Value::Int64(testing_util::kBob),
+       Value::Timestamp(Date::FromCivil(2010, 2, 2, 9, 0, 0).ToSeconds()),
+       Value::Int64(testing_util::kDave)}));
+
+  const std::vector<int64_t> after = UnwrapOrDie(cached.DistinctLids(q, Lid()));
+  EXPECT_FALSE(cached.last_stats().plan_cache_hit);
+  EXPECT_GE(cached.last_stats().plan_cache_invalidations, 1u);
+  // Only Bob has an appointment now, so only L2 (Dave -> Bob) is explained.
+  EXPECT_EQ(after, (std::vector<int64_t>{2}));
+  Executor fresh(&db_);
+  EXPECT_EQ(after, UnwrapOrDie(fresh.DistinctLids(q, Lid())));
+}
+
+TEST_F(PlanCacheTest, ReplayWithMorselsMatchesSerialUncached) {
+  ExecutorOptions options = Cached();
+  options.num_threads = 4;
+  options.min_rows_per_morsel = 1;
+  Executor cached_parallel(&db_, options);
+  Executor serial(&db_);
+  for (const PathQuery& q : ToyQueries(db_)) {
+    const std::vector<int64_t> ref = UnwrapOrDie(serial.DistinctLids(q, Lid()));
+    // Record, then replay: both must match the serial uncached executor.
+    EXPECT_EQ(UnwrapOrDie(cached_parallel.DistinctLids(q, Lid())), ref);
+    EXPECT_EQ(UnwrapOrDie(cached_parallel.DistinctLids(q, Lid())), ref);
+    EXPECT_TRUE(cached_parallel.last_stats().plan_cache_hit);
+    const Relation ref_rel = UnwrapOrDie(serial.Materialize(q));
+    EXPECT_EQ(UnwrapOrDie(cached_parallel.Materialize(q)).rows, ref_rel.rows);
+    EXPECT_EQ(UnwrapOrDie(cached_parallel.Materialize(q)).rows, ref_rel.rows);
+  }
+}
+
+TEST_F(PlanCacheTest, LidFilterReplaysAcrossDifferentFilters) {
+  Executor cached(&db_, Cached());
+  Executor fresh(&db_);
+  const PathQuery q = ApptQuery();
+  const std::vector<Value> lids1 = {Value::Int64(1)};
+  const std::vector<Value> lids2 = {Value::Int64(2)};
+
+  // The lid filter is a runtime input, not part of the plan: the plan
+  // recorded for lids1 replays for lids2 and must match a fresh execution.
+  const Relation r1 = UnwrapOrDie(cached.MaterializeForLogIds(q, Lid(), lids1));
+  const Relation r2 = UnwrapOrDie(cached.MaterializeForLogIds(q, Lid(), lids2));
+  EXPECT_TRUE(cached.last_stats().plan_cache_hit);
+  const Relation f1 = UnwrapOrDie(fresh.MaterializeForLogIds(q, Lid(), lids1));
+  const Relation f2 = UnwrapOrDie(fresh.MaterializeForLogIds(q, Lid(), lids2));
+  EXPECT_EQ(r1.rows, f1.rows);
+  EXPECT_EQ(r2.rows, f2.rows);
+}
+
+TEST(MinerPlanCacheTest, RepeatedSupportQueriesHitThePlanCache) {
+  Database db = BuildPaperToyDatabase();
+  MinerOptions options;
+  options.log_table = "Log";
+  options.support_fraction = 0.5;
+  options.max_length = 4;
+  options.max_tables = 3;
+  options.skip_nonselective = false;
+  // Disable support-count caching so equivalent paths re-execute: the
+  // re-executions must replay cached plans.
+  options.cache_support = false;
+
+  MiningResult with_plans =
+      UnwrapOrDie(TemplateMiner(&db, options).MineTwoWay());
+  EXPECT_GT(with_plans.stats.plan_cache_hits, 0u);
+  EXPECT_EQ(with_plans.stats.support_cache_hits, 0u);
+
+  MinerOptions no_plans = options;
+  no_plans.cache_plans = false;
+  MiningResult without_plans =
+      UnwrapOrDie(TemplateMiner(&db, no_plans).MineTwoWay());
+  EXPECT_EQ(without_plans.stats.plan_cache_hits, 0u);
+
+  // Plan caching never changes what is mined.
+  ASSERT_EQ(with_plans.templates.size(), without_plans.templates.size());
+  for (size_t i = 0; i < with_plans.templates.size(); ++i) {
+    EXPECT_EQ(with_plans.templates[i].support,
+              without_plans.templates[i].support);
+    EXPECT_EQ(UnwrapOrDie(with_plans.templates[i].tmpl.CanonicalKey(db)),
+              UnwrapOrDie(without_plans.templates[i].tmpl.CanonicalKey(db)));
+  }
+}
+
+TEST(EnginePlanCacheTest, RepeatedExplainAllReusesPlans) {
+  CareWebData data = UnwrapOrDie(GenerateCareWeb(CareWebConfig::Tiny()));
+  ExplanationEngine engine =
+      UnwrapOrDie(ExplanationEngine::Create(&data.db, "Log"));
+  for (auto& tmpl : UnwrapOrDie(TemplatesHandcraftedDirect(data.db, true))) {
+    EBA_ASSERT_OK(engine.AddTemplate(tmpl));
+  }
+  ASSERT_GT(engine.num_templates(), 0u);
+
+  const ExplanationReport first = UnwrapOrDie(engine.ExplainAll());
+  EXPECT_EQ(engine.plan_cache()->stats().hits, 0u);
+  EXPECT_EQ(engine.plan_cache()->size(), engine.num_templates());
+
+  const ExplanationReport second = UnwrapOrDie(engine.ExplainAll());
+  EXPECT_EQ(engine.plan_cache()->stats().hits, engine.num_templates());
+  EXPECT_EQ(second.per_template_counts, first.per_template_counts);
+  EXPECT_EQ(second.explained_lids, first.explained_lids);
+  EXPECT_EQ(second.unexplained_lids, first.unexplained_lids);
+}
+
+}  // namespace
+}  // namespace eba

@@ -19,6 +19,7 @@
 #include "query/executor.h"
 #include "query/optimizer.h"
 #include "query/parser.h"
+#include "query/plan_cache.h"
 #include "tests/test_util.h"
 
 namespace eba {
@@ -154,25 +155,41 @@ struct QueryGenerator {
   }
 };
 
-/// Runs one query through the oracle and both frame configurations and
-/// asserts identical result sets, distinct values, and counts.
+/// Runs one query through the oracle, both frame configurations, and a
+/// plan-cached frame executor (executed twice: the first run records the
+/// compiled plan, the second replays it) and asserts identical result sets,
+/// distinct values, and counts.
 void ExpectEquivalent(const Database& db, const PathQuery& q, QAttr lid_attr) {
   Executor reference(&db, BoxedReference());
   Executor late(&db, LateDeclared());
   Executor late_cost(&db, LateCostBased());
+  PlanCache cache;
+  ExecutorOptions cached_options = LateCostBased();
+  cached_options.plan_cache = &cache;
+  Executor late_cached(&db, cached_options);
   const std::string desc = DescribeQuery(db, q);
 
   auto ref_rel = reference.Materialize(q);
   auto late_rel = late.Materialize(q);
   auto cost_rel = late_cost.Materialize(q);
+  auto cached_rel = late_cached.Materialize(q);
+  auto replay_rel = late_cached.Materialize(q);
   ASSERT_EQ(ref_rel.ok(), late_rel.ok()) << desc;
   ASSERT_EQ(ref_rel.ok(), cost_rel.ok()) << desc;
+  ASSERT_EQ(ref_rel.ok(), cached_rel.ok()) << desc;
+  ASSERT_EQ(ref_rel.ok(), replay_rel.ok()) << desc;
   if (ref_rel.ok()) {
     ASSERT_EQ(ref_rel->attrs, late_rel->attrs) << desc;
     ASSERT_EQ(ref_rel->attrs, cost_rel->attrs) << desc;
     // Same join order must give byte-identical row order, not just the same
     // multiset; cost-based ordering may permute rows.
     EXPECT_EQ(ref_rel->rows, late_rel->rows) << desc;
+    // The cached executor runs the same cost-based plan: its recording run
+    // matches the uncached cost-based executor row for row, and the replay
+    // matches the recording byte for byte.
+    EXPECT_EQ(cached_rel->rows, cost_rel->rows) << desc;
+    EXPECT_EQ(replay_rel->rows, cached_rel->rows) << desc;
+    EXPECT_TRUE(late_cached.last_stats().plan_cache_hit) << desc;
     EXPECT_EQ(SortedRows(std::move(*ref_rel)), SortedRows(std::move(*cost_rel)))
         << desc;
   }
@@ -193,11 +210,16 @@ void ExpectEquivalent(const Database& db, const PathQuery& q, QAttr lid_attr) {
   auto ref_lids = reference.DistinctLids(q, lid_attr);
   auto late_lids = late.DistinctLids(q, lid_attr);
   auto cost_lids = late_cost.DistinctLids(q, lid_attr);
+  auto cached_lids = late_cached.DistinctLids(q, lid_attr);
+  auto replay_lids = late_cached.DistinctLids(q, lid_attr);
   ASSERT_EQ(ref_lids.ok(), late_lids.ok()) << desc;
   ASSERT_EQ(ref_lids.ok(), cost_lids.ok()) << desc;
+  ASSERT_EQ(ref_lids.ok(), cached_lids.ok()) << desc;
   if (ref_lids.ok()) {
     EXPECT_EQ(*ref_lids, *late_lids) << desc;
     EXPECT_EQ(*ref_lids, *cost_lids) << desc;
+    EXPECT_EQ(*ref_lids, *cached_lids) << desc;
+    EXPECT_EQ(*ref_lids, *replay_lids) << desc;
   }
 }
 

@@ -130,7 +130,7 @@ TEST(MinerTest, CacheReducesSupportQueries) {
   MiningResult cached = UnwrapOrDie(TemplateMiner(&db, with_cache).MineTwoWay());
   MiningResult uncached = UnwrapOrDie(TemplateMiner(&db, no_cache).MineTwoWay());
   EXPECT_EQ(Keys(db, cached), Keys(db, uncached));
-  EXPECT_GT(cached.stats.cache_hits, 0u);
+  EXPECT_GT(cached.stats.support_cache_hits, 0u);
   EXPECT_LT(cached.stats.support_queries, uncached.stats.support_queries);
 }
 
