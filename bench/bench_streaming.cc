@@ -1,0 +1,89 @@
+// bench_streaming: the streaming serving-loop benchmark — sustained
+// AppendAccessBatch calls interleaved with incremental ExplainNew audits
+// and per-access Explain requests over the 14-day Small hospital log.
+//
+//   ./bench_streaming [--smoke] [--batches=N] [--threads=N]
+//                     [--json[=PATH]]    (default PATH BENCH_streaming.json)
+//
+// Exits non-zero when the incremental explained set diverges from a fresh
+// full ExplainAll — the equivalence self-check doubles as a CI guard. The
+// headline metric is the plan-cache hit rate under appends (>= 90% with
+// watermark re-binding; ~0% under the old epoch-invalidation behavior).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_streaming_util.h"
+
+int main(int argc, char** argv) {
+  eba::StreamingBenchOptions options;
+  bool write_json = false;
+  std::string json_path = "BENCH_streaming.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      options.smoke = true;
+    } else if (std::strncmp(argv[i], "--batches=", 10) == 0) {
+      options.num_batches = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      options.num_threads = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      write_json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      write_json = true;
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const eba::StreamingBenchResult r = eba::RunStreamingBench(options);
+
+  std::printf("streaming ingest: %zu seed rows + %zu streamed rows in %zu "
+              "batches, %zu templates, %zu threads\n",
+              r.initial_rows, r.streamed_rows, r.num_batches,
+              r.num_templates, options.num_threads == 0 ? 1u
+                                                        : options.num_threads);
+  std::printf("appends            : %.0f rows/s (%.3f s total)\n",
+              r.AppendsPerSecond(), r.append_seconds);
+  std::printf("ExplainNew         : %.3f ms/batch (%.3f s total)\n",
+              r.ExplainNewMsPerBatch(), r.explain_new_seconds);
+  std::printf("per-access Explain : %.3f ms/request (%zu requests)\n",
+              r.PerAccessExplainMs(), r.per_access_explains);
+  std::printf("plan cache         : %.1f%% hit rate (%llu hits, %llu misses, "
+              "%llu rebinds, %llu invalidations)\n",
+              100.0 * r.PlanCacheHitRate(),
+              static_cast<unsigned long long>(r.plan_hits),
+              static_cast<unsigned long long>(r.plan_misses),
+              static_cast<unsigned long long>(r.plan_rebinds),
+              static_cast<unsigned long long>(r.plan_invalidations));
+  std::printf("final coverage     : %.1f%% (%s full ExplainAll)\n",
+              100.0 * r.final_coverage,
+              r.matches_full_explain_all ? "matches" : "DIVERGES FROM");
+
+  if (write_json) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"generated_by\": \"bench_streaming\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", options.smoke ? "true" : "false");
+    std::fprintf(f, "  \"streaming\": {\n");
+    eba::WriteStreamingJson(f, r, "    ");
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!r.matches_full_explain_all) {
+    std::fprintf(stderr,
+                 "FAIL: incremental explained set diverges from full "
+                 "ExplainAll\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,223 @@
+// Shared streaming-ingest workload: sustained AppendAccessBatch calls
+// interleaved with incremental ExplainNew audits and per-access Explain
+// requests — the serving-loop shape the ISSUE-4 tentpole targets. Used by
+// the standalone bench_streaming harness and by bench_micro's
+// --executor_json emitter (so the committed BENCH_executor.json carries the
+// streaming numbers, and the CI regression gate sees them).
+//
+// The fixture generates the 14-day Small hospital, seeds a "LogStream"
+// table with the first `seed_days` days, and streams the remaining rows in
+// `num_batches` batches. The headline metric is the engine plan cache's
+// hit rate under appends: with watermark re-binding it stays >= 90%
+// (every append is a rebind + hit); with the old epoch-invalidation
+// behavior every batch would invalidate every plan (~0%).
+
+#ifndef EBA_BENCH_BENCH_STREAMING_UTIL_H_
+#define EBA_BENCH_BENCH_STREAMING_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "careweb/generator.h"
+#include "careweb/workload.h"
+#include "common/logging.h"
+#include "core/engine.h"
+#include "core/ingest.h"
+#include "log/access_log.h"
+
+namespace eba {
+
+struct StreamingBenchOptions {
+  bool smoke = false;     // fewer batches, same shape
+  size_t num_batches = 0; // 0 = default (48, smoke 12)
+  int seed_days = 7;      // LogStream starts with days [1, seed_days]
+  size_t explains_per_batch = 4;  // per-access Explain calls per batch
+  size_t num_threads = 1;
+};
+
+struct StreamingBenchResult {
+  size_t initial_rows = 0;
+  size_t streamed_rows = 0;
+  size_t num_batches = 0;
+  size_t num_templates = 0;
+
+  double append_seconds = 0.0;
+  double explain_new_seconds = 0.0;
+  double per_access_seconds = 0.0;
+  size_t per_access_explains = 0;
+
+  uint64_t plan_hits = 0;
+  uint64_t plan_misses = 0;
+  uint64_t plan_rebinds = 0;
+  uint64_t plan_invalidations = 0;
+
+  double final_coverage = 0.0;
+  /// Self-check: the incrementally accumulated explained set must equal a
+  /// fresh full ExplainAll over the final log.
+  bool matches_full_explain_all = false;
+
+  double AppendsPerSecond() const {
+    return append_seconds > 0.0
+               ? static_cast<double>(streamed_rows) / append_seconds
+               : 0.0;
+  }
+  double ExplainNewMsPerBatch() const {
+    return num_batches > 0
+               ? 1e3 * explain_new_seconds / static_cast<double>(num_batches)
+               : 0.0;
+  }
+  double PerAccessExplainMs() const {
+    return per_access_explains > 0
+               ? 1e3 * per_access_seconds /
+                     static_cast<double>(per_access_explains)
+               : 0.0;
+  }
+  double PlanCacheHitRate() const {
+    const uint64_t total = plan_hits + plan_misses;
+    return total > 0 ? static_cast<double>(plan_hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+inline StreamingBenchResult RunStreamingBench(
+    const StreamingBenchOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  auto unwrap_status = [](const Status& s) {
+    EBA_CHECK_MSG(s.ok(), s.ToString());
+  };
+
+  StreamingBenchResult result;
+  result.num_batches =
+      options.num_batches > 0 ? options.num_batches : (options.smoke ? 12 : 48);
+
+  CareWebConfig config = CareWebConfig::Small();
+  config.num_days = 14;
+  auto generated = GenerateCareWeb(config);
+  EBA_CHECK_MSG(generated.ok(), generated.status().ToString());
+  CareWebData data = std::move(generated).value();
+
+  const Table* source_log = data.db.GetTable("Log").value();
+  auto source_view = AccessLog::Wrap(source_log);
+  EBA_CHECK_MSG(source_view.ok(), source_view.status().ToString());
+  auto slice = AddLogSlice(&data.db, "Log", "LogStream", 1, options.seed_days,
+                           /*first_only=*/false);
+  EBA_CHECK_MSG(slice.ok(), slice.status().ToString());
+
+  std::unordered_set<size_t> seeded;
+  for (size_t r : source_view->RowsInDayRange(1, options.seed_days)) {
+    seeded.insert(r);
+  }
+  std::vector<Row> backlog;
+  backlog.reserve(source_log->num_rows() - seeded.size());
+  for (size_t r = 0; r < source_log->num_rows(); ++r) {
+    if (!seeded.count(r)) backlog.push_back(source_log->GetRow(r));
+  }
+  const int lid_col = source_log->schema().ColumnIndex("Lid");
+
+  auto created = StreamingAuditor::Create(&data.db, "LogStream");
+  EBA_CHECK_MSG(created.ok(), created.status().ToString());
+  StreamingAuditor auditor = std::move(created).value();
+  auto templates = TemplatesHandcraftedDirect(data.db, true);
+  EBA_CHECK_MSG(templates.ok(), templates.status().ToString());
+  for (const auto& tmpl : *templates) {
+    unwrap_status(auditor.AddTemplate(tmpl));
+  }
+  result.num_templates = auditor.engine().num_templates();
+  result.initial_rows = data.db.GetTable("LogStream").value()->num_rows();
+  result.streamed_rows = backlog.size();
+
+  StreamingOptions stream_options;
+  stream_options.num_threads = options.num_threads;
+
+  // Cold audit of the seeded prefix (records the plans; excluded from the
+  // interleaved timings below, like any warm-up).
+  auto first = auditor.ExplainNew(stream_options);
+  EBA_CHECK_MSG(first.ok(), first.status().ToString());
+
+  const size_t batch_size =
+      (backlog.size() + result.num_batches - 1) / result.num_batches;
+  size_t next_explain = 0;
+  for (size_t start = 0; start < backlog.size(); start += batch_size) {
+    const size_t end = std::min(start + batch_size, backlog.size());
+    const std::vector<Row> batch(backlog.begin() + start,
+                                 backlog.begin() + end);
+
+    const auto t0 = Clock::now();
+    unwrap_status(auditor.AppendAccessBatch(batch));
+    const auto t1 = Clock::now();
+    auto report = auditor.ExplainNew(stream_options);
+    EBA_CHECK_MSG(report.ok(), report.status().ToString());
+    EBA_CHECK(!report->full_reaudit);
+    const auto t2 = Clock::now();
+    // The audit-portal shape: a few per-access explains against accesses of
+    // this batch, spread deterministically across it.
+    for (size_t k = 0; k < options.explains_per_batch && !batch.empty();
+         ++k) {
+      const Row& row = batch[(next_explain++) % batch.size()];
+      auto instances = auditor.engine().Explain(
+          row[static_cast<size_t>(lid_col)].AsInt64());
+      EBA_CHECK_MSG(instances.ok(), instances.status().ToString());
+      ++result.per_access_explains;
+    }
+    const auto t3 = Clock::now();
+
+    result.append_seconds +=
+        std::chrono::duration<double>(t1 - t0).count();
+    result.explain_new_seconds +=
+        std::chrono::duration<double>(t2 - t1).count();
+    result.per_access_seconds +=
+        std::chrono::duration<double>(t3 - t2).count();
+  }
+
+  const PlanCache::Stats cache_stats =
+      auditor.engine().plan_cache()->stats();
+  result.plan_hits = cache_stats.hits;
+  result.plan_misses = cache_stats.misses;
+  result.plan_rebinds = cache_stats.rebinds;
+  result.plan_invalidations = cache_stats.invalidations;
+
+  // Self-check: incremental state vs a fresh full audit of the final log.
+  auto full = auditor.engine().ExplainAll();
+  EBA_CHECK_MSG(full.ok(), full.status().ToString());
+  std::unordered_set<int64_t> full_set(full->explained_lids.begin(),
+                                       full->explained_lids.end());
+  result.matches_full_explain_all = auditor.explained_lids() == full_set;
+  result.final_coverage = full->Coverage();
+  return result;
+}
+
+/// Emits the streaming result as a JSON object body (no surrounding braces'
+/// key), indented with `pad` spaces, e.g. under "streaming" in
+/// BENCH_executor.json.
+inline void WriteStreamingJson(std::FILE* f, const StreamingBenchResult& r,
+                               const char* pad) {
+  std::fprintf(f, "%s\"initial_rows\": %zu,\n", pad, r.initial_rows);
+  std::fprintf(f, "%s\"streamed_rows\": %zu,\n", pad, r.streamed_rows);
+  std::fprintf(f, "%s\"num_batches\": %zu,\n", pad, r.num_batches);
+  std::fprintf(f, "%s\"templates\": %zu,\n", pad, r.num_templates);
+  std::fprintf(f, "%s\"appends_per_second\": %.0f,\n", pad,
+               r.AppendsPerSecond());
+  std::fprintf(f, "%s\"explain_new_ms_per_batch\": %.3f,\n", pad,
+               r.ExplainNewMsPerBatch());
+  std::fprintf(f, "%s\"per_access_explain_ms\": %.3f,\n", pad,
+               r.PerAccessExplainMs());
+  std::fprintf(f, "%s\"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
+               "\"rebinds\": %llu, \"invalidations\": %llu},\n",
+               pad, static_cast<unsigned long long>(r.plan_hits),
+               static_cast<unsigned long long>(r.plan_misses),
+               static_cast<unsigned long long>(r.plan_rebinds),
+               static_cast<unsigned long long>(r.plan_invalidations));
+  std::fprintf(f, "%s\"plan_cache_hit_rate\": %.3f,\n", pad,
+               r.PlanCacheHitRate());
+  std::fprintf(f, "%s\"final_coverage\": %.3f,\n", pad, r.final_coverage);
+  std::fprintf(f, "%s\"matches_full_explain_all\": %s\n", pad,
+               r.matches_full_explain_all ? "true" : "false");
+}
+
+}  // namespace eba
+
+#endif  // EBA_BENCH_BENCH_STREAMING_UTIL_H_

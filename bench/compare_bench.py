@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a freshly generated BENCH_executor.json
+against the committed baseline and fail on a >threshold regression.
+
+Only machine-portable, higher-is-better metrics are compared:
+
+  * keys containing "speedup"  — ratios of two timings taken on the same
+    machine in the same run, so they transfer between the container that
+    produced the committed baseline and the CI runner;
+  * keys containing "hit_rate" / "coverage" — deterministic workload
+    properties (the streaming plan-cache hit rate is the ISSUE-4
+    acceptance metric);
+  * "matches_full_explain_all" — a boolean equivalence self-check that must
+    simply stay true.
+
+Absolute timings (seconds_per_iter, appends_per_second, ...ms...) are
+machine-dependent and are reported but never gated on. Speedup metrics with
+baseline < MIN_GATED_SPEEDUP have no headroom above noise (e.g. the
+probe-bound distinct-lid sweep at ~1.0x) and are skipped too.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
+Exit status: 0 ok, 1 regression (or missing metric), 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+MIN_GATED_SPEEDUP = 1.2
+
+# Absolute floors that apply regardless of the baseline (acceptance
+# criteria, not relative regressions): the streaming plan-cache hit rate
+# must stay >= 0.9 under interleaved append/explain (ISSUE 4).
+ABSOLUTE_FLOORS = {
+    "benchmarks.streaming.plan_cache_hit_rate": 0.9,
+    "streaming.plan_cache_hit_rate": 0.9,
+}
+
+
+def leaves(node, prefix=""):
+    """Yields (dotted_path, value) for every scalar leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from leaves(value, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(node, (int, float, bool)):
+        yield prefix, node
+
+
+def gated(path, value):
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf == "matches_full_explain_all":
+        return True
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return False
+    if "hit_rate" in leaf or "coverage" in leaf:
+        return True
+    if "speedup" in leaf:
+        return value >= MIN_GATED_SPEEDUP
+    return False
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional regression (default .25)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = dict(leaves(json.load(f)))
+    with open(args.current) as f:
+        current = dict(leaves(json.load(f)))
+
+    failures = []
+    compared = 0
+    for path, base_value in sorted(baseline.items()):
+        if not gated(path, base_value):
+            continue
+        if path not in current:
+            failures.append(f"{path}: present in baseline, missing in current")
+            continue
+        cur_value = current[path]
+        compared += 1
+        if isinstance(base_value, bool):
+            ok = cur_value == base_value or cur_value is True
+            verdict = "ok" if ok else "REGRESSION"
+            print(f"{verdict:10s} {path}: {base_value} -> {cur_value}")
+            if not ok:
+                failures.append(f"{path}: {base_value} -> {cur_value}")
+            continue
+        floor = base_value * (1.0 - args.threshold)
+        if path in ABSOLUTE_FLOORS:
+            floor = max(floor, ABSOLUTE_FLOORS[path])
+        ok = cur_value >= floor
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"{verdict:10s} {path}: baseline {base_value:.3f}, "
+              f"current {cur_value:.3f} (floor {floor:.3f})")
+        if not ok:
+            failures.append(
+                f"{path}: {cur_value:.3f} < floor {floor:.3f} "
+                f"(baseline {base_value:.3f})")
+
+    if compared == 0:
+        print("no gated metrics found in baseline", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{100 * args.threshold:.0f}%:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} gated metrics within "
+          f"{100 * args.threshold:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

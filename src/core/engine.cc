@@ -38,7 +38,12 @@ Status ExplanationEngine::AddTemplate(const ExplanationTemplate& tmpl) {
 
 StatusOr<std::vector<ExplanationInstance>> ExplanationEngine::Explain(
     int64_t lid) const {
-  Executor executor(db_);
+  // Per-access explains are planning-bound (tiny frames): share the
+  // engine's persistent plan cache so the serving loop replays compiled
+  // plans instead of re-planning per request.
+  ExecutorOptions options;
+  options.plan_cache = plan_cache_.get();
+  Executor executor(db_, options);
   std::vector<ExplanationInstance> instances;
   std::vector<Value> lids = {Value::Int64(lid)};
   for (const auto& tmpl : templates_) {

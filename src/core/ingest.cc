@@ -1,0 +1,168 @@
+#include "core/ingest.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "log/access_log.h"
+
+namespace eba {
+
+StreamingAuditor::StreamingAuditor(Database* db, ExplanationEngine engine)
+    : db_(db), engine_(std::move(engine)) {}
+
+StatusOr<StreamingAuditor> StreamingAuditor::Create(
+    Database* db, const std::string& log_table) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  EBA_ASSIGN_OR_RETURN(const Table* table, db->GetTable(log_table));
+  // Wrap validates the full standard log schema up front (Create of the
+  // engine only checks Lid), so ExplainNew's scan cannot fail later.
+  EBA_RETURN_IF_ERROR(AccessLog::Wrap(table).status());
+  EBA_ASSIGN_OR_RETURN(ExplanationEngine engine,
+                       ExplanationEngine::Create(db, log_table));
+  StreamingAuditor auditor(db, std::move(engine));
+  auditor.SnapshotDatabaseState();
+  return auditor;
+}
+
+Status StreamingAuditor::AddTemplate(const ExplanationTemplate& tmpl) {
+  return engine_.AddTemplate(tmpl);
+}
+
+Status StreamingAuditor::AppendAccessBatch(const std::vector<Row>& rows) {
+  EBA_ASSIGN_OR_RETURN(Table* table, db_->GetTable(engine_.log_table()));
+  table->Reserve(table->num_rows() + rows.size());
+  for (const Row& row : rows) {
+    EBA_RETURN_IF_ERROR(table->AppendRow(row));
+  }
+  rows_appended_ += rows.size();
+  ++batches_appended_;
+  return Status::OK();
+}
+
+void StreamingAuditor::ResetAudit() {
+  explained_.clear();
+  audited_rows_ = 0;
+}
+
+bool StreamingAuditor::DriftedSinceLastAudit() const {
+  if (db_->catalog_generation() != catalog_generation_) return true;
+  for (const auto& [name, state] : table_state_) {
+    auto table_or = db_->GetTable(name);
+    if (!table_or.ok()) return true;  // unreachable within one generation
+    const Table* table = *table_or;
+    if (table->structural_epoch() != state.first) return true;
+    if (name == engine_.log_table()) continue;  // log appends are the workload
+    if (table->append_watermark() != state.second) return true;
+  }
+  return false;
+}
+
+void StreamingAuditor::SnapshotDatabaseState() {
+  catalog_generation_ = db_->catalog_generation();
+  table_state_.clear();
+  for (const std::string& name : db_->TableNames()) {
+    const Table* table = db_->GetTable(name).value();
+    table_state_[name] = {table->structural_epoch(),
+                          table->append_watermark()};
+  }
+}
+
+StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
+    const StreamingOptions& options) {
+  EBA_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(engine_.log_table()));
+  EBA_ASSIGN_OR_RETURN(AccessLog log, AccessLog::Wrap(table));
+
+  StreamingReport report;
+  if (DriftedSinceLastAudit()) {
+    // A non-append change can newly explain an already-audited access; the
+    // incremental invariant is gone, so re-audit everything.
+    ResetAudit();
+    report.full_reaudit = true;
+  }
+  const size_t from = audited_rows_;
+  const size_t to = table->num_rows();
+  report.audited_from = from;
+  report.audited_to = to;
+
+  const size_t threads = std::max<size_t>(1, options.num_threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+
+  ExecutorOptions exec = options.executor;
+  if (exec.plan_cache == nullptr && options.use_engine_plan_cache) {
+    exec.plan_cache = engine_.plan_cache();
+  }
+  if (exec.pool == nullptr && pool != nullptr) {
+    exec.pool = pool.get();
+    if (exec.num_threads <= 1) exec.num_threads = threads;
+  }
+
+  if (from == to) {
+    // Nothing new; still snapshot (a drift-triggered reset with an empty
+    // log suffix must not re-trigger forever).
+    report.per_template_counts.assign(engine_.num_templates(), 0);
+    SnapshotDatabaseState();
+    return report;
+  }
+
+  // --- New lids, in row order (sharded scan, shard-ordered merge). ---
+  std::vector<ShardRange> shards =
+      SplitShards(to - from, threads, options.min_rows_per_shard);
+  std::vector<std::vector<int64_t>> shard_lids(shards.size());
+  ParallelFor(pool.get(), shards.size(), [&](size_t s) {
+    shard_lids[s].reserve(shards[s].end - shards[s].begin);
+    for (size_t r = shards[s].begin; r < shards[s].end; ++r) {
+      shard_lids[s].push_back(log.Get(from + r).lid);
+    }
+  });
+  std::vector<int64_t> new_lids;
+  new_lids.reserve(to - from);
+  std::unordered_set<int64_t> seen;
+  seen.reserve(2 * (to - from));
+  for (const auto& lids : shard_lids) {
+    for (int64_t lid : lids) {
+      if (seen.insert(lid).second) new_lids.push_back(lid);
+    }
+  }
+  std::vector<Value> lid_values;
+  lid_values.reserve(new_lids.size());
+  for (int64_t lid : new_lids) lid_values.push_back(Value::Int64(lid));
+
+  // --- Evaluate every template restricted to the new lids. ---
+  const auto& templates = engine_.templates();
+  std::vector<StatusOr<std::vector<int64_t>>> per_template(
+      templates.size(),
+      StatusOr<std::vector<int64_t>>(Status::Internal("not evaluated")));
+  ParallelFor(pool.get(), templates.size(), [&](size_t i) {
+    Executor executor(db_, exec);
+    per_template[i] = executor.DistinctLidsFor(
+        templates[i].query(), templates[i].lid_attr(), lid_values);
+  });
+
+  std::unordered_set<int64_t> newly_explained;
+  for (auto& lids_or : per_template) {
+    if (!lids_or.ok()) return lids_or.status();
+    report.per_template_counts.push_back(lids_or->size());
+    newly_explained.insert(lids_or->begin(), lids_or->end());
+  }
+
+  for (int64_t lid : new_lids) {
+    if (newly_explained.count(lid)) {
+      report.explained_lids.push_back(lid);
+    } else {
+      report.unexplained_lids.push_back(lid);
+    }
+  }
+  std::sort(report.explained_lids.begin(), report.explained_lids.end());
+  std::sort(report.unexplained_lids.begin(), report.unexplained_lids.end());
+
+  explained_.insert(report.explained_lids.begin(),
+                    report.explained_lids.end());
+  audited_rows_ = to;
+  SnapshotDatabaseState();
+  return report;
+}
+
+}  // namespace eba

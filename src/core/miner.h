@@ -58,7 +58,8 @@ struct MinerOptions {
   ExecutorOptions executor;
   /// Cache compiled physical plans (join order, condition closures,
   /// dictionary translations, index bindings) across support queries,
-  /// keyed on the canonical condition set plus table epochs. Orthogonal to
+  /// keyed on the canonical condition set and revalidated against table
+  /// structural epochs + append watermarks. Orthogonal to
   /// cache_support, which caches final support *counts*: plan caching also
   /// pays off when the same template shape is re-executed (e.g. with
   /// support caching disabled for ablation, or across mining runs sharing

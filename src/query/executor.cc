@@ -146,6 +146,47 @@ struct ParCtx {
   }
 };
 
+ParCtx MakePar(ThreadPool* pool, const ExecutorOptions& options,
+               ExecStats* stats) {
+  ParCtx par;
+  par.pool = pool;
+  par.threads = pool == nullptr ? 1 : options.num_threads;
+  par.min_rows = std::max<size_t>(1, options.min_rows_per_morsel);
+  par.stats = stats;
+  return par;
+}
+
+/// Sorts `v` ascending with the same contiguous sharding as the probe
+/// phase: morsels are sorted independently on the pool, then merged
+/// pairwise (the merges of one round also run concurrently). Sorting is
+/// order-insensitive, so the result is identical to std::sort at any
+/// thread count.
+void ParallelSortInt64(std::vector<int64_t>* v, const ParCtx& par) {
+  std::vector<ShardRange> runs = par.Morsels(v->size());
+  if (runs.empty()) {
+    std::sort(v->begin(), v->end());
+    return;
+  }
+  ParallelFor(par.pool, runs.size(), [&](size_t s) {
+    std::sort(v->begin() + static_cast<long>(runs[s].begin),
+              v->begin() + static_cast<long>(runs[s].end));
+  });
+  while (runs.size() > 1) {
+    const size_t pairs = runs.size() / 2;
+    std::vector<ShardRange> next((runs.size() + 1) / 2);
+    ParallelFor(par.pool, pairs, [&](size_t p) {
+      const ShardRange& a = runs[2 * p];
+      const ShardRange& b = runs[2 * p + 1];
+      std::inplace_merge(v->begin() + static_cast<long>(a.begin),
+                         v->begin() + static_cast<long>(b.begin),
+                         v->begin() + static_cast<long>(b.end));
+      next[p] = ShardRange{a.begin, b.end};
+    });
+    if (runs.size() % 2 != 0) next[pairs] = runs.back();
+    runs = std::move(next);
+  }
+}
+
 /// Keeps exactly the tuples for which `pred(i)` holds, compacting every
 /// row-id column. The predicate runs before any column moves. With morsels,
 /// per-shard keep lists are built independently and concatenated in shard
@@ -316,8 +357,11 @@ PlanStep CompileConstFilter(int slot, const Column* c, CmpOp op,
         st.lit_kind = PlanStep::LitKind::kStringCode;
         st.lit_int = *code;
       } else {
-        // Literal not in the dictionary: no row can match.
+        // Literal not in the dictionary: no row can match — but appends may
+        // mint the code later, so keep the literal for append-rebinds.
         st.lit_kind = PlanStep::LitKind::kNeverMatches;
+        st.lit_string = rhs.AsString();
+        st.lit_rebindable = true;
       }
     } else {
       st.lit_kind = PlanStep::LitKind::kString;
@@ -591,9 +635,11 @@ class PlanningExecutor {
     for (size_t i = 0; i < q.vars.size(); ++i) {
       EBA_ASSIGN_OR_RETURN(plan_->tables[i], db_->GetTable(q.vars[i].table));
     }
-    plan_->table_epochs.reserve(q.vars.size());
+    plan_->table_structural_epochs.reserve(q.vars.size());
+    plan_->table_watermarks.reserve(q.vars.size());
     for (const Table* t : plan_->tables) {
-      plan_->table_epochs.push_back(t->epoch());
+      plan_->table_structural_epochs.push_back(t->structural_epoch());
+      plan_->table_watermarks.push_back(t->append_watermark());
     }
 
     joins_ = q.join_chain;
@@ -849,6 +895,7 @@ class PlanningExecutor {
     st.probe_col = &probe_col;
     st.index = &idx;
     st.new_var = new_var;
+    st.index_col = new_attr.col;
     if (probe_col.IsIntLike() && build_col.IsIntLike()) {
       st.probe_kind = PlanStep::ProbeKind::kInt64;
     } else if (probe_col.IsString() && build_col.IsString()) {
@@ -857,6 +904,7 @@ class PlanningExecutor {
       } else {
         st.probe_kind = PlanStep::ProbeKind::kStringTranslated;
         st.translated_codes = idx.TranslateCodesFrom(probe_col);
+        st.build_dict_size = build_col.DictionarySize();
       }
     } else {
       st.probe_kind = PlanStep::ProbeKind::kBoxed;
@@ -1022,29 +1070,61 @@ std::string PlanKey(const PathQuery& q, const std::vector<QAttr>& output_attrs,
   return key;
 }
 
-/// Materializes the frame onto `output_attrs`: one MaterializeInto gather
-/// per output column — the only place boxed Values are created.
+/// Materializes the frame onto `output_attrs`: one gather per output column
+/// — the only place boxed Values are created. The gathers and the final row
+/// assembly partition into the same contiguous morsels as the probe phase
+/// (in-place writes into disjoint ranges), so the parallel result is
+/// byte-identical to the serial one.
 Relation MaterializeFrame(const Frame& frame,
                           const std::vector<const Table*>& tables,
-                          const std::vector<QAttr>& output_attrs) {
+                          const std::vector<QAttr>& output_attrs,
+                          const ParCtx& par) {
   Relation out;
   out.attrs = output_attrs;
   const size_t n = frame.size();
   std::vector<std::vector<Value>> cols(output_attrs.size());
+  std::vector<const Column*> src(output_attrs.size());
+  std::vector<const std::vector<uint32_t>*> ids(output_attrs.size());
   for (size_t j = 0; j < output_attrs.size(); ++j) {
     const QAttr& a = output_attrs[j];
     const int slot = frame.SlotOf(a.var);
     EBA_CHECK_MSG(slot >= 0, "projection variable missing from frame");
-    const Column& col =
-        tables[static_cast<size_t>(a.var)]->column(static_cast<size_t>(a.col));
-    col.MaterializeInto(frame.ids[static_cast<size_t>(slot)], &cols[j]);
+    src[j] = &tables[static_cast<size_t>(a.var)]->column(
+        static_cast<size_t>(a.col));
+    ids[j] = &frame.ids[static_cast<size_t>(slot)];
   }
+  const std::vector<ShardRange> shards = par.Morsels(n);
+  if (shards.empty()) {
+    for (size_t j = 0; j < cols.size(); ++j) {
+      src[j]->MaterializeInto(*ids[j], &cols[j]);
+    }
+    out.rows.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      Row& row = out.rows[i];
+      row.reserve(cols.size());
+      for (size_t j = 0; j < cols.size(); ++j) {
+        row.push_back(std::move(cols[j][i]));
+      }
+    }
+    return out;
+  }
+  for (auto& col : cols) col.resize(n);
+  ParallelFor(par.pool, shards.size(), [&](size_t s) {
+    for (size_t j = 0; j < cols.size(); ++j) {
+      src[j]->MaterializeRange(*ids[j], shards[s].begin, shards[s].end,
+                               cols[j].data());
+    }
+  });
   out.rows.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    Row& row = out.rows[i];
-    row.reserve(cols.size());
-    for (size_t j = 0; j < cols.size(); ++j) row.push_back(std::move(cols[j][i]));
-  }
+  ParallelFor(par.pool, shards.size(), [&](size_t s) {
+    for (size_t i = shards[s].begin; i < shards[s].end; ++i) {
+      Row& row = out.rows[i];
+      row.reserve(cols.size());
+      for (size_t j = 0; j < cols.size(); ++j) {
+        row.push_back(std::move(cols[j][i]));
+      }
+    }
+  });
   return out;
 }
 
@@ -1083,11 +1163,7 @@ StatusOr<Executor::FrameRun> Executor::RunFrame(
     bool dedup_frontier, const std::vector<Value>* lid_filter,
     QAttr lid_attr) const {
   stats_ = ExecStats{};
-  ParCtx par;
-  par.pool = ProbePool();
-  par.threads = par.pool == nullptr ? 1 : options_.num_threads;
-  par.min_rows = std::max<size_t>(1, options_.min_rows_per_morsel);
-  par.stats = &stats_;
+  const ParCtx par = MakePar(ProbePool(), options_, &stats_);
 
   PlanCache* cache = options_.plan_cache;
   auto snapshot_cache_stats = [&] {
@@ -1095,6 +1171,8 @@ StatusOr<Executor::FrameRun> Executor::RunFrame(
     stats_.plan_cache_hits = cs.hits;
     stats_.plan_cache_misses = cs.misses;
     stats_.plan_cache_invalidations = cs.invalidations;
+    stats_.plan_rebinds = cs.rebinds;
+    stats_.plan_cache_evictions = cs.evictions;
   };
   std::string key;
   if (cache != nullptr) {
@@ -1135,7 +1213,8 @@ StatusOr<Relation> Executor::Materialize(const PathQuery& q) const {
   EBA_ASSIGN_OR_RETURN(FrameRun run,
                        RunFrame(q, output, /*dedup_frontier=*/false,
                                 /*lid_filter=*/nullptr, QAttr{}));
-  return MaterializeFrame(run.frame, run.tables, output);
+  return MaterializeFrame(run.frame, run.tables, output,
+                          MakePar(ProbePool(), options_, &stats_));
 }
 
 StatusOr<Relation> Executor::MaterializeForLogIds(
@@ -1156,7 +1235,8 @@ StatusOr<Relation> Executor::MaterializeForLogIds(
   EBA_ASSIGN_OR_RETURN(
       FrameRun run,
       RunFrame(q, output, /*dedup_frontier=*/false, &lids, lid_attr));
-  return MaterializeFrame(run.frame, run.tables, output);
+  return MaterializeFrame(run.frame, run.tables, output,
+                          MakePar(ProbePool(), options_, &stats_));
 }
 
 StatusOr<int64_t> Executor::CountDistinct(const PathQuery& q, QAttr lid_attr,
@@ -1203,7 +1283,7 @@ StatusOr<std::vector<Value>> Executor::DistinctValues(
         raw.push_back(col.Int64At(r));
       }
     }
-    std::sort(raw.begin(), raw.end());
+    ParallelSortInt64(&raw, MakePar(ProbePool(), options_, &stats_));
     raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
     std::vector<Value> values;
     values.reserve(raw.size() + (has_null ? 1 : 0));
@@ -1230,6 +1310,17 @@ StatusOr<std::vector<Value>> Executor::DistinctValues(
 
 StatusOr<std::vector<int64_t>> Executor::DistinctLids(const PathQuery& q,
                                                       QAttr lid_attr) const {
+  return DistinctLidsImpl(q, lid_attr, /*lid_filter=*/nullptr);
+}
+
+StatusOr<std::vector<int64_t>> Executor::DistinctLidsFor(
+    const PathQuery& q, QAttr lid_attr, const std::vector<Value>& lids) const {
+  return DistinctLidsImpl(q, lid_attr, &lids);
+}
+
+StatusOr<std::vector<int64_t>> Executor::DistinctLidsImpl(
+    const PathQuery& q, QAttr lid_attr,
+    const std::vector<Value>* lid_filter) const {
   if (lid_attr.var != 0) {
     return Status::InvalidArgument("lid attribute must belong to variable 0");
   }
@@ -1249,21 +1340,23 @@ StatusOr<std::vector<int64_t>> Executor::DistinctLids(const PathQuery& q,
 
   if (options_.engine == ExecutorOptions::Engine::kBoxedReference) {
     EBA_ASSIGN_OR_RETURN(
-        std::vector<Value> values,
-        DistinctValues(q, lid_attr, SupportStrategy::kDedupFrontier));
+        Relation rel,
+        ExecuteBoxed(q, {lid_attr}, /*dedup_intermediate=*/true, lid_filter,
+                     lid_attr));
     std::vector<int64_t> lids;
-    lids.reserve(values.size());
-    for (const auto& v : values) {
-      if (!v.is_null()) lids.push_back(v.RawInt64());
+    lids.reserve(rel.rows.size());
+    for (const auto& row : rel.rows) {
+      if (!row[0].is_null()) lids.push_back(row[0].RawInt64());
     }
     std::sort(lids.begin(), lids.end());
+    lids.erase(std::unique(lids.begin(), lids.end()), lids.end());
     return lids;
   }
 
   std::vector<QAttr> output = {lid_attr};
-  EBA_ASSIGN_OR_RETURN(FrameRun run,
-                       RunFrame(q, output, /*dedup_frontier=*/true,
-                                /*lid_filter=*/nullptr, lid_attr));
+  EBA_ASSIGN_OR_RETURN(FrameRun run, RunFrame(q, output,
+                                              /*dedup_frontier=*/true,
+                                              lid_filter, lid_attr));
   const int slot = run.frame.SlotOf(lid_attr.var);
   EBA_CHECK(slot >= 0);
   std::vector<int64_t> lids;
@@ -1271,7 +1364,7 @@ StatusOr<std::vector<int64_t>> Executor::DistinctLids(const PathQuery& q,
   for (uint32_t r : run.frame.ids[static_cast<size_t>(slot)]) {
     if (!col.IsNull(r)) lids.push_back(col.Int64At(r));
   }
-  std::sort(lids.begin(), lids.end());
+  ParallelSortInt64(&lids, MakePar(ProbePool(), options_, &stats_));
   lids.erase(std::unique(lids.begin(), lids.end()), lids.end());
   return lids;
 }

@@ -104,8 +104,10 @@ struct ExecutorOptions {
   /// query/plan_cache.h). When set, executions record their fully-compiled
   /// physical plan — chosen join order, compiled condition closures,
   /// pre-translated dictionary codes, index bindings — keyed on the query's
-  /// canonical condition-set key plus the referenced tables' epochs, and
-  /// structurally identical queries replay it, skipping planning entirely.
+  /// canonical condition-set key, revalidated against the referenced
+  /// tables' structural epochs + append watermarks (appends re-bind the
+  /// plan instead of discarding it), and structurally identical queries
+  /// replay it, skipping planning entirely.
   PlanCache* plan_cache = nullptr;
 };
 
@@ -137,6 +139,12 @@ struct ExecStats {
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
   uint64_t plan_cache_invalidations = 0;
+  /// Cumulative append-rebinds: cached plans whose tables only grew since
+  /// recording and were re-bound (index/translation refresh) instead of
+  /// re-planned. A rebind also counts as a hit.
+  uint64_t plan_rebinds = 0;
+  /// Cumulative LRU evictions forced by PlanCacheOptions::max_bytes.
+  uint64_t plan_cache_evictions = 0;
   /// Largest morsel count any probe/filter scan was split into (1 = serial).
   size_t max_probe_shards = 1;
 };
@@ -178,6 +186,15 @@ class Executor {
   StatusOr<std::vector<int64_t>> DistinctLids(const PathQuery& q,
                                               QAttr lid_attr) const;
 
+  /// DistinctLids restricted to specific log records: the distinct members
+  /// of `lids` the query explains, evaluated through the lid-filter initial
+  /// scan so the cost scales with the batch, not the log. This is the
+  /// incremental-audit entry point (core/ingest.h): a streaming ExplainNew
+  /// re-evaluates only the accesses past its audited watermark.
+  StatusOr<std::vector<int64_t>> DistinctLidsFor(
+      const PathQuery& q, QAttr lid_attr,
+      const std::vector<Value>& lids) const;
+
   const ExecStats& last_stats() const { return stats_; }
 
  private:
@@ -189,6 +206,12 @@ class Executor {
                                   bool dedup_intermediate,
                                   const std::vector<Value>* lid_filter,
                                   QAttr lid_attr) const;
+
+  /// Shared body of DistinctLids / DistinctLidsFor (`lid_filter` null for
+  /// the full log).
+  StatusOr<std::vector<int64_t>> DistinctLidsImpl(
+      const PathQuery& q, QAttr lid_attr,
+      const std::vector<Value>* lid_filter) const;
 
   /// Late-materialization entry point: replays a cached compiled plan when
   /// options_.plan_cache holds a fresh one for this query shape, otherwise

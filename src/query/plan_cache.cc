@@ -2,41 +2,188 @@
 
 #include <utility>
 
+#include "common/logging.h"
+
 namespace eba {
 
-bool CompiledPlan::IsFresh() const {
+CompiledPlan::Freshness CompiledPlan::CheckFreshness() const {
+  bool appended = false;
   for (size_t i = 0; i < tables.size(); ++i) {
-    if (tables[i]->epoch() != table_epochs[i]) return false;
+    if (tables[i]->structural_epoch() != table_structural_epochs[i]) {
+      return Freshness::kStale;
+    }
+    const uint64_t watermark = tables[i]->append_watermark();
+    if (watermark != table_watermarks[i]) {
+      // Tables are append-only below the structural layer, so a watermark
+      // can only move forward within one structural epoch.
+      appended = true;
+    }
   }
-  return true;
+  return appended ? Freshness::kAppendedOnly : Freshness::kFresh;
+}
+
+size_t CompiledPlan::ApproxBytes() const {
+  size_t bytes = sizeof(CompiledPlan);
+  bytes += tables.capacity() * sizeof(const Table*);
+  bytes += table_structural_epochs.capacity() * sizeof(uint64_t);
+  bytes += table_watermarks.capacity() * sizeof(uint64_t);
+  bytes += stats_points.capacity() * sizeof(StatsPoint);
+  bytes += final_vars.capacity() * sizeof(int);
+  bytes += steps.capacity() * sizeof(PlanStep);
+  for (const PlanStep& st : steps) {
+    bytes += st.translated_codes.capacity() * sizeof(int64_t);
+    bytes += st.keep_slots.capacity() * sizeof(uint32_t);
+    bytes += st.drop_keep_slots.capacity() * sizeof(uint32_t);
+    bytes += st.lit_string.capacity();
+  }
+  return bytes;
+}
+
+std::shared_ptr<const CompiledPlan> RebindPlanForAppend(
+    const CompiledPlan& plan) {
+  auto rebound = std::make_shared<CompiledPlan>(plan);
+  for (PlanStep& st : rebound->steps) {
+    switch (st.kind) {
+      case PlanStep::Kind::kJoin: {
+        const Table* table =
+            rebound->tables[static_cast<size_t>(st.new_var)];
+        // Re-request the index: extends it past the watermark. The HashIndex
+        // object survives appends, so the pointer is unchanged in practice —
+        // the call exists for its extension side effect.
+        st.index = &table->GetOrBuildIndex(static_cast<size_t>(st.index_col));
+        if (st.probe_kind == PlanStep::ProbeKind::kStringTranslated) {
+          const Column& build_col =
+              table->column(static_cast<size_t>(st.index_col));
+          const size_t build_dict = build_col.DictionarySize();
+          const size_t probe_dict = st.probe_col->DictionarySize();
+          if (build_dict != st.build_dict_size) {
+            // New build-side strings: probe codes that previously resolved
+            // to -1 may now translate, so recompute the whole table.
+            st.translated_codes = st.index->TranslateCodesFrom(*st.probe_col);
+            st.build_dict_size = build_dict;
+          } else if (probe_dict > st.translated_codes.size()) {
+            // Only the probe side minted codes: translate just the suffix.
+            st.translated_codes.reserve(probe_dict);
+            for (size_t code = st.translated_codes.size(); code < probe_dict;
+                 ++code) {
+              auto own = build_col.FindStringCode(
+                  st.probe_col->DictionaryEntry(static_cast<int64_t>(code)));
+              st.translated_codes.push_back(own ? *own : -1);
+            }
+          }
+        }
+        break;
+      }
+      case PlanStep::Kind::kConstFilter:
+        if (st.lit_rebindable) {
+          // A string-equality literal absent from the dictionary at compile
+          // time: appends may have minted its code.
+          auto code = st.lhs_col->FindStringCode(st.lit_string);
+          if (code) {
+            st.lit_kind = PlanStep::LitKind::kStringCode;
+            st.lit_int = *code;
+            st.lit_rebindable = false;  // codes are stable once minted
+          } else {
+            st.lit_kind = PlanStep::LitKind::kNeverMatches;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  for (size_t i = 0; i < rebound->tables.size(); ++i) {
+    rebound->table_watermarks[i] = rebound->tables[i]->append_watermark();
+  }
+  return rebound;
 }
 
 std::shared_ptr<const CompiledPlan> PlanCache::Lookup(const std::string& key,
                                                       const Database* db) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = plans_.find(key);
-  if (it != plans_.end()) {
-    // The catalog-generation check runs first: it guarantees every Table*
-    // in the plan is still alive before IsFresh dereferences them. IsFresh
-    // takes each table's lazy mutex; those are leaf locks, so holding the
-    // cache mutex across the check cannot deadlock.
-    if (it->second->db == db &&
-        it->second->catalog_generation == db->catalog_generation() &&
-        it->second->IsFresh()) {
-      ++stats_.hits;
-      return it->second;
-    }
+  if (it == plans_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  // The catalog-generation check runs first: it guarantees every Table* in
+  // the plan is still alive before CheckFreshness dereferences them. Both
+  // the freshness check and a rebind take table-level leaf locks, so
+  // holding the cache mutex across them cannot deadlock.
+  if (it->second.plan->db != db ||
+      it->second.plan->catalog_generation != db->catalog_generation()) {
+    resident_bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
     plans_.erase(it);
     ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
   }
-  ++stats_.misses;
-  return nullptr;
+  switch (it->second.plan->CheckFreshness()) {
+    case CompiledPlan::Freshness::kFresh:
+      break;
+    case CompiledPlan::Freshness::kAppendedOnly: {
+      // Re-bind in place: refresh index bindings and code translations for
+      // the appended suffix instead of discarding the compiled plan.
+      std::shared_ptr<const CompiledPlan> rebound =
+          RebindPlanForAppend(*it->second.plan);
+      resident_bytes_ -= it->second.bytes;
+      it->second.plan = std::move(rebound);
+      it->second.bytes = it->second.plan->ApproxBytes() + it->first.size();
+      resident_bytes_ += it->second.bytes;
+      ++stats_.rebinds;
+      // Rebinds grow plans (extended translation tables): re-enforce the
+      // byte cap here too, or a steady hit+rebind stream would never pass
+      // through Insert and the cap would be dead in exactly that state.
+      EvictOverCapLocked(key);
+      break;
+    }
+    case CompiledPlan::Freshness::kStale:
+      resident_bytes_ -= it->second.bytes;
+      lru_.erase(it->second.lru_it);
+      plans_.erase(it);
+      ++stats_.invalidations;
+      ++stats_.misses;
+      return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // most-recently used
+  return it->second.plan;
 }
 
 void PlanCache::Insert(const std::string& key,
                        std::shared_ptr<const CompiledPlan> plan) {
   std::lock_guard<std::mutex> lock(mu_);
-  plans_[key] = std::move(plan);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    resident_bytes_ -= it->second.bytes;
+    it->second.plan = std::move(plan);
+    it->second.bytes = it->second.plan->ApproxBytes() + key.size();
+    resident_bytes_ += it->second.bytes;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  } else {
+    lru_.push_front(key);
+    Entry entry;
+    entry.plan = std::move(plan);
+    entry.bytes = entry.plan->ApproxBytes() + key.size();
+    entry.lru_it = lru_.begin();
+    resident_bytes_ += entry.bytes;
+    plans_.emplace(key, std::move(entry));
+  }
+  EvictOverCapLocked(key);
+}
+
+void PlanCache::EvictOverCapLocked(const std::string& keep) {
+  if (options_.max_bytes == 0) return;
+  while (resident_bytes_ > options_.max_bytes && !lru_.empty() &&
+         lru_.back() != keep) {
+    auto it = plans_.find(lru_.back());
+    EBA_CHECK(it != plans_.end());
+    resident_bytes_ -= it->second.bytes;
+    plans_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
 }
 
 PlanCache::Stats PlanCache::stats() const {
@@ -49,9 +196,16 @@ size_t PlanCache::size() const {
   return plans_.size();
 }
 
+size_t PlanCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   plans_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
 }
 
 }  // namespace eba

@@ -1,5 +1,5 @@
-// PlanCache: a persistent cache of fully-compiled physical plans for the
-// late-materialization executor.
+// PlanCache: a persistent, bounded cache of fully-compiled physical plans
+// for the late-materialization executor.
 //
 // A CompiledPlan freezes everything the executor decides or resolves before
 // the first row moves: the chosen join order (including every cost-based
@@ -9,17 +9,32 @@
 // and the semi-join column-drop schedule. Replaying a plan skips query
 // validation, table resolution, cardinality estimation and closure
 // compilation entirely — exactly the per-query planning cost the miner pays
-// thousands of times for structurally identical support queries.
+// thousands of times for structurally identical support queries, and the
+// per-access explain loop pays once per served request.
 //
-// Staleness: plans hold pointers into tables and their derived state (hash
-// indexes, dictionary codes) that mutations invalidate. Every plan records
-// the database's catalog generation (so a CreateTable/AddTable/DropTable
-// invalidates it before any freed Table pointer could be dereferenced) and
-// the epoch (Table::epoch) of each referenced table at build time; Lookup
-// revalidates both and drops the entry — counted as an invalidation — when
-// anything mutated since. The cache is therefore safe to hold across
-// mutations and catalog changes, but like all executor reads, lookups must
-// be externally serialized against concurrent writers.
+// Staleness is three-valued (CompiledPlan::Freshness), matching the Table
+// mutation split:
+//  - kFresh: every referenced table is at its build-time structural epoch
+//    and append watermark — replay as-is.
+//  - kAppendedOnly: structural epochs match but at least one table grew.
+//    The plan is *re-bound*, not discarded: index bindings are refreshed
+//    (which extends the indexes past the watermark), dictionary-code
+//    translation tables are extended for newly minted codes, and string
+//    literals that were absent from a dictionary at compile time are
+//    re-resolved. Counted as a hit plus a rebind; the frozen join order is
+//    kept (appends rarely change which order is best, and keeping it is
+//    what makes the streaming serving loop cheap).
+//  - kStale: a structural epoch moved — drop the entry (an invalidation).
+// Every plan also records the database's catalog generation, so a
+// CreateTable/AddTable/DropTable invalidates it before any freed Table
+// pointer could be dereferenced. Like all executor reads, lookups must be
+// externally serialized against concurrent writers.
+//
+// Eviction: with PlanCacheOptions::max_bytes > 0 the cache tracks an
+// approximate per-entry byte footprint and evicts least-recently-used
+// entries when an insert pushes the total over the cap (a lone oversized
+// entry is kept — one resident plan beats none). 0 means unbounded, the
+// right setting for template registries and single mining runs.
 //
 // Thread safety: Lookup/Insert/stats are mutex-guarded, and cached plans are
 // immutable shared_ptrs, so concurrent executors (e.g. ExplainAll's template
@@ -29,6 +44,7 @@
 #define EBA_QUERY_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -80,8 +96,14 @@ struct PlanStep {
   const Column* probe_col = nullptr;
   const HashIndex* index = nullptr;
   int new_var = -1;
+  /// Column index of `index` within table `new_var`, recorded so an
+  /// append-rebind can re-request (and thereby extend) the index.
+  int index_col = -1;
   ProbeKind probe_kind = ProbeKind::kBoxed;
   std::vector<int64_t> translated_codes;  // kStringTranslated only
+  /// Build-side dictionary size when translated_codes was computed; growth
+  /// means previously unresolvable probe codes may now translate.
+  size_t build_dict_size = 0;
   std::vector<uint32_t> keep_slots;       // surviving pre-join slots, in order
   bool keep_new = true;                   // gather the newly bound column
 
@@ -98,6 +120,10 @@ struct PlanStep {
   double lit_double = 0.0;
   std::string lit_string;
   Value lit_value;
+  /// True for a string-equality literal that was absent from the dictionary
+  /// at compile time (lit_kind == kNeverMatches with lit_string holding the
+  /// literal): appends can mint the code, so a rebind re-resolves it.
+  bool lit_rebindable = false;
 
   // kDrop.
   std::vector<uint32_t> drop_keep_slots;  // slots that survive, in order
@@ -105,16 +131,20 @@ struct PlanStep {
 };
 
 /// A fully-compiled physical plan: the frozen step pipeline plus everything
-/// needed to revalidate it. Immutable once built (replay never mutates).
+/// needed to revalidate it. Immutable once built (replay never mutates; an
+/// append-rebind produces a patched copy).
 struct CompiledPlan {
   const Database* db = nullptr;
   /// Database::catalog_generation at build time. Table pointers are only
   /// dereferenced while the catalog is unchanged (map nodes are stable
   /// within a generation); any CreateTable/AddTable/DropTable invalidates
-  /// the plan before IsFresh could touch a freed Table.
+  /// the plan before CheckFreshness could touch a freed Table.
   uint64_t catalog_generation = 0;
-  std::vector<const Table*> tables;    // per tuple variable
-  std::vector<uint64_t> table_epochs;  // Table::epoch at build time
+  std::vector<const Table*> tables;  // per tuple variable
+  /// Table::structural_epoch / Table::append_watermark at build (or last
+  /// rebind) time.
+  std::vector<uint64_t> table_structural_epochs;
+  std::vector<uint64_t> table_watermarks;
 
   std::vector<PlanStep> steps;
 
@@ -133,8 +163,36 @@ struct CompiledPlan {
   bool used_cost_based_order = false;
   bool used_semi_join = false;
 
-  /// True while every referenced table is still at its build-time epoch.
-  bool IsFresh() const;
+  enum class Freshness {
+    kFresh,         // replay as-is
+    kAppendedOnly,  // watermark moved, structure intact: re-bind
+    kStale          // structural epoch moved: rebuild
+  };
+  /// Compares every referenced table's structural epoch and watermark
+  /// against the recorded values.
+  Freshness CheckFreshness() const;
+
+  /// Approximate resident footprint (steps, translation tables, slot lists,
+  /// literals) for the cache's byte accounting.
+  size_t ApproxBytes() const;
+};
+
+/// Re-binds `plan` after appends to its tables: refreshes index bindings
+/// (extending each index past the watermark), extends dictionary-code
+/// translation tables for newly minted probe codes (recomputing them when
+/// the build-side dictionary grew), re-resolves rebindable string literals,
+/// and stamps the current watermarks. The frozen join order, slot layout and
+/// stats points are untouched, so a replay of the rebound plan over the old
+/// prefix is byte-identical to the original. Requires CheckFreshness() ==
+/// kAppendedOnly (same structural epochs).
+std::shared_ptr<const CompiledPlan> RebindPlanForAppend(
+    const CompiledPlan& plan);
+
+struct PlanCacheOptions {
+  /// Approximate byte cap on resident plans; 0 = unbounded. When an insert
+  /// pushes the total over the cap, least-recently-used entries are evicted
+  /// until it fits (the newest entry itself is never evicted).
+  size_t max_bytes = 0;
 };
 
 class PlanCache {
@@ -143,28 +201,50 @@ class PlanCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t invalidations = 0;  // stale entries dropped on lookup
+    uint64_t rebinds = 0;        // append-only entries re-bound on lookup
+    uint64_t evictions = 0;      // LRU entries dropped by the byte cap
   };
 
   PlanCache() = default;
+  explicit PlanCache(const PlanCacheOptions& options) : options_(options) {}
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
   /// Returns the cached plan for `key` if it exists, was built against `db`,
-  /// and is still fresh; counts a hit. A stale or foreign-database entry is
-  /// evicted (counted as an invalidation) and the lookup counts as a miss.
+  /// and is fresh or append-only stale (the latter is re-bound in place and
+  /// counted as a rebind); either way the lookup counts as a hit and marks
+  /// the entry most-recently used. A structurally stale or foreign-database
+  /// entry is evicted (counted as an invalidation) and the lookup counts as
+  /// a miss.
   std::shared_ptr<const CompiledPlan> Lookup(const std::string& key,
                                              const Database* db);
 
-  /// Inserts (or replaces) the plan for `key`.
+  /// Inserts (or replaces) the plan for `key` as the most-recently-used
+  /// entry, then evicts LRU entries while the byte cap is exceeded.
   void Insert(const std::string& key, std::shared_ptr<const CompiledPlan> plan);
 
   Stats stats() const;
   size_t size() const;
+  /// Approximate bytes across resident plans (per-entry ApproxBytes sums).
+  size_t resident_bytes() const;
+  const PlanCacheOptions& options() const { return options_; }
   void Clear();
 
  private:
+  struct Entry {
+    std::shared_ptr<const CompiledPlan> plan;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;  // position in lru_
+  };
+
+  /// Drops LRU entries until the cap fits; `keep` is never evicted.
+  void EvictOverCapLocked(const std::string& keep);
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const CompiledPlan>> plans_;
+  PlanCacheOptions options_;
+  std::unordered_map<std::string, Entry> plans_;
+  std::list<std::string> lru_;  // front = most recent
+  size_t resident_bytes_ = 0;
   Stats stats_;
 };
 

@@ -131,6 +131,13 @@ void Column::MaterializeInto(const std::vector<uint32_t>& row_ids,
   for (uint32_t row : row_ids) out->push_back(Get(row));
 }
 
+void Column::MaterializeRange(const std::vector<uint32_t>& row_ids,
+                              size_t begin, size_t end, Value* out) const {
+  EBA_CHECK(out != nullptr);
+  EBA_CHECK(end <= row_ids.size());
+  for (size_t i = begin; i < end; ++i) out[i] = Get(row_ids[i]);
+}
+
 std::optional<int64_t> Column::FindStringCode(const std::string& s) const {
   auto it = dict_lookup_.find(s);
   if (it == dict_lookup_.end()) return std::nullopt;

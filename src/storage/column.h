@@ -86,6 +86,12 @@ class Column {
   void MaterializeInto(const std::vector<uint32_t>& row_ids,
                        std::vector<Value>* out) const;
 
+  /// Random-access variant for sharded gathers: writes Get(row_ids[i]) into
+  /// out[i] for i in [begin, end). `out` must span at least row_ids.size()
+  /// slots; disjoint ranges may be filled from different threads.
+  void MaterializeRange(const std::vector<uint32_t>& row_ids, size_t begin,
+                        size_t end, Value* out) const;
+
  private:
   int64_t InternString(const std::string& s);
 

@@ -6,20 +6,28 @@ namespace eba {
 
 HashIndex::HashIndex(const Column* column) : column_(column) {
   EBA_CHECK(column != nullptr);
-  const size_t n = column->size();
   if (column->IsIntLike() || column->IsString()) {
-    int_map_.reserve(n);
-    for (size_t row = 0; row < n; ++row) {
-      if (column->IsNull(row)) continue;
-      int_map_[column->Int64At(row)].push_back(static_cast<uint32_t>(row));
+    int_map_.reserve(column->size());
+  } else {
+    value_map_.reserve(column->size());
+  }
+  ExtendTo(column->size());
+}
+
+void HashIndex::ExtendTo(size_t num_rows) {
+  EBA_CHECK(num_rows <= column_->size());
+  if (column_->IsIntLike() || column_->IsString()) {
+    for (size_t row = indexed_rows_; row < num_rows; ++row) {
+      if (column_->IsNull(row)) continue;
+      int_map_[column_->Int64At(row)].push_back(static_cast<uint32_t>(row));
     }
   } else {
-    value_map_.reserve(n);
-    for (size_t row = 0; row < n; ++row) {
-      if (column->IsNull(row)) continue;
-      value_map_[column->Get(row)].push_back(static_cast<uint32_t>(row));
+    for (size_t row = indexed_rows_; row < num_rows; ++row) {
+      if (column_->IsNull(row)) continue;
+      value_map_[column_->Get(row)].push_back(static_cast<uint32_t>(row));
     }
   }
+  if (num_rows > indexed_rows_) indexed_rows_ = num_rows;
 }
 
 const std::vector<uint32_t>& HashIndex::Lookup(const Value& v) const {

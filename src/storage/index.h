@@ -5,6 +5,12 @@
 // dictionary, so cross-column string joins work); doubles fall back to a
 // Value-keyed map. NULL cells are never indexed — a NULL join key matches
 // nothing, mirroring SQL equi-join semantics.
+//
+// The index is append-extendable: ExtendTo folds rows past the build-time
+// watermark into the maps without touching the already-indexed prefix, so a
+// Table append does not force a rebuild (and cached pointers to the index
+// stay valid — see Table::GetOrBuildIndex). Extension requires the same
+// external serialization against readers as any other mutation.
 
 #ifndef EBA_STORAGE_INDEX_H_
 #define EBA_STORAGE_INDEX_H_
@@ -47,8 +53,17 @@ class HashIndex {
   /// Number of distinct (non-NULL) keys.
   size_t NumDistinctKeys() const;
 
+  /// Rows already folded into the maps. Equal to the column size at the
+  /// last construction/extension; smaller iff rows were appended since.
+  size_t indexed_rows() const { return indexed_rows_; }
+
+  /// Folds rows [indexed_rows(), num_rows) into the index. A no-op when the
+  /// index already covers the range; never touches the indexed prefix.
+  void ExtendTo(size_t num_rows);
+
  private:
   const Column* column_;
+  size_t indexed_rows_ = 0;
   std::unordered_map<int64_t, std::vector<uint32_t>> int_map_;
   std::unordered_map<Value, std::vector<uint32_t>> value_map_;
   std::vector<uint32_t> empty_;

@@ -1,47 +1,47 @@
 #include "storage/statistics.h"
 
-#include <unordered_set>
-
 namespace eba {
 
-ColumnStats ComputeColumnStats(const Column& column) {
-  ColumnStats stats;
-  stats.num_rows = column.size();
-  stats.num_nulls = column.NullCount();
-
-  if (column.IsString()) {
-    // The dictionary may contain strings from rows that were appended and
-    // are all that exist, so dictionary size equals distinct count; min/max
-    // still require a scan because dictionary order is insertion order.
-    stats.num_distinct = column.DictionarySize();
-  }
-
-  bool first = true;
-  std::unordered_set<int64_t> distinct_ints;
-  std::unordered_set<Value> distinct_values;
-  for (size_t row = 0; row < column.size(); ++row) {
+void IncrementalColumnStats::ExtendTo(const Column& column) {
+  const size_t n = column.size();
+  // True no-op when nothing was appended: readers may hold the returned
+  // stats reference outside the table's lazy mutex, so an already-current
+  // summary must not be rewritten (even with identical values).
+  if (n == rows_seen_) return;
+  for (size_t row = rows_seen_; row < n; ++row) {
     if (column.IsNull(row)) continue;
     Value v = column.Get(row);
-    if (first) {
-      stats.min = v;
-      stats.max = v;
-      first = false;
-    } else {
-      if (v < stats.min) stats.min = v;
-      if (stats.max < v) stats.max = v;
-    }
-    if (column.IsString()) continue;  // distinct handled via dictionary
     if (column.IsIntLike()) {
-      distinct_ints.insert(column.Int64At(row));
+      distinct_ints_.insert(column.Int64At(row));
+    } else if (!column.IsString()) {  // string distinct uses the dictionary
+      distinct_values_.insert(v);
+    }
+    if (stats_.min.is_null()) {
+      stats_.min = v;
+      stats_.max = std::move(v);
     } else {
-      distinct_values.insert(v);
+      if (v < stats_.min) stats_.min = v;
+      if (stats_.max < v) stats_.max = std::move(v);
     }
   }
-  if (!column.IsString()) {
-    stats.num_distinct =
-        column.IsIntLike() ? distinct_ints.size() : distinct_values.size();
+  rows_seen_ = n;
+  stats_.num_rows = n;
+  stats_.num_nulls = column.NullCount();
+  if (column.IsString()) {
+    // Dictionary size equals the exact distinct count (codes are only
+    // minted for strings that occur); min/max still required the scan
+    // above because dictionary order is insertion order.
+    stats_.num_distinct = column.DictionarySize();
+  } else {
+    stats_.num_distinct = column.IsIntLike() ? distinct_ints_.size()
+                                             : distinct_values_.size();
   }
-  return stats;
+}
+
+ColumnStats ComputeColumnStats(const Column& column) {
+  IncrementalColumnStats incremental;
+  incremental.ExtendTo(column);
+  return incremental.stats();
 }
 
 }  // namespace eba

@@ -5,6 +5,7 @@
 #define EBA_STORAGE_STATISTICS_H_
 
 #include <cstddef>
+#include <unordered_set>
 
 #include "common/value.h"
 #include "storage/column.h"
@@ -31,6 +32,29 @@ struct ColumnStats {
 
 /// Computes exact statistics with a single pass over the column.
 ColumnStats ComputeColumnStats(const Column& column);
+
+/// Exact statistics that extend incrementally past an append watermark:
+/// ExtendTo folds only the rows appended since the last call into the
+/// summary, so a streaming Table keeps its stats current in O(new rows)
+/// instead of rescanning the prefix on every append. The distinct-value
+/// state (which the one-shot ComputeColumnStats discards) is retained for
+/// int-like and double columns; string columns read their dictionary size,
+/// so they carry no extra state at all.
+class IncrementalColumnStats {
+ public:
+  const ColumnStats& stats() const { return stats_; }
+  size_t rows_seen() const { return rows_seen_; }
+
+  /// Folds rows [rows_seen(), column.size()) into the summary. Every call
+  /// must see the same column (append-only between calls).
+  void ExtendTo(const Column& column);
+
+ private:
+  ColumnStats stats_;
+  size_t rows_seen_ = 0;
+  std::unordered_set<int64_t> distinct_ints_;   // int-like columns
+  std::unordered_set<Value> distinct_values_;   // double columns
+};
 
 }  // namespace eba
 

@@ -40,8 +40,9 @@ Status Table::AppendRow(const Row& row) {
     Status s = columns_[i].Append(row[i]);
     EBA_CHECK_MSG(s.ok(), s.ToString());  // types were pre-validated
   }
+  // Appends advance the watermark only (num_rows_ doubles as the
+  // watermark); cached indexes/stats stay live and extend on next access.
   ++num_rows_;
-  InvalidateDerivedState();
   return Status::OK();
 }
 
@@ -72,6 +73,11 @@ const HashIndex& Table::GetOrBuildIndex(size_t col) const {
   std::lock_guard<std::mutex> lock(*lazy_mu_);
   if (!indexes_[col]) {
     indexes_[col] = std::make_unique<HashIndex>(&columns_[col]);
+  } else {
+    // Extend past the append watermark (no-op when already current). The
+    // locked check doubles as the happens-before edge for readers that
+    // probe the index without the lock afterwards.
+    indexes_[col]->ExtendTo(columns_[col].size());
   }
   return *indexes_[col];
 }
@@ -80,16 +86,17 @@ const ColumnStats& Table::GetOrComputeStats(size_t col) const {
   EBA_CHECK(col < columns_.size());
   std::lock_guard<std::mutex> lock(*lazy_mu_);
   if (!stats_[col]) {
-    stats_[col] = std::make_unique<ColumnStats>(ComputeColumnStats(columns_[col]));
+    stats_[col] = std::make_unique<IncrementalColumnStats>();
   }
-  return *stats_[col];
+  stats_[col]->ExtendTo(columns_[col]);
+  return stats_[col]->stats();
 }
 
 void Table::InvalidateDerivedState() const {
   std::lock_guard<std::mutex> lock(*lazy_mu_);
   for (auto& idx : indexes_) idx.reset();
   for (auto& st : stats_) st.reset();
-  ++epoch_;
+  ++structural_epoch_;
 }
 
 Status Table::WriteCsv(const std::string& path) const {

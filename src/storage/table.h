@@ -1,5 +1,17 @@
 // Table: a column-oriented, append-only relation with lazily built hash
-// indexes and column statistics. Appends invalidate cached indexes/stats.
+// indexes and column statistics.
+//
+// Mutations are split into two classes so a streaming append workload does
+// not throw derived state away:
+//  - appends (AppendRow) advance the *append watermark* only; cached hash
+//    indexes and statistics stay live and are extended incrementally past
+//    the watermark on next access (HashIndex::ExtendTo /
+//    IncrementalColumnStats::ExtendTo), so consumers holding index pointers
+//    (e.g. compiled query plans) re-bind instead of re-planning;
+//  - structural mutations (mutable_column, explicit invalidation — anything
+//    that may rewrite existing cells, schemas or dictionaries in place)
+//    advance the *structural epoch*, dropping all derived state; consumers
+//    must treat a structural-epoch mismatch as "stale — rebuild".
 
 #ifndef EBA_STORAGE_TABLE_H_
 #define EBA_STORAGE_TABLE_H_
@@ -51,27 +63,38 @@ class Table {
   /// Column by name; Status error if absent.
   StatusOr<const Column*> ColumnByName(const std::string& name) const;
 
-  /// Hash index over `col`, built on first use and cached until the next
-  /// append. Safe to call from concurrent readers (lazy construction is
-  /// serialized internally); appends still require external serialization
-  /// against all readers.
+  /// Hash index over `col`, built on first use, cached, and extended past
+  /// the append watermark on access (the HashIndex object — and therefore
+  /// pointers to it — survives appends; only a structural mutation drops
+  /// it). Safe to call from concurrent readers (lazy construction and
+  /// extension are serialized internally); appends still require external
+  /// serialization against all readers.
   const HashIndex& GetOrBuildIndex(size_t col) const;
 
-  /// Statistics for `col`, computed on first use and cached. Same thread
-  /// safety as GetOrBuildIndex.
+  /// Statistics for `col`, computed on first use, cached, and extended past
+  /// the append watermark on access. Same thread safety as GetOrBuildIndex.
   const ColumnStats& GetOrComputeStats(size_t col) const;
 
-  /// Drops cached indexes and statistics (called automatically on append)
-  /// and advances the table epoch.
+  /// Drops cached indexes and statistics and advances the structural epoch.
+  /// Called automatically by mutable_column; appends do NOT call this.
   void InvalidateDerivedState() const;
 
-  /// Monotonic mutation counter: advanced by every append / mutable access /
-  /// explicit invalidation. Consumers holding derived state (hash-index
-  /// pointers, compiled query plans) record the epoch at build time and
-  /// treat a mismatch as "stale — rebuild".
-  uint64_t epoch() const {
+  /// Monotonic structural-mutation counter: advanced by mutable accesses and
+  /// explicit invalidation (anything that may rewrite existing cells in
+  /// place), NOT by appends. Consumers holding derived state (hash-index
+  /// pointers, compiled query plans) record it at build time and treat a
+  /// mismatch as "stale — rebuild".
+  uint64_t structural_epoch() const {
     std::lock_guard<std::mutex> lock(*lazy_mu_);
-    return epoch_;
+    return structural_epoch_;
+  }
+
+  /// The append watermark: number of rows ever appended (== num_rows()).
+  /// Consumers that recorded the watermark and observe only a watermark
+  /// advance (same structural epoch) may *re-bind* their derived state for
+  /// the new suffix instead of rebuilding it.
+  uint64_t append_watermark() const {
+    return static_cast<uint64_t>(num_rows_);
   }
 
   /// Dumps the table (header + rows) to CSV.
@@ -92,8 +115,8 @@ class Table {
   // not be used).
   mutable std::unique_ptr<std::mutex> lazy_mu_;
   mutable std::vector<std::unique_ptr<HashIndex>> indexes_;
-  mutable std::vector<std::unique_ptr<ColumnStats>> stats_;
-  mutable uint64_t epoch_ = 0;
+  mutable std::vector<std::unique_ptr<IncrementalColumnStats>> stats_;
+  mutable uint64_t structural_epoch_ = 0;
 };
 
 }  // namespace eba

@@ -4,8 +4,10 @@
 // (Materialize row order included), DistinctLids vectors, and ExplainAll
 // reports — per-shard selection vectors are concatenated in shard order, so
 // sharding must never reorder output. Plan-cache tests assert that a replay
-// is bit-identical to the recording execution, and that mutating a table
-// (epoch bump) invalidates the stale plan instead of replaying it.
+// is bit-identical to the recording execution, that an append re-binds the
+// plan (watermark move, structure intact) instead of discarding it, that a
+// structural mutation still invalidates it, and that the LRU byte cap
+// evicts in recency order.
 
 #include <gtest/gtest.h>
 
@@ -183,7 +185,7 @@ TEST_F(PlanCacheTest, SecondExecutionReplaysCachedPlan) {
   EXPECT_EQ(replayed.used_semi_join, recorded.used_semi_join);
 }
 
-TEST_F(PlanCacheTest, MutationInvalidatesStalePlan) {
+TEST_F(PlanCacheTest, AppendRebindsPlanInsteadOfInvalidating) {
   Executor cached(&db_, Cached());
   const PathQuery q = ApptQuery();
 
@@ -191,8 +193,9 @@ TEST_F(PlanCacheTest, MutationInvalidatesStalePlan) {
       UnwrapOrDie(cached.DistinctLids(q, Lid()));
   EXPECT_EQ(before, (std::vector<int64_t>{1}));
 
-  // Mutating a joined table bumps its epoch; the cached plan (which holds
-  // bindings into the table's now-dropped index) must not be reused.
+  // Appending to a joined table moves its watermark but not its structural
+  // epoch: the cached plan is re-bound (index extended past the watermark)
+  // and replayed — a hit plus a rebind, never an invalidation.
   Table* appt = db_.GetTable("Appointments").value();
   EBA_ASSERT_OK(appt->AppendRow(
       {Value::Int64(testing_util::kBob),
@@ -201,18 +204,210 @@ TEST_F(PlanCacheTest, MutationInvalidatesStalePlan) {
 
   const std::vector<int64_t> after =
       UnwrapOrDie(cached.DistinctLids(q, Lid()));
-  EXPECT_FALSE(cached.last_stats().plan_cache_hit);
-  EXPECT_EQ(cached.last_stats().plan_cache_invalidations, 1u);
-  // The new appointment (Bob with Dave) explains L2 as well — the stale
-  // plan's answer would have been {1}.
+  EXPECT_TRUE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(cached.last_stats().plan_rebinds, 1u);
+  EXPECT_EQ(cached.last_stats().plan_cache_invalidations, 0u);
+  // The new appointment (Bob with Dave) explains L2 as well — a dangling
+  // replay of the stale bindings would have answered {1}.
   EXPECT_EQ(after, (std::vector<int64_t>{1, 2}));
   Executor fresh(&db_);
   EXPECT_EQ(after, UnwrapOrDie(fresh.DistinctLids(q, Lid())));
 
-  // The rebuilt plan is cached again and fresh.
+  // The rebound plan is stamped with the new watermark: the next lookup is
+  // a plain hit, no further rebind.
   const std::vector<int64_t> again = UnwrapOrDie(cached.DistinctLids(q, Lid()));
   EXPECT_TRUE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(cached.last_stats().plan_rebinds, 1u);
   EXPECT_EQ(again, after);
+}
+
+TEST_F(PlanCacheTest, AppendToLogRebindsAndSeesNewRows) {
+  Executor cached(&db_, Cached());
+  Executor fresh(&db_);
+  const PathQuery q = ApptQuery();
+  EXPECT_EQ(UnwrapOrDie(cached.DistinctLids(q, Lid())),
+            (std::vector<int64_t>{1}));
+
+  // A new access by Mike to Bob's record: explained by Bob's existing
+  // appointment with Mike. Variable 0 grew, so the initial scan must cover
+  // the appended suffix and the (extended) lid index must find it.
+  Table* log = db_.GetTable("Log").value();
+  EBA_ASSERT_OK(log->AppendRow(
+      {Value::Int64(3),
+       Value::Timestamp(Date::FromCivil(2010, 3, 3, 9, 0, 0).ToSeconds()),
+       Value::Int64(testing_util::kMike), Value::Int64(testing_util::kBob),
+       Value::String("viewed record")}));
+
+  const std::vector<int64_t> after = UnwrapOrDie(cached.DistinctLids(q, Lid()));
+  EXPECT_TRUE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(cached.last_stats().plan_rebinds, 1u);
+  EXPECT_EQ(after, (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(after, UnwrapOrDie(fresh.DistinctLids(q, Lid())));
+
+  // The per-access explain shape re-binds too, and the lid filter resolves
+  // against the extended index.
+  const std::vector<Value> new_lid = {Value::Int64(3)};
+  const Relation cached_rel =
+      UnwrapOrDie(cached.MaterializeForLogIds(q, Lid(), new_lid));
+  const Relation fresh_rel =
+      UnwrapOrDie(fresh.MaterializeForLogIds(q, Lid(), new_lid));
+  EXPECT_EQ(cached_rel.rows, fresh_rel.rows);
+  EXPECT_FALSE(cached_rel.rows.empty());
+}
+
+TEST_F(PlanCacheTest, StructuralMutationStillInvalidates) {
+  Executor cached(&db_, Cached());
+  const PathQuery q = ApptQuery();
+  EXPECT_EQ(UnwrapOrDie(cached.DistinctLids(q, Lid())),
+            (std::vector<int64_t>{1}));
+
+  // mutable_column may rewrite existing cells in place — the structural
+  // epoch moves and the plan must be rebuilt, not re-bound.
+  Table* appt = db_.GetTable("Appointments").value();
+  appt->mutable_column(0);
+
+  EXPECT_EQ(UnwrapOrDie(cached.DistinctLids(q, Lid())),
+            (std::vector<int64_t>{1}));
+  EXPECT_FALSE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(cached.last_stats().plan_cache_invalidations, 1u);
+  EXPECT_EQ(cached.last_stats().plan_rebinds, 0u);
+}
+
+TEST_F(PlanCacheTest, AppendRebindResolvesNewStringLiteral) {
+  Executor cached(&db_, Cached());
+  Executor fresh(&db_);
+  // Department = "Oncology" does not occur yet: the literal compiles to a
+  // never-matches filter.
+  const PathQuery q = UnwrapOrDie(ParsePathQuery(
+      db_, "Log L, Appointments A, Doctor_Info I",
+      "L.Patient = A.Patient AND A.Doctor = I.Doctor AND "
+      "I.Department = 'Oncology'"));
+  EXPECT_EQ(UnwrapOrDie(cached.DistinctLids(q, Lid())),
+            (std::vector<int64_t>{}));
+
+  // The append mints the "Oncology" dictionary code; the rebind must
+  // re-resolve the literal instead of replaying the frozen never-matches.
+  Table* info = db_.GetTable("Doctor_Info").value();
+  EBA_ASSERT_OK(info->AppendRow(
+      {Value::Int64(testing_util::kDave), Value::String("Oncology")}));
+
+  const std::vector<int64_t> after = UnwrapOrDie(cached.DistinctLids(q, Lid()));
+  EXPECT_TRUE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(cached.last_stats().plan_rebinds, 1u);
+  EXPECT_EQ(after, UnwrapOrDie(fresh.DistinctLids(q, Lid())));
+  EXPECT_EQ(after, (std::vector<int64_t>{1}));
+}
+
+TEST_F(PlanCacheTest, AppendRebindExtendsCodeTranslations) {
+  // A cross-column string join (Log.Action joined to a second table's
+  // string column through an admin relationship is overkill here; use a
+  // dedicated two-table database instead).
+  Database db;
+  EBA_ASSERT_OK(db.CreateTable(TableSchema(
+      "Log", {ColumnDef{"Lid", DataType::kInt64, "lid", true},
+              ColumnDef{"Tag", DataType::kString, "tag", false}})));
+  EBA_ASSERT_OK(db.CreateTable(TableSchema(
+      "Tags", {ColumnDef{"Tag", DataType::kString, "tag", false},
+               ColumnDef{"Weight", DataType::kInt64, "", false}})));
+  Table* log = db.GetTable("Log").value();
+  Table* tags = db.GetTable("Tags").value();
+  EBA_ASSERT_OK(log->AppendRow({Value::Int64(1), Value::String("alpha")}));
+  EBA_ASSERT_OK(log->AppendRow({Value::Int64(2), Value::String("beta")}));
+  EBA_ASSERT_OK(tags->AppendRow({Value::String("alpha"), Value::Int64(10)}));
+
+  PlanCache cache;
+  ExecutorOptions options;
+  options.plan_cache = &cache;
+  Executor cached(&db, options);
+  Executor fresh(&db);
+  const PathQuery q =
+      UnwrapOrDie(ParsePathQuery(db, "Log L, Tags T", "L.Tag = T.Tag"));
+  const QAttr lid{0, 0};
+  EXPECT_EQ(UnwrapOrDie(cached.DistinctLids(q, lid)),
+            (std::vector<int64_t>{1}));
+
+  // Appends mint codes on both sides: "gamma" only in the log (probe side
+  // grows), "beta" in Tags (build side grows — the previously untranslatable
+  // probe code for "beta" must now resolve).
+  EBA_ASSERT_OK(log->AppendRow({Value::Int64(3), Value::String("gamma")}));
+  EBA_ASSERT_OK(tags->AppendRow({Value::String("beta"), Value::Int64(20)}));
+
+  const std::vector<int64_t> after = UnwrapOrDie(cached.DistinctLids(q, lid));
+  EXPECT_TRUE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(cached.last_stats().plan_rebinds, 1u);
+  EXPECT_EQ(after, UnwrapOrDie(fresh.DistinctLids(q, lid)));
+  EXPECT_EQ(after, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(PlanCacheLruTest, ByteCapEvictsLeastRecentlyUsed) {
+  Database db = BuildPaperToyDatabase();
+  // An uncapped cache to measure one plan's footprint, so the capped cache
+  // below holds roughly two entries.
+  PlanCache probe_cache;
+  ExecutorOptions probe_options;
+  probe_options.plan_cache = &probe_cache;
+  Executor probe(&db, probe_options);
+  const QAttr lid{0, 0};
+  auto query = [&](const std::string& conds) {
+    return UnwrapOrDie(ParsePathQuery(db, "Log L, Appointments A", conds));
+  };
+  const PathQuery q1 = query("L.Patient = A.Patient AND A.Doctor = L.User");
+  const PathQuery q2 = query("L.Patient = A.Patient");
+  const PathQuery q3 = query("L.User = A.Doctor");
+  (void)UnwrapOrDie(probe.DistinctLids(q1, lid));
+  const size_t q1_bytes = probe_cache.resident_bytes();
+  ASSERT_GT(q1_bytes, 0u);
+  (void)UnwrapOrDie(probe.DistinctLids(q2, lid));
+  const size_t q1_q2_bytes = probe_cache.resident_bytes();
+  const size_t q2_bytes = q1_q2_bytes - q1_bytes;
+  ASSERT_GT(q2_bytes, 0u);
+
+  // Room for q1 + q2 plus half of another q2-sized plan: inserting a third
+  // single-join plan (q3 ≈ q2) must overflow.
+  PlanCacheOptions cache_options;
+  cache_options.max_bytes = q1_q2_bytes + q2_bytes / 2;
+  PlanCache cache(cache_options);
+  ExecutorOptions options;
+  options.plan_cache = &cache;
+  Executor cached(&db, options);
+
+  (void)UnwrapOrDie(cached.DistinctLids(q1, lid));
+  (void)UnwrapOrDie(cached.DistinctLids(q2, lid));
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch q1 so q2 is the least-recently-used entry.
+  (void)UnwrapOrDie(cached.DistinctLids(q1, lid));
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Inserting q3 exceeds the cap: q2 (LRU) is evicted, q1 survives.
+  (void)UnwrapOrDie(cached.DistinctLids(q3, lid));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.resident_bytes(), cache_options.max_bytes);
+
+  (void)UnwrapOrDie(cached.DistinctLids(q1, lid));
+  EXPECT_TRUE(cached.last_stats().plan_cache_hit);  // q1 still resident
+  (void)UnwrapOrDie(cached.DistinctLids(q2, lid));
+  EXPECT_FALSE(cached.last_stats().plan_cache_hit);  // q2 was evicted
+  EXPECT_EQ(cache.stats().evictions, 2u);  // re-inserting q2 evicted q3
+}
+
+TEST(PlanCacheLruTest, LoneOversizedEntryIsKept) {
+  Database db = BuildPaperToyDatabase();
+  PlanCacheOptions cache_options;
+  cache_options.max_bytes = 1;  // nothing fits
+  PlanCache cache(cache_options);
+  ExecutorOptions options;
+  options.plan_cache = &cache;
+  Executor cached(&db, options);
+  const PathQuery q = UnwrapOrDie(ParsePathQuery(
+      db, "Log L, Appointments A",
+      "L.Patient = A.Patient AND A.Doctor = L.User"));
+  const QAttr lid{0, 0};
+  (void)UnwrapOrDie(cached.DistinctLids(q, lid));
+  // The newest entry is never evicted: one resident plan beats none.
+  EXPECT_EQ(cache.size(), 1u);
+  (void)UnwrapOrDie(cached.DistinctLids(q, lid));
+  EXPECT_TRUE(cached.last_stats().plan_cache_hit);
 }
 
 TEST_F(PlanCacheTest, DropAndRecreateTableInvalidatesPlan) {

@@ -1,0 +1,255 @@
+// Streaming ingest suite: ExplainNew must equal a full ExplainAll
+// restricted to the new lids at every watermark, the persistent explained
+// set must converge to the full report's, appends must keep the plan cache
+// hot (rebinds, not invalidations), and non-append drift must force a full
+// re-audit. Storage-level pieces (incremental index/stats extension) are
+// covered in storage_test.cc.
+
+#include "core/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "careweb/generator.h"
+#include "careweb/workload.h"
+#include "common/date.h"
+#include "core/engine.h"
+#include "log/access_log.h"
+#include "tests/test_util.h"
+
+namespace eba {
+namespace {
+
+using testing_util::BuildPaperToyDatabase;
+using testing_util::UnwrapOrDie;
+
+/// A streaming fixture over the generated hospital: the "LogStream" table
+/// starts with the rows of days [1, seed_days] and the remaining rows are
+/// returned as the append backlog, in row order.
+struct StreamingFixture {
+  CareWebData data;
+  std::vector<Row> backlog;
+  std::vector<ExplanationTemplate> templates;
+};
+
+StreamingFixture MakeFixture(int seed_days) {
+  StreamingFixture f;
+  f.data = UnwrapOrDie(GenerateCareWeb(CareWebConfig::Tiny()));
+  const Table* log = UnwrapOrDie(f.data.db.GetTable("Log"));
+  AccessLog access_log = UnwrapOrDie(AccessLog::Wrap(log));
+  (void)UnwrapOrDie(AddLogSlice(&f.data.db, "Log", "LogStream", 1, seed_days,
+                                /*first_only=*/false));
+  std::unordered_set<size_t> seeded;
+  for (size_t r : access_log.RowsInDayRange(1, seed_days)) seeded.insert(r);
+  for (size_t r = 0; r < log->num_rows(); ++r) {
+    if (!seeded.count(r)) f.backlog.push_back(log->GetRow(r));
+  }
+  f.templates = UnwrapOrDie(TemplatesHandcraftedDirect(f.data.db, true));
+  return f;
+}
+
+StreamingAuditor MakeAuditor(StreamingFixture* f) {
+  StreamingAuditor auditor =
+      UnwrapOrDie(StreamingAuditor::Create(&f->data.db, "LogStream"));
+  for (const auto& tmpl : f->templates) {
+    const Status s = auditor.AddTemplate(tmpl);
+    EBA_CHECK_MSG(s.ok(), s.ToString());  // value-returning helper: no ASSERT
+  }
+  return auditor;
+}
+
+/// The oracle: a full ExplainAll over the current LogStream, restricted to
+/// `lids`.
+struct RestrictedReport {
+  std::vector<int64_t> explained;
+  std::vector<int64_t> unexplained;
+};
+
+RestrictedReport FullReportRestrictedTo(const StreamingAuditor& auditor,
+                                        const std::vector<int64_t>& lids) {
+  const ExplanationReport full =
+      UnwrapOrDie(auditor.engine().ExplainAll());
+  std::unordered_set<int64_t> explained(full.explained_lids.begin(),
+                                        full.explained_lids.end());
+  RestrictedReport out;
+  for (int64_t lid : lids) {
+    if (explained.count(lid)) {
+      out.explained.push_back(lid);
+    } else {
+      out.unexplained.push_back(lid);
+    }
+  }
+  std::sort(out.explained.begin(), out.explained.end());
+  std::sort(out.unexplained.begin(), out.unexplained.end());
+  return out;
+}
+
+std::vector<int64_t> LidsOf(const std::vector<Row>& rows, int lid_col) {
+  std::vector<int64_t> lids;
+  lids.reserve(rows.size());
+  for (const Row& row : rows) {
+    lids.push_back(row[static_cast<size_t>(lid_col)].AsInt64());
+  }
+  return lids;
+}
+
+TEST(StreamingAuditorTest, ExplainNewMatchesFullExplainAllRestrictedToNewLids) {
+  StreamingFixture f = MakeFixture(/*seed_days=*/4);
+  StreamingAuditor auditor = MakeAuditor(&f);
+  ASSERT_FALSE(f.backlog.empty());
+  const Table* stream = UnwrapOrDie(
+      static_cast<const Database&>(f.data.db).GetTable("LogStream"));
+  const int lid_col = stream->schema().ColumnIndex("Lid");
+
+  // First audit covers the seeded prefix.
+  const size_t seed_rows = stream->num_rows();
+  const StreamingReport first = UnwrapOrDie(auditor.ExplainNew());
+  EXPECT_EQ(first.audited_from, 0u);
+  EXPECT_EQ(first.audited_to, seed_rows);
+  const ExplanationReport seed_full =
+      UnwrapOrDie(auditor.engine().ExplainAll());
+  EXPECT_EQ(first.explained_lids, seed_full.explained_lids);
+  EXPECT_EQ(first.unexplained_lids, seed_full.unexplained_lids);
+  EXPECT_EQ(first.per_template_counts, seed_full.per_template_counts);
+
+  // Stream the backlog in three batches; every incremental report must
+  // equal the full report restricted to that batch's lids.
+  const size_t batch_size = (f.backlog.size() + 2) / 3;
+  for (size_t start = 0; start < f.backlog.size(); start += batch_size) {
+    const size_t end = std::min(start + batch_size, f.backlog.size());
+    const std::vector<Row> batch(f.backlog.begin() + start,
+                                 f.backlog.begin() + end);
+    EBA_ASSERT_OK(auditor.AppendAccessBatch(batch));
+    const StreamingReport report = UnwrapOrDie(auditor.ExplainNew());
+    EXPECT_FALSE(report.full_reaudit);
+    EXPECT_EQ(report.new_rows(), batch.size());
+    const RestrictedReport oracle =
+        FullReportRestrictedTo(auditor, LidsOf(batch, lid_col));
+    EXPECT_EQ(report.explained_lids, oracle.explained);
+    EXPECT_EQ(report.unexplained_lids, oracle.unexplained);
+  }
+
+  // The accumulated explained set equals the full report's.
+  const ExplanationReport final_full =
+      UnwrapOrDie(auditor.engine().ExplainAll());
+  std::unordered_set<int64_t> full_set(final_full.explained_lids.begin(),
+                                       final_full.explained_lids.end());
+  EXPECT_EQ(auditor.explained_lids(), full_set);
+  EXPECT_EQ(auditor.audited_rows(), stream->num_rows());
+  EXPECT_EQ(auditor.rows_appended(), f.backlog.size());
+}
+
+TEST(StreamingAuditorTest, ExplainNewIsDeterministicAcrossThreadCounts) {
+  StreamingFixture f1 = MakeFixture(/*seed_days=*/4);
+  StreamingFixture f2 = MakeFixture(/*seed_days=*/4);
+  StreamingAuditor serial = MakeAuditor(&f1);
+  StreamingAuditor parallel = MakeAuditor(&f2);
+  StreamingOptions par_options;
+  par_options.num_threads = 4;
+  par_options.min_rows_per_shard = 1;
+  par_options.executor.min_rows_per_morsel = 1;
+
+  (void)UnwrapOrDie(serial.ExplainNew());
+  (void)UnwrapOrDie(parallel.ExplainNew(par_options));
+  const size_t batch = (f1.backlog.size() + 1) / 2;
+  for (size_t start = 0; start < f1.backlog.size(); start += batch) {
+    const size_t end = std::min(start + batch, f1.backlog.size());
+    const std::vector<Row> rows(f1.backlog.begin() + start,
+                                f1.backlog.begin() + end);
+    EBA_ASSERT_OK(serial.AppendAccessBatch(rows));
+    EBA_ASSERT_OK(parallel.AppendAccessBatch(rows));
+    const StreamingReport a = UnwrapOrDie(serial.ExplainNew());
+    const StreamingReport b = UnwrapOrDie(parallel.ExplainNew(par_options));
+    EXPECT_EQ(a.explained_lids, b.explained_lids);
+    EXPECT_EQ(a.unexplained_lids, b.unexplained_lids);
+    EXPECT_EQ(a.per_template_counts, b.per_template_counts);
+  }
+}
+
+TEST(StreamingAuditorTest, AppendsKeepThePlanCacheHot) {
+  StreamingFixture f = MakeFixture(/*seed_days=*/4);
+  StreamingAuditor auditor = MakeAuditor(&f);
+  (void)UnwrapOrDie(auditor.ExplainNew());
+  const PlanCache::Stats cold = auditor.engine().plan_cache()->stats();
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.misses, f.templates.size());
+
+  // Interleave appends and audits: every subsequent template evaluation
+  // must re-bind and replay — zero additional misses or invalidations.
+  const size_t kBatches = 10;
+  const size_t batch = (f.backlog.size() + kBatches - 1) / kBatches;
+  size_t audits = 0;
+  for (size_t start = 0; start < f.backlog.size(); start += batch) {
+    const size_t end = std::min(start + batch, f.backlog.size());
+    EBA_ASSERT_OK(auditor.AppendAccessBatch(std::vector<Row>(
+        f.backlog.begin() + start, f.backlog.begin() + end)));
+    (void)UnwrapOrDie(auditor.ExplainNew());
+    ++audits;
+  }
+  const PlanCache::Stats hot = auditor.engine().plan_cache()->stats();
+  EXPECT_EQ(hot.misses, f.templates.size());
+  EXPECT_EQ(hot.invalidations, 0u);
+  EXPECT_EQ(hot.hits, audits * f.templates.size());
+  EXPECT_GT(hot.rebinds, 0u);
+  const double hit_rate = static_cast<double>(hot.hits) /
+                          static_cast<double>(hot.hits + hot.misses);
+  EXPECT_GE(hit_rate, 0.9);
+}
+
+TEST(StreamingAuditorTest, ForeignTableMutationForcesFullReaudit) {
+  Database db = BuildPaperToyDatabase();
+  StreamingAuditor auditor =
+      UnwrapOrDie(StreamingAuditor::Create(&db, "Log"));
+  // "Patient had an appointment with the accessing user."
+  ExplanationTemplate tmpl = UnwrapOrDie(ExplanationTemplate::Parse(
+      db, "appt", "Log L, Appointments A",
+      "L.Patient = A.Patient AND A.Doctor = L.User",
+      "[L.Patient] had an appointment with [L.User]"));
+  EBA_ASSERT_OK(auditor.AddTemplate(tmpl));
+
+  const StreamingReport first = UnwrapOrDie(auditor.ExplainNew());
+  EXPECT_EQ(first.explained_lids, (std::vector<int64_t>{1}));
+  EXPECT_EQ(first.unexplained_lids, (std::vector<int64_t>{2}));
+
+  // An appointment appended to a *non-log* table can newly explain an
+  // already-audited access (L2): the next audit must start over.
+  Table* appt = db.GetTable("Appointments").value();
+  EBA_ASSERT_OK(appt->AppendRow(
+      {Value::Int64(testing_util::kBob),
+       Value::Timestamp(Date::FromCivil(2010, 2, 2, 9, 0, 0).ToSeconds()),
+       Value::Int64(testing_util::kDave)}));
+
+  const StreamingReport second = UnwrapOrDie(auditor.ExplainNew());
+  EXPECT_TRUE(second.full_reaudit);
+  EXPECT_EQ(second.audited_from, 0u);
+  EXPECT_EQ(second.explained_lids, (std::vector<int64_t>{1, 2}));
+  EXPECT_TRUE(second.unexplained_lids.empty());
+  EXPECT_TRUE(auditor.IsExplained(2));
+
+  // With no further changes the next audit is incremental and empty.
+  const StreamingReport third = UnwrapOrDie(auditor.ExplainNew());
+  EXPECT_FALSE(third.full_reaudit);
+  EXPECT_EQ(third.new_rows(), 0u);
+}
+
+TEST(StreamingAuditorTest, EmptyAuditAndBadBatchRows) {
+  Database db = BuildPaperToyDatabase();
+  StreamingAuditor auditor =
+      UnwrapOrDie(StreamingAuditor::Create(&db, "Log"));
+  const StreamingReport empty = UnwrapOrDie(auditor.ExplainNew());
+  EXPECT_EQ(empty.new_rows(), 2u);  // the toy log's seed rows
+  const StreamingReport none = UnwrapOrDie(auditor.ExplainNew());
+  EXPECT_EQ(none.new_rows(), 0u);
+  EXPECT_TRUE(none.explained_lids.empty());
+  EXPECT_TRUE(none.unexplained_lids.empty());
+
+  // Arity mismatch is rejected.
+  EXPECT_FALSE(auditor.AppendAccessBatch({Row{Value::Int64(9)}}).ok());
+}
+
+}  // namespace
+}  // namespace eba

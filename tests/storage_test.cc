@@ -217,7 +217,7 @@ TEST(TableTest, AppendValidation) {
   EXPECT_EQ(t.num_rows(), 0u);
 }
 
-TEST(TableTest, IndexAndStatsCachesInvalidatedOnAppend) {
+TEST(TableTest, IndexAndStatsExtendPastAppendWatermark) {
   Table t(SimpleSchema());
   EBA_ASSERT_OK(t.AppendRow(
       {Value::Int64(1), Value::String("x"), Value::Double(0.5)}));
@@ -228,8 +228,76 @@ TEST(TableTest, IndexAndStatsCachesInvalidatedOnAppend) {
   EBA_ASSERT_OK(t.AppendRow(
       {Value::Int64(1), Value::String("y"), Value::Double(1.5)}));
   const HashIndex& idx2 = t.GetOrBuildIndex(0);
+  // Appends extend the cached index in place: same object, new rows
+  // visible — pointers held by compiled plans stay valid.
+  EXPECT_EQ(&idx1, &idx2);
   EXPECT_EQ(idx2.LookupInt64(1).size(), 2u);
   EXPECT_EQ(t.GetOrComputeStats(1).num_distinct, 2u);
+}
+
+TEST(TableTest, AppendMovesWatermarkNotStructuralEpoch) {
+  Table t(SimpleSchema());
+  const uint64_t epoch0 = t.structural_epoch();
+  EBA_ASSERT_OK(t.AppendRow(
+      {Value::Int64(1), Value::String("x"), Value::Double(0.5)}));
+  EXPECT_EQ(t.structural_epoch(), epoch0);
+  EXPECT_EQ(t.append_watermark(), 1u);
+
+  // A mutable access may rewrite cells in place: structural epoch moves and
+  // cached derived state is dropped.
+  const HashIndex& idx1 = t.GetOrBuildIndex(0);
+  EXPECT_EQ(idx1.indexed_rows(), 1u);
+  t.mutable_column(0);
+  EXPECT_EQ(t.structural_epoch(), epoch0 + 1);
+  EXPECT_EQ(t.append_watermark(), 1u);
+  const HashIndex& idx2 = t.GetOrBuildIndex(0);
+  EXPECT_EQ(idx2.LookupInt64(1).size(), 1u);  // rebuilt from scratch
+}
+
+TEST(IndexTest, ExtendToFoldsOnlyTheSuffix) {
+  Column c(DataType::kString);
+  c.AppendString("a");
+  c.AppendString("b");
+  HashIndex index(&c);
+  EXPECT_EQ(index.indexed_rows(), 2u);
+  EXPECT_EQ(index.NumDistinctKeys(), 2u);
+
+  // New rows mint a new dictionary code and revisit an old one; ExtendTo
+  // must index both without disturbing the prefix postings.
+  c.AppendString("c");
+  c.AppendString("a");
+  c.AppendNull();
+  index.ExtendTo(c.size());
+  EXPECT_EQ(index.indexed_rows(), 5u);
+  EXPECT_EQ(index.NumDistinctKeys(), 3u);
+  EXPECT_EQ(index.Lookup(Value::String("a")),
+            (std::vector<uint32_t>{0, 3}));
+  EXPECT_EQ(index.Lookup(Value::String("c")), (std::vector<uint32_t>{2}));
+  index.ExtendTo(c.size());  // idempotent
+  EXPECT_EQ(index.Lookup(Value::String("a")),
+            (std::vector<uint32_t>{0, 3}));
+}
+
+TEST(StatisticsTest, IncrementalExtensionMatchesRecompute) {
+  Column c(DataType::kInt64);
+  IncrementalColumnStats incremental;
+  for (int64_t v : {5, 3, 9, 3}) c.AppendInt64(v);
+  incremental.ExtendTo(c);
+  EXPECT_EQ(incremental.stats().num_distinct, 3u);
+
+  c.AppendInt64(1);
+  c.AppendNull();
+  c.AppendInt64(12);
+  incremental.ExtendTo(c);
+  const ColumnStats& ext = incremental.stats();
+  const ColumnStats full = ComputeColumnStats(c);
+  EXPECT_EQ(ext.num_rows, full.num_rows);
+  EXPECT_EQ(ext.num_nulls, full.num_nulls);
+  EXPECT_EQ(ext.num_distinct, full.num_distinct);
+  EXPECT_EQ(ext.min, full.min);
+  EXPECT_EQ(ext.max, full.max);
+  EXPECT_EQ(ext.min, Value::Int64(1));
+  EXPECT_EQ(ext.max, Value::Int64(12));
 }
 
 TEST(TableTest, ColumnByName) {
