@@ -59,6 +59,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.plan_misses),
               static_cast<unsigned long long>(r.plan_rebinds),
               static_cast<unsigned long long>(r.plan_invalidations));
+  std::printf("foreign appends    : %zu rows in %zu batches, %.3f ms/delta "
+              "audit (%zu lids retroactively explained, %zu reverse "
+              "semi-joins)\n",
+              r.foreign_rows, r.foreign_batches, r.ForeignDeltaMsPerBatch(),
+              r.delta_explained_total, r.delta_queries_total);
+  std::printf("delta vs re-audit  : %.1fx (full re-audit %.3f ms)\n",
+              r.DeltaSpeedupVsFullReaudit(), r.FullReauditMs());
   std::printf("final coverage     : %.1f%% (%s full ExplainAll)\n",
               100.0 * r.final_coverage,
               r.matches_full_explain_all ? "matches" : "DIVERGES FROM");

@@ -30,10 +30,27 @@ MIN_GATED_SPEEDUP = 1.2
 
 # Absolute floors that apply regardless of the baseline (acceptance
 # criteria, not relative regressions): the streaming plan-cache hit rate
-# must stay >= 0.9 under interleaved append/explain (ISSUE 4).
+# must stay >= 0.9 under interleaved append/explain (ISSUE 4), and a
+# foreign-table append must stay much cheaper to absorb via the reverse
+# semi-join delta pass than via the full re-audit it used to trigger
+# (ISSUE 5; a regression to re-audit-like cost puts the ratio near 1).
 ABSOLUTE_FLOORS = {
     "benchmarks.streaming.plan_cache_hit_rate": 0.9,
     "streaming.plan_cache_hit_rate": 0.9,
+    "benchmarks.streaming.foreign_append.speedup_delta_vs_full_reaudit": 5.0,
+    "streaming.foreign_append.speedup_delta_vs_full_reaudit": 5.0,
+}
+
+# Saturated ratios: the numerator (a full re-audit) is tens of ms while the
+# denominator (a delta audit) sits near the timer floor, so the recorded
+# value legitimately swings by integer factors across machines. These are
+# gated against their ABSOLUTE_FLOORS entry only — a regression back to
+# re-audit-like cost drops them to ~1 and still fails loudly. Listed
+# explicitly (not derived from ABSOLUTE_FLOORS) so adding an extra absolute
+# floor to a normal speedup metric never disables its relative gate.
+SATURATED_METRICS = {
+    "benchmarks.streaming.foreign_append.speedup_delta_vs_full_reaudit",
+    "streaming.foreign_append.speedup_delta_vs_full_reaudit",
 }
 
 
@@ -52,6 +69,11 @@ def gated(path, value):
         return True
     if not isinstance(value, (int, float)) or isinstance(value, bool):
         return False
+    # Acceptance-criteria metrics are always gated: the MIN_GATED_SPEEDUP
+    # noise skip below must not silently disable an absolute floor just
+    # because a (possibly already-regressed) baseline value is small.
+    if path in ABSOLUTE_FLOORS:
+        return True
     if "hit_rate" in leaf or "coverage" in leaf:
         return True
     if "speedup" in leaf:
@@ -89,9 +111,12 @@ def main():
             if not ok:
                 failures.append(f"{path}: {base_value} -> {cur_value}")
             continue
-        floor = base_value * (1.0 - args.threshold)
-        if path in ABSOLUTE_FLOORS:
-            floor = max(floor, ABSOLUTE_FLOORS[path])
+        if path in SATURATED_METRICS:
+            floor = ABSOLUTE_FLOORS[path]
+        else:
+            floor = base_value * (1.0 - args.threshold)
+            if path in ABSOLUTE_FLOORS:
+                floor = max(floor, ABSOLUTE_FLOORS[path])
         ok = cur_value >= floor
         verdict = "ok" if ok else "REGRESSION"
         print(f"{verdict:10s} {path}: baseline {base_value:.3f}, "

@@ -22,7 +22,7 @@ StatusOr<StreamingAuditor> StreamingAuditor::Create(
   EBA_ASSIGN_OR_RETURN(ExplanationEngine engine,
                        ExplanationEngine::Create(db, log_table));
   StreamingAuditor auditor(db, std::move(engine));
-  auditor.SnapshotDatabaseState();
+  auditor.snapshot_ = db->Snapshot();
   return auditor;
 }
 
@@ -30,14 +30,34 @@ Status StreamingAuditor::AddTemplate(const ExplanationTemplate& tmpl) {
   return engine_.AddTemplate(tmpl);
 }
 
-Status StreamingAuditor::AppendAccessBatch(const std::vector<Row>& rows) {
-  EBA_ASSIGN_OR_RETURN(Table* table, db_->GetTable(engine_.log_table()));
+namespace {
+
+/// Row-atomic append shared by the log and foreign paths: on a validation
+/// error, rows before the offender are already appended.
+Status AppendToTable(Table* table, const std::vector<Row>& rows) {
   table->Reserve(table->num_rows() + rows.size());
   for (const Row& row : rows) {
     EBA_RETURN_IF_ERROR(table->AppendRow(row));
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status StreamingAuditor::AppendAccessBatch(const std::vector<Row>& rows) {
+  EBA_ASSIGN_OR_RETURN(Table* table, db_->GetTable(engine_.log_table()));
+  EBA_RETURN_IF_ERROR(AppendToTable(table, rows));
   rows_appended_ += rows.size();
   ++batches_appended_;
+  return Status::OK();
+}
+
+Status StreamingAuditor::AppendRows(const std::string& table_name,
+                                    const std::vector<Row>& rows) {
+  if (table_name == engine_.log_table()) return AppendAccessBatch(rows);
+  EBA_ASSIGN_OR_RETURN(Table* table, db_->GetTable(table_name));
+  EBA_RETURN_IF_ERROR(AppendToTable(table, rows));
+  foreign_rows_appended_ += rows.size();
   return Status::OK();
 }
 
@@ -46,38 +66,17 @@ void StreamingAuditor::ResetAudit() {
   audited_rows_ = 0;
 }
 
-bool StreamingAuditor::DriftedSinceLastAudit() const {
-  if (db_->catalog_generation() != catalog_generation_) return true;
-  for (const auto& [name, state] : table_state_) {
-    auto table_or = db_->GetTable(name);
-    if (!table_or.ok()) return true;  // unreachable within one generation
-    const Table* table = *table_or;
-    if (table->structural_epoch() != state.first) return true;
-    if (name == engine_.log_table()) continue;  // log appends are the workload
-    if (table->append_watermark() != state.second) return true;
-  }
-  return false;
-}
-
-void StreamingAuditor::SnapshotDatabaseState() {
-  catalog_generation_ = db_->catalog_generation();
-  table_state_.clear();
-  for (const std::string& name : db_->TableNames()) {
-    const Table* table = db_->GetTable(name).value();
-    table_state_[name] = {table->structural_epoch(),
-                          table->append_watermark()};
-  }
-}
-
 StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
     const StreamingOptions& options) {
   EBA_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(engine_.log_table()));
   EBA_ASSIGN_OR_RETURN(AccessLog log, AccessLog::Wrap(table));
 
   StreamingReport report;
-  if (DriftedSinceLastAudit()) {
-    // A non-append change can newly explain an already-audited access; the
-    // incremental invariant is gone, so re-audit everything.
+  const CatalogDrift drift = db_->DriftSince(snapshot_);
+  if (drift.RequiresRebuild()) {
+    // A structural mutation or catalog change can rewrite or remove the
+    // evidence behind an already-granted explanation; the monotone-append
+    // invariant is gone, so re-audit everything.
     ResetAudit();
     report.full_reaudit = true;
   }
@@ -87,31 +86,36 @@ StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
   report.audited_to = to;
 
   const size_t threads = std::max<size_t>(1, options.num_threads);
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+  // Reuse the auditor's pool across audits (the serving loop calls
+  // ExplainNew per batch; re-spawning threads - 1 workers each time would
+  // rival the audit itself on small batches). Resized only when the
+  // requested width changes; the calling thread participates in every
+  // ParallelFor, so the pool holds threads - 1 workers.
+  if (threads <= 1) {
+    pool_.reset();
+  } else if (pool_ == nullptr || pool_->num_threads() != threads - 1) {
+    pool_ = std::make_unique<ThreadPool>(threads - 1);
+  }
+  ThreadPool* pool = pool_.get();
 
   ExecutorOptions exec = options.executor;
   if (exec.plan_cache == nullptr && options.use_engine_plan_cache) {
     exec.plan_cache = engine_.plan_cache();
   }
   if (exec.pool == nullptr && pool != nullptr) {
-    exec.pool = pool.get();
+    exec.pool = pool;
     if (exec.num_threads <= 1) exec.num_threads = threads;
   }
 
-  if (from == to) {
-    // Nothing new; still snapshot (a drift-triggered reset with an empty
-    // log suffix must not re-trigger forever).
-    report.per_template_counts.assign(engine_.num_templates(), 0);
-    SnapshotDatabaseState();
-    return report;
-  }
+  const auto& templates = engine_.templates();
+  report.per_template_counts.assign(templates.size(), 0);
+  report.per_template_delta_counts.assign(templates.size(), 0);
 
   // --- New lids, in row order (sharded scan, shard-ordered merge). ---
   std::vector<ShardRange> shards =
       SplitShards(to - from, threads, options.min_rows_per_shard);
   std::vector<std::vector<int64_t>> shard_lids(shards.size());
-  ParallelFor(pool.get(), shards.size(), [&](size_t s) {
+  ParallelFor(pool, shards.size(), [&](size_t s) {
     shard_lids[s].reserve(shards[s].end - shards[s].begin);
     for (size_t r = shards[s].begin; r < shards[s].end; ++r) {
       shard_lids[s].push_back(log.Get(from + r).lid);
@@ -119,33 +123,87 @@ StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
   });
   std::vector<int64_t> new_lids;
   new_lids.reserve(to - from);
-  std::unordered_set<int64_t> seen;
-  seen.reserve(2 * (to - from));
+  std::unordered_set<int64_t> new_lid_set;
+  new_lid_set.reserve(2 * (to - from));
   for (const auto& lids : shard_lids) {
     for (int64_t lid : lids) {
-      if (seen.insert(lid).second) new_lids.push_back(lid);
+      if (new_lid_set.insert(lid).second) new_lids.push_back(lid);
     }
   }
-  std::vector<Value> lid_values;
-  lid_values.reserve(new_lids.size());
-  for (int64_t lid : new_lids) lid_values.push_back(Value::Int64(lid));
+
+  // --- Reverse semi-join delta pass: every appended table (non-log tables
+  // --- in full; the log at self-join positions only — its variable-0 rows
+  // --- are the new-lid pass below). Candidates are the lids the appended
+  // --- rows can newly explain; cost scales with each delta. Skipped when
+  // --- nothing was audited yet (the new-lid pass covers every row).
+  std::vector<std::vector<int64_t>> per_template_delta(templates.size());
+  if (from > 0) {
+    // Flatten every (appended table, affected template) pair into one task
+    // list so one ParallelFor wave covers mixed-table append batches.
+    // Templates that never reference an appended table cannot change and
+    // are skipped without touching the executor.
+    struct DeltaTask {
+      size_t template_index;
+      const CatalogDrift::Append* appended;
+      bool is_log;
+    };
+    std::vector<DeltaTask> tasks;
+    for (const CatalogDrift::Append& appended : drift.appends) {
+      const bool is_log = appended.table == engine_.log_table();
+      if (!is_log) ++report.delta_tables;
+      for (size_t i = 0; i < templates.size(); ++i) {
+        const auto& vars = templates[i].query().vars;
+        for (size_t v = is_log ? 1 : 0; v < vars.size(); ++v) {
+          if (vars[v].table == appended.table) {
+            tasks.push_back(DeltaTask{i, &appended, is_log});
+            break;
+          }
+        }
+      }
+    }
+    report.delta_queries = tasks.size();
+
+    std::vector<StatusOr<std::vector<int64_t>>> results(
+        tasks.size(),
+        StatusOr<std::vector<int64_t>>(Status::Internal("not evaluated")));
+    ParallelFor(pool, tasks.size(), [&](size_t k) {
+      const DeltaTask& task = tasks[k];
+      Executor executor(db_, exec);
+      Executor::JoinedToOptions jopts;
+      jopts.include_var0 = !task.is_log;
+      results[k] = executor.DistinctLidsJoinedTo(
+          templates[task.template_index].query(),
+          templates[task.template_index].lid_attr(), task.appended->table,
+          RowRange{static_cast<size_t>(task.appended->from_watermark),
+                   static_cast<size_t>(task.appended->to_watermark)},
+          jopts);
+    });
+    for (size_t k = 0; k < tasks.size(); ++k) {
+      if (!results[k].ok()) return results[k].status();
+      std::vector<int64_t>& sink = per_template_delta[tasks[k].template_index];
+      sink.insert(sink.end(), results[k]->begin(), results[k]->end());
+    }
+  }
 
   // --- Evaluate every template restricted to the new lids. ---
-  const auto& templates = engine_.templates();
-  std::vector<StatusOr<std::vector<int64_t>>> per_template(
-      templates.size(),
-      StatusOr<std::vector<int64_t>>(Status::Internal("not evaluated")));
-  ParallelFor(pool.get(), templates.size(), [&](size_t i) {
-    Executor executor(db_, exec);
-    per_template[i] = executor.DistinctLidsFor(
-        templates[i].query(), templates[i].lid_attr(), lid_values);
-  });
-
   std::unordered_set<int64_t> newly_explained;
-  for (auto& lids_or : per_template) {
-    if (!lids_or.ok()) return lids_or.status();
-    report.per_template_counts.push_back(lids_or->size());
-    newly_explained.insert(lids_or->begin(), lids_or->end());
+  if (!new_lids.empty()) {
+    std::vector<Value> lid_values;
+    lid_values.reserve(new_lids.size());
+    for (int64_t lid : new_lids) lid_values.push_back(Value::Int64(lid));
+    std::vector<StatusOr<std::vector<int64_t>>> per_template(
+        templates.size(),
+        StatusOr<std::vector<int64_t>>(Status::Internal("not evaluated")));
+    ParallelFor(pool, templates.size(), [&](size_t i) {
+      Executor executor(db_, exec);
+      per_template[i] = executor.DistinctLidsFor(
+          templates[i].query(), templates[i].lid_attr(), lid_values);
+    });
+    for (size_t i = 0; i < templates.size(); ++i) {
+      if (!per_template[i].ok()) return per_template[i].status();
+      report.per_template_counts[i] = per_template[i]->size();
+      newly_explained.insert(per_template[i]->begin(), per_template[i]->end());
+    }
   }
 
   for (int64_t lid : new_lids) {
@@ -158,10 +216,40 @@ StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
   std::sort(report.explained_lids.begin(), report.explained_lids.end());
   std::sort(report.unexplained_lids.begin(), report.unexplained_lids.end());
 
+  // Fold the delta candidates in: only lids that were audited before and
+  // unexplained until now count (already-explained lids must not be
+  // double-counted, and new-suffix lids belong to the new-lid pass above).
+  std::unordered_set<int64_t> delta_set;
+  for (size_t i = 0; i < templates.size(); ++i) {
+    // One template can surface the same lid from several appended tables.
+    std::sort(per_template_delta[i].begin(), per_template_delta[i].end());
+    per_template_delta[i].erase(
+        std::unique(per_template_delta[i].begin(), per_template_delta[i].end()),
+        per_template_delta[i].end());
+    size_t count = 0;
+    for (int64_t lid : per_template_delta[i]) {
+      if (explained_.count(lid) > 0 || new_lid_set.count(lid) > 0) continue;
+      ++count;
+      delta_set.insert(lid);
+    }
+    report.per_template_delta_counts[i] = count;
+  }
+  report.delta_explained_lids.assign(delta_set.begin(), delta_set.end());
+  std::sort(report.delta_explained_lids.begin(),
+            report.delta_explained_lids.end());
+
   explained_.insert(report.explained_lids.begin(),
                     report.explained_lids.end());
+  explained_.insert(report.delta_explained_lids.begin(),
+                    report.delta_explained_lids.end());
   audited_rows_ = to;
-  SnapshotDatabaseState();
+  snapshot_ = db_->Snapshot();
+  if (exec.plan_cache != nullptr) {
+    const PlanCache::Stats cache_stats = exec.plan_cache->stats();
+    report.plan_cache_hits = cache_stats.hits;
+    report.plan_cache_misses = cache_stats.misses;
+    report.plan_rebinds = cache_stats.rebinds;
+  }
   return report;
 }
 

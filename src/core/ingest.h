@@ -7,26 +7,36 @@
 // past the last audited watermark, maintaining a persistent explained-lid
 // set).
 //
-// Incremental correctness: classifying an access looks only at the access's
-// own log rows joined against the rest of the database, so once a lid is
-// explained, later *log* appends can never un-explain it — the explained
-// set is a stable accumulator under the streaming workload's only mutation.
-// Any other change (catalog mutations, structural table mutations, appends
-// to non-log tables — all of which can newly explain an OLD access) is
-// detected against a snapshot taken at the last audit and triggers a full
-// re-audit from row 0 (StreamingReport::full_reaudit).
+// Incremental correctness: explanations are monotone under appends —
+// appending rows (to the log or to any other table) can only add witnesses,
+// never remove one — so the explained-lid set is a stable accumulator and
+// every append is auditable as a delta. Drift since the last audit is
+// classified per table (Database::DriftSince):
+//   - log appends: the new rows are audited via the lid-filter semi-join
+//     (Executor::DistinctLidsFor), plus a reverse pass for self-join
+//     templates that reference the log at a non-zero tuple variable;
+//   - appends to any other table: the reverse semi-join delta pass —
+//     each template is evaluated restricted to the log lids joinable to the
+//     appended rows (Executor::DistinctLidsJoinedTo seeds the join frontier
+//     from the appended row range), and previously-unexplained lids the
+//     delta newly explains are unioned into the persistent set
+//     (StreamingReport::delta_explained_lids). Cost scales with the delta,
+//     not the log;
+//   - structural mutations / catalog changes (which can rewrite or remove
+//     evidence): the monotonicity argument is gone — full re-audit from
+//     row 0 (StreamingReport::full_reaudit).
 
 #ifndef EBA_CORE_INGEST_H_
 #define EBA_CORE_INGEST_H_
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
 #include <unordered_set>
-#include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/engine.h"
 #include "storage/database.h"
 
@@ -51,13 +61,15 @@ struct StreamingOptions {
   bool use_engine_plan_cache = true;
 };
 
-/// Result of one ExplainNew call, covering only the accesses in rows
-/// [audited_from, audited_to) of the log.
+/// Result of one ExplainNew call, covering the accesses in rows
+/// [audited_from, audited_to) of the log plus any previously-audited lids
+/// re-classified by the foreign-append delta pass.
 struct StreamingReport {
   size_t audited_from = 0;
   size_t audited_to = 0;
-  /// True when a non-append change forced a re-audit from row 0 (the
-  /// persistent explained set was discarded first).
+  /// True when a structural/catalog change forced a re-audit from row 0
+  /// (the persistent explained set was discarded first). Appends — to the
+  /// log or any other table — never set this.
   bool full_reaudit = false;
 
   /// Per registered template: number of the new lids it explains.
@@ -67,6 +79,33 @@ struct StreamingReport {
   /// New lids explained by no template (ascending; the incremental
   /// compliance-review queue).
   std::vector<int64_t> unexplained_lids;
+
+  // --- Reverse semi-join delta pass (appends to non-log tables, plus
+  // --- log self-join positions). ---
+  /// Previously-audited, previously-unexplained lids newly explained by
+  /// rows appended since the last audit (ascending; disjoint from
+  /// explained_lids/unexplained_lids). These leave the compliance-review
+  /// queue retroactively.
+  std::vector<int64_t> delta_explained_lids;
+  /// Per registered template: how many of the previously-unexplained lids
+  /// the delta pass newly explained for it.
+  std::vector<size_t> per_template_delta_counts;
+  /// Non-log tables whose appends were classified as append-only drift and
+  /// handled incrementally this audit (instead of forcing a full re-audit)
+  /// — with reverse semi-joins where a template references the table, at
+  /// zero cost otherwise (an unreferenced table cannot change any
+  /// explanation; see delta_queries for the evaluations actually run).
+  size_t delta_tables = 0;
+  /// Reverse semi-join evaluations actually run (template × appended-table
+  /// pairs where the template references the table).
+  size_t delta_queries = 0;
+
+  /// Cumulative engine plan-cache totals snapshotted after this audit
+  /// (library-visible mirror of the bench counters; all zero when the
+  /// audit ran without a plan cache).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_rebinds = 0;
 
   size_t new_rows() const { return audited_to - audited_from; }
   double Coverage() const {
@@ -102,11 +141,23 @@ class StreamingAuditor {
   /// the next audit instead of re-planning.
   Status AppendAccessBatch(const std::vector<Row>& rows);
 
-  /// Explains the accesses appended since the last audit: evaluates every
-  /// template restricted to the new lids (Executor::DistinctLidsFor — cost
-  /// scales with the batch, not the log), updates the persistent explained
-  /// set, and advances the audited watermark. Falls back to a full re-audit
-  /// when a non-append change is detected (see file comment).
+  /// Appends rows to any table of the database. The log table delegates to
+  /// AppendAccessBatch; for any other table the grown row range is absorbed
+  /// by the next ExplainNew's reverse semi-join delta pass instead of
+  /// forcing a full re-audit. Appending directly via Table::AppendRow is
+  /// equivalent — the audit classifies drift from the watermark snapshot,
+  /// not from this call — but routing through the auditor keeps the
+  /// row-atomic validation and the ingestion counters.
+  Status AppendRows(const std::string& table, const std::vector<Row>& rows);
+
+  /// Explains what the appends since the last audit can change: evaluates
+  /// every template restricted to the new lids (Executor::DistinctLidsFor)
+  /// and, for appends to non-log tables, restricted to the lids joinable to
+  /// the appended foreign rows (Executor::DistinctLidsJoinedTo — the
+  /// reverse semi-join), updating the persistent explained set and
+  /// advancing the audited watermark. Cost scales with the deltas, not the
+  /// log. Falls back to a full re-audit only on structural/catalog drift
+  /// (see file comment).
   StatusOr<StreamingReport> ExplainNew(const StreamingOptions& options = {});
 
   /// Log rows audited so far (the audited watermark).
@@ -119,17 +170,14 @@ class StreamingAuditor {
 
   uint64_t rows_appended() const { return rows_appended_; }
   uint64_t batches_appended() const { return batches_appended_; }
+  /// Rows appended to non-log tables through AppendRows.
+  uint64_t foreign_rows_appended() const { return foreign_rows_appended_; }
 
   /// Discards the audit state: the next ExplainNew audits from row 0.
   void ResetAudit();
 
  private:
   StreamingAuditor(Database* db, ExplanationEngine engine);
-
-  /// True when anything other than log appends changed since the last
-  /// audit snapshot.
-  bool DriftedSinceLastAudit() const;
-  void SnapshotDatabaseState();
 
   Database* db_;
   ExplanationEngine engine_;
@@ -138,11 +186,16 @@ class StreamingAuditor {
   size_t audited_rows_ = 0;
   uint64_t rows_appended_ = 0;
   uint64_t batches_appended_ = 0;
+  uint64_t foreign_rows_appended_ = 0;
 
-  // Drift snapshot: catalog generation plus per-table
-  // (structural epoch, watermark); the log's watermark is allowed to grow.
-  uint64_t catalog_generation_ = 0;
-  std::map<std::string, std::pair<uint64_t, uint64_t>> table_state_;
+  // Lazily created worker pool reused across ExplainNew calls (sized to the
+  // last options.num_threads - 1), so the per-batch serving loop does not
+  // pay thread create/join on every audit.
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Per-table drift snapshot taken at the end of every audit; the next
+  // ExplainNew classifies what changed against it (Database::DriftSince).
+  CatalogSnapshot snapshot_;
 };
 
 }  // namespace eba

@@ -555,9 +555,11 @@ void ExecuteJoinStep(Frame* f, const PlanStep& st, const ParCtx& par,
   *f = std::move(next);
 }
 
-/// Interprets one frozen step against the frame.
+/// Interprets one frozen step against the frame. `pivot_range` is the
+/// runtime row range of the pivot steps (kSeedRange / kRowRangeFilter);
+/// null for plans without one.
 void ApplyStep(Frame* f, const PlanStep& st, const ParCtx& par,
-               ExecStats* stats) {
+               ExecStats* stats, const RowRange* pivot_range) {
   switch (st.kind) {
     case PlanStep::Kind::kJoin:
       ExecuteJoinStep(f, st, par, stats);
@@ -572,6 +574,35 @@ void ApplyStep(Frame* f, const PlanStep& st, const ParCtx& par,
     case PlanStep::Kind::kDrop:
       ApplyDropStep(f, st);
       break;
+    case PlanStep::Kind::kSeedRange: {
+      // Reverse pivot: the (empty) frame becomes the appended rows of the
+      // pivot variable's table — the join frontier grows outward from the
+      // delta instead of from the log.
+      EBA_CHECK_MSG(pivot_range != nullptr && f->vars.empty(),
+                    "kSeedRange needs a runtime range and an empty frame");
+      f->vars.push_back(st.new_var);
+      f->ids.emplace_back();
+      std::vector<uint32_t>& ids = f->ids[0];
+      ids.reserve(pivot_range->size());
+      for (size_t r = pivot_range->begin; r < pivot_range->end; ++r) {
+        ids.push_back(static_cast<uint32_t>(r));
+      }
+      stats->peak_intermediate = std::max(stats->peak_intermediate, f->size());
+      break;
+    }
+    case PlanStep::Kind::kRowRangeFilter: {
+      // Forward pivot: once the restricted variable is bound, keep only the
+      // tuples whose row id for it lies in the appended range.
+      EBA_CHECK_MSG(pivot_range != nullptr, "kRowRangeFilter needs a range");
+      const std::vector<uint32_t>& sids =
+          f->ids[static_cast<size_t>(st.lhs_slot)];
+      const size_t begin = pivot_range->begin;
+      const size_t end = pivot_range->end;
+      FilterFrame(f, par, [&](uint32_t i) {
+        return sids[i] >= begin && sids[i] < end;
+      });
+      break;
+    }
   }
 }
 
@@ -618,16 +649,24 @@ class PlanningExecutor {
   /// Executes the query pipeline, records it into `plan`, and returns the
   /// final frame. The frame holds a slot for every tuple variable referenced
   /// by `output_attrs` (plus, without `dedup_frontier`, every bound
-  /// variable).
+  /// variable). `pivot_var` >= 0 restricts that variable to `pivot_range`:
+  /// seeded there when `pivot_seeded` (reverse pivot — variable 0 starts
+  /// unbound and is joined back to), filtered after binding otherwise.
   StatusOr<Frame> Run(const PathQuery& q,
                       const std::vector<QAttr>& output_attrs,
                       bool dedup_frontier, const std::vector<Value>* lid_filter,
-                      QAttr lid_attr, CompiledPlan* plan) {
+                      QAttr lid_attr, int pivot_var, bool pivot_seeded,
+                      const RowRange* pivot_range, CompiledPlan* plan) {
     EBA_RETURN_IF_ERROR(q.Validate(*db_));
     plan_ = plan;
     output_attrs_ = &output_attrs;
     dedup_frontier_ = dedup_frontier;
     join_dropped_ = false;
+    pivot_var_ = pivot_var;
+    pivot_range_ = pivot_range;
+    pivot_filter_pending_ = pivot_var >= 0 && !pivot_seeded;
+    plan_->pivot_var = pivot_var;
+    plan_->pivot_seeded = pivot_seeded;
 
     plan_->db = db_;
     plan_->catalog_generation = db_->catalog_generation();
@@ -649,7 +688,7 @@ class PlanningExecutor {
     consts_ = q.const_conditions;
     const_applied_.assign(consts_.size(), false);
     bound_.assign(q.vars.size(), false);
-    bound_[0] = true;
+    bound_[static_cast<size_t>(pivot_seeded ? pivot_var : 0)] = true;
 
     std::optional<CardinalityEstimator> estimator;
     if (options_.join_order == ExecutorOptions::JoinOrder::kCostBased) {
@@ -658,13 +697,20 @@ class PlanningExecutor {
       plan_->used_cost_based_order = true;
     }
 
-    // --- Initial frame: variable 0 (the log). ---
+    // --- Initial frame: variable 0 (the log), or the reverse-pivot seed. ---
     Frame frame;
-    frame.vars.push_back(0);
-    frame.ids.emplace_back();
-    InitialScan(plan_->tables[0], lid_filter, lid_attr, &frame.ids[0]);
-    stats_->peak_intermediate =
-        std::max(stats_->peak_intermediate, frame.size());
+    if (pivot_seeded) {
+      PlanStep seed;
+      seed.kind = PlanStep::Kind::kSeedRange;
+      seed.new_var = pivot_var;
+      Record(&frame, std::move(seed));
+    } else {
+      frame.vars.push_back(0);
+      frame.ids.emplace_back();
+      InitialScan(plan_->tables[0], lid_filter, lid_attr, &frame.ids[0]);
+      stats_->peak_intermediate =
+          std::max(stats_->peak_intermediate, frame.size());
+    }
     ApplyFilters(&frame);
     DropAndDedup(&frame);
 
@@ -782,12 +828,24 @@ class PlanningExecutor {
 
   /// Executes `st` against the frame and appends it to the plan.
   void Record(Frame* frame, PlanStep st) {
-    ApplyStep(frame, st, par_, stats_);
+    ApplyStep(frame, st, par_, stats_, pivot_range_);
     plan_->steps.push_back(std::move(st));
   }
 
   /// Applies every decoration whose variables are all bound.
   void ApplyFilters(Frame* frame) {
+    // The forward-pivot range restriction applies the moment the pivot
+    // variable binds, before any decoration — it can only shrink the frame.
+    if (pivot_filter_pending_ &&
+        bound_[static_cast<size_t>(pivot_var_)]) {
+      const int slot = frame->SlotOf(pivot_var_);
+      EBA_CHECK(slot >= 0);
+      pivot_filter_pending_ = false;
+      PlanStep st;
+      st.kind = PlanStep::Kind::kRowRangeFilter;
+      st.lhs_slot = slot;
+      Record(frame, std::move(st));
+    }
     for (size_t i = 0; i < extras_.size(); ++i) {
       if (extra_applied_[i]) continue;
       const VarCondition& c = extras_[i];
@@ -826,6 +884,8 @@ class PlanningExecutor {
     for (const auto& a : *output_attrs_) {
       needed[static_cast<size_t>(a.var)] = true;
     }
+    // The pivot variable stays live until its range filter has applied.
+    if (pivot_filter_pending_) needed[static_cast<size_t>(pivot_var_)] = true;
     for (size_t i = 0; i < joins_.size(); ++i) {
       if (join_applied_[i]) continue;
       needed[static_cast<size_t>(joins_[i].lhs.var)] = true;
@@ -946,6 +1006,9 @@ class PlanningExecutor {
   const std::vector<QAttr>* output_attrs_ = nullptr;
   bool dedup_frontier_ = false;
   bool join_dropped_ = false;  // a join skipped a doomed column; dedup due
+  int pivot_var_ = -1;
+  const RowRange* pivot_range_ = nullptr;
+  bool pivot_filter_pending_ = false;  // forward pivot: filter not yet placed
   std::vector<VarCondition> joins_;
   std::vector<bool> join_applied_;
   std::vector<VarCondition> extras_;
@@ -960,17 +1023,20 @@ class PlanningExecutor {
 /// interpreted in order. No validation, table resolution, cardinality
 /// estimation, or closure compilation happens here.
 Frame ReplayPlan(const CompiledPlan& plan, const std::vector<Value>* lid_filter,
-                 QAttr lid_attr, const ParCtx& par, ExecStats* stats) {
+                 QAttr lid_attr, const RowRange* pivot_range, const ParCtx& par,
+                 ExecStats* stats) {
   stats->plan_cache_hit = true;
   stats->used_cost_based_order = plan.used_cost_based_order;
   Frame frame;
-  frame.vars.push_back(0);
-  frame.ids.emplace_back();
-  InitialScan(plan.tables[0], lid_filter, lid_attr, &frame.ids[0]);
-  stats->peak_intermediate = std::max(stats->peak_intermediate, frame.size());
+  if (!plan.pivot_seeded) {
+    frame.vars.push_back(0);
+    frame.ids.emplace_back();
+    InitialScan(plan.tables[0], lid_filter, lid_attr, &frame.ids[0]);
+    stats->peak_intermediate = std::max(stats->peak_intermediate, frame.size());
+  }
   size_t sp = 0;
   for (size_t k = 0; k < plan.steps.size(); ++k) {
-    ApplyStep(&frame, plan.steps[k], par, stats);
+    ApplyStep(&frame, plan.steps[k], par, stats, pivot_range);
     for (; sp < plan.stats_points.size() &&
            plan.stats_points[sp].after_step == k;
          ++sp) {
@@ -996,7 +1062,8 @@ Frame ReplayPlan(const CompiledPlan& plan, const std::vector<Value>* lid_filter,
 /// execution, so they are deliberately excluded).
 std::string PlanKey(const PathQuery& q, const std::vector<QAttr>& output_attrs,
                     bool dedup_frontier, bool has_lid_filter, QAttr lid_attr,
-                    const ExecutorOptions& options) {
+                    const ExecutorOptions& options, int pivot_var,
+                    bool pivot_seeded) {
   std::string key;
   key.reserve(64 + 16 * (q.vars.size() + q.join_chain.size() +
                          q.extra_conditions.size() +
@@ -1035,6 +1102,12 @@ std::string PlanKey(const PathQuery& q, const std::vector<QAttr>& output_attrs,
   if (has_lid_filter) {
     key += 'L';
     attr(lid_attr);
+  }
+  // The pivot variable and mode shape the recorded pipeline; the row range
+  // itself is a runtime input and deliberately excluded.
+  if (pivot_var >= 0) {
+    key += pivot_seeded ? 'R' : 'W';
+    key += std::to_string(pivot_var);
   }
   key += '|';
   for (const auto& v : q.vars) {
@@ -1161,9 +1234,14 @@ ThreadPool* Executor::ProbePool() const {
 StatusOr<Executor::FrameRun> Executor::RunFrame(
     const PathQuery& q, const std::vector<QAttr>& output_attrs,
     bool dedup_frontier, const std::vector<Value>* lid_filter,
-    QAttr lid_attr) const {
+    QAttr lid_attr, const PivotRun* pivot) const {
+  EBA_CHECK_MSG(lid_filter == nullptr || pivot == nullptr,
+                "lid filter and pivot range are mutually exclusive");
   stats_ = ExecStats{};
   const ParCtx par = MakePar(ProbePool(), options_, &stats_);
+  const int pivot_var = pivot != nullptr ? pivot->var : -1;
+  const bool pivot_seeded = pivot != nullptr && pivot->reverse;
+  const RowRange* pivot_range = pivot != nullptr ? &pivot->range : nullptr;
 
   PlanCache* cache = options_.plan_cache;
   auto snapshot_cache_stats = [&] {
@@ -1177,11 +1255,12 @@ StatusOr<Executor::FrameRun> Executor::RunFrame(
   std::string key;
   if (cache != nullptr) {
     key = PlanKey(q, output_attrs, dedup_frontier, lid_filter != nullptr,
-                  lid_attr, options_);
+                  lid_attr, options_, pivot_var, pivot_seeded);
     std::shared_ptr<const CompiledPlan> plan = cache->Lookup(key, db_);
     if (plan != nullptr) {
       FrameRun run;
-      run.frame = ReplayPlan(*plan, lid_filter, lid_attr, par, &stats_);
+      run.frame =
+          ReplayPlan(*plan, lid_filter, lid_attr, pivot_range, par, &stats_);
       run.tables = plan->tables;
       snapshot_cache_stats();
       return run;
@@ -1192,7 +1271,8 @@ StatusOr<Executor::FrameRun> Executor::RunFrame(
   PlanningExecutor exec(db_, options_, &stats_, par);
   EBA_ASSIGN_OR_RETURN(
       Frame frame, exec.Run(q, output_attrs, dedup_frontier, lid_filter,
-                            lid_attr, plan.get()));
+                            lid_attr, pivot_var, pivot_seeded, pivot_range,
+                            plan.get()));
   FrameRun run;
   run.frame = std::move(frame);
   run.tables = plan->tables;
@@ -1363,6 +1443,83 @@ StatusOr<std::vector<int64_t>> Executor::DistinctLidsImpl(
   lids.reserve(run.frame.size());
   for (uint32_t r : run.frame.ids[static_cast<size_t>(slot)]) {
     if (!col.IsNull(r)) lids.push_back(col.Int64At(r));
+  }
+  ParallelSortInt64(&lids, MakePar(ProbePool(), options_, &stats_));
+  lids.erase(std::unique(lids.begin(), lids.end()), lids.end());
+  return lids;
+}
+
+StatusOr<std::vector<int64_t>> Executor::DistinctLidsJoinedTo(
+    const PathQuery& q, QAttr lid_attr, const std::string& table,
+    RowRange appended) const {
+  return DistinctLidsJoinedTo(q, lid_attr, table, appended, JoinedToOptions{});
+}
+
+StatusOr<std::vector<int64_t>> Executor::DistinctLidsJoinedTo(
+    const PathQuery& q, QAttr lid_attr, const std::string& table,
+    RowRange appended, const JoinedToOptions& jopts) const {
+  if (lid_attr.var != 0) {
+    return Status::InvalidArgument("lid attribute must belong to variable 0");
+  }
+  if (q.vars.empty()) {
+    return Status::InvalidArgument("query has no tuple variables");
+  }
+  if (options_.engine == ExecutorOptions::Engine::kBoxedReference) {
+    return Status::Unimplemented(
+        "DistinctLidsJoinedTo requires the late-materialization engine");
+  }
+  EBA_ASSIGN_OR_RETURN(const Table* log_table, db_->GetTable(q.vars[0].table));
+  if (lid_attr.col < 0 ||
+      static_cast<size_t>(lid_attr.col) >= log_table->num_columns()) {
+    return Status::InvalidArgument("lid attribute column out of range");
+  }
+  const Column& lid_col = log_table->column(static_cast<size_t>(lid_attr.col));
+  if (!lid_col.IsIntLike()) {
+    return Status::InvalidArgument(
+        "DistinctLidsJoinedTo requires an integer-like lid column");
+  }
+  EBA_ASSIGN_OR_RETURN(const Table* appended_table, db_->GetTable(table));
+  appended.end = std::min(appended.end, appended_table->num_rows());
+  appended.begin = std::min(appended.begin, appended.end);
+
+  // One pivot run per tuple variable bound to the appended table; a lid is
+  // in the result iff *some* occurrence takes an appended row, so the runs
+  // union. An unreferenced table (or an empty range) cannot add witnesses.
+  std::vector<int64_t> lids;
+  for (size_t v = 0; v < q.vars.size(); ++v) {
+    if (q.vars[v].table != table) continue;
+    if (v == 0 && !jopts.include_var0) continue;
+    if (appended.empty()) continue;
+    PivotRun pivot;
+    pivot.var = static_cast<int>(v);
+    pivot.range = appended;
+    switch (jopts.pivot) {
+      case PivotChoice::kReverseSeed:
+        pivot.reverse = true;
+        break;
+      case PivotChoice::kForwardFilter:
+        // Restricting variable 0 is always cheapest as a seed (the filter
+        // would scan the full log first just to drop most of it).
+        pivot.reverse = v == 0;
+        break;
+      case PivotChoice::kAuto:
+        // Cost-based pivot choice: compare the two seed-scan cardinalities
+        // — joining outward from the appended rows costs ~|delta| up front,
+        // the forward pipeline costs ~|log|. Deterministic, so the plan
+        // cache sees a stable key per (query, pivot, mode).
+        pivot.reverse =
+            v == 0 || appended.size() <= log_table->num_rows();
+        break;
+    }
+    EBA_ASSIGN_OR_RETURN(
+        FrameRun run, RunFrame(q, {lid_attr}, /*dedup_frontier=*/true,
+                               /*lid_filter=*/nullptr, lid_attr, &pivot));
+    const int slot = run.frame.SlotOf(lid_attr.var);
+    EBA_CHECK(slot >= 0);
+    lids.reserve(lids.size() + run.frame.size());
+    for (uint32_t r : run.frame.ids[static_cast<size_t>(slot)]) {
+      if (!lid_col.IsNull(r)) lids.push_back(lid_col.Int64At(r));
+    }
   }
   ParallelSortInt64(&lids, MakePar(ProbePool(), options_, &stats_));
   lids.erase(std::unique(lids.begin(), lids.end()), lids.end());

@@ -50,6 +50,16 @@ namespace eba {
 
 class PlanCache;
 
+/// A half-open row-id range [begin, end) of one table (e.g. the rows an
+/// append batch added past the old watermark).
+struct RowRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end > begin ? end - begin : 0; }
+  bool empty() const { return end <= begin; }
+};
+
 /// An intermediate or final relation: a header of query attributes plus rows.
 struct Relation {
   std::vector<QAttr> attrs;
@@ -195,11 +205,60 @@ class Executor {
       const PathQuery& q, QAttr lid_attr,
       const std::vector<Value>& lids) const;
 
+  /// How DistinctLidsJoinedTo restricts a tuple variable to the appended
+  /// row range. kReverseSeed starts the join frontier *at the appended
+  /// rows* and joins back toward the log (cost scales with the delta);
+  /// kForwardFilter runs the normal log-seeded pipeline and filters the
+  /// variable's row ids once it binds (cost scales with the log — the right
+  /// side when the appended range is larger than the log, e.g. a bulk
+  /// load). kAuto compares the two seed-scan cardinalities (range size vs
+  /// log rows) and picks the smaller, deterministically.
+  enum class PivotChoice { kAuto, kReverseSeed, kForwardFilter };
+
+  struct JoinedToOptions {
+    PivotChoice pivot = PivotChoice::kAuto;
+    /// When false, occurrences of `table` at tuple variable 0 are skipped —
+    /// core/ingest.h sets this for log-table appends, whose variable-0 rows
+    /// are already covered by the DistinctLidsFor new-lid pass, leaving the
+    /// self-join (variable > 0) occurrences to this entry point.
+    bool include_var0 = true;
+  };
+
+  /// The reverse semi-join delta entry point: the distinct log ids of query
+  /// results in which some tuple variable bound to `table` takes a row in
+  /// `appended` (clamped to the table's current size), ascending. Appends
+  /// are monotone — they only add witnesses — so for an appended suffix
+  /// this is exactly the set of lids the append can newly explain:
+  ///   DistinctLids(after) == DistinctLids(before) ∪ JoinedTo(suffix).
+  /// Evaluates one pivot run per matching tuple variable; each run compiles
+  /// to its own cached plan (keyed on the pivot, revalidated/re-bound like
+  /// any other), with the row range as a runtime input. Returns empty when
+  /// `table` is not referenced or the range is empty. `lid_attr` must
+  /// belong to variable 0 and be integer-like; kLateMaterialization only.
+  /// last_stats() afterwards describes the FINAL pivot run only (each run
+  /// resets it); the cumulative plan-cache counters inside it still cover
+  /// all runs, because they snapshot the attached cache's totals.
+  StatusOr<std::vector<int64_t>> DistinctLidsJoinedTo(
+      const PathQuery& q, QAttr lid_attr, const std::string& table,
+      RowRange appended) const;
+  StatusOr<std::vector<int64_t>> DistinctLidsJoinedTo(
+      const PathQuery& q, QAttr lid_attr, const std::string& table,
+      RowRange appended, const JoinedToOptions& jopts) const;
+
   const ExecStats& last_stats() const { return stats_; }
 
  private:
   /// Frame + resolved per-variable tables from one late-materialization run.
   struct FrameRun;
+
+  /// One range-restricted ("pivot") execution of DistinctLidsJoinedTo:
+  /// which tuple variable is restricted, whether the frame is seeded at it
+  /// (reverse) or filtered after binding (forward), and the runtime range.
+  struct PivotRun {
+    int var = 0;
+    bool reverse = true;
+    RowRange range;
+  };
 
   StatusOr<Relation> ExecuteBoxed(const PathQuery& q,
                                   const std::vector<QAttr>& output_attrs,
@@ -215,12 +274,14 @@ class Executor {
 
   /// Late-materialization entry point: replays a cached compiled plan when
   /// options_.plan_cache holds a fresh one for this query shape, otherwise
-  /// records the plan while executing (and caches it).
+  /// records the plan while executing (and caches it). At most one of
+  /// `lid_filter` / `pivot` may be set.
   StatusOr<FrameRun> RunFrame(const PathQuery& q,
                               const std::vector<QAttr>& output_attrs,
                               bool dedup_frontier,
                               const std::vector<Value>* lid_filter,
-                              QAttr lid_attr) const;
+                              QAttr lid_attr,
+                              const PivotRun* pivot = nullptr) const;
 
   /// The pool probe morsels fan out over: the external options_.pool when
   /// set, else a lazily created owned pool (num_threads > 1), else null.

@@ -135,6 +135,11 @@ std::shared_ptr<const CompiledPlan> PlanCache::Lookup(const std::string& key,
       // Rebinds grow plans (extended translation tables): re-enforce the
       // byte cap here too, or a steady hit+rebind stream would never pass
       // through Insert and the cap would be dead in exactly that state.
+      // Mark this entry most-recently used FIRST (the splice below is then
+      // a no-op): in a round-robin rebind stream the looked-up key sits at
+      // the LRU back, where EvictOverCapLocked's keep-guard would otherwise
+      // stop the sweep before evicting anything.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       EvictOverCapLocked(key);
       break;
     }

@@ -69,6 +69,12 @@ struct PlanStep {
     kVarVarFilter,  // decoration between two bound attributes
     kConstFilter,   // decoration against a pre-resolved literal
     kDrop,          // semi-join column drop (+ row-id tuple dedup)
+    // Reverse semi-join delta steps (Executor::DistinctLidsJoinedTo). The
+    // restricted row range is a *runtime* input like the lid filter — the
+    // plan freezes which variable is range-restricted, not the range
+    // itself, so one compiled plan serves every append batch.
+    kSeedRange,      // seed the empty frame at `new_var` from the range
+    kRowRangeFilter  // keep tuples whose `lhs_slot` row id is in the range
   };
   /// Probe dispatch resolved at compile time (kJoin).
   enum class ProbeKind : uint8_t {
@@ -162,6 +168,14 @@ struct CompiledPlan {
   std::vector<int> final_vars;  // final frame slot -> tuple variable
   bool used_cost_based_order = false;
   bool used_semi_join = false;
+
+  /// Tuple variable restricted to the runtime row range (-1 = none). When
+  /// `pivot_seeded` the plan starts from a kSeedRange step over that
+  /// variable's table (reverse pivot: the join frontier grows *outward from
+  /// the appended rows*); otherwise the restriction is a kRowRangeFilter
+  /// applied once the variable binds (forward pivot).
+  int pivot_var = -1;
+  bool pivot_seeded = false;
 
   enum class Freshness {
     kFresh,         // replay as-is

@@ -137,4 +137,34 @@ size_t Database::TotalRows() const {
   return total;
 }
 
+CatalogSnapshot Database::Snapshot() const {
+  CatalogSnapshot snapshot;
+  snapshot.generation = catalog_generation_;
+  for (const auto& [name, table] : tables_) {
+    snapshot.tables[name] = CatalogSnapshot::TableState{
+        table.structural_epoch(), table.append_watermark()};
+  }
+  return snapshot;
+}
+
+CatalogDrift Database::DriftSince(const CatalogSnapshot& snapshot) const {
+  CatalogDrift drift;
+  drift.catalog_changed = catalog_generation_ != snapshot.generation;
+  // tables_ is name-ordered, so drift.appends comes out in name order.
+  for (const auto& [name, table] : tables_) {
+    auto it = snapshot.tables.find(name);
+    if (it == snapshot.tables.end()) continue;  // new table: catalog_changed
+    if (table.structural_epoch() != it->second.structural_epoch) {
+      drift.structural_mutation = true;
+      continue;  // the append range is meaningless across a structural edit
+    }
+    const uint64_t watermark = table.append_watermark();
+    if (watermark != it->second.watermark) {
+      drift.appends.push_back(
+          CatalogDrift::Append{name, it->second.watermark, watermark});
+    }
+  }
+  return drift;
+}
+
 }  // namespace eba

@@ -34,6 +34,50 @@ struct AdminRelationship {
   AttrId b;
 };
 
+/// A point-in-time view of the catalog's mutation counters: the catalog
+/// generation plus every table's (structural epoch, append watermark).
+/// Consumers of incremental invariants (e.g. StreamingAuditor) snapshot
+/// after each pass and later ask Database::DriftSince what changed — per
+/// table, split by mutation class — instead of treating any change as one
+/// opaque "something moved" blob.
+struct CatalogSnapshot {
+  struct TableState {
+    uint64_t structural_epoch = 0;
+    uint64_t watermark = 0;
+  };
+  uint64_t generation = 0;
+  std::map<std::string, TableState> tables;
+};
+
+/// What changed since a CatalogSnapshot, classified by the Table mutation
+/// split (storage/table.h): appends are reported per table with the grown
+/// row range, anything stronger collapses to a rebuild-everything signal.
+struct CatalogDrift {
+  /// One table whose append watermark advanced (structure intact): rows
+  /// [from_watermark, to_watermark) are new.
+  struct Append {
+    std::string table;
+    uint64_t from_watermark = 0;
+    uint64_t to_watermark = 0;
+  };
+
+  /// CreateTable/AddTable/DropTable moved the catalog generation (table
+  /// pointers from the snapshot's era may dangle).
+  bool catalog_changed = false;
+  /// At least one snapshotted table's structural epoch moved (cells may
+  /// have been rewritten in place).
+  bool structural_mutation = false;
+  /// Tables that only grew, in name order.
+  std::vector<Append> appends;
+
+  /// True when incremental consumers must rebuild from scratch: per-table
+  /// append deltas are only meaningful below this.
+  bool RequiresRebuild() const { return catalog_changed || structural_mutation; }
+  bool Empty() const {
+    return !catalog_changed && !structural_mutation && appends.empty();
+  }
+};
+
 class Database {
  public:
   Database() = default;
@@ -96,6 +140,15 @@ class Database {
 
   /// Total number of rows across all tables (diagnostics).
   size_t TotalRows() const;
+
+  /// Captures the catalog generation and every table's mutation counters.
+  CatalogSnapshot Snapshot() const;
+
+  /// Classifies everything that changed since `snapshot`. Per-table append
+  /// ranges are populated even when RequiresRebuild() is true (they are
+  /// accurate as long as the table still exists), but consumers should
+  /// check RequiresRebuild() first.
+  CatalogDrift DriftSince(const CatalogSnapshot& snapshot) const;
 
   /// Monotonic catalog counter: advanced by CreateTable/AddTable/DropTable.
   /// Within one generation, Table pointers returned by GetTable are stable

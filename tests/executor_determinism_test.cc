@@ -526,5 +526,182 @@ TEST(EnginePlanCacheTest, RepeatedExplainAllReusesPlans) {
   EXPECT_EQ(second.unexplained_lids, first.unexplained_lids);
 }
 
+// ------------------- Reverse semi-join (DistinctLidsJoinedTo) -------------
+
+/// Both pivot modes for a forced A/B, plus kAuto.
+constexpr Executor::PivotChoice kPivotModes[] = {
+    Executor::PivotChoice::kAuto, Executor::PivotChoice::kReverseSeed,
+    Executor::PivotChoice::kForwardFilter};
+
+Executor::JoinedToOptions WithPivot(Executor::PivotChoice choice) {
+  Executor::JoinedToOptions jopts;
+  jopts.pivot = choice;
+  return jopts;
+}
+
+/// Restricting a variable to its table's FULL row range is no restriction:
+/// JoinedTo must reproduce DistinctLids exactly, whichever side the pivot
+/// seeds and at any thread count.
+TEST(ReverseSemiJoinTest, FullRangeEqualsDistinctLids) {
+  CareWebData data = UnwrapOrDie(GenerateCareWeb(CareWebConfig::Tiny()));
+  const QAttr lid_attr{
+      0, UnwrapOrDie(data.db.GetTable("Log"))->schema().ColumnIndex("Lid")};
+  for (const auto& tmpl :
+       UnwrapOrDie(TemplatesHandcraftedDirect(data.db, true))) {
+    const PathQuery& q = tmpl.query();
+    Executor serial(&data.db);
+    const std::vector<int64_t> reference =
+        UnwrapOrDie(serial.DistinctLids(q, lid_attr));
+    for (size_t v = 0; v < q.vars.size(); ++v) {
+      const std::string& table = q.vars[v].table;
+      const size_t rows = UnwrapOrDie(data.db.GetTable(table))->num_rows();
+      for (Executor::PivotChoice mode : kPivotModes) {
+        for (size_t threads : {size_t{1}, size_t{4}}) {
+          Executor executor(&data.db, Threaded(threads));
+          EXPECT_EQ(UnwrapOrDie(executor.DistinctLidsJoinedTo(
+                        q, lid_attr, table, RowRange{0, rows},
+                        WithPivot(mode))),
+                    reference)
+              << tmpl.name() << " var " << v << " mode "
+              << static_cast<int>(mode) << " threads " << threads;
+        }
+      }
+    }
+  }
+}
+
+/// The monotone-append property the streaming delta audit rests on:
+///   DistinctLids(after) == DistinctLids(before) ∪ JoinedTo(suffix).
+TEST(ReverseSemiJoinTest, AppendedSuffixIsExactlyTheDelta) {
+  Database db = BuildPaperToyDatabase();
+  const PathQuery q = UnwrapOrDie(ParsePathQuery(
+      db, "Log L, Appointments A",
+      "L.Patient = A.Patient AND A.Doctor = L.User"));
+  const QAttr lid{0, 0};
+  Executor executor(&db);
+  const std::vector<int64_t> before = UnwrapOrDie(executor.DistinctLids(q, lid));
+  EXPECT_EQ(before, (std::vector<int64_t>{1}));
+
+  Table* appt = db.GetTable("Appointments").value();
+  const size_t suffix_begin = appt->num_rows();
+  EBA_ASSERT_OK(appt->AppendRow(
+      {Value::Int64(testing_util::kBob),
+       Value::Timestamp(Date::FromCivil(2010, 2, 2, 9, 0, 0).ToSeconds()),
+       Value::Int64(testing_util::kDave)}));
+
+  for (Executor::PivotChoice mode : kPivotModes) {
+    const std::vector<int64_t> delta = UnwrapOrDie(executor.DistinctLidsJoinedTo(
+        q, lid, "Appointments", RowRange{suffix_begin, appt->num_rows()},
+        WithPivot(mode)));
+    EXPECT_EQ(delta, (std::vector<int64_t>{2})) << static_cast<int>(mode);
+  }
+  const std::vector<int64_t> after = UnwrapOrDie(executor.DistinctLids(q, lid));
+  EXPECT_EQ(after, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(ReverseSemiJoinTest, EmptyRangeUnreferencedTableAndBoxedEngine) {
+  Database db = BuildPaperToyDatabase();
+  const PathQuery q = UnwrapOrDie(ParsePathQuery(
+      db, "Log L, Appointments A",
+      "L.Patient = A.Patient AND A.Doctor = L.User"));
+  const QAttr lid{0, 0};
+  Executor executor(&db);
+  // Empty range: nothing to join to.
+  EXPECT_TRUE(UnwrapOrDie(executor.DistinctLidsJoinedTo(
+                  q, lid, "Appointments", RowRange{1, 1}))
+                  .empty());
+  // Range clamped past the table end.
+  EXPECT_TRUE(UnwrapOrDie(executor.DistinctLidsJoinedTo(
+                  q, lid, "Appointments", RowRange{100, 200}))
+                  .empty());
+  // A table the query never touches cannot add witnesses.
+  EXPECT_TRUE(UnwrapOrDie(executor.DistinctLidsJoinedTo(
+                  q, lid, "Doctor_Info", RowRange{0, 2}))
+                  .empty());
+  // include_var0 = false skips variable-0 occurrences (the log itself).
+  Executor::JoinedToOptions no_var0;
+  no_var0.include_var0 = false;
+  EXPECT_TRUE(UnwrapOrDie(executor.DistinctLidsJoinedTo(q, lid, "Log",
+                                                        RowRange{0, 2}, no_var0))
+                  .empty());
+  // The boxed reference engine has no row-id pivot machinery.
+  ExecutorOptions boxed;
+  boxed.engine = ExecutorOptions::Engine::kBoxedReference;
+  Executor boxed_exec(&db, boxed);
+  EXPECT_FALSE(
+      boxed_exec.DistinctLidsJoinedTo(q, lid, "Appointments", RowRange{0, 2})
+          .ok());
+}
+
+/// A self-join query pivoted at its non-log occurrence: seeding variable 1
+/// of "Log L, Log L2" with an appended suffix finds the OLD lids the new
+/// rows retroactively explain.
+TEST(ReverseSemiJoinTest, SelfJoinPivotFindsRetroactiveWitnesses) {
+  Database db = BuildPaperToyDatabase();
+  const PathQuery q = UnwrapOrDie(ParsePathQuery(
+      db, "Log L, Log L2",
+      "L.Patient = L2.Patient AND L2.User = L.User AND L.Date > L2.Date"));
+  const QAttr lid{0, 0};
+  Table* log = db.GetTable("Log").value();
+  const size_t suffix_begin = log->num_rows();
+  // Dated before L1: explains L1 via the L2 side.
+  EBA_ASSERT_OK(log->AppendRow(
+      {Value::Int64(3),
+       Value::Timestamp(Date::FromCivil(2010, 1, 1, 8, 0, 0).ToSeconds()),
+       Value::Int64(testing_util::kDave), Value::Int64(testing_util::kAlice),
+       Value::String("viewed record")}));
+  Executor executor(&db);
+  Executor::JoinedToOptions no_var0;
+  no_var0.include_var0 = false;
+  for (Executor::PivotChoice mode : kPivotModes) {
+    no_var0.pivot = mode;
+    EXPECT_EQ(UnwrapOrDie(executor.DistinctLidsJoinedTo(
+                  q, lid, "Log", RowRange{suffix_begin, log->num_rows()},
+                  no_var0)),
+              (std::vector<int64_t>{1}))
+        << static_cast<int>(mode);
+  }
+}
+
+/// Pivot plans are first-class plan-cache citizens: cached per (query,
+/// pivot, mode) with the row range as a runtime input, re-bound on appends.
+TEST_F(PlanCacheTest, PivotPlansCacheAndRebindAcrossAppends) {
+  Executor cached(&db_, Cached());
+  Executor fresh(&db_);
+  const PathQuery q = ApptQuery();
+  Table* appt = db_.GetTable("Appointments").value();
+
+  // Cold: the pivot plan is recorded and cached under its own key.
+  const std::vector<int64_t> cold = UnwrapOrDie(cached.DistinctLidsJoinedTo(
+      q, Lid(), "Appointments", RowRange{0, appt->num_rows()}));
+  EXPECT_FALSE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(cold, (std::vector<int64_t>{1}));
+  EXPECT_EQ(cache_.size(), 1u);
+
+  // Warm, different runtime range, same plan: a pure hit.
+  const std::vector<int64_t> warm = UnwrapOrDie(cached.DistinctLidsJoinedTo(
+      q, Lid(), "Appointments", RowRange{0, 1}));
+  EXPECT_TRUE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(cached.last_stats().plan_rebinds, 0u);
+  EXPECT_EQ(warm, (std::vector<int64_t>{1}));
+
+  // Append a row: the next pivot run over the suffix re-binds (extended
+  // index bindings), never invalidates, and matches a fresh executor.
+  const size_t suffix_begin = appt->num_rows();
+  EBA_ASSERT_OK(appt->AppendRow(
+      {Value::Int64(testing_util::kBob),
+       Value::Timestamp(Date::FromCivil(2010, 2, 2, 9, 0, 0).ToSeconds()),
+       Value::Int64(testing_util::kDave)}));
+  const std::vector<int64_t> delta = UnwrapOrDie(cached.DistinctLidsJoinedTo(
+      q, Lid(), "Appointments", RowRange{suffix_begin, appt->num_rows()}));
+  EXPECT_TRUE(cached.last_stats().plan_cache_hit);
+  EXPECT_EQ(cached.last_stats().plan_rebinds, 1u);
+  EXPECT_EQ(cached.last_stats().plan_cache_invalidations, 0u);
+  EXPECT_EQ(delta, (std::vector<int64_t>{2}));
+  EXPECT_EQ(delta, UnwrapOrDie(fresh.DistinctLidsJoinedTo(
+                       q, Lid(), "Appointments",
+                       RowRange{suffix_begin, appt->num_rows()})));
+}
+
 }  // namespace
 }  // namespace eba
