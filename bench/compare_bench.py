@@ -24,9 +24,17 @@ Exit status: 0 ok, 1 regression (or missing metric), 2 usage error.
 
 import argparse
 import json
+import os
 import sys
 
 MIN_GATED_SPEEDUP = 1.2
+
+# Structure every bench JSON must have before any gating runs: the harness
+# always emits a top-level "benchmarks" object holding the per-benchmark
+# metric groups. Validating up front turns "the bench crashed halfway" or
+# "the artifact path is wrong" into a clear exit-2 diagnostic instead of a
+# traceback or a silent zero-metric pass.
+REQUIRED_TOP_LEVEL_KEYS = ("benchmarks",)
 
 # Absolute floors that apply regardless of the baseline (acceptance
 # criteria, not relative regressions): the streaming plan-cache hit rate
@@ -81,6 +89,37 @@ def gated(path, value):
     return False
 
 
+def load_bench_json(path, role):
+    """Loads and structurally validates one bench JSON; exits 2 with a
+    diagnostic naming the role (baseline/current) on any problem."""
+    if not os.path.exists(path):
+        hint = (" (was the committed baseline renamed or not checked out?)"
+                if role == "baseline"
+                else " (did the bench binary run and write its --json path?)")
+        print(f"error: {role} file not found: {path}{hint}", file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except json.JSONDecodeError as e:
+        print(f"error: {role} file {path} is not valid JSON: {e} "
+              "(truncated bench run?)", file=sys.stderr)
+        sys.exit(2)
+    except OSError as e:
+        print(f"error: cannot read {role} file {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(data, dict):
+        print(f"error: {role} file {path} must hold a JSON object, got "
+              f"{type(data).__name__}", file=sys.stderr)
+        sys.exit(2)
+    for key in REQUIRED_TOP_LEVEL_KEYS:
+        if not isinstance(data.get(key), dict):
+            print(f"error: {role} file {path} is missing the required "
+                  f"'{key}' object — not a bench JSON?", file=sys.stderr)
+            sys.exit(2)
+    return dict(leaves(data))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -89,10 +128,8 @@ def main():
                         help="max allowed fractional regression (default .25)")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = dict(leaves(json.load(f)))
-    with open(args.current) as f:
-        current = dict(leaves(json.load(f)))
+    baseline = load_bench_json(args.baseline, "baseline")
+    current = load_bench_json(args.current, "current")
 
     failures = []
     compared = 0
@@ -104,6 +141,15 @@ def main():
             continue
         cur_value = current[path]
         compared += 1
+        # leaves() only yields scalars, but a malformed current file can
+        # still put a bool where the baseline holds a number (or vice
+        # versa); call that out as a structural failure, not a comparison.
+        if isinstance(base_value, bool) != isinstance(cur_value, bool):
+            failures.append(
+                f"{path}: type mismatch — baseline "
+                f"{type(base_value).__name__} vs current "
+                f"{type(cur_value).__name__}")
+            continue
         if isinstance(base_value, bool):
             ok = cur_value == base_value or cur_value is True
             verdict = "ok" if ok else "REGRESSION"

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Self-test for compare_bench.py.
+
+Drives the gate binary-style (subprocess, real files) against generated
+good/bad fixture JSONs and asserts the exit statuses the CI job depends on:
+0 on within-threshold runs, 1 on regressions/missing metrics, and 2 — with
+a readable diagnostic, never a traceback — on malformed or missing inputs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "compare_bench.py")
+
+
+def good_bench(speedup=6.0, hit_rate=0.95, matches=True):
+    return {
+        "generated_by": "bench_micro --executor_json",
+        "smoke": False,
+        "benchmarks": {
+            "BM_ExecutorJoin": {
+                "boxed_reference_seconds_per_iter": 0.007,
+                "speedup_late_cost_vs_boxed": speedup,
+            },
+            "streaming": {
+                "plan_cache_hit_rate": hit_rate,
+                "matches_full_explain_all": matches,
+            },
+        },
+    }
+
+
+class GateFixture(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def path(self, name):
+        return os.path.join(self.tmp.name, name)
+
+    def write_json(self, name, payload):
+        path = self.path(name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        return path
+
+    def write_raw(self, name, text):
+        path = self.path(name)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def run_gate(self, baseline, current, *extra):
+        return subprocess.run(
+            [sys.executable, GATE, baseline, current, *extra],
+            capture_output=True, text=True)
+
+    def assert_no_traceback(self, result):
+        self.assertNotIn("Traceback", result.stderr, result.stderr)
+        self.assertNotIn("Traceback", result.stdout, result.stdout)
+
+
+class GoodInputs(GateFixture):
+    def test_identical_files_pass(self):
+        base = self.write_json("base.json", good_bench())
+        cur = self.write_json("cur.json", good_bench())
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_within_threshold_passes(self):
+        base = self.write_json("base.json", good_bench(speedup=6.0))
+        cur = self.write_json("cur.json", good_bench(speedup=5.0))
+        result = self.run_gate(base, cur, "--threshold", "0.25")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_regression_fails(self):
+        base = self.write_json("base.json", good_bench(speedup=6.0))
+        cur = self.write_json("cur.json", good_bench(speedup=2.0))
+        result = self.run_gate(base, cur, "--threshold", "0.25")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_hit_rate_floor_fails(self):
+        base = self.write_json("base.json", good_bench(hit_rate=0.95))
+        cur = self.write_json("cur.json", good_bench(hit_rate=0.5))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+    def test_equivalence_flag_flip_fails(self):
+        base = self.write_json("base.json", good_bench(matches=True))
+        cur = self.write_json("cur.json", good_bench(matches=False))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+    def test_missing_gated_metric_fails(self):
+        base = self.write_json("base.json", good_bench())
+        trimmed = good_bench()
+        del trimmed["benchmarks"]["BM_ExecutorJoin"]
+        cur = self.write_json("cur.json", trimmed)
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("missing in current", result.stdout + result.stderr)
+
+
+class BadInputs(GateFixture):
+    def test_missing_baseline_is_usage_error(self):
+        cur = self.write_json("cur.json", good_bench())
+        result = self.run_gate(self.path("absent.json"), cur)
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("baseline file not found", result.stderr)
+        self.assert_no_traceback(result)
+
+    def test_missing_current_is_usage_error(self):
+        base = self.write_json("base.json", good_bench())
+        result = self.run_gate(base, self.path("absent.json"))
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("current file not found", result.stderr)
+        self.assert_no_traceback(result)
+
+    def test_truncated_json_is_usage_error(self):
+        base = self.write_json("base.json", good_bench())
+        cur = self.write_raw("cur.json", '{"benchmarks": {"x": 1.0')
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("not valid JSON", result.stderr)
+        self.assert_no_traceback(result)
+
+    def test_non_object_json_is_usage_error(self):
+        base = self.write_json("base.json", good_bench())
+        cur = self.write_json("cur.json", [1, 2, 3])
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("JSON object", result.stderr)
+        self.assert_no_traceback(result)
+
+    def test_missing_benchmarks_key_is_usage_error(self):
+        base = self.write_json("base.json", good_bench())
+        cur = self.write_json("cur.json", {"smoke": False})
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("'benchmarks'", result.stderr)
+        self.assert_no_traceback(result)
+
+    def test_type_mismatch_on_gated_leaf_fails_cleanly(self):
+        base = self.write_json("base.json", good_bench())
+        bad = good_bench()
+        bad["benchmarks"]["streaming"]["plan_cache_hit_rate"] = True
+        cur = self.write_json("cur.json", bad)
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("type mismatch", result.stdout + result.stderr)
+        self.assert_no_traceback(result)
+
+    def test_baseline_with_no_gated_metrics_fails(self):
+        base = self.write_json(
+            "base.json",
+            {"benchmarks": {"x": {"seconds_per_iter": 0.1}}})
+        cur = self.write_json("cur.json", good_bench())
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("no gated metrics", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,165 @@
+// Annotated synchronization primitives: thin wrappers over the standard
+// library types that carry the clang thread-safety capability attributes
+// from common/thread_annotations.h, so -Wthread-safety can prove the
+// locking discipline of every EBA_GUARDED_BY member at compile time.
+//
+// Use Mutex + MutexLock where std::mutex + std::lock_guard would go, and
+// CondVar (a std::condition_variable_any that waits on the Mutex itself)
+// where a condition variable is needed — restructure predicate waits as
+//
+//   while (!condition) cv.Wait(mu);
+//
+// inside the locked scope, so the predicate reads of guarded members are
+// visible to the analysis (a predicate lambda would be analyzed as an
+// unannotated function and flagged).
+//
+// SharedMutex + WriterMutexLock/SharedMutexLock cover read-mostly state:
+// shared holders may read EBA_GUARDED_BY members but not write them.
+
+#ifndef EBA_COMMON_MUTEX_H_
+#define EBA_COMMON_MUTEX_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace eba {
+
+/// An exclusive mutex (std::mutex) declared as a thread-safety capability.
+/// The lowercase BasicLockable surface (lock/unlock) exists so CondVar can
+/// wait on the Mutex directly; prefer MutexLock at call sites.
+class EBA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() EBA_ACQUIRE() { mu_.lock(); }
+  void Unlock() EBA_RELEASE() { mu_.unlock(); }
+  bool TryLock() EBA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable, for std::condition_variable_any::wait.
+  void lock() EBA_ACQUIRE() { mu_.lock(); }
+  void unlock() EBA_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// A reader/writer mutex (std::shared_mutex) declared as a capability.
+class EBA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() EBA_ACQUIRE() { mu_.lock(); }
+  void Unlock() EBA_RELEASE() { mu_.unlock(); }
+  void LockShared() EBA_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() EBA_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex (std::lock_guard equivalent).
+class EBA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) EBA_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() EBA_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class EBA_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) EBA_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() EBA_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex: the holder may read
+/// EBA_GUARDED_BY members, and the analysis rejects writes.
+class EBA_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) EBA_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~SharedMutexLock() EBA_RELEASE() { mu_.UnlockShared(); }
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// A condition variable that waits on a Mutex directly
+/// (std::condition_variable_any unlocks/relocks the Mutex internally; from
+/// the analysis's perspective the capability is held across the wait, which
+/// matches the invariant at every predicate evaluation).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps, and re-acquires `mu` before
+  /// returning. Spurious wakeups are allowed: always wait in a
+  /// `while (!condition)` loop inside the locked scope.
+  void Wait(Mutex& mu) EBA_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// A relaxed atomic counter that stays movable (std::atomic is not), so
+/// aggregates exposing monotonic counters to concurrent readers — bench
+/// loops, report snapshots — keep their defaulted move operations. Moves
+/// are not atomic: they require the same external serialization as moving
+/// the owning aggregate itself.
+class AtomicCounter {
+ public:
+  AtomicCounter() = default;
+  explicit AtomicCounter(uint64_t value) : value_(value) {}
+
+  AtomicCounter(AtomicCounter&& other) noexcept
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  AtomicCounter& operator=(AtomicCounter&& other) noexcept {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+  AtomicCounter(const AtomicCounter&) = delete;
+  AtomicCounter& operator=(const AtomicCounter&) = delete;
+
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t Load() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace eba
+
+#endif  // EBA_COMMON_MUTEX_H_

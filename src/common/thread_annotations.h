@@ -1,0 +1,94 @@
+// Clang thread-safety capability annotations, compiled to nothing on other
+// compilers. Annotating a member with EBA_GUARDED_BY(mu_) (or a function
+// with EBA_REQUIRES(mu_)) turns the repo's locking discipline from a
+// comment into a compile-time proof: clang's -Wthread-safety analysis
+// rejects, on *every* path, any access that does not hold the named
+// capability — unlike TSAN, which only sees the interleavings a test
+// happens to execute. The clang CI jobs build with -Wthread-safety -Werror
+// (CMake option EBA_THREAD_SAFETY, default ON).
+//
+// The annotated Mutex/MutexLock/SharedMutexLock wrappers these macros are
+// designed around live in common/mutex.h. Naming and semantics follow the
+// official clang Thread Safety Analysis documentation; EBA_ prefixes keep
+// the macros out of the global namespace's way.
+
+#ifndef EBA_COMMON_THREAD_ANNOTATIONS_H_
+#define EBA_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define EBA_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define EBA_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+/// Declares a class to be a capability (e.g. a mutex). The string names the
+/// capability kind in diagnostics.
+#define EBA_CAPABILITY(x) EBA_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (MutexLock and friends).
+#define EBA_SCOPED_CAPABILITY EBA_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// The annotated member may only be read or written while holding `x`.
+#define EBA_GUARDED_BY(x) EBA_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// The *pointee* of the annotated pointer member is guarded by `x` (the
+/// pointer itself is not).
+#define EBA_PT_GUARDED_BY(x) EBA_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// The annotated function may only be called while holding the listed
+/// capabilities exclusively; it does not acquire or release them.
+#define EBA_REQUIRES(...) \
+  EBA_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of EBA_REQUIRES.
+#define EBA_REQUIRES_SHARED(...) \
+  EBA_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the listed capabilities exclusively and
+/// holds them on return.
+#define EBA_ACQUIRE(...) \
+  EBA_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of EBA_ACQUIRE.
+#define EBA_ACQUIRE_SHARED(...) \
+  EBA_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function releases the listed capabilities (exclusive or
+/// shared; an argument-free EBA_RELEASE on a scoped-capability destructor
+/// releases whatever the constructor acquired).
+#define EBA_RELEASE(...) \
+  EBA_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Shared variant of EBA_RELEASE.
+#define EBA_RELEASE_SHARED(...) \
+  EBA_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// The annotated function tries to acquire the capability and returns
+/// `result` (true/false) on success.
+#define EBA_TRY_ACQUIRE(...) \
+  EBA_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// The annotated function must be called *without* holding the listed
+/// capabilities (it acquires them internally; calling with them held would
+/// self-deadlock).
+#define EBA_EXCLUDES(...) \
+  EBA_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the calling thread holds the capability, and
+/// tells the analysis to assume it from here on.
+#define EBA_ASSERT_CAPABILITY(x) \
+  EBA_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// The annotated function returns a reference to the named capability
+/// (accessor for a boxed mutex).
+#define EBA_RETURN_CAPABILITY(x) \
+  EBA_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Every use must carry a
+/// one-line justification comment; prefer restructuring the code so the
+/// analysis can see the discipline instead.
+#define EBA_NO_THREAD_SAFETY_ANALYSIS \
+  EBA_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // EBA_COMMON_THREAD_ANNOTATIONS_H_

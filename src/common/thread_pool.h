@@ -10,13 +10,14 @@
 #ifndef EBA_COMMON_THREAD_POOL_H_
 #define EBA_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace eba {
 
@@ -26,7 +27,7 @@ class ThreadPool {
   explicit ThreadPool(size_t num_threads);
 
   /// Blocks until all submitted tasks finished, then joins the workers.
-  ~ThreadPool();
+  ~ThreadPool() EBA_EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -35,20 +36,20 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not throw; wrap fallible work so failures
   /// are reported through captured state (e.g. a StatusOr slot per task).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EBA_EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has finished executing.
-  void Wait();
+  void Wait() EBA_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EBA_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
-  size_t in_flight_ = 0;  // queued + currently running
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ EBA_GUARDED_BY(mu_);
+  size_t in_flight_ EBA_GUARDED_BY(mu_) = 0;  // queued + currently running
+  bool shutting_down_ EBA_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

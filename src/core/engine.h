@@ -5,6 +5,14 @@
 //   - ExplainAll(): which accesses each template explains, combined
 //     coverage, and the unexplained remainder (the misuse-detection
 //     operation of §1).
+//
+// Thread safety: the const query surface (Explain/ExplainedLids/ExplainAll)
+// is safe to call concurrently — the shared PlanCache and each Table's lazy
+// index/stats construction carry their own capability-annotated locks
+// (common/thread_annotations.h), so ExplainAll's template fan-out needs no
+// external locking. Registering templates (AddTemplate) and mutating the
+// underlying database still require external serialization against all
+// concurrent queries.
 
 #ifndef EBA_CORE_ENGINE_H_
 #define EBA_CORE_ENGINE_H_

@@ -10,7 +10,10 @@
 namespace eba {
 
 StreamingAuditor::StreamingAuditor(Database* db, ExplanationEngine engine)
-    : db_(db), engine_(std::move(engine)) {}
+    : db_(db),
+      engine_(std::move(engine)),
+      mu_(std::make_unique<Mutex>()),
+      snapshot_(db->Snapshot()) {}
 
 StatusOr<StreamingAuditor> StreamingAuditor::Create(
     Database* db, const std::string& log_table) {
@@ -21,9 +24,7 @@ StatusOr<StreamingAuditor> StreamingAuditor::Create(
   EBA_RETURN_IF_ERROR(AccessLog::Wrap(table).status());
   EBA_ASSIGN_OR_RETURN(ExplanationEngine engine,
                        ExplanationEngine::Create(db, log_table));
-  StreamingAuditor auditor(db, std::move(engine));
-  auditor.snapshot_ = db->Snapshot();
-  return auditor;
+  return StreamingAuditor(db, std::move(engine));
 }
 
 Status StreamingAuditor::AddTemplate(const ExplanationTemplate& tmpl) {
@@ -45,29 +46,44 @@ Status AppendToTable(Table* table, const std::vector<Row>& rows) {
 }  // namespace
 
 Status StreamingAuditor::AppendAccessBatch(const std::vector<Row>& rows) {
+  MutexLock lock(*mu_);
+  return AppendAccessBatchLocked(rows);
+}
+
+Status StreamingAuditor::AppendAccessBatchLocked(const std::vector<Row>& rows) {
   EBA_ASSIGN_OR_RETURN(Table* table, db_->GetTable(engine_.log_table()));
   EBA_RETURN_IF_ERROR(AppendToTable(table, rows));
-  rows_appended_ += rows.size();
-  ++batches_appended_;
+  rows_appended_.Add(rows.size());
+  batches_appended_.Increment();
   return Status::OK();
 }
 
 Status StreamingAuditor::AppendRows(const std::string& table_name,
                                     const std::vector<Row>& rows) {
-  if (table_name == engine_.log_table()) return AppendAccessBatch(rows);
+  MutexLock lock(*mu_);
+  if (table_name == engine_.log_table()) return AppendAccessBatchLocked(rows);
   EBA_ASSIGN_OR_RETURN(Table* table, db_->GetTable(table_name));
   EBA_RETURN_IF_ERROR(AppendToTable(table, rows));
-  foreign_rows_appended_ += rows.size();
+  foreign_rows_appended_.Add(rows.size());
   return Status::OK();
 }
 
 void StreamingAuditor::ResetAudit() {
+  MutexLock lock(*mu_);
+  ResetAuditLocked();
+}
+
+void StreamingAuditor::ResetAuditLocked() {
   explained_.clear();
   audited_rows_ = 0;
 }
 
 StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
     const StreamingOptions& options) {
+  // One coarse lock across the whole audit: serializes against appends and
+  // state accessors (the internal ParallelFor workers below only touch
+  // per-task slots, never the guarded members).
+  MutexLock lock(*mu_);
   EBA_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(engine_.log_table()));
   EBA_ASSIGN_OR_RETURN(AccessLog log, AccessLog::Wrap(table));
 
@@ -77,7 +93,7 @@ StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
     // A structural mutation or catalog change can rewrite or remove the
     // evidence behind an already-granted explanation; the monotone-append
     // invariant is gone, so re-audit everything.
-    ResetAudit();
+    ResetAuditLocked();
     report.full_reaudit = true;
   }
   const size_t from = audited_rows_;

@@ -35,7 +35,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "storage/database.h"
@@ -118,8 +120,19 @@ struct StreamingReport {
 
 /// Owns the streaming serving loop over one log table: appends batches,
 /// audits incrementally, and accumulates the explained-lid set. The
-/// database must outlive the auditor; appends and audits must be externally
-/// serialized against each other (ExplainNew itself fans out internally).
+/// database must outlive the auditor.
+///
+/// Thread safety: the auditor's mutable state (explained-lid set, audited
+/// watermark, drift snapshot, worker pool) is guarded by an internal mutex
+/// that every append/audit/accessor entry point takes, and the discipline
+/// is compiler-checked via EBA_GUARDED_BY — appends and audits serialize
+/// against each other inside the auditor instead of by caller convention
+/// (ExplainNew still fans out internally under the lock). This coarse
+/// single-writer lock is the enabling step for the planned snapshot-column
+/// layer, which will let audits read a consistent Database::Snapshot while
+/// batches land. Callers that reach around the auditor — appending straight
+/// to a Table or auditing via engine() — still require external
+/// serialization against concurrent appends, as before.
 class StreamingAuditor {
  public:
   /// `db` must contain `log_table` with the standard log schema.
@@ -139,7 +152,7 @@ class StreamingAuditor {
   /// a validation error, rows before the offender are already appended.
   /// Appends advance the table's watermark only, so cached plans re-bind on
   /// the next audit instead of re-planning.
-  Status AppendAccessBatch(const std::vector<Row>& rows);
+  Status AppendAccessBatch(const std::vector<Row>& rows) EBA_EXCLUDES(*mu_);
 
   /// Appends rows to any table of the database. The log table delegates to
   /// AppendAccessBatch; for any other table the grown row range is absorbed
@@ -148,7 +161,8 @@ class StreamingAuditor {
   /// equivalent — the audit classifies drift from the watermark snapshot,
   /// not from this call — but routing through the auditor keeps the
   /// row-atomic validation and the ingestion counters.
-  Status AppendRows(const std::string& table, const std::vector<Row>& rows);
+  Status AppendRows(const std::string& table, const std::vector<Row>& rows)
+      EBA_EXCLUDES(*mu_);
 
   /// Explains what the appends since the last audit can change: evaluates
   /// every template restricted to the new lids (Executor::DistinctLidsFor)
@@ -158,44 +172,65 @@ class StreamingAuditor {
   /// advancing the audited watermark. Cost scales with the deltas, not the
   /// log. Falls back to a full re-audit only on structural/catalog drift
   /// (see file comment).
-  StatusOr<StreamingReport> ExplainNew(const StreamingOptions& options = {});
+  StatusOr<StreamingReport> ExplainNew(const StreamingOptions& options = {})
+      EBA_EXCLUDES(*mu_);
 
   /// Log rows audited so far (the audited watermark).
-  size_t audited_rows() const { return audited_rows_; }
-  /// Lids explained by at least one template across all audits.
-  const std::unordered_set<int64_t>& explained_lids() const {
+  size_t audited_rows() const EBA_EXCLUDES(*mu_) {
+    MutexLock lock(*mu_);
+    return audited_rows_;
+  }
+  /// Lids explained by at least one template across all audits (a snapshot
+  /// copy: the live set stays under the auditor's lock).
+  std::unordered_set<int64_t> explained_lids() const EBA_EXCLUDES(*mu_) {
+    MutexLock lock(*mu_);
     return explained_;
   }
-  bool IsExplained(int64_t lid) const { return explained_.count(lid) > 0; }
+  bool IsExplained(int64_t lid) const EBA_EXCLUDES(*mu_) {
+    MutexLock lock(*mu_);
+    return explained_.count(lid) > 0;
+  }
 
-  uint64_t rows_appended() const { return rows_appended_; }
-  uint64_t batches_appended() const { return batches_appended_; }
+  // Monotonic ingestion counters; relaxed atomics so bench/report loops can
+  // read them while an append or audit holds the auditor lock.
+  uint64_t rows_appended() const { return rows_appended_.Load(); }
+  uint64_t batches_appended() const { return batches_appended_.Load(); }
   /// Rows appended to non-log tables through AppendRows.
-  uint64_t foreign_rows_appended() const { return foreign_rows_appended_; }
+  uint64_t foreign_rows_appended() const {
+    return foreign_rows_appended_.Load();
+  }
 
   /// Discards the audit state: the next ExplainNew audits from row 0.
-  void ResetAudit();
+  void ResetAudit() EBA_EXCLUDES(*mu_);
 
  private:
   StreamingAuditor(Database* db, ExplanationEngine engine);
 
+  Status AppendAccessBatchLocked(const std::vector<Row>& rows)
+      EBA_REQUIRES(*mu_);
+  void ResetAuditLocked() EBA_REQUIRES(*mu_);
+
   Database* db_;
   ExplanationEngine engine_;
 
-  std::unordered_set<int64_t> explained_;
-  size_t audited_rows_ = 0;
-  uint64_t rows_appended_ = 0;
-  uint64_t batches_appended_ = 0;
-  uint64_t foreign_rows_appended_ = 0;
+  // Serializes appends, audits and state accessors (see class comment).
+  // Boxed so the auditor stays movable; moved-from auditors must not be
+  // used.
+  mutable std::unique_ptr<Mutex> mu_;
+  std::unordered_set<int64_t> explained_ EBA_GUARDED_BY(*mu_);
+  size_t audited_rows_ EBA_GUARDED_BY(*mu_) = 0;
+  AtomicCounter rows_appended_;
+  AtomicCounter batches_appended_;
+  AtomicCounter foreign_rows_appended_;
 
   // Lazily created worker pool reused across ExplainNew calls (sized to the
   // last options.num_threads - 1), so the per-batch serving loop does not
   // pay thread create/join on every audit.
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_ EBA_GUARDED_BY(*mu_);
 
   // Per-table drift snapshot taken at the end of every audit; the next
   // ExplainNew classifies what changed against it (Database::DriftSince).
-  CatalogSnapshot snapshot_;
+  CatalogSnapshot snapshot_ EBA_GUARDED_BY(*mu_);
 };
 
 }  // namespace eba

@@ -80,9 +80,17 @@ double ComputeModularity(const WeightedGraph& graph,
       if (assignment[v] == c) internal[c] += w;
     }
   }
+  // Summing in hash order would make Q depend on the hash function's
+  // bucket layout (float addition is not associative); sum in community-id
+  // order instead.
+  std::vector<int> communities;
+  communities.reserve(degree.size());
+  for (const auto& [c, deg] : degree) communities.push_back(c);
+  std::sort(communities.begin(), communities.end());
   double q = 0;
-  for (const auto& [c, deg] : degree) {
-    double in_c = internal.count(c) ? internal.at(c) : 0.0;
+  for (int c : communities) {
+    const double deg = degree.at(c);
+    const double in_c = internal.count(c) ? internal.at(c) : 0.0;
     q += in_c / (2.0 * m) - (deg / (2.0 * m)) * (deg / (2.0 * m));
   }
   return q;
@@ -141,7 +149,15 @@ LevelResult LocalMoving(const WeightedGraph& graph, Random* rng,
       const double base = to_community[current] -
                           community_degree[static_cast<size_t>(current)] * ku /
                               (2.0 * m);
-      for (const auto& [c, w_uc] : to_community) {
+      // Evaluate candidate communities in id order: the strict `>` argmax
+      // below tie-breaks on evaluation order, so hash-order iteration would
+      // let the bucket layout steer the clustering.
+      std::vector<int> candidates;
+      candidates.reserve(to_community.size());
+      for (const auto& [c, w] : to_community) candidates.push_back(c);
+      std::sort(candidates.begin(), candidates.end());
+      for (int c : candidates) {
+        const double w_uc = to_community.at(c);
         double gain = w_uc -
                       community_degree[static_cast<size_t>(c)] * ku / (2.0 * m) -
                       base;

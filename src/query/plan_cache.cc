@@ -100,7 +100,9 @@ std::shared_ptr<const CompiledPlan> RebindPlanForAppend(
 
 std::shared_ptr<const CompiledPlan> PlanCache::Lookup(const std::string& key,
                                                       const Database* db) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Writer lock even on the read path: a hit mutates the LRU list and the
+  // hit counters, and an append-only hit re-binds the entry in place.
+  WriterMutexLock lock(mu_);
   auto it = plans_.find(key);
   if (it == plans_.end()) {
     ++stats_.misses;
@@ -158,7 +160,7 @@ std::shared_ptr<const CompiledPlan> PlanCache::Lookup(const std::string& key,
 
 void PlanCache::Insert(const std::string& key,
                        std::shared_ptr<const CompiledPlan> plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = plans_.find(key);
   if (it != plans_.end()) {
     resident_bytes_ -= it->second.bytes;
@@ -192,22 +194,22 @@ void PlanCache::EvictOverCapLocked(const std::string& keep) {
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   return stats_;
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   return plans_.size();
 }
 
 size_t PlanCache::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  SharedMutexLock lock(mu_);
   return resident_bytes_;
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   plans_.clear();
   lru_.clear();
   resident_bytes_ = 0;

@@ -36,9 +36,13 @@
 // entry is kept — one resident plan beats none). 0 means unbounded, the
 // right setting for template registries and single mining runs.
 //
-// Thread safety: Lookup/Insert/stats are mutex-guarded, and cached plans are
-// immutable shared_ptrs, so concurrent executors (e.g. ExplainAll's template
-// fan-out) can share one cache.
+// Thread safety: Lookup/Insert take the cache's writer lock (even a lookup
+// mutates the LRU list and the hit counters), the read-only stats/size
+// accessors take the shared (reader) lock, and cached plans are immutable
+// shared_ptrs, so concurrent executors (e.g. ExplainAll's template fan-out)
+// can share one cache. The discipline is compiler-checked: every mutable
+// member is EBA_GUARDED_BY(mu_) and clang's -Wthread-safety rejects any
+// unlocked access path.
 
 #ifndef EBA_QUERY_PLAN_CACHE_H_
 #define EBA_QUERY_PLAN_CACHE_H_
@@ -46,11 +50,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 #include "query/expr.h"
 #include "storage/database.h"
@@ -231,18 +236,20 @@ class PlanCache {
   /// entry is evicted (counted as an invalidation) and the lookup counts as
   /// a miss.
   std::shared_ptr<const CompiledPlan> Lookup(const std::string& key,
-                                             const Database* db);
+                                             const Database* db)
+      EBA_EXCLUDES(mu_);
 
   /// Inserts (or replaces) the plan for `key` as the most-recently-used
   /// entry, then evicts LRU entries while the byte cap is exceeded.
-  void Insert(const std::string& key, std::shared_ptr<const CompiledPlan> plan);
+  void Insert(const std::string& key, std::shared_ptr<const CompiledPlan> plan)
+      EBA_EXCLUDES(mu_);
 
-  Stats stats() const;
-  size_t size() const;
+  Stats stats() const EBA_EXCLUDES(mu_);
+  size_t size() const EBA_EXCLUDES(mu_);
   /// Approximate bytes across resident plans (per-entry ApproxBytes sums).
-  size_t resident_bytes() const;
+  size_t resident_bytes() const EBA_EXCLUDES(mu_);
   const PlanCacheOptions& options() const { return options_; }
-  void Clear();
+  void Clear() EBA_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -252,14 +259,14 @@ class PlanCache {
   };
 
   /// Drops LRU entries until the cap fits; `keep` is never evicted.
-  void EvictOverCapLocked(const std::string& keep);
+  void EvictOverCapLocked(const std::string& keep) EBA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable SharedMutex mu_;
   PlanCacheOptions options_;
-  std::unordered_map<std::string, Entry> plans_;
-  std::list<std::string> lru_;  // front = most recent
-  size_t resident_bytes_ = 0;
-  Stats stats_;
+  std::unordered_map<std::string, Entry> plans_ EBA_GUARDED_BY(mu_);
+  std::list<std::string> lru_ EBA_GUARDED_BY(mu_);  // front = most recent
+  size_t resident_bytes_ EBA_GUARDED_BY(mu_) = 0;
+  Stats stats_ EBA_GUARDED_BY(mu_);
 };
 
 }  // namespace eba

@@ -7,7 +7,7 @@
 namespace eba {
 
 Table::Table(TableSchema schema)
-    : schema_(std::move(schema)), lazy_mu_(std::make_unique<std::mutex>()) {
+    : schema_(std::move(schema)), lazy_mu_(std::make_unique<Mutex>()) {
   Status s = schema_.Validate();
   EBA_CHECK_MSG(s.ok(), s.ToString());
   columns_.reserve(schema_.num_columns());
@@ -70,7 +70,7 @@ StatusOr<const Column*> Table::ColumnByName(const std::string& col_name) const {
 
 const HashIndex& Table::GetOrBuildIndex(size_t col) const {
   EBA_CHECK(col < columns_.size());
-  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  MutexLock lock(*lazy_mu_);
   if (!indexes_[col]) {
     indexes_[col] = std::make_unique<HashIndex>(&columns_[col]);
   } else {
@@ -84,7 +84,7 @@ const HashIndex& Table::GetOrBuildIndex(size_t col) const {
 
 const ColumnStats& Table::GetOrComputeStats(size_t col) const {
   EBA_CHECK(col < columns_.size());
-  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  MutexLock lock(*lazy_mu_);
   if (!stats_[col]) {
     stats_[col] = std::make_unique<IncrementalColumnStats>();
   }
@@ -93,7 +93,7 @@ const ColumnStats& Table::GetOrComputeStats(size_t col) const {
 }
 
 void Table::InvalidateDerivedState() const {
-  std::lock_guard<std::mutex> lock(*lazy_mu_);
+  MutexLock lock(*lazy_mu_);
   for (auto& idx : indexes_) idx.reset();
   for (auto& st : stats_) st.reset();
   ++structural_epoch_;

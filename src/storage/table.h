@@ -17,11 +17,12 @@
 #define EBA_STORAGE_TABLE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 #include "storage/column.h"
 #include "storage/index.h"
@@ -69,23 +70,24 @@ class Table {
   /// it). Safe to call from concurrent readers (lazy construction and
   /// extension are serialized internally); appends still require external
   /// serialization against all readers.
-  const HashIndex& GetOrBuildIndex(size_t col) const;
+  const HashIndex& GetOrBuildIndex(size_t col) const EBA_EXCLUDES(*lazy_mu_);
 
   /// Statistics for `col`, computed on first use, cached, and extended past
   /// the append watermark on access. Same thread safety as GetOrBuildIndex.
-  const ColumnStats& GetOrComputeStats(size_t col) const;
+  const ColumnStats& GetOrComputeStats(size_t col) const
+      EBA_EXCLUDES(*lazy_mu_);
 
   /// Drops cached indexes and statistics and advances the structural epoch.
   /// Called automatically by mutable_column; appends do NOT call this.
-  void InvalidateDerivedState() const;
+  void InvalidateDerivedState() const EBA_EXCLUDES(*lazy_mu_);
 
   /// Monotonic structural-mutation counter: advanced by mutable accesses and
   /// explicit invalidation (anything that may rewrite existing cells in
   /// place), NOT by appends. Consumers holding derived state (hash-index
   /// pointers, compiled query plans) record it at build time and treat a
   /// mismatch as "stale — rebuild".
-  uint64_t structural_epoch() const {
-    std::lock_guard<std::mutex> lock(*lazy_mu_);
+  uint64_t structural_epoch() const EBA_EXCLUDES(*lazy_mu_) {
+    MutexLock lock(*lazy_mu_);
     return structural_epoch_;
   }
 
@@ -112,11 +114,16 @@ class Table {
 
   // Guards lazy construction of indexes_/stats_ so concurrent readers can
   // share a table. Boxed so the table stays movable (moved-from tables must
-  // not be used).
-  mutable std::unique_ptr<std::mutex> lazy_mu_;
-  mutable std::vector<std::unique_ptr<HashIndex>> indexes_;
-  mutable std::vector<std::unique_ptr<IncrementalColumnStats>> stats_;
-  mutable uint64_t structural_epoch_ = 0;
+  // not be used). The guarded vectors hold owning pointers; the pointees
+  // are read lock-free by readers afterwards (the locked extension check in
+  // GetOrBuildIndex is the happens-before edge), and only a structural
+  // mutation — which holds the lock — frees them.
+  mutable std::unique_ptr<Mutex> lazy_mu_;
+  mutable std::vector<std::unique_ptr<HashIndex>> indexes_
+      EBA_GUARDED_BY(*lazy_mu_);
+  mutable std::vector<std::unique_ptr<IncrementalColumnStats>> stats_
+      EBA_GUARDED_BY(*lazy_mu_);
+  mutable uint64_t structural_epoch_ EBA_GUARDED_BY(*lazy_mu_) = 0;
 };
 
 }  // namespace eba

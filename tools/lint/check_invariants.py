@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Determinism lint for the EBA tree.
+
+The executor's contract is byte-identical reports regardless of thread
+count, and the bench gate diffs JSON across runs — so nondeterminism that
+the type system cannot see (hash-order iteration, unseeded randomness,
+wall-clock reads) is a correctness bug here, not a style issue. This lint
+enforces four invariants over src/ (and CMake test registration):
+
+  R1 unordered-iteration: iterating a std::unordered_{map,set} (range-for
+     or .begin()) feeds hash order into whatever is built from it. Allowed
+     only when a std::sort appears within the next few lines (sort-at-the-
+     boundary idiom) or the line carries a `// lint:ordered` annotation
+     stating why order cannot escape (e.g. order-insensitive aggregation).
+  R2 unseeded-rng: std::random_device, bare rand()/srand(), or a
+     default-constructed std::mt19937 make runs unreproducible. Use
+     common/random.h (explicitly seeded) instead; `// lint:rng` overrides.
+  R3 wall-clock: system_clock::now / time(NULL) / gettimeofday / localtime
+     in result paths make outputs depend on when they ran. steady_clock is
+     fine for durations; `// lint:wall-clock` overrides (e.g. a log line).
+  R4 test-timeout: every add_test() in a CMakeLists.txt must have a
+     matching set_tests_properties(... TIMEOUT ...) in the same file, so a
+     hung test fails CI instead of stalling it.
+
+Exit status: 0 = clean, 1 = violations found, 2 = usage/IO error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# How many lines after an unordered iteration a std::sort may appear and
+# still count as "sorted at the boundary".
+SORT_WINDOW = 4
+
+CPP_EXTENSIONS = (".h", ".cc")
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;()]*?>\s*"
+    r"[&*]?\s*(\w+)\s*(?:[;={(\[]|$)"
+)
+RANGE_FOR = re.compile(r"\bfor\s*\([^;]*?:\s*&?(\w+)\s*\)")
+BEGIN_CALL = re.compile(r"\b(\w+)\.begin\(\)")
+SORT_CALL = re.compile(r"\bstd::(?:stable_)?sort\s*\(")
+
+RNG_PATTERNS = [
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w:])rand\s*\(\s*\)"), "bare rand()"),
+    (re.compile(r"(?<![\w:])srand\s*\("), "srand()"),
+    (re.compile(r"\bstd::mt19937(?:_64)?\s+\w+\s*;"),
+     "default-constructed std::mt19937"),
+]
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\bsystem_clock::now\b"), "system_clock::now"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+     "time(NULL)"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday"),
+    (re.compile(r"\blocaltime(?:_r)?\s*\("), "localtime"),
+]
+
+ADD_TEST = re.compile(r"\badd_test\s*\(\s*(?:NAME\s+)?(\S+)")
+SET_TESTS_PROPERTIES = re.compile(r"\bset_tests_properties\s*\(\s*(\S+)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comment(line):
+    """Code portion of a line (// comments removed; strings left alone —
+    good enough for this tree, which holds no '//' inside literals that
+    would matter to these patterns)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def has_annotation(lines, i, tag):
+    """True if line i or the line above carries `// lint:<tag>`."""
+    marker = f"lint:{tag}"
+    if marker in lines[i]:
+        return True
+    return i > 0 and marker in lines[i - 1]
+
+
+def check_cpp_file(path, rel, findings):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    unordered_vars = set()
+    for raw in lines:
+        code = strip_comment(raw)
+        for m in UNORDERED_DECL.finditer(code):
+            unordered_vars.add(m.group(1))
+
+    for i, raw in enumerate(lines):
+        code = strip_comment(raw)
+
+        # R1: iteration over an unordered container.
+        iterated = set()
+        m = RANGE_FOR.search(code)
+        if m and m.group(1) in unordered_vars:
+            iterated.add(m.group(1))
+        for m in BEGIN_CALL.finditer(code):
+            if m.group(1) in unordered_vars:
+                iterated.add(m.group(1))
+        if iterated and not has_annotation(lines, i, "ordered"):
+            window = lines[i : i + 1 + SORT_WINDOW]
+            if not any(SORT_CALL.search(strip_comment(w)) for w in window):
+                names = ", ".join(sorted(iterated))
+                findings.append(Finding(
+                    rel, i + 1, "unordered-iteration",
+                    f"iterating unordered container '{names}' without a "
+                    f"std::sort within {SORT_WINDOW} lines; sort at the "
+                    "boundary or annotate `// lint:ordered <why>`"))
+
+        # R2: unseeded randomness.
+        if not has_annotation(lines, i, "rng"):
+            for pattern, what in RNG_PATTERNS:
+                if pattern.search(code):
+                    findings.append(Finding(
+                        rel, i + 1, "unseeded-rng",
+                        f"{what} makes runs unreproducible; use the seeded "
+                        "common/random.h Random or annotate "
+                        "`// lint:rng <why>`"))
+
+        # R3: wall-clock reads.
+        if not has_annotation(lines, i, "wall-clock"):
+            for pattern, what in WALL_CLOCK_PATTERNS:
+                if pattern.search(code):
+                    findings.append(Finding(
+                        rel, i + 1, "wall-clock",
+                        f"{what} in a result path makes output depend on "
+                        "when it ran; use steady_clock for durations or "
+                        "annotate `// lint:wall-clock <why>`"))
+
+
+def check_cmake_file(path, rel, findings):
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    text = "\n".join(strip_comment_cmake(l) for l in lines)
+    # Tests with a TIMEOUT: set_tests_properties(<token> ... TIMEOUT appears
+    # anywhere in the same file. Tokens compare literally, so the
+    # foreach(${suite}) registration idiom matches its own properties call.
+    with_timeout = set()
+    for m in SET_TESTS_PROPERTIES.finditer(text):
+        tail = text[m.end() : m.end() + 400]
+        call = tail.split(")", 1)[0]
+        if "TIMEOUT" in call:
+            with_timeout.add(m.group(1).rstrip(")"))
+
+    for i, raw in enumerate(lines):
+        code = strip_comment_cmake(raw)
+        m = ADD_TEST.search(code)
+        if not m:
+            continue
+        token = m.group(1).rstrip(")")
+        if token not in with_timeout:
+            findings.append(Finding(
+                rel, i + 1, "test-timeout",
+                f"add_test({token}) has no matching set_tests_properties("
+                f"{token} ... TIMEOUT ...) in this file; a hung test must "
+                "fail CI, not stall it"))
+
+
+def strip_comment_cmake(line):
+    idx = line.find("#")
+    return line if idx < 0 else line[:idx]
+
+
+def walk(root, subdir, extensions):
+    base = os.path.join(root, subdir)
+    for dirpath, _, filenames in os.walk(base):
+        for name in sorted(filenames):
+            if name.endswith(extensions):
+                full = os.path.join(dirpath, name)
+                yield full, os.path.relpath(full, root)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: two levels above this script)")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"error: no src/ under root {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for full, rel in walk(root, "src", CPP_EXTENSIONS):
+        check_cpp_file(full, rel, findings)
+    for subdir in ("src", "tests", "bench", "examples", "tools", "."):
+        path = os.path.join(root, subdir, "CMakeLists.txt")
+        if os.path.isfile(path):
+            check_cmake_file(path, os.path.relpath(path, root), findings)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} determinism-lint violation(s).",
+              file=sys.stderr)
+        return 1
+    print("check_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
