@@ -496,6 +496,13 @@ int RunExecutorJsonBench(const std::string& path, bool smoke) {
   stream_options.smoke = smoke;
   const StreamingBenchResult streaming = RunStreamingBench(stream_options);
 
+  // Durability: WAL append overhead (A/B vs plain appends) and the
+  // time-to-recover vs full-re-audit ratio, both gated by compare_bench.py.
+  DurabilityBenchOptions durability_options;
+  durability_options.smoke = smoke;
+  const DurabilityBenchResult durability =
+      RunDurabilityBench(durability_options);
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -545,6 +552,9 @@ int RunExecutorJsonBench(const std::string& path, bool smoke) {
   std::fprintf(f, "    },\n");
   std::fprintf(f, "    \"streaming\": {\n");
   WriteStreamingJson(f, streaming, "      ");
+  std::fprintf(f, "    },\n");
+  std::fprintf(f, "    \"durability\": {\n");
+  WriteDurabilityJson(f, durability, "      ");
   std::fprintf(f, "    }\n");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
@@ -574,7 +584,23 @@ int RunExecutorJsonBench(const std::string& path, bool smoke) {
               100.0 * streaming.PlanCacheHitRate(),
               streaming.matches_full_explain_all ? "matches"
                                                  : "DIVERGES FROM");
-  return streaming.matches_full_explain_all ? 0 : 1;
+  std::printf("durability       : WAL appends %.0f/s vs plain %.0f/s "
+              "(%.2fx raw, %.2fx serving), audit-state recovery %.1f ms vs "
+              "full re-audit %.1f ms (%.1fx, %s full ExplainAll)\n",
+              durability.WalAppendsPerSecond(),
+              durability.PlainAppendsPerSecond(),
+              durability.WalAppendRelativeThroughput(),
+              durability.ServingRelativeThroughput(),
+              durability.AuditStateRecoveryMs(),
+              durability.FullReauditAfterRestartMs(),
+              durability.RecoverySpeedupVsFullReaudit(),
+              durability.recovered_matches_full_explain_all
+                  ? "matches"
+                  : "DIVERGES FROM");
+  return streaming.matches_full_explain_all &&
+                 durability.recovered_matches_full_explain_all
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -18,6 +18,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -28,6 +31,7 @@
 #include "core/engine.h"
 #include "core/ingest.h"
 #include "log/access_log.h"
+#include "storage/io.h"
 
 namespace eba {
 
@@ -284,6 +288,326 @@ inline StreamingBenchResult RunStreamingBench(
   result.matches_full_explain_all = auditor.explained_lids() == full_set;
   result.final_coverage = full->Coverage();
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Durability phase: WAL append overhead (A/B vs plain appends) and
+// time-to-recover vs a from-scratch full re-audit after a simulated crash.
+
+struct DurabilityBenchOptions {
+  bool smoke = false;
+  /// Store directory; empty = "<system temp>/eba_bench_durability".
+  std::string dir;
+  size_t num_batches = 0;  // 0 = default (24, smoke 8)
+  int seed_days = 7;
+  /// Log span; 0 = default (42 days, smoke 14). The full-mode log is kept
+  /// large enough that the recovery-vs-reaudit ratio measures the O(log)
+  /// re-audit against the O(checkpoint + tail) recovery, not two constants.
+  int num_days = 0;
+};
+
+struct DurabilityBenchResult {
+  size_t streamed_rows = 0;
+  size_t wal_tail_rows = 0;  // rows committed to the WAL after the checkpoint
+  double plain_append_seconds = 0.0;
+  double wal_append_seconds = 0.0;
+  double plain_audit_seconds = 0.0;  // per-batch ExplainNew, no WAL
+  double wal_audit_seconds = 0.0;    // per-batch ExplainNew, WAL enabled
+
+  double recover_seconds = 0.0;         // RecoverFrom wall time
+  double recover_db_load_seconds = 0.0; // portion reloading column data
+  double checkpoint_load_seconds = 0.0; // manifest + audit state + columns
+  double wal_replay_seconds = 0.0;      // WAL suffix decode + apply
+  double converge_seconds = 0.0;        // the one converging ExplainNew
+  double full_reaudit_seconds = 0.0;    // audit-state-lost baseline
+  size_t wal_records_replayed = 0;
+  size_t wal_rows_replayed = 0;
+  uint64_t checkpoint_seq = 0;
+  /// Differential acceptance: the recovered auditor's explained set equals
+  /// a fresh full ExplainAll over the recovered log.
+  bool recovered_matches_full_explain_all = false;
+
+  double PlainAppendsPerSecond() const {
+    return plain_append_seconds > 0.0
+               ? static_cast<double>(streamed_rows) / plain_append_seconds
+               : 0.0;
+  }
+  double WalAppendsPerSecond() const {
+    return wal_append_seconds > 0.0
+               ? static_cast<double>(streamed_rows) / wal_append_seconds
+               : 0.0;
+  }
+  /// Raw-append tripwire: WAL appends/s relative to plain appends/s. The
+  /// in-memory columnar append runs at ~90 ns/row, and the WAL's floor —
+  /// encode + CRC + one buffered write() per batch — is of the same order,
+  /// so this ratio sits near 0.5 by construction; its absolute floor exists
+  /// to catch structural regressions (an accidental fsync per row, an O(n^2)
+  /// re-encode), not to bound overhead at the operating point.
+  double WalAppendRelativeThroughput() const {
+    const double plain = PlainAppendsPerSecond();
+    return plain > 0.0 ? WalAppendsPerSecond() / plain : 0.0;
+  }
+  /// The gated overhead ceiling at the auditor's operating point: the
+  /// serving loop (append a batch, audit it with ExplainNew) with the WAL
+  /// enabled vs without. >= 0.75 means write-ahead durability costs at most
+  /// 25% of the end-to-end ingest+audit throughput a deployment sees.
+  double ServingRelativeThroughput() const {
+    const double plain = plain_append_seconds + plain_audit_seconds;
+    const double wal = wal_append_seconds + wal_audit_seconds;
+    return wal > 0.0 ? plain / wal : 0.0;
+  }
+  /// Audit-state recovery cost: checkpoint+WAL replay plus the converging
+  /// audit, minus the raw column reload that ANY restart pays.
+  double AuditStateRecoveryMs() const {
+    const double s =
+        recover_seconds - recover_db_load_seconds + converge_seconds;
+    return 1e3 * (s > 0.0 ? s : 0.0);
+  }
+  double FullReauditAfterRestartMs() const {
+    return 1e3 * full_reaudit_seconds;
+  }
+  /// The gated recovery metric: recovering the audit state from the
+  /// checkpoint + WAL vs re-deriving it with a from-row-0 audit. A recovery
+  /// too fast for the clock to resolve saturates high — it must not read as
+  /// a regression against the gate's absolute floor.
+  double RecoverySpeedupVsFullReaudit() const {
+    const double recovery_ms = AuditStateRecoveryMs();
+    if (recovery_ms > 0.0) return FullReauditAfterRestartMs() / recovery_ms;
+    return FullReauditAfterRestartMs() > 0.0 ? 1e6 : 0.0;
+  }
+};
+
+inline DurabilityBenchResult RunDurabilityBench(
+    const DurabilityBenchOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  auto unwrap_status = [](const Status& s) {
+    EBA_CHECK_MSG(s.ok(), s.ToString());
+  };
+  DurabilityBenchResult result;
+  const size_t num_batches =
+      options.num_batches > 0 ? options.num_batches : (options.smoke ? 8 : 24);
+  const std::string dir =
+      !options.dir.empty()
+          ? options.dir
+          : (std::filesystem::temp_directory_path() / "eba_bench_durability")
+                .string();
+
+  CareWebConfig config = CareWebConfig::Small();
+  config.num_days =
+      options.num_days > 0 ? options.num_days : (options.smoke ? 14 : 42);
+  auto generated = GenerateCareWeb(config);
+  EBA_CHECK_MSG(generated.ok(), generated.status().ToString());
+  CareWebData data = std::move(generated).value();
+
+  const Table* source_log = data.db.GetTable("Log").value();
+  auto source_view = AccessLog::Wrap(source_log);
+  EBA_CHECK_MSG(source_view.ok(), source_view.status().ToString());
+  unwrap_status(AddLogSlice(&data.db, "Log", "LogStream", 1, options.seed_days,
+                            /*first_only=*/false)
+                    .status());
+  std::unordered_set<size_t> seeded;
+  for (size_t r : source_view->RowsInDayRange(1, options.seed_days)) {
+    seeded.insert(r);
+  }
+  std::vector<Row> backlog;
+  backlog.reserve(source_log->num_rows() - seeded.size());
+  for (size_t r = 0; r < source_log->num_rows(); ++r) {
+    if (!seeded.count(r)) backlog.push_back(source_log->GetRow(r));
+  }
+  result.streamed_rows = backlog.size();
+  auto templates = TemplatesHandcraftedDirect(data.db, true);
+  EBA_CHECK_MSG(templates.ok(), templates.status().ToString());
+  const size_t batch_size = (backlog.size() + num_batches - 1) / num_batches;
+
+  // The serving loop a deployment runs: append a batch, audit it. Append
+  // and audit time are accumulated separately so the raw-append tripwire
+  // and the operating-point overhead are both measurable from one pass.
+  auto serve_batches = [&](StreamingAuditor* auditor, double* append_seconds,
+                           double* audit_seconds) {
+    for (size_t start = 0; start < backlog.size(); start += batch_size) {
+      const size_t end = std::min(start + batch_size, backlog.size());
+      const std::vector<Row> batch(backlog.begin() + start,
+                                   backlog.begin() + end);
+      const auto t0 = Clock::now();
+      unwrap_status(auditor->AppendAccessBatch(batch));
+      const auto t1 = Clock::now();
+      auto report = auditor->ExplainNew();
+      EBA_CHECK_MSG(report.ok(), report.status().ToString());
+      const auto t2 = Clock::now();
+      *append_seconds += std::chrono::duration<double>(t1 - t0).count();
+      *audit_seconds += std::chrono::duration<double>(t2 - t1).count();
+    }
+  };
+
+  // Phase A (no WAL) and phase B (WAL-committed before apply) run the
+  // identical serving loop on fresh clones, interleaved A B A B with the
+  // fastest repetition kept per phase: the first pass through either phase
+  // pays one-time process costs (allocator growth, first-touch pages) that
+  // would otherwise land entirely on whichever phase ran first and swamp
+  // the ~100 ns/row WAL delta the ratio exists to measure. kNone sync
+  // isolates the structural overhead (encode + CRC + one write()) from
+  // fsync latency, which is policy, not subsystem cost.
+  DurabilityOptions dopts;
+  dopts.dir = dir;
+  dopts.sync = WalSync::kNone;
+  dopts.checkpoint_after_wal_bytes = 0;  // manual checkpoints only
+  constexpr int kReps = 3;
+  double plain_serve_best = std::numeric_limits<double>::infinity();
+  double wal_serve_best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      Database plain_db = data.db.Clone();
+      auto created = StreamingAuditor::Create(&plain_db, "LogStream");
+      EBA_CHECK_MSG(created.ok(), created.status().ToString());
+      StreamingAuditor auditor = std::move(created).value();
+      for (const auto& tmpl : *templates) {
+        unwrap_status(auditor.AddTemplate(tmpl));
+      }
+      double append_s = 0.0;
+      double audit_s = 0.0;
+      serve_batches(&auditor, &append_s, &audit_s);
+      if (append_s + audit_s < plain_serve_best) {
+        plain_serve_best = append_s + audit_s;
+        result.plain_append_seconds = append_s;
+        result.plain_audit_seconds = audit_s;
+      }
+    }
+    {
+      // Every repetition rebuilds the store from scratch; the final one
+      // leaves the checkpoint + WAL tail on disk for the recovery phase.
+      unwrap_status(RealEnv()->RemoveAll(dir));
+      Database wal_db = data.db.Clone();
+      auto created = StreamingAuditor::Create(&wal_db, "LogStream");
+      EBA_CHECK_MSG(created.ok(), created.status().ToString());
+      StreamingAuditor auditor = std::move(created).value();
+      for (const auto& tmpl : *templates) {
+        unwrap_status(auditor.AddTemplate(tmpl));
+      }
+      unwrap_status(auditor.EnableDurability(dopts));
+      double append_s = 0.0;
+      double audit_s = 0.0;
+      serve_batches(&auditor, &append_s, &audit_s);
+      if (append_s + audit_s < wal_serve_best) {
+        wal_serve_best = append_s + audit_s;
+        result.wal_append_seconds = append_s;
+        result.wal_audit_seconds = audit_s;
+      }
+
+      // Checkpoint the audited state, then leave a WAL tail past the
+      // checkpoint so recovery exercises both the image load and the replay.
+      unwrap_status(auditor.Checkpoint());
+      std::vector<Row> tail;
+      for (size_t r = 0; r + 1 < backlog.size() && tail.size() < 64; r += 2) {
+        tail.push_back(backlog[r]);  // duplicate lids are fine: it is drift
+      }
+      unwrap_status(auditor.AppendAccessBatch(tail));
+      result.wal_tail_rows = tail.size();
+    }  // crash: the auditor and its database go away
+  }
+
+  // Restart + recovery, timed. The converging audit covers the WAL tail.
+  Database recovered_db;
+  RecoveryStats stats;
+  const auto r0 = Clock::now();
+  auto recovered_or =
+      StreamingAuditor::RecoverFrom(&recovered_db, "LogStream", dopts, &stats);
+  EBA_CHECK_MSG(recovered_or.ok(), recovered_or.status().ToString());
+  const auto r1 = Clock::now();
+  StreamingAuditor recovered = std::move(recovered_or).value();
+  for (const auto& tmpl : *templates) {
+    unwrap_status(recovered.AddTemplate(tmpl));
+  }
+  const auto c0 = Clock::now();
+  auto converge = recovered.ExplainNew();
+  EBA_CHECK_MSG(converge.ok(), converge.status().ToString());
+  const auto c1 = Clock::now();
+  result.recover_seconds = std::chrono::duration<double>(r1 - r0).count();
+  result.recover_db_load_seconds = stats.db_load_seconds;
+  result.checkpoint_load_seconds = stats.checkpoint_load_seconds;
+  result.wal_replay_seconds = stats.wal_replay_seconds;
+  result.converge_seconds = std::chrono::duration<double>(c1 - c0).count();
+  result.wal_records_replayed = stats.wal_records_replayed;
+  result.wal_rows_replayed = stats.wal_rows_replayed;
+  result.checkpoint_seq = stats.checkpoint_seq;
+
+  // Baseline: the same restart WITHOUT durable audit state — the explained
+  // set and watermark are gone, so deriving them again is a from-row-0
+  // audit of the whole log. Run on a fresh auditor over a fresh clone so it
+  // pays the same cold costs (plan compilation, index builds) the converge
+  // audit above paid; reusing `recovered` would hand the baseline a warm
+  // plan cache and warm indexes no real restart has.
+  Database cold_db = recovered_db.Clone();
+  {
+    auto fresh_or = StreamingAuditor::Create(&cold_db, "LogStream");
+    EBA_CHECK_MSG(fresh_or.ok(), fresh_or.status().ToString());
+    StreamingAuditor fresh = std::move(fresh_or).value();
+    for (const auto& tmpl : *templates) {
+      unwrap_status(fresh.AddTemplate(tmpl));
+    }
+    const auto f0 = Clock::now();
+    auto reaudit = fresh.ExplainNew();
+    EBA_CHECK_MSG(reaudit.ok(), reaudit.status().ToString());
+    const auto f1 = Clock::now();
+    result.full_reaudit_seconds =
+        std::chrono::duration<double>(f1 - f0).count();
+  }
+
+  // Differential acceptance: recovered state == fresh ExplainAll on a clone.
+  {
+    Database clone = recovered_db.Clone();
+    auto oracle = ExplanationEngine::Create(&clone, "LogStream");
+    EBA_CHECK_MSG(oracle.ok(), oracle.status().ToString());
+    for (const auto& tmpl : *templates) {
+      unwrap_status(oracle->AddTemplate(tmpl));
+    }
+    auto full = oracle->ExplainAll();
+    EBA_CHECK_MSG(full.ok(), full.status().ToString());
+    std::unordered_set<int64_t> full_set(full->explained_lids.begin(),
+                                         full->explained_lids.end());
+    result.recovered_matches_full_explain_all =
+        recovered.explained_lids() == full_set;
+  }
+  unwrap_status(RealEnv()->RemoveAll(dir));
+  return result;
+}
+
+/// Emits the durability result as a JSON object body, indented with `pad`
+/// spaces, e.g. under "streaming"."durability" in BENCH_executor.json.
+inline void WriteDurabilityJson(std::FILE* f, const DurabilityBenchResult& r,
+                                const char* pad) {
+  std::fprintf(f, "%s\"streamed_rows\": %zu,\n", pad, r.streamed_rows);
+  std::fprintf(f, "%s\"wal_tail_rows\": %zu,\n", pad, r.wal_tail_rows);
+  std::fprintf(f, "%s\"plain_appends_per_second\": %.0f,\n", pad,
+               r.PlainAppendsPerSecond());
+  std::fprintf(f, "%s\"wal_appends_per_second\": %.0f,\n", pad,
+               r.WalAppendsPerSecond());
+  std::fprintf(f, "%s\"wal_append_relative_throughput\": %.3f,\n", pad,
+               r.WalAppendRelativeThroughput());
+  std::fprintf(f, "%s\"durable_serving_relative_throughput\": %.3f,\n", pad,
+               r.ServingRelativeThroughput());
+  std::fprintf(f, "%s\"recover_ms\": %.3f,\n", pad, 1e3 * r.recover_seconds);
+  std::fprintf(f, "%s\"recover_db_load_ms\": %.3f,\n", pad,
+               1e3 * r.recover_db_load_seconds);
+  std::fprintf(f, "%s\"checkpoint_load_ms\": %.3f,\n", pad,
+               1e3 * r.checkpoint_load_seconds);
+  std::fprintf(f, "%s\"wal_replay_ms\": %.3f,\n", pad,
+               1e3 * r.wal_replay_seconds);
+  std::fprintf(f, "%s\"converge_audit_ms\": %.3f,\n", pad,
+               1e3 * r.converge_seconds);
+  std::fprintf(f, "%s\"audit_state_recovery_ms\": %.3f,\n", pad,
+               r.AuditStateRecoveryMs());
+  std::fprintf(f, "%s\"full_reaudit_after_restart_ms\": %.3f,\n", pad,
+               r.FullReauditAfterRestartMs());
+  std::fprintf(f, "%s\"recovery_speedup_vs_full_reaudit\": %.2f,\n", pad,
+               r.RecoverySpeedupVsFullReaudit());
+  std::fprintf(f, "%s\"wal_records_replayed\": %zu,\n", pad,
+               r.wal_records_replayed);
+  std::fprintf(f, "%s\"wal_rows_replayed\": %zu,\n", pad,
+               r.wal_rows_replayed);
+  std::fprintf(f, "%s\"checkpoint_seq\": %llu,\n", pad,
+               static_cast<unsigned long long>(r.checkpoint_seq));
+  std::fprintf(f, "%s\"recovered_matches_full_explain_all\": %s\n", pad,
+               r.recovered_matches_full_explain_all ? "true" : "false");
 }
 
 /// Emits the streaming result as a JSON object body (no surrounding braces'

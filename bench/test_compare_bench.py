@@ -18,7 +18,9 @@ GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                     "compare_bench.py")
 
 
-def good_bench(speedup=6.0, hit_rate=0.95, matches=True):
+def good_bench(speedup=6.0, hit_rate=0.95, matches=True,
+               wal_throughput=0.45, serving_throughput=0.92,
+               recovery_speedup=40.0, recovered_matches=True):
     return {
         "generated_by": "bench_micro --executor_json",
         "smoke": False,
@@ -30,6 +32,12 @@ def good_bench(speedup=6.0, hit_rate=0.95, matches=True):
             "streaming": {
                 "plan_cache_hit_rate": hit_rate,
                 "matches_full_explain_all": matches,
+            },
+            "durability": {
+                "wal_append_relative_throughput": wal_throughput,
+                "durable_serving_relative_throughput": serving_throughput,
+                "recovery_speedup_vs_full_reaudit": recovery_speedup,
+                "recovered_matches_full_explain_all": recovered_matches,
             },
         },
     }
@@ -96,6 +104,63 @@ class GoodInputs(GateFixture):
     def test_equivalence_flag_flip_fails(self):
         base = self.write_json("base.json", good_bench(matches=True))
         cur = self.write_json("cur.json", good_bench(matches=False))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+    def test_serving_overhead_ceiling_fails(self):
+        # Absolute floor: with the WAL enabled the serving loop (append +
+        # audit) must keep >= 75% of its no-WAL throughput even when the
+        # baseline itself was already slow.
+        base = self.write_json("base.json",
+                               good_bench(serving_throughput=0.80))
+        cur = self.write_json("cur.json",
+                              good_bench(serving_throughput=0.60))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("durable_serving_relative_throughput",
+                      result.stdout + result.stderr)
+
+    def test_wal_append_tripwire_fails(self):
+        # The raw-append ratio sits near 0.5 by construction; a drop to 0.25
+        # means a structural regression (fsync per row, quadratic re-encode)
+        # and must trip the absolute floor.
+        base = self.write_json("base.json", good_bench(wal_throughput=0.45))
+        cur = self.write_json("cur.json", good_bench(wal_throughput=0.25))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("wal_append_relative_throughput",
+                      result.stdout + result.stderr)
+
+    def test_wal_append_ratio_gates_absolute_only(self):
+        # The raw-append ratio swings with scheduler noise (two
+        # sub-millisecond timings); a 0.71 -> 0.40 drop is well over the
+        # relative threshold but still above the 0.35 structural tripwire
+        # and must pass.
+        base = self.write_json("base.json", good_bench(wal_throughput=0.71))
+        cur = self.write_json("cur.json", good_bench(wal_throughput=0.40))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_recovery_speedup_is_saturated_not_relative(self):
+        # 400x -> 12x is a huge relative drop but still above the 10x
+        # absolute floor: saturated metrics must not fail the relative gate.
+        base = self.write_json("base.json",
+                               good_bench(recovery_speedup=400.0))
+        cur = self.write_json("cur.json", good_bench(recovery_speedup=12.0))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_recovery_speedup_floor_fails(self):
+        base = self.write_json("base.json", good_bench(recovery_speedup=40.0))
+        cur = self.write_json("cur.json", good_bench(recovery_speedup=3.0))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("recovery_speedup_vs_full_reaudit",
+                      result.stdout + result.stderr)
+
+    def test_recovered_equivalence_flag_flip_fails(self):
+        base = self.write_json("base.json", good_bench())
+        cur = self.write_json("cur.json", good_bench(recovered_matches=False))
         result = self.run_gate(base, cur)
         self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
 

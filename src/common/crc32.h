@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3, the zlib polynomial 0xEDB88320): the checksum behind
+// every WAL record and checkpoint manifest. Torn writes and bit flips in a
+// log tail must be *detected* — a record whose checksum does not match is
+// truncated away during recovery, never applied.
+
+#ifndef EBA_COMMON_CRC32_H_
+#define EBA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace eba {
+
+/// Reflected CRC-32 with init/final XOR 0xFFFFFFFF. Incremental use: pass
+/// the previous result as `seed` (`crc = Crc32(more, n, crc)`). Operates on
+/// bytes, so the result is byte-order independent.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace eba
+
+#endif  // EBA_COMMON_CRC32_H_

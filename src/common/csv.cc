@@ -98,4 +98,17 @@ StatusOr<std::vector<std::vector<std::string>>> CsvReadFile(
   return rows;
 }
 
+StatusOr<std::vector<std::vector<std::string>>> CsvParseString(
+    const std::string& text, char sep) {
+  std::istringstream in(text);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EBA_ASSIGN_OR_RETURN(auto fields, CsvDecodeRow(line, sep));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
 }  // namespace eba

@@ -30,6 +30,11 @@ Status CsvWriteFile(const std::string& path,
 StatusOr<std::vector<std::vector<std::string>>> CsvReadFile(
     const std::string& path, char sep = ',');
 
+/// Parses all records from in-memory CSV text (one record per line, as
+/// written by CsvWriteFile). Blank lines are skipped.
+StatusOr<std::vector<std::vector<std::string>>> CsvParseString(
+    const std::string& text, char sep = ',');
+
 }  // namespace eba
 
 #endif  // EBA_COMMON_CSV_H_

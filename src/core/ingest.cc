@@ -1,13 +1,28 @@
 #include "core/ingest.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "log/access_log.h"
 
 namespace eba {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 StreamingAuditor::StreamingAuditor(Database* db, ExplanationEngine engine)
     : db_(db),
@@ -45,6 +60,26 @@ Status AppendToTable(Table* table, const std::vector<Row>& rows) {
 
 }  // namespace
 
+Status StreamingAuditor::AppendTableLocked(const std::string& table_name,
+                                           Table* table,
+                                           const std::vector<Row>& rows) {
+  if (durable_ == nullptr) return AppendToTable(table, rows);
+  // Durable appends are batch-atomic: validate everything up front so the
+  // WAL never commits a row the apply step could reject, then write-ahead,
+  // then apply (which cannot fail post-validation).
+  for (const Row& row : rows) {
+    EBA_RETURN_IF_ERROR(table->ValidateRow(row));
+  }
+  EBA_RETURN_IF_ERROR(durable_->wal->AppendRecord(
+      kWalAppendBatch, EncodeAppendPayload(table_name, rows)));
+  EBA_RETURN_IF_ERROR(durable_->wal->Commit());
+  table->Reserve(table->num_rows() + rows.size());
+  for (const Row& row : rows) {
+    table->AppendValidatedRow(row);  // pre-validated above
+  }
+  return Status::OK();
+}
+
 Status StreamingAuditor::AppendAccessBatch(const std::vector<Row>& rows) {
   MutexLock lock(*mu_);
   return AppendAccessBatchLocked(rows);
@@ -52,7 +87,7 @@ Status StreamingAuditor::AppendAccessBatch(const std::vector<Row>& rows) {
 
 Status StreamingAuditor::AppendAccessBatchLocked(const std::vector<Row>& rows) {
   EBA_ASSIGN_OR_RETURN(Table* table, db_->GetTable(engine_.log_table()));
-  EBA_RETURN_IF_ERROR(AppendToTable(table, rows));
+  EBA_RETURN_IF_ERROR(AppendTableLocked(engine_.log_table(), table, rows));
   rows_appended_.Add(rows.size());
   batches_appended_.Increment();
   return Status::OK();
@@ -63,7 +98,7 @@ Status StreamingAuditor::AppendRows(const std::string& table_name,
   MutexLock lock(*mu_);
   if (table_name == engine_.log_table()) return AppendAccessBatchLocked(rows);
   EBA_ASSIGN_OR_RETURN(Table* table, db_->GetTable(table_name));
-  EBA_RETURN_IF_ERROR(AppendToTable(table, rows));
+  EBA_RETURN_IF_ERROR(AppendTableLocked(table_name, table, rows));
   foreign_rows_appended_.Add(rows.size());
   return Status::OK();
 }
@@ -76,6 +111,196 @@ void StreamingAuditor::ResetAudit() {
 void StreamingAuditor::ResetAuditLocked() {
   explained_.clear();
   audited_rows_ = 0;
+}
+
+Status StreamingAuditor::EnableDurability(const DurabilityOptions& options) {
+  MutexLock lock(*mu_);
+  if (durable_ != nullptr) {
+    return Status::FailedPrecondition("durability already enabled");
+  }
+  auto d = std::make_unique<DurableState>();
+  d->options = options;
+  d->env = options.env != nullptr ? options.env : RealEnv();
+  d->store = std::make_unique<CheckpointStore>(d->env, options.dir);
+  EBA_RETURN_IF_ERROR(d->store->Init());
+  durable_ = std::move(d);
+  // Seed the store with a full image of the current database + audit state;
+  // this also opens the first WAL.
+  Status s = CheckpointLocked(/*full=*/true);
+  if (!s.ok()) durable_.reset();  // don't leave a half-enabled layer behind
+  return s;
+}
+
+Status StreamingAuditor::Checkpoint(bool full) {
+  MutexLock lock(*mu_);
+  return CheckpointLocked(full);
+}
+
+Status StreamingAuditor::CheckpointLocked(bool full) {
+  if (durable_ == nullptr) {
+    return Status::FailedPrecondition("durability not enabled");
+  }
+  DurableState& d = *durable_;
+  if (!full) {
+    const uint32_t interval = d.options.full_checkpoint_interval;
+    if (interval > 0 && d.checkpoints_since_full + 1 >= interval) full = true;
+    // Structural/catalog drift invalidates the base image's rows-only
+    // delta; segments would silently resurrect overwritten cells.
+    if (d.wal != nullptr &&
+        db_->DriftSince(d.last_ckpt_snapshot).RequiresRebuild()) {
+      full = true;
+    }
+  }
+
+  AuditState audit;
+  audit.audited_rows = audited_rows_;
+  audit.explained_lids.assign(explained_.begin(), explained_.end());
+  std::sort(audit.explained_lids.begin(), audit.explained_lids.end());
+  // Watermarks as of the last completed audit (snapshot_), NOT current row
+  // counts: rows appended since the last audit must re-surface as drift
+  // after recovery or the delta pass would silently skip them.
+  for (const auto& [name, state] : snapshot_.tables) {
+    audit.audit_watermarks[name] = state.watermark;
+  }
+
+  EBA_ASSIGN_OR_RETURN(const uint64_t seq, d.store->Prepare(*db_, audit, full));
+  // The paired WAL must exist before the checkpoint becomes CURRENT:
+  // recovery replays wal-<seq> and may legitimately find it empty, but not
+  // missing work that only lived in the previous WAL after GC.
+  EBA_ASSIGN_OR_RETURN(
+      std::unique_ptr<WalWriter> wal,
+      WalWriter::Open(d.env, d.store->WalPath(seq), d.options.sync));
+  EBA_RETURN_IF_ERROR(d.store->Publish(seq));
+  if (d.wal != nullptr) EBA_RETURN_IF_ERROR(d.wal->Close());
+  d.wal = std::move(wal);
+  d.wal_seq = seq;
+  d.checkpoints_since_full = full ? 0 : d.checkpoints_since_full + 1;
+  d.last_ckpt_snapshot = db_->Snapshot();
+  return Status::OK();
+}
+
+Status StreamingAuditor::AdoptRecoveredState(const CheckpointContents& ckpt,
+                                             Env* env,
+                                             const DurabilityOptions& options,
+                                             uint64_t new_wal_seq) {
+  MutexLock lock(*mu_);
+  explained_.reserve(ckpt.audit.explained_lids.size());
+  explained_.insert(ckpt.audit.explained_lids.begin(),
+                    ckpt.audit.explained_lids.end());
+  audited_rows_ = static_cast<size_t>(ckpt.audit.audited_rows);
+  // Current generation/epochs (the recovered tables are this auditor's
+  // reality now) but the *checkpointed* audit watermarks, so appends that
+  // happened after the last audit — checkpointed rows and replayed WAL rows
+  // alike — classify as drift for the converging ExplainNew.
+  CatalogSnapshot snap = db_->Snapshot();
+  for (auto& [name, state] : snap.tables) {
+    const auto it = ckpt.audit.audit_watermarks.find(name);
+    state.watermark = it != ckpt.audit.audit_watermarks.end() ? it->second : 0;
+  }
+  snapshot_ = std::move(snap);
+
+  auto d = std::make_unique<DurableState>();
+  d->options = options;
+  d->env = env;
+  d->store = std::make_unique<CheckpointStore>(env, options.dir);
+  EBA_ASSIGN_OR_RETURN(
+      d->wal, WalWriter::Open(env, d->store->WalPath(new_wal_seq),
+                              options.sync));
+  d->wal_seq = new_wal_seq;
+  // chain_length counts the full root plus each incremental link.
+  d->checkpoints_since_full =
+      static_cast<uint32_t>(ckpt.chain_length > 0 ? ckpt.chain_length - 1 : 0);
+  d->last_ckpt_snapshot = db_->Snapshot();
+  durable_ = std::move(d);
+  return Status::OK();
+}
+
+StatusOr<StreamingAuditor> StreamingAuditor::RecoverFrom(
+    Database* db, const std::string& log_table,
+    const DurabilityOptions& options, RecoveryStats* stats) {
+  RecoveryStats local_stats;
+  RecoveryStats& out = stats != nullptr ? *stats : local_stats;
+  out = RecoveryStats{};
+  Env* env = options.env != nullptr ? options.env : RealEnv();
+
+  CheckpointStore store(env, options.dir);
+  {
+    StatusOr<uint64_t> current = store.CurrentSeq();
+    if (!current.ok()) {
+      if (!current.status().IsNotFound()) return current.status();
+      // Nothing durable yet: a fresh start over the caller's database.
+      EBA_ASSIGN_OR_RETURN(StreamingAuditor auditor, Create(db, log_table));
+      EBA_RETURN_IF_ERROR(auditor.EnableDurability(options));
+      return auditor;
+    }
+  }
+
+  const auto ckpt_start = std::chrono::steady_clock::now();
+  EBA_ASSIGN_OR_RETURN(CheckpointContents ckpt, store.LoadNewest());
+  out.recovered = true;
+  out.checkpoint_seq = ckpt.seq;
+  out.checkpoint_load_seconds = SecondsSince(ckpt_start);
+  out.db_load_seconds = ckpt.db_load_seconds;
+  *db = std::move(ckpt.db);
+
+  // Replay the WAL suffix (every log with seq >= the checkpoint's WALSEQ,
+  // in sequence order). A torn/corrupt tail is legal only in the final log
+  // — it is truncated away, never applied; damage mid-chain means a record
+  // that was once durably committed is gone, which recovery must not paper
+  // over.
+  const auto replay_start = std::chrono::steady_clock::now();
+  EBA_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                       env->ListDir(options.dir));
+  std::vector<std::pair<uint64_t, std::string>> wals;
+  for (const std::string& name : names) {
+    if (!StartsWith(name, "wal-") || !EndsWith(name, ".log")) continue;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long seq =
+        std::strtoull(name.c_str() + 4, &end, 10);
+    if (end == name.c_str() + 4 || std::string(end) != ".log" ||
+        errno == ERANGE) {
+      continue;
+    }
+    if (seq >= ckpt.wal_seq) wals.emplace_back(seq, name);
+  }
+  std::sort(wals.begin(), wals.end());
+
+  uint64_t max_wal_seq = ckpt.seq;
+  for (size_t i = 0; i < wals.size(); ++i) {
+    max_wal_seq = std::max(max_wal_seq, wals[i].first);
+    const std::string path = options.dir + "/" + wals[i].second;
+    EBA_ASSIGN_OR_RETURN(WalReadResult wal, ReadWalFile(env, path));
+    if (wal.dropped_bytes > 0) {
+      if (i + 1 < wals.size()) {
+        return Status::Internal("corrupt WAL record mid-chain in " + path);
+      }
+      EBA_RETURN_IF_ERROR(env->TruncateFile(path, wal.valid_bytes));
+      out.wal_bytes_truncated += wal.dropped_bytes;
+    }
+    ++out.wal_files_replayed;
+    for (const WalRecord& record : wal.records) {
+      if (record.type != kWalAppendBatch) {
+        return Status::Internal("unknown WAL record type " +
+                                std::to_string(record.type) + " in " + path);
+      }
+      EBA_ASSIGN_OR_RETURN(WalAppendBatch batch,
+                           DecodeAppendPayload(record.payload));
+      EBA_ASSIGN_OR_RETURN(Table * table, db->GetTable(batch.table_name));
+      table->Reserve(table->num_rows() + batch.rows.size());
+      for (const Row& row : batch.rows) {
+        EBA_RETURN_IF_ERROR(table->AppendRow(row));
+      }
+      ++out.wal_records_replayed;
+      out.wal_rows_replayed += batch.rows.size();
+    }
+  }
+  out.wal_replay_seconds = SecondsSince(replay_start);
+
+  EBA_ASSIGN_OR_RETURN(StreamingAuditor auditor, Create(db, log_table));
+  EBA_RETURN_IF_ERROR(
+      auditor.AdoptRecoveredState(ckpt, env, options, max_wal_seq + 1));
+  return auditor;
 }
 
 StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
@@ -260,6 +485,15 @@ StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
                     report.delta_explained_lids.end());
   audited_rows_ = to;
   snapshot_ = db_->Snapshot();
+  // Auto-checkpoint once enough WAL has accumulated: audit end is the
+  // cheapest moment (the audit state is freshly consistent, and recovery
+  // from here needs no converging re-audit of these rows).
+  if (durable_ != nullptr && durable_->wal != nullptr &&
+      durable_->options.checkpoint_after_wal_bytes > 0 &&
+      durable_->wal->bytes_logged() >=
+          durable_->options.checkpoint_after_wal_bytes) {
+    EBA_RETURN_IF_ERROR(CheckpointLocked(/*full=*/false));
+  }
   if (exec.plan_cache != nullptr) {
     const PlanCache::Stats cache_stats = exec.plan_cache->stats();
     report.plan_cache_hits = cache_stats.hits;

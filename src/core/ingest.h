@@ -40,7 +40,10 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
+#include "storage/checkpoint.h"
 #include "storage/database.h"
+#include "storage/io.h"
+#include "storage/wal.h"
 
 namespace eba {
 
@@ -61,6 +64,43 @@ struct StreamingOptions {
   /// append workload every ExplainNew after the first replays re-bound
   /// plans (hit + rebind), which is what keeps the serving loop cheap.
   bool use_engine_plan_cache = true;
+};
+
+/// Configuration of the durable-state layer (EnableDurability/RecoverFrom).
+struct DurabilityOptions {
+  /// Store directory: CURRENT, ckpt-<seq>/ checkpoints, wal-<seq>.log logs.
+  std::string dir;
+  /// fsync policy for WAL commits. kNone survives process kill (the fault
+  /// model the tests exercise), kBatch/kAlways additionally survive power
+  /// loss at increasing cost.
+  WalSync sync = WalSync::kBatch;
+  /// ExplainNew checkpoints automatically once the live WAL exceeds this
+  /// many bytes; 0 = checkpoint only on explicit Checkpoint() calls.
+  uint64_t checkpoint_after_wal_bytes = uint64_t{1} << 20;
+  /// Every Nth checkpoint is a full database image; the ones between are
+  /// incremental (appended-row segments chained to the last full image).
+  /// 1 makes every checkpoint full; 0 disables forced fulls.
+  uint32_t full_checkpoint_interval = 4;
+  /// I/O seam; nullptr = the real filesystem. Tests inject
+  /// FaultInjectingEnv here.
+  Env* env = nullptr;
+};
+
+/// What RecoverFrom did, for observability and the recovery benchmarks.
+struct RecoveryStats {
+  /// False when no checkpoint existed (fresh start, nothing to recover).
+  bool recovered = false;
+  uint64_t checkpoint_seq = 0;
+  size_t wal_files_replayed = 0;
+  size_t wal_records_replayed = 0;
+  size_t wal_rows_replayed = 0;
+  /// Torn/corrupt tail bytes truncated from the final WAL file.
+  uint64_t wal_bytes_truncated = 0;
+  /// Total checkpoint load time, and the portion spent loading column data
+  /// (paid by any restart regardless of audit durability).
+  double checkpoint_load_seconds = 0.0;
+  double db_load_seconds = 0.0;
+  double wal_replay_seconds = 0.0;
 };
 
 /// Result of one ExplainNew call, covering the accesses in rows
@@ -139,6 +179,22 @@ class StreamingAuditor {
   static StatusOr<StreamingAuditor> Create(Database* db,
                                            const std::string& log_table);
 
+  /// Restores a crashed auditor from its durability directory: loads the
+  /// newest published checkpoint into `*db` (replacing its contents),
+  /// replays the WAL suffix (truncating a torn/corrupt tail of the final
+  /// log file — mid-chain corruption is an error), and returns an auditor
+  /// with the checkpointed explained-lid set, audited watermark, and audit
+  /// snapshot, durability already enabled on a fresh WAL. When the
+  /// directory holds no checkpoint this is a fresh start: `*db` is left
+  /// as-is and EnableDurability runs on it. Callers re-register their
+  /// templates and run one ExplainNew to converge (it re-audits everything
+  /// past the last checkpointed audit; monotonicity makes the result
+  /// identical to an uninterrupted run).
+  static StatusOr<StreamingAuditor> RecoverFrom(Database* db,
+                                                const std::string& log_table,
+                                                const DurabilityOptions& options,
+                                                RecoveryStats* stats = nullptr);
+
   /// Registers a template with the underlying engine (variable 0 is rebound
   /// to this auditor's log table automatically).
   Status AddTemplate(const ExplanationTemplate& tmpl);
@@ -148,10 +204,31 @@ class StreamingAuditor {
   ExplanationEngine& engine() { return engine_; }
   const ExplanationEngine& engine() const { return engine_; }
 
-  /// Appends access rows to the log table. Row-atomic, not batch-atomic: on
-  /// a validation error, rows before the offender are already appended.
-  /// Appends advance the table's watermark only, so cached plans re-bind on
-  /// the next audit instead of re-planning.
+  /// Enables write-ahead logging + checkpointing: writes an initial full
+  /// checkpoint of the database and audit state into `options.dir`, then
+  /// opens a WAL that every subsequent append commits to *before* applying.
+  /// Fails if durability is already enabled.
+  Status EnableDurability(const DurabilityOptions& options) EBA_EXCLUDES(*mu_);
+
+  /// True once EnableDurability/RecoverFrom succeeded.
+  bool durable() const EBA_EXCLUDES(*mu_) {
+    MutexLock lock(*mu_);
+    return durable_ != nullptr;
+  }
+
+  /// Writes and publishes a checkpoint now (requires durability). `full`
+  /// forces a complete database image; otherwise the store may write an
+  /// incremental segment checkpoint per DurabilityOptions. On success the
+  /// WAL is rotated: recovery needs only the new checkpoint + new WAL.
+  Status Checkpoint(bool full = false) EBA_EXCLUDES(*mu_);
+
+  /// Appends access rows to the log table. Without durability: row-atomic,
+  /// not batch-atomic — on a validation error, rows before the offender are
+  /// already appended. With durability: batch-atomic — the whole batch is
+  /// validated, then committed to the WAL, then applied, so the log on disk
+  /// never contains a row the database rejected. Appends advance the
+  /// table's watermark only, so cached plans re-bind on the next audit
+  /// instead of re-planning.
   Status AppendAccessBatch(const std::vector<Row>& rows) EBA_EXCLUDES(*mu_);
 
   /// Appends rows to any table of the database. The log table delegates to
@@ -204,11 +281,35 @@ class StreamingAuditor {
   void ResetAudit() EBA_EXCLUDES(*mu_);
 
  private:
+  /// Durable-state bundle, present only after EnableDurability/RecoverFrom.
+  struct DurableState {
+    DurabilityOptions options;
+    Env* env = nullptr;
+    std::unique_ptr<CheckpointStore> store;
+    std::unique_ptr<WalWriter> wal;
+    uint64_t wal_seq = 0;
+    /// Incremental checkpoints published since the last full one.
+    uint32_t checkpoints_since_full = 0;
+    /// Snapshot at the last checkpoint: structural/catalog drift since then
+    /// demotes the next incremental checkpoint to a full image.
+    CatalogSnapshot last_ckpt_snapshot;
+  };
+
   StreamingAuditor(Database* db, ExplanationEngine engine);
 
   Status AppendAccessBatchLocked(const std::vector<Row>& rows)
       EBA_REQUIRES(*mu_);
   void ResetAuditLocked() EBA_REQUIRES(*mu_);
+
+  /// Shared append path: WAL-first when durable, plain otherwise.
+  Status AppendTableLocked(const std::string& table_name, Table* table,
+                           const std::vector<Row>& rows) EBA_REQUIRES(*mu_);
+  Status CheckpointLocked(bool full) EBA_REQUIRES(*mu_);
+  /// Installs checkpointed audit state + a fresh WAL on a just-created
+  /// auditor (the recovery tail of RecoverFrom).
+  Status AdoptRecoveredState(const CheckpointContents& ckpt, Env* env,
+                             const DurabilityOptions& options,
+                             uint64_t new_wal_seq) EBA_EXCLUDES(*mu_);
 
   Database* db_;
   ExplanationEngine engine_;
@@ -231,6 +332,9 @@ class StreamingAuditor {
   // Per-table drift snapshot taken at the end of every audit; the next
   // ExplainNew classifies what changed against it (Database::DriftSince).
   CatalogSnapshot snapshot_ EBA_GUARDED_BY(*mu_);
+
+  // Durability layer (WAL + checkpoints); null until EnableDurability.
+  std::unique_ptr<DurableState> durable_ EBA_GUARDED_BY(*mu_);
 };
 
 }  // namespace eba

@@ -1,0 +1,132 @@
+// Checkpoints of streaming-audit state: the database contents plus the
+// auditor's explained-lid set and audit watermarks, published atomically so
+// recovery always sees either the previous checkpoint or the complete new
+// one.
+//
+// Store directory layout:
+//
+//   <dir>/CURRENT          "ckpt-<seq>\n" — atomically renamed into place;
+//                          the single commit point of a checkpoint.
+//   <dir>/ckpt-<seq>/      one checkpoint:
+//       ckpt.txt           manifest (SEQ/BASE/WALSEQ/TABLE/SEGMENT/
+//                          WATERMARK/AUDITED/EXPLAINED lines) with a
+//                          trailing CRC line over the body.
+//       db/                full checkpoints: a complete SaveDatabase image.
+//       seg-<table>.csv    incremental checkpoints: rows appended to
+//                          <table> since the BASE checkpoint.
+//   <dir>/wal-<seq>.log    the WAL opened when ckpt-<seq> was published;
+//                          recovery replays every wal-N.log with N >= the
+//                          newest checkpoint's WALSEQ, in order.
+//
+// Incremental checkpoints chain through BASE pointers back to a full
+// checkpoint. Publish garbage-collects checkpoints outside the new chain
+// and WAL files older than the new WALSEQ.
+
+#ifndef EBA_STORAGE_CHECKPOINT_H_
+#define EBA_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/io.h"
+
+namespace eba {
+
+/// The auditor-side state a checkpoint persists alongside the database.
+struct AuditState {
+  /// Log rows covered by the last completed audit pass.
+  uint64_t audited_rows = 0;
+  /// Explained log row ids, sorted ascending.
+  std::vector<int64_t> explained_lids;
+  /// Per-table append watermarks as of the last completed audit pass (NOT
+  /// current row counts: tables may have grown since the last audit, and
+  /// recovery must re-observe that drift or the delta pass silently skips
+  /// it).
+  std::map<std::string, uint64_t> audit_watermarks;
+};
+
+/// A fully reconstructed checkpoint: the database at checkpoint time plus
+/// the audit state and the WAL sequence to resume replay from.
+struct CheckpointContents {
+  Database db;
+  AuditState audit;
+  uint64_t seq = 0;
+  uint64_t wal_seq = 0;
+  /// Chain length (1 = full checkpoint only) and pure data-load time,
+  /// reported so benchmarks can separate "reload the tables" (paid by any
+  /// restart) from "recover the audit state".
+  size_t chain_length = 0;
+  double db_load_seconds = 0.0;
+};
+
+class CheckpointStore {
+ public:
+  /// `env` == nullptr means the real filesystem.
+  CheckpointStore(Env* env, std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Creates the store directory if missing.
+  Status Init();
+
+  /// Sequence number named by CURRENT; NotFound when no checkpoint has ever
+  /// been published.
+  StatusOr<uint64_t> CurrentSeq() const;
+
+  /// Path of the WAL file paired with checkpoint `seq`.
+  std::string WalPath(uint64_t seq) const;
+
+  /// Writes checkpoint `CurrentSeq()+1` (1 if none) without publishing it:
+  /// a crash before Publish leaves CURRENT pointing at the old checkpoint.
+  /// `full` forces a complete database image; otherwise rows past the
+  /// current checkpoint's per-table counts are saved as segments (promoted
+  /// to full when there is no usable base, e.g. tables were added/dropped
+  /// or rewritten). Returns the new sequence number.
+  StatusOr<uint64_t> Prepare(const Database& db, const AuditState& audit,
+                             bool full);
+
+  /// Atomically flips CURRENT to `seq`, then garbage-collects checkpoints
+  /// outside the new BASE chain and WAL files older than the new WALSEQ.
+  Status Publish(uint64_t seq);
+
+  /// Loads the checkpoint named by CURRENT: walks the BASE chain to its
+  /// full root, loads that database image, and applies each chain link's
+  /// segments in order. Manifests failing their CRC are an error — CURRENT
+  /// only ever names fully synced checkpoints, so corruption here is real
+  /// damage, not a crash artifact. NotFound when no checkpoint exists.
+  StatusOr<CheckpointContents> LoadNewest() const;
+
+ private:
+  /// Parsed ckpt.txt.
+  struct Manifest {
+    uint64_t seq = 0;
+    bool has_base = false;
+    uint64_t base = 0;
+    uint64_t wal_seq = 0;
+    AuditState audit;
+    /// Per-table cumulative row counts at this checkpoint, by name.
+    std::map<std::string, uint64_t> table_rows;
+    /// Incremental links: table -> (from_row, to_row, file name).
+    struct Segment {
+      uint64_t from_row = 0;
+      uint64_t to_row = 0;
+      std::string file;
+    };
+    std::map<std::string, Segment> segments;
+  };
+
+  std::string CkptDir(uint64_t seq) const;
+  StatusOr<Manifest> ReadManifest(uint64_t seq) const;
+  Status WriteManifest(uint64_t seq, const Manifest& m) const;
+
+  Env* env_;
+  std::string dir_;
+};
+
+}  // namespace eba
+
+#endif  // EBA_STORAGE_CHECKPOINT_H_

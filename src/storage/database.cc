@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace eba {
 
 Status Database::CreateTable(TableSchema schema) {
@@ -13,6 +15,26 @@ Status Database::CreateTable(TableSchema schema) {
   tables_.emplace(name, Table(std::move(schema)));
   ++catalog_generation_;
   return Status::OK();
+}
+
+Database Database::Clone() const {
+  Database clone;
+  for (const auto& [name, table] : tables_) {
+    const Status created = clone.CreateTable(table.schema());
+    EBA_CHECK_MSG(created.ok(), created.ToString());
+    Table& copy = clone.tables_.at(name);
+    copy.Reserve(table.num_rows());
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      const Status appended = copy.AppendRow(table.GetRow(r));
+      EBA_CHECK_MSG(appended.ok(), appended.ToString());
+    }
+  }
+  // Metadata was validated against the same schemas when first declared.
+  clone.fks_ = fks_;
+  clone.admin_rels_ = admin_rels_;
+  clone.self_join_attrs_ = self_join_attrs_;
+  clone.mapping_tables_ = mapping_tables_;
+  return clone;
 }
 
 Status Database::AddTable(Table table) {

@@ -88,6 +88,11 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  /// Explicit deep copy: schemas, rows, and join metadata. Mutation
+  /// counters restart from zero — a clone is a fresh catalog, not a shared
+  /// history, so snapshots taken on the original do not apply to it.
+  Database Clone() const;
+
   /// Creates an empty table with the given schema.
   Status CreateTable(TableSchema schema);
 

@@ -1,0 +1,138 @@
+// The storage I/O seam: every durable write in the WAL/checkpoint/persist
+// layer goes through an Env so that crash behavior is testable. RealEnv
+// talks to the filesystem; FaultInjectingEnv wraps any Env and
+// deterministically "kills the process" at the k-th write-class operation —
+// the failing Append lands only a prefix on disk (a torn write), and every
+// subsequent operation fails, exactly like a process that died mid-syscall.
+// Recovery code then reads what actually reached the base Env.
+//
+// Write-class operations (the kill boundaries) are: WritableFile::Append/
+// Sync/Close, NewWritableFile, CreateDirs, RenameFile, RemoveFile,
+// RemoveAll, TruncateFile, SyncDir. Reads are not kill boundaries, but they
+// too fail once the injected process is dead (catching accidental reuse of
+// a dead handle).
+
+#ifndef EBA_STORAGE_IO_H_
+#define EBA_STORAGE_IO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eba {
+
+/// An append-only file handle. Append buffers in the OS (no durability
+/// guarantee until Sync); Close flushes but does not sync.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  /// Flushes to the OS and forces the data to stable storage (fsync).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // --- reads ---
+  virtual StatusOr<std::string> ReadFileToString(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// Entry names (not paths) in `path`, sorted; NotFound if absent.
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  // --- writes (kill boundaries under FaultInjectingEnv) ---
+  /// Opens `path` for appending; truncate=true starts the file empty.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+  virtual Status CreateDirs(const std::string& path) = 0;
+  /// Renames a file or directory (the atomic-publish primitive).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status RemoveAll(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  /// fsyncs the directory itself so a completed rename survives a crash.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  // --- convenience, built on the virtuals above ---
+  /// Creates/overwrites `path` with `data`, synced.
+  Status WriteFile(const std::string& path, std::string_view data);
+  /// Write-temp + fsync + rename + dir-fsync: `path` either keeps its old
+  /// contents or holds all of `data`, never a torn mix.
+  Status WriteFileAtomic(const std::string& path, std::string_view data);
+};
+
+/// The process-wide filesystem Env.
+Env* RealEnv();
+
+/// Deterministic crash injection: the `kill_at`-th write-class operation
+/// (0-based, counted across the env and every file it opened) fails — an
+/// Append lands only the first half of its data first (torn write) — and
+/// every operation after it fails too. Thread-safe counters; intended use
+/// is single-threaded schedules (dry-run to count ops, then one run per
+/// kill point).
+class FaultInjectingEnv : public Env {
+ public:
+  explicit FaultInjectingEnv(Env* base = nullptr)
+      : base_(base != nullptr ? base : RealEnv()) {}
+
+  /// Schedules the kill. Counting restarts from zero.
+  void ScheduleKill(uint64_t kill_at) {
+    ops_.store(0, std::memory_order_relaxed);
+    kill_at_.store(kill_at, std::memory_order_relaxed);
+    dead_.store(false, std::memory_order_relaxed);
+  }
+  /// No kill: count operations only (the dry-run mode).
+  void DisarmKill() {
+    ops_.store(0, std::memory_order_relaxed);
+    kill_at_.store(kNever, std::memory_order_relaxed);
+    dead_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Write-class operations attempted so far.
+  uint64_t write_ops() const { return ops_.load(std::memory_order_relaxed); }
+  /// True once the scheduled kill has fired.
+  bool dead() const { return dead_.load(std::memory_order_relaxed); }
+
+  StatusOr<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& path) override;
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Status CreateDirs(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RemoveAll(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectingFile;
+  static constexpr uint64_t kNever = ~uint64_t{0};
+
+  enum class OpFate {
+    kAlive,        // op proceeds normally
+    kKilledNow,    // this op IS the kill: may land a torn prefix
+    kAlreadyDead,  // a previous op killed the process: nothing lands
+  };
+
+  /// Advances the op counter and classifies this op against the schedule.
+  OpFate BeginWriteOp();
+
+  Env* base_;
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> kill_at_{kNever};
+  std::atomic<bool> dead_{false};
+};
+
+}  // namespace eba
+
+#endif  // EBA_STORAGE_IO_H_

@@ -1,7 +1,7 @@
 #include "storage/persist.h"
 
 #include <filesystem>
-#include <fstream>
+#include <set>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -32,13 +32,17 @@ StatusOr<AttrId> ParseAttr(const std::string& text) {
 
 }  // namespace
 
-Status SaveDatabase(const Database& db, const std::string& directory) {
-  std::error_code ec;
-  std::filesystem::create_directories(directory, ec);
-  if (ec) {
-    return Status::Internal("cannot create directory '" + directory +
-                            "': " + ec.message());
-  }
+Status SaveDatabase(const Database& db, const std::string& directory,
+                    Env* env) {
+  if (env == nullptr) env = RealEnv();
+
+  // Stage the complete save in a sibling temp directory, then swap it into
+  // place with renames: `directory` is never observable half-written.
+  const std::string tmp_dir = directory + ".tmp-save";
+  const std::string old_dir = directory + ".old";
+  if (env->FileExists(tmp_dir)) EBA_RETURN_IF_ERROR(env->RemoveAll(tmp_dir));
+  if (env->FileExists(old_dir)) EBA_RETURN_IF_ERROR(env->RemoveAll(old_dir));
+  EBA_RETURN_IF_ERROR(env->CreateDirs(tmp_dir));
 
   std::ostringstream manifest;
   manifest << kHeader << "\n";
@@ -53,7 +57,8 @@ Status SaveDatabase(const Database& db, const std::string& directory) {
     }
     manifest << "END\n";
     EBA_RETURN_IF_ERROR(
-        table->WriteCsv(directory + "/" + name + ".csv"));
+        env->WriteFile(tmp_dir + "/" + name + ".csv",
+                       table->ToCsvString(0, table->num_rows())));
   }
   manifest << "\n";
   for (const std::string& name : db.mapping_tables()) {
@@ -70,24 +75,31 @@ Status SaveDatabase(const Database& db, const std::string& directory) {
     manifest << "FK " << fk.from.ToString() << " -> " << fk.to.ToString()
              << "\n";
   }
+  EBA_RETURN_IF_ERROR(
+      env->WriteFile(tmp_dir + "/manifest.txt", manifest.str()));
+  EBA_RETURN_IF_ERROR(env->SyncDir(tmp_dir));
 
-  std::ofstream out(directory + "/manifest.txt");
-  if (!out) {
-    return Status::Internal("cannot write manifest in '" + directory + "'");
+  // Swap: existing dir (if any) steps aside, temp takes its place. A crash
+  // between the renames leaves either the old save under `.old` plus the
+  // complete new save under `directory`, or the complete new save still
+  // under `.tmp-save` — never a torn `directory`.
+  if (env->FileExists(directory)) {
+    EBA_RETURN_IF_ERROR(env->RenameFile(directory, old_dir));
   }
-  out << manifest.str();
-  if (!out) return Status::Internal("manifest write failed");
-  return Status::OK();
+  EBA_RETURN_IF_ERROR(env->RenameFile(tmp_dir, directory));
+  if (env->FileExists(old_dir)) EBA_RETURN_IF_ERROR(env->RemoveAll(old_dir));
+  const std::string parent =
+      std::filesystem::path(directory).parent_path().string();
+  return env->SyncDir(parent.empty() ? "." : parent);
 }
 
 StatusOr<Database> LoadDatabase(const std::string& directory) {
-  std::ifstream in(directory + "/manifest.txt");
-  if (!in) {
+  StatusOr<std::string> manifest_text =
+      RealEnv()->ReadFileToString(directory + "/manifest.txt");
+  if (!manifest_text.ok()) {
     return Status::NotFound("no manifest.txt in '" + directory + "'");
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  std::istringstream manifest(buffer.str());
+  std::istringstream manifest(*std::move(manifest_text));
 
   Database db;
   std::string line;
@@ -110,6 +122,13 @@ StatusOr<Database> LoadDatabase(const std::string& directory) {
   auto finish_table = [&]() -> Status {
     if (current_table.empty()) return Status::OK();
     TableSchema schema(current_table, current_columns);
+    // Validate before constructing a Table: Table's constructor CHECK-fails
+    // on a bad schema, but a corrupt manifest (e.g. duplicate COLUMN names)
+    // must surface as a load error naming the table, not a crash.
+    if (Status s = schema.Validate(); !s.ok()) {
+      return Status::InvalidArgument("table '" + current_table +
+                                     "': " + s.message());
+    }
     EBA_ASSIGN_OR_RETURN(
         Table table,
         Table::ReadCsv(directory + "/" + current_table + ".csv",
@@ -119,6 +138,8 @@ StatusOr<Database> LoadDatabase(const std::string& directory) {
     current_columns.clear();
     return Status::OK();
   };
+
+  std::set<std::string> declared_tables;
 
   while (std::getline(manifest, line)) {
     ++line_number;
@@ -131,6 +152,9 @@ StatusOr<Database> LoadDatabase(const std::string& directory) {
     if (StartsWith(trimmed, "TABLE ")) {
       if (!current_table.empty()) return parse_error("TABLE inside TABLE");
       current_table = Trim(trimmed.substr(6));
+      if (!declared_tables.insert(current_table).second) {
+        return parse_error("duplicate TABLE '" + current_table + "'");
+      }
     } else if (StartsWith(trimmed, "COLUMN ")) {
       if (current_table.empty()) return parse_error("COLUMN outside TABLE");
       std::vector<std::string> parts;

@@ -24,15 +24,23 @@
 
 #include "common/status.h"
 #include "storage/database.h"
+#include "storage/io.h"
 
 namespace eba {
 
-/// Writes `db` into `directory` (created if missing): manifest.txt plus
-/// one <table>.csv per table. Fails if an existing manifest in the
-/// directory cannot be overwritten.
-Status SaveDatabase(const Database& db, const std::string& directory);
+/// Writes `db` into `directory`: manifest.txt plus one <table>.csv per
+/// table. Crash-safe: everything is staged in a sibling temp directory,
+/// synced, and renamed into place, so `directory` either keeps its previous
+/// contents or holds the complete new save — a crash mid-save can never
+/// leave a half-written database that LoadDatabase accepts. All writes go
+/// through `env` (nullptr = the real filesystem).
+Status SaveDatabase(const Database& db, const std::string& directory,
+                    Env* env = nullptr);
 
-/// Loads a database previously written by SaveDatabase.
+/// Loads a database previously written by SaveDatabase. Rejects malformed
+/// input with a Status naming the offender: duplicate TABLE directives,
+/// duplicate COLUMN names within a table, truncated or non-numeric CSV
+/// fields.
 StatusOr<Database> LoadDatabase(const std::string& directory);
 
 }  // namespace eba

@@ -1,5 +1,8 @@
 #include "storage/table.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 #include "common/csv.h"
 #include "common/date.h"
 #include "common/logging.h"
@@ -22,7 +25,7 @@ void Table::Reserve(size_t rows) {
   for (auto& col : columns_) col.Reserve(rows);
 }
 
-Status Table::AppendRow(const Row& row) {
+Status Table::ValidateRow(const Row& row) const {
   if (row.size() != columns_.size()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != schema arity " +
@@ -36,6 +39,16 @@ Status Table::AppendRow(const Row& row) {
           DataTypeToString(schema_.column(i).type));
     }
   }
+  return Status::OK();
+}
+
+Status Table::AppendRow(const Row& row) {
+  EBA_RETURN_IF_ERROR(ValidateRow(row));
+  AppendValidatedRow(row);
+  return Status::OK();
+}
+
+void Table::AppendValidatedRow(const Row& row) {
   for (size_t i = 0; i < row.size(); ++i) {
     Status s = columns_[i].Append(row[i]);
     EBA_CHECK_MSG(s.ok(), s.ToString());  // types were pre-validated
@@ -43,7 +56,6 @@ Status Table::AppendRow(const Row& row) {
   // Appends advance the watermark only (num_rows_ doubles as the
   // watermark); cached indexes/stats stay live and extend on next access.
   ++num_rows_;
-  return Status::OK();
 }
 
 Row Table::GetRow(size_t row) const {
@@ -117,61 +129,129 @@ Status Table::WriteCsv(const std::string& path) const {
   return CsvWriteFile(path, rows);
 }
 
-StatusOr<Table> Table::ReadCsv(const std::string& path, TableSchema schema) {
-  EBA_ASSIGN_OR_RETURN(auto rows, CsvReadFile(path));
-  if (rows.empty()) return Status::InvalidArgument("empty csv: " + path);
+std::string Table::ToCsvString(size_t from_row, size_t to_row) const {
+  std::string out;
+  std::vector<std::string> fields;
+  for (const auto& def : schema_.columns()) fields.push_back(def.name);
+  out += CsvEncodeRow(fields);
+  out += '\n';
+  for (size_t r = from_row; r < to_row && r < num_rows_; ++r) {
+    fields.clear();
+    for (const auto& col : columns_) {
+      Value v = col.Get(r);
+      fields.push_back(v.is_null() ? "" : v.ToString());
+    }
+    out += CsvEncodeRow(fields);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// strtoll/strtod with full-consumption and range checks: garbage or
+/// truncated numeric fields become errors instead of exceptions (std::stoll
+/// throws) or silent prefixes (raw strtoll).
+StatusOr<int64_t> ParseInt64Field(const std::string& f) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(f.c_str(), &end, 10);
+  if (end == f.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("not an int64: '" + f + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<double> ParseDoubleField(const std::string& f) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(f.c_str(), &end);
+  if (end == f.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("not a double: '" + f + "'");
+  }
+  return v;
+}
+
+StatusOr<Value> ParseCsvField(const std::string& f, const ColumnDef& def) {
+  if (f.empty()) return Value::Null();
+  switch (def.type) {
+    case DataType::kBool:
+      return Value::Bool(f == "true" || f == "1");
+    case DataType::kInt64: {
+      EBA_ASSIGN_OR_RETURN(int64_t v, ParseInt64Field(f));
+      return Value::Int64(v);
+    }
+    case DataType::kDouble: {
+      EBA_ASSIGN_OR_RETURN(double v, ParseDoubleField(f));
+      return Value::Double(v);
+    }
+    case DataType::kString:
+      return Value::String(f);
+    case DataType::kTimestamp: {
+      EBA_ASSIGN_OR_RETURN(Date d, Date::Parse(f));
+      return Value::Timestamp(d.ToSeconds());
+    }
+    case DataType::kNull:
+      return Value::Null();
+  }
+  return Status::InvalidArgument("unknown column type");
+}
+
+}  // namespace
+
+Status Table::AppendParsedCsv(
+    const std::vector<std::vector<std::string>>& rows,
+    const std::string& source) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty csv: " + source);
+  }
   const auto& header = rows[0];
-  if (header.size() != schema.num_columns()) {
-    return Status::InvalidArgument("csv header arity mismatch in " + path);
+  if (header.size() != num_columns()) {
+    return Status::InvalidArgument("csv header arity mismatch in " + source);
   }
   for (size_t i = 0; i < header.size(); ++i) {
-    if (header[i] != schema.column(i).name) {
+    if (header[i] != schema_.column(i).name) {
       return Status::InvalidArgument("csv header mismatch at column " +
-                                     std::to_string(i) + " in " + path);
+                                     std::to_string(i) + " in " + source);
     }
   }
-  Table table(std::move(schema));
-  table.Reserve(rows.size() - 1);
+  Reserve(num_rows_ + rows.size() - 1);
   for (size_t r = 1; r < rows.size(); ++r) {
     const auto& fields = rows[r];
-    if (fields.size() != table.num_columns()) {
-      return Status::InvalidArgument("csv row arity mismatch at line " +
-                                     std::to_string(r + 1) + " in " + path);
+    if (fields.size() != num_columns()) {
+      return Status::InvalidArgument(
+          "csv row arity mismatch (truncated row?) at line " +
+          std::to_string(r + 1) + " in " + source + " for table '" + name() +
+          "'");
     }
     Row row;
     row.reserve(fields.size());
     for (size_t c = 0; c < fields.size(); ++c) {
-      const std::string& f = fields[c];
-      if (f.empty()) {
-        row.push_back(Value::Null());
-        continue;
+      StatusOr<Value> v = ParseCsvField(fields[c], schema_.column(c));
+      if (!v.ok()) {
+        return Status::InvalidArgument(
+            "bad field in table '" + name() + "', column '" +
+            schema_.column(c).name + "', line " + std::to_string(r + 1) +
+            " of " + source + ": " + v.status().message());
       }
-      switch (table.schema().column(c).type) {
-        case DataType::kBool:
-          row.push_back(Value::Bool(f == "true" || f == "1"));
-          break;
-        case DataType::kInt64:
-          row.push_back(Value::Int64(std::stoll(f)));
-          break;
-        case DataType::kDouble:
-          row.push_back(Value::Double(std::stod(f)));
-          break;
-        case DataType::kString:
-          row.push_back(Value::String(f));
-          break;
-        case DataType::kTimestamp: {
-          EBA_ASSIGN_OR_RETURN(Date d, Date::Parse(f));
-          row.push_back(Value::Timestamp(d.ToSeconds()));
-          break;
-        }
-        case DataType::kNull:
-          row.push_back(Value::Null());
-          break;
-      }
+      row.push_back(std::move(*v));
     }
-    EBA_RETURN_IF_ERROR(table.AppendRow(row));
+    EBA_RETURN_IF_ERROR(AppendRow(row));
   }
+  return Status::OK();
+}
+
+StatusOr<Table> Table::ReadCsv(const std::string& path, TableSchema schema) {
+  EBA_ASSIGN_OR_RETURN(auto rows, CsvReadFile(path));
+  Table table(std::move(schema));
+  EBA_RETURN_IF_ERROR(table.AppendParsedCsv(rows, path));
   return table;
+}
+
+Status Table::AppendCsvString(const std::string& csv,
+                              const std::string& source) {
+  EBA_ASSIGN_OR_RETURN(auto rows, CsvParseString(csv));
+  return AppendParsedCsv(rows, source);
 }
 
 }  // namespace eba

@@ -51,8 +51,18 @@ class Table {
 
   void Reserve(size_t rows);
 
+  /// Checks a row against the schema (arity, per-column types) without
+  /// appending it. A row that validates cannot fail to append — write-ahead
+  /// logging relies on this: validate, log, then apply.
+  Status ValidateRow(const Row& row) const;
+
   /// Appends a row; the arity and value types must match the schema.
   Status AppendRow(const Row& row);
+
+  /// Appends a row the caller has already passed through ValidateRow. The
+  /// durable append path validates the whole batch before WAL-logging it;
+  /// re-validating on apply would double the per-row schema-check cost.
+  void AppendValidatedRow(const Row& row);
 
   /// Cell accessors.
   Value Get(size_t row, size_t col) const { return columns_[col].Get(row); }
@@ -102,12 +112,29 @@ class Table {
   /// Dumps the table (header + rows) to CSV.
   Status WriteCsv(const std::string& path) const;
 
+  /// Renders rows [from_row, to_row) as CSV text (header included), the
+  /// same format WriteCsv produces. Used by checkpoint segments and
+  /// crash-safe saves that route bytes through an Env.
+  std::string ToCsvString(size_t from_row, size_t to_row) const;
+
   /// Loads rows from a CSV file previously produced by WriteCsv (header row
   /// required and validated against `schema`). Timestamps are parsed from
-  /// "YYYY-MM-DD HH:MM:SS"; empty fields load as NULL.
+  /// "YYYY-MM-DD HH:MM:SS"; empty fields load as NULL. Malformed numeric
+  /// fields (including truncated rows) are rejected with a Status naming
+  /// the table, line, and column.
   static StatusOr<Table> ReadCsv(const std::string& path, TableSchema schema);
 
+  /// Appends the rows of in-memory CSV text (header validated against this
+  /// table's schema) — the replay half of ToCsvString. `source` names the
+  /// origin in error messages.
+  Status AppendCsvString(const std::string& csv, const std::string& source);
+
  private:
+  /// Shared CSV ingestion: validates the header row against the schema and
+  /// appends the data rows with typed, error-naming field parsing.
+  Status AppendParsedCsv(const std::vector<std::vector<std::string>>& rows,
+                         const std::string& source);
+
   TableSchema schema_;
   std::vector<Column> columns_;
   size_t num_rows_ = 0;

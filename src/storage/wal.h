@@ -1,0 +1,127 @@
+// Write-ahead log for streaming audit appends.
+//
+// Record framing (all integers little-endian):
+//
+//   +----------------+----------------+------+-----------------+
+//   | u32 payload_len| u32 crc32      | u8   | payload bytes   |
+//   |                | (type+payload) | type | (payload_len)   |
+//   +----------------+----------------+------+-----------------+
+//
+// The CRC covers the type byte and the payload, so a bit flip anywhere in a
+// record (including its type) is detected. Readers stop at the first record
+// whose header is short, whose payload is short, or whose CRC mismatches:
+// everything before that point is the valid prefix, everything after is a
+// torn/corrupt tail to be truncated — never applied.
+//
+// Group commit: AppendRecord only buffers; Commit writes the whole buffer
+// with one Append call and then syncs per the WalSync policy. A batch is
+// therefore one contiguous byte range on disk, and a crash mid-Commit tears
+// at most the last batch.
+
+#ifndef EBA_STORAGE_WAL_H_
+#define EBA_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/io.h"
+#include "storage/table.h"
+
+namespace eba {
+
+/// When the WAL forces data to stable storage.
+enum class WalSync : uint8_t {
+  /// Never fsync: durable against process kill (data reached the kernel via
+  /// write()), not against power loss. This is the mode the fault-injection
+  /// suite exercises, and the default for benchmarks of structural overhead.
+  kNone = 0,
+  /// fsync once per Commit (group commit): each committed batch is durable
+  /// against power loss before the append call returns.
+  kBatch = 1,
+  /// fsync on every record: AppendRecord implies Commit.
+  kAlways = 2,
+};
+
+/// WAL record types.
+enum WalRecordType : uint8_t {
+  /// Payload: u32 table_name_len | table_name | u32 nrows |
+  ///          per row: u32 ncols | per value: u8 DataType tag + payload.
+  kWalAppendBatch = 1,
+};
+
+/// A decoded record: the type byte plus the raw payload bytes.
+struct WalRecord {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// Result of scanning a WAL file: the valid record prefix, how many bytes
+/// it spans, and how many trailing bytes were dropped as torn/corrupt.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;
+  uint64_t dropped_bytes = 0;
+};
+
+/// Appends framed records to a log file with group commit.
+class WalWriter {
+ public:
+  /// Opens `path` for appending (created if absent).
+  static StatusOr<std::unique_ptr<WalWriter>> Open(Env* env,
+                                                   const std::string& path,
+                                                   WalSync sync);
+
+  /// Frames `payload` under `type` into the commit buffer. Under
+  /// WalSync::kAlways this also commits.
+  Status AppendRecord(uint8_t type, std::string_view payload);
+
+  /// Writes the buffered records with a single Append and syncs per policy.
+  /// No-op when the buffer is empty.
+  Status Commit();
+
+  /// Total framed bytes handed to AppendRecord since Open (committed or
+  /// still buffered); drives the auto-checkpoint threshold.
+  uint64_t bytes_logged() const { return bytes_logged_; }
+
+  /// Commits any buffered records, then closes the file.
+  Status Close();
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, WalSync sync)
+      : file_(std::move(file)), sync_(sync) {}
+
+  std::unique_ptr<WritableFile> file_;
+  WalSync sync_;
+  std::string buffer_;
+  uint64_t bytes_logged_ = 0;
+};
+
+/// Scans the WAL at `path`, returning the longest valid record prefix.
+/// Truncated or CRC-mismatching tails are reported via dropped_bytes, not
+/// errors: a torn tail is the expected shape of a crash. NotFound only if
+/// the file itself is missing.
+StatusOr<WalReadResult> ReadWalFile(Env* env, const std::string& path);
+
+/// Serializes a batch of rows destined for `table_name` into a
+/// kWalAppendBatch payload.
+std::string EncodeAppendPayload(const std::string& table_name,
+                                const std::vector<Row>& rows);
+
+/// Decoded form of a kWalAppendBatch payload.
+struct WalAppendBatch {
+  std::string table_name;
+  std::vector<Row> rows;
+};
+
+/// Parses a kWalAppendBatch payload. A payload that passed its CRC should
+/// always decode; failure here means a logic error or hand-corrupted input
+/// and is reported as Internal.
+StatusOr<WalAppendBatch> DecodeAppendPayload(std::string_view payload);
+
+}  // namespace eba
+
+#endif  // EBA_STORAGE_WAL_H_

@@ -120,5 +120,86 @@ TEST(PersistTest, LoadErrors) {
   std::filesystem::remove_all(dir);
 }
 
+/// Writes a one-table (T: id int64, name string) directory with the given
+/// manifest body + CSV contents.
+std::string WriteOneTableDir(const std::string& name,
+                             const std::string& manifest,
+                             const std::string& csv) {
+  const std::string dir = TempDir(name);
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/manifest.txt") << manifest;
+  std::ofstream(dir + "/T.csv") << csv;
+  return dir;
+}
+
+TEST(PersistTest, LoadRejectsDuplicateTable) {
+  const std::string dir = WriteOneTableDir(
+      "eba_persist_dup_table",
+      "# eba database manifest v1\n"
+      "TABLE T\nCOLUMN id int64 domain=d pk\nEND\n"
+      "TABLE T\nCOLUMN id int64 domain=d pk\nEND\n",
+      "id\n1\n");
+  const Status s = LoadDatabase(dir).status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("duplicate TABLE 'T'"), std::string::npos)
+      << s.ToString();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistTest, LoadRejectsDuplicateColumn) {
+  const std::string dir = WriteOneTableDir(
+      "eba_persist_dup_col",
+      "# eba database manifest v1\n"
+      "TABLE T\nCOLUMN id int64 domain=d pk\nCOLUMN id int64\nEND\n",
+      "id,id\n1,2\n");
+  const Status s = LoadDatabase(dir).status();
+  ASSERT_FALSE(s.ok());
+  // The error must name the table and the offending column, not crash.
+  EXPECT_NE(s.message().find("table 'T'"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("duplicate column 'id'"), std::string::npos)
+      << s.ToString();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistTest, LoadRejectsTruncatedCsvRow) {
+  const std::string dir = WriteOneTableDir(
+      "eba_persist_truncated",
+      "# eba database manifest v1\n"
+      "TABLE T\nCOLUMN id int64 domain=d pk\nCOLUMN name string\nEND\n",
+      "id,name\n1,alice\n2\n");  // row 2 lost its name field
+  const Status s = LoadDatabase(dir).status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("truncated row?"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("table 'T'"), std::string::npos) << s.ToString();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistTest, LoadRejectsGarbageNumericField) {
+  const std::string dir = WriteOneTableDir(
+      "eba_persist_garbage",
+      "# eba database manifest v1\n"
+      "TABLE T\nCOLUMN id int64 domain=d pk\nCOLUMN name string\nEND\n",
+      "id,name\n1,alice\nnot_a_number,bob\n");
+  const Status s = LoadDatabase(dir).status();
+  ASSERT_FALSE(s.ok());
+  // The role-naming contract: table, column, and line of the bad value.
+  EXPECT_NE(s.message().find("table 'T'"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("'id'"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.ToString();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistTest, LoadRejectsWrongCsvHeader) {
+  const std::string dir = WriteOneTableDir(
+      "eba_persist_header",
+      "# eba database manifest v1\n"
+      "TABLE T\nCOLUMN id int64 domain=d pk\nCOLUMN name string\nEND\n",
+      "id\n1\n");  // header arity disagrees with the schema
+  EXPECT_FALSE(LoadDatabase(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace eba

@@ -23,43 +23,16 @@
 #include "core/engine.h"
 #include "core/ingest.h"
 #include "log/access_log.h"
+#include "storage/io.h"
 #include "tests/test_util.h"
 
 namespace eba {
 namespace {
 
+using testing_util::CloneDatabase;
 using testing_util::UnwrapOrDie;
 
 void Must(const Status& s) { EBA_CHECK_MSG(s.ok(), s.ToString()); }
-
-/// Deep-copies the database: schemas, rows, and join metadata. The oracle
-/// engine runs here so nothing it does (index builds, stats, plan caches)
-/// can leak into — or depend on — the streaming auditor's state.
-Database CloneDatabase(const Database& src) {
-  Database clone;
-  for (const std::string& name : src.TableNames()) {
-    const Table* table = src.GetTable(name).value();
-    Must(clone.CreateTable(table->schema()));
-    Table* copy = clone.GetTable(name).value();
-    copy->Reserve(table->num_rows());
-    for (size_t r = 0; r < table->num_rows(); ++r) {
-      Must(copy->AppendRow(table->GetRow(r)));
-    }
-  }
-  for (const AttrId& attr : src.self_join_attrs()) {
-    Must(clone.AllowSelfJoin(attr));
-  }
-  for (const std::string& name : src.mapping_tables()) {
-    Must(clone.MarkMappingTable(name));
-  }
-  for (const ForeignKey& fk : src.foreign_keys()) {
-    Must(clone.AddForeignKey(fk.from, fk.to));
-  }
-  for (const AdminRelationship& rel : src.admin_relationships()) {
-    Must(clone.AddAdminRelationship(rel.a, rel.b));
-  }
-  return clone;
-}
 
 /// Compact, order-sensitive digest of a report for cross-thread-count
 /// comparison.
@@ -117,22 +90,24 @@ FuzzFixture MakeFuzzFixture() {
 
 /// The differential oracle: every audited lid's explained/unexplained
 /// classification must match a fresh full ExplainAll on a cloned database.
-void CheckAgainstClonedOracle(const FuzzFixture& f, size_t step) {
-  Database clone = CloneDatabase(f.data.db);
+void CheckAgainstClonedOracle(const Database& db,
+                              const std::vector<ExplanationTemplate>& templates,
+                              const StreamingAuditor& auditor, size_t step) {
+  Database clone = CloneDatabase(db);
   ExplanationEngine oracle =
       UnwrapOrDie(ExplanationEngine::Create(&clone, "LogStream"));
-  for (const auto& tmpl : f.templates) Must(oracle.AddTemplate(tmpl));
+  for (const auto& tmpl : templates) Must(oracle.AddTemplate(tmpl));
   const ExplanationReport full = UnwrapOrDie(oracle.ExplainAll());
   const std::unordered_set<int64_t> full_explained(full.explained_lids.begin(),
                                                    full.explained_lids.end());
-  const Table* stream = UnwrapOrDie(
-      static_cast<const Database&>(f.data.db).GetTable("LogStream"));
+  const Table* stream =
+      UnwrapOrDie(static_cast<const Database&>(db).GetTable("LogStream"));
   AccessLog log = UnwrapOrDie(AccessLog::Wrap(stream));
-  ASSERT_LE(f.auditor->audited_rows(), stream->num_rows());
+  ASSERT_LE(auditor.audited_rows(), stream->num_rows());
   size_t mismatches = 0;
-  for (size_t r = 0; r < f.auditor->audited_rows() && mismatches < 5; ++r) {
+  for (size_t r = 0; r < auditor.audited_rows() && mismatches < 5; ++r) {
     const int64_t lid = log.Get(r).lid;
-    const bool streamed = f.auditor->IsExplained(lid);
+    const bool streamed = auditor.IsExplained(lid);
     const bool expected = full_explained.count(lid) > 0;
     if (streamed != expected) {
       ++mismatches;
@@ -175,7 +150,7 @@ std::vector<std::string> RunFuzz(uint64_t seed, size_t steps,
                                       report.unexplained_lids.end(), lid));
     }
     digests.push_back(Digest(report));
-    CheckAgainstClonedOracle(f, step);
+    CheckAgainstClonedOracle(f.data.db, f.templates, *f.auditor, step);
   };
 
   auto synth_access = [&]() {
@@ -274,6 +249,126 @@ std::vector<std::string> RunFuzz(uint64_t seed, size_t steps,
   }
   audit(steps);  // closing audit so every interleaving ends checked
   return digests;
+}
+
+// --- Seeded crash-at-step-k mode ------------------------------------------
+
+struct CrashOp {
+  enum Kind { kLogAppend, kForeignAppend, kAudit };
+  Kind kind;
+  std::string table;      // kForeignAppend only
+  std::vector<Row> rows;  // append ops only
+};
+
+/// Materializes a seeded random schedule as data, so the pre-crash prefix
+/// and the post-recovery suffix execute the exact same ops for every kill
+/// point k. Log appends replay the backlog in order; foreign appends
+/// witness a random backlog access (joinable by construction).
+std::vector<CrashOp> MakeCrashSchedule(uint64_t seed, size_t steps,
+                                       const FuzzFixture& f) {
+  Random rng(seed);
+  const std::vector<std::string> foreign_tables = {"Appointments", "Visits",
+                                                   "Documents"};
+  std::vector<CrashOp> ops;
+  size_t backlog_pos = 0;
+  for (size_t step = 0; step < steps; ++step) {
+    switch (rng.WeightedIndex({40, 25, 35})) {
+      case 0: {
+        CrashOp op;
+        op.kind = CrashOp::kLogAppend;
+        const size_t k = 1 + rng.Uniform(4);
+        for (size_t i = 0; i < k && backlog_pos < f.backlog.size(); ++i) {
+          op.rows.push_back(f.backlog[backlog_pos++]);
+        }
+        ops.push_back(std::move(op));
+        break;
+      }
+      case 1: {
+        CrashOp op;
+        op.kind = CrashOp::kForeignAppend;
+        op.table = rng.Choice(foreign_tables);
+        const size_t cols =
+            UnwrapOrDie(
+                static_cast<const Database&>(f.data.db).GetTable(op.table))
+                ->num_columns();
+        const Row& src = f.backlog[rng.Uniform(f.backlog.size())];
+        Row row(cols);
+        row[0] = src[3];                                 // patient
+        row[1] = src[1];                                 // time
+        for (size_t c = 2; c < cols; ++c) row[c] = src[2];  // user
+        op.rows.push_back(std::move(row));
+        ops.push_back(std::move(op));
+        break;
+      }
+      case 2:
+        ops.push_back(CrashOp{CrashOp::kAudit, "", {}});
+        break;
+    }
+  }
+  ops.push_back(CrashOp{CrashOp::kAudit, "", {}});  // closing audit
+  return ops;
+}
+
+void ApplyCrashOp(StreamingAuditor* auditor, const CrashOp& op,
+                  const StreamingOptions& options) {
+  switch (op.kind) {
+    case CrashOp::kLogAppend:
+      Must(auditor->AppendAccessBatch(op.rows));
+      break;
+    case CrashOp::kForeignAppend:
+      Must(auditor->AppendRows(op.table, op.rows));
+      break;
+    case CrashOp::kAudit:
+      (void)UnwrapOrDie(auditor->ExplainNew(options));
+      break;
+  }
+}
+
+TEST(StreamingFuzzTest, CrashAtEveryStepRecoversAndFinishesSchedule) {
+  const uint64_t kSeed = 20110930;
+  const size_t kSteps = 12;
+  const std::string dir = ::testing::TempDir() + "/fuzz_crash_recover";
+  StreamingOptions options;
+  options.min_rows_per_shard = 1;
+  options.executor.min_rows_per_morsel = 1;
+  DurabilityOptions dopts;
+  dopts.dir = dir;
+  dopts.sync = WalSync::kNone;
+  dopts.checkpoint_after_wal_bytes = 1024;  // auto-checkpoints mid-schedule
+  dopts.full_checkpoint_interval = 2;
+
+  const FuzzFixture rows_source = MakeFuzzFixture();
+  const std::vector<CrashOp> ops = MakeCrashSchedule(kSeed, kSteps,
+                                                     rows_source);
+
+  for (size_t k = 0; k <= ops.size(); ++k) {
+    Must(RealEnv()->RemoveAll(dir));
+    {
+      FuzzFixture f = MakeFuzzFixture();
+      Must(f.auditor->EnableDurability(dopts));
+      for (size_t i = 0; i < k; ++i) {
+        ApplyCrashOp(f.auditor.get(), ops[i], options);
+      }
+      // The process "dies" here: every in-memory structure is discarded.
+      // Under WalSync::kNone all acknowledged writes reached the kernel —
+      // exactly what survives a kill -9.
+    }
+    FuzzFixture g = MakeFuzzFixture();
+    g.auditor.reset();  // recovery builds its own auditor over g's database
+    RecoveryStats stats;
+    StreamingAuditor recovered = UnwrapOrDie(StreamingAuditor::RecoverFrom(
+        &g.data.db, "LogStream", dopts, &stats));
+    EXPECT_TRUE(stats.recovered) << "kill step " << k;
+    for (const auto& tmpl : g.templates) Must(recovered.AddTemplate(tmpl));
+    // Converge, then finish the interrupted schedule as if nothing happened.
+    (void)UnwrapOrDie(recovered.ExplainNew(options));
+    for (size_t i = k; i < ops.size(); ++i) {
+      ApplyCrashOp(&recovered, ops[i], options);
+    }
+    (void)UnwrapOrDie(recovered.ExplainNew(options));
+    CheckAgainstClonedOracle(g.data.db, g.templates, recovered, k);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
 }
 
 TEST(StreamingFuzzTest, DifferentialOracleAcrossSeedsAndThreadCounts) {

@@ -112,6 +112,11 @@ inline Database BuildPaperToyDatabase() {
   return db;
 }
 
+/// Deep-copies a database. Differential tests run their oracle engine on
+/// the clone so nothing the oracle does (index builds, stats, plan caches)
+/// can leak into — or depend on — the system under test.
+inline Database CloneDatabase(const Database& src) { return src.Clone(); }
+
 }  // namespace testing_util
 }  // namespace eba
 

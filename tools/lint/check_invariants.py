@@ -5,7 +5,7 @@ The executor's contract is byte-identical reports regardless of thread
 count, and the bench gate diffs JSON across runs — so nondeterminism that
 the type system cannot see (hash-order iteration, unseeded randomness,
 wall-clock reads) is a correctness bug here, not a style issue. This lint
-enforces four invariants over src/ (and CMake test registration):
+enforces five invariants over src/ (and CMake test registration):
 
   R1 unordered-iteration: iterating a std::unordered_{map,set} (range-for
      or .begin()) feeds hash order into whatever is built from it. Allowed
@@ -21,6 +21,12 @@ enforces four invariants over src/ (and CMake test registration):
   R4 test-timeout: every add_test() in a CMakeLists.txt must have a
      matching set_tests_properties(... TIMEOUT ...) in the same file, so a
      hung test fails CI instead of stalling it.
+  R5 raw-io: std::ofstream or fopen() inside src/storage/ bypasses the Env
+     seam, so durability code using them escapes both fault injection
+     (kill-at-every-write-op testing) and the fsync policy. Route file I/O
+     through storage/io.h; `// lint:raw-io` overrides per line, and a
+     line-1 annotation exempts a whole file (io.cc IS the seam — every raw
+     call is supposed to live there).
 
 Exit status: 0 = clean, 1 = violations found, 2 = usage/IO error.
 """
@@ -59,6 +65,15 @@ WALL_CLOCK_PATTERNS = [
     (re.compile(r"\bgettimeofday\s*\("), "gettimeofday"),
     (re.compile(r"\blocaltime(?:_r)?\s*\("), "localtime"),
 ]
+
+RAW_IO_PATTERNS = [
+    (re.compile(r"\bstd::[io]?fstream\b"), "a std:: file stream"),
+    (re.compile(r"(?<![\w:])(?:std::)?fopen\s*\("), "fopen()"),
+]
+
+# Only durability code is held to the Env-seam rule; the rest of src/ may
+# use streams (e.g. report writers) without fault-injection coverage.
+RAW_IO_SUBTREE = "src/storage/"
 
 ADD_TEST = re.compile(r"\badd_test\s*\(\s*(?:NAME\s+)?(\S+)")
 SET_TESTS_PROPERTIES = re.compile(r"\bset_tests_properties\s*\(\s*(\S+)")
@@ -105,6 +120,12 @@ def check_cpp_file(path, rel, findings):
         for m in UNORDERED_DECL.finditer(code):
             unordered_vars.add(m.group(1))
 
+    # R5 scope: only durability code, and a line-1 annotation exempts the
+    # whole file (the io.cc seam, where every raw call belongs).
+    check_raw_io = (
+        rel.replace(os.sep, "/").startswith(RAW_IO_SUBTREE)
+        and not (lines and "lint:raw-io" in lines[0]))
+
     for i, raw in enumerate(lines):
         code = strip_comment(raw)
 
@@ -145,6 +166,17 @@ def check_cpp_file(path, rel, findings):
                         f"{what} in a result path makes output depend on "
                         "when it ran; use steady_clock for durations or "
                         "annotate `// lint:wall-clock <why>`"))
+
+        # R5: raw file I/O bypassing the Env seam in durability code.
+        if check_raw_io and not has_annotation(lines, i, "raw-io"):
+            for pattern, what in RAW_IO_PATTERNS:
+                if pattern.search(code):
+                    findings.append(Finding(
+                        rel, i + 1, "raw-io",
+                        f"{what} in {RAW_IO_SUBTREE} bypasses the Env seam "
+                        "(no fault injection, no fsync policy); route "
+                        "through storage/io.h or annotate "
+                        "`// lint:raw-io <why>`"))
 
 
 def check_cmake_file(path, rel, findings):

@@ -155,6 +155,57 @@ class WallClock(LintFixture):
         self.assert_clean(run_lint(self.root))
 
 
+class RawIo(LintFixture):
+    def test_ofstream_in_storage_is_flagged(self):
+        self.write("src/storage/snapshot.cc", """
+#include <fstream>
+void Dump(const std::string& path) {
+  std::ofstream out(path);
+}
+""")
+        self.assert_flags(run_lint(self.root), "raw-io")
+
+    def test_fopen_in_storage_is_flagged(self):
+        self.write("src/storage/snapshot.cc",
+                   'std::FILE* f = std::fopen(path.c_str(), "wb");\n')
+        self.assert_flags(run_lint(self.root), "raw-io")
+
+    def test_streams_outside_storage_are_allowed(self):
+        self.write("src/report/writer.cc", """
+#include <fstream>
+void Dump(const std::string& path) {
+  std::ofstream out(path);
+}
+""")
+        self.assert_clean(run_lint(self.root))
+
+    def test_line_annotation_is_allowed(self):
+        self.write("src/storage/snapshot.cc",
+                   "// lint:raw-io debug-only dump, not in the commit path\n"
+                   "std::ofstream out(path);\n")
+        self.assert_clean(run_lint(self.root))
+
+    def test_file_level_annotation_exempts_whole_file(self):
+        self.write("src/storage/io_impl.cc", """\
+// lint:raw-io (this file IS the seam: every raw write lives here)
+#include <cstdio>
+std::FILE* Open(const char* path) {
+  return std::fopen(path, "ab");
+}
+std::ofstream MakeStream(const std::string& p) { return std::ofstream(p); }
+""")
+        self.assert_clean(run_lint(self.root))
+
+    def test_env_seam_usage_is_not_flagged(self):
+        self.write("src/storage/wal2.cc", """
+#include "storage/io.h"
+void Append(Env* env, const std::string& path) {
+  auto file = env->NewWritableFile(path, /*truncate=*/false);
+}
+""")
+        self.assert_clean(run_lint(self.root))
+
+
 class TestTimeout(LintFixture):
     def test_add_test_without_timeout_is_flagged(self):
         self.write("tests/CMakeLists.txt",
