@@ -1,0 +1,79 @@
+// Machine metadata for the bench JSON artifacts: core count, CPU model and
+// build type. Every harness embeds this block so an artifact is
+// self-describing, and compare_bench.py uses "machine.num_cores" to detect
+// baseline/candidate runs from different hardware — relative gates (which
+// assume comparable machines) downgrade to warnings on a core-count
+// mismatch while absolute floors and equivalence booleans stay hard.
+
+#ifndef EBA_BENCH_BENCH_MACHINE_H_
+#define EBA_BENCH_BENCH_MACHINE_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/thread_pool.h"
+
+namespace eba {
+namespace bench {
+
+/// First "model name" value of /proc/cpuinfo; "unknown" when the file is
+/// absent (non-Linux) or holds no model line (some ARM kernels).
+inline std::string CpuModel() {
+  std::string model = "unknown";
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return model;
+  char line[512];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    const char* value = std::strchr(line, ':');
+    if (value == nullptr) continue;
+    ++value;
+    while (*value == ' ' || *value == '\t') ++value;
+    model.assign(value);
+    while (!model.empty() && (model.back() == '\n' || model.back() == '\r')) {
+      model.pop_back();
+    }
+    break;
+  }
+  std::fclose(f);
+  return model;
+}
+
+/// Minimal JSON string escaping (quotes/backslashes/control bytes — enough
+/// for a CPU model string, which is attacker-free but occasionally odd).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Writes the complete `"machine": {...},` member (trailing comma included)
+/// with every line prefixed by `pad`. Place it before another top-level key.
+inline void WriteMachineJson(std::FILE* f, const char* pad) {
+  std::fprintf(f, "%s\"machine\": {\n", pad);
+  std::fprintf(f, "%s  \"num_cores\": %zu,\n", pad, HardwareThreads());
+  std::fprintf(f, "%s  \"cpu_model\": \"%s\",\n", pad,
+               JsonEscape(CpuModel()).c_str());
+#ifdef NDEBUG
+  std::fprintf(f, "%s  \"build_type\": \"release\"\n", pad);
+#else
+  std::fprintf(f, "%s  \"build_type\": \"debug\"\n", pad);
+#endif
+  std::fprintf(f, "%s},\n", pad);
+}
+
+}  // namespace bench
+}  // namespace eba
+
+#endif  // EBA_BENCH_BENCH_MACHINE_H_

@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
+#include "bench/bench_machine.h"
 #include "bench/bench_streaming_util.h"
 #include "careweb/generator.h"
 #include "careweb/workload.h"
@@ -514,6 +515,7 @@ int RunExecutorJsonBench(const std::string& path, bool smoke) {
   std::fprintf(f, "  \"log_rows\": %zu,\n", log->num_rows());
   std::fprintf(f, "  \"templates\": %zu,\n", templates.size());
   std::fprintf(f, "  \"hardware_threads\": %zu,\n", HardwareThreads());
+  bench::WriteMachineJson(f, "  ");
   std::fprintf(f, "  \"benchmarks\": {\n");
   auto emit = [&](const char* name, const double s[2]) {
     std::fprintf(f, "    \"%s\": {\n", name);

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_machine.h"
 #include "bench/bench_streaming_util.h"
 
 int main(int argc, char** argv) {
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"generated_by\": \"bench_streaming\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", options.smoke ? "true" : "false");
+    eba::bench::WriteMachineJson(f, "  ");
     std::fprintf(f, "  \"streaming\": {\n");
     eba::WriteStreamingJson(f, r, "    ");
     std::fprintf(f, "  }\n}\n");

@@ -18,6 +18,15 @@ machine-dependent and are reported but never gated on. Speedup metrics with
 baseline < MIN_GATED_SPEEDUP have no headroom above noise (e.g. the
 probe-bound distinct-lid sweep at ~1.0x) and are skipped too.
 
+Every bench JSON records the machine it ran on ("machine.num_cores", see
+bench/bench_machine.h). When the baseline and the candidate ran on machines
+with different core counts, relative comparisons are meaningless for the
+parallelism-sensitive speedups (a 4-core runner legitimately reports 3x
+where the 1-core container that produced the committed baseline reports
+1.0x — and vice versa), so baseline-derived relative gates downgrade to
+warnings. Absolute floors and boolean equivalence checks are
+machine-independent acceptance criteria and stay hard either way.
+
 Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
 Exit status: 0 ok, 1 regression (or missing metric), 2 usage error.
 """
@@ -156,7 +165,17 @@ def main():
     baseline = load_bench_json(args.baseline, "baseline")
     current = load_bench_json(args.current, "current")
 
+    base_cores = baseline.get("machine.num_cores")
+    cur_cores = current.get("machine.num_cores")
+    core_mismatch = (base_cores is not None and cur_cores is not None
+                     and base_cores != cur_cores)
+    if core_mismatch:
+        print(f"note: baseline ran on {base_cores} core(s), current on "
+              f"{cur_cores} — relative gates downgraded to warnings "
+              "(absolute floors and equivalence booleans stay hard)")
+
     failures = []
+    warnings = 0
     compared = 0
     for path, base_value in sorted(baseline.items()):
         if not gated(path, base_value):
@@ -182,16 +201,38 @@ def main():
             if not ok:
                 failures.append(f"{path}: {base_value} -> {cur_value}")
             continue
+        # A relative floor is derived from the baseline value and only
+        # meaningful between comparable machines; an absolute floor is an
+        # acceptance criterion and always enforced.
         if path in SATURATED_METRICS:
             floor = ABSOLUTE_FLOORS[path]
+            relative = False
         else:
             floor = base_value * (1.0 - args.threshold)
+            relative = True
             if path in ABSOLUTE_FLOORS:
-                floor = max(floor, ABSOLUTE_FLOORS[path])
+                absolute = ABSOLUTE_FLOORS[path]
+                if core_mismatch:
+                    floor = absolute
+                    relative = False
+                else:
+                    floor = max(floor, absolute)
+            elif core_mismatch:
+                # Relative-only metric across different machines: report it,
+                # warn if it would have failed, never gate.
+                ok = cur_value >= floor
+                verdict = "ok" if ok else "warn(cores)"
+                if not ok:
+                    warnings += 1
+                print(f"{verdict:10s} {path}: baseline {base_value:.3f}, "
+                      f"current {cur_value:.3f} (floor {floor:.3f}, "
+                      "not gated across core counts)")
+                continue
         ok = cur_value >= floor
         verdict = "ok" if ok else "REGRESSION"
+        kind = "relative " if relative else "absolute "
         print(f"{verdict:10s} {path}: baseline {base_value:.3f}, "
-              f"current {cur_value:.3f} (floor {floor:.3f})")
+              f"current {cur_value:.3f} ({kind}floor {floor:.3f})")
         if not ok:
             failures.append(
                 f"{path}: {cur_value:.3f} < floor {floor:.3f} "
@@ -206,8 +247,9 @@ def main():
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
+    suffix = f" ({warnings} cross-machine warning(s))" if warnings else ""
     print(f"\nall {compared} gated metrics within "
-          f"{100 * args.threshold:.0f}% of baseline")
+          f"{100 * args.threshold:.0f}% of baseline{suffix}")
     return 0
 
 

@@ -20,10 +20,16 @@ GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 def good_bench(speedup=6.0, hit_rate=0.95, matches=True,
                wal_throughput=0.45, serving_throughput=0.92,
-               recovery_speedup=40.0, recovered_matches=True):
+               recovery_speedup=40.0, recovered_matches=True,
+               num_cores=4):
     return {
         "generated_by": "bench_micro --executor_json",
         "smoke": False,
+        "machine": {
+            "num_cores": num_cores,
+            "cpu_model": "fixture",
+            "build_type": "release",
+        },
         "benchmarks": {
             "BM_ExecutorJoin": {
                 "boxed_reference_seconds_per_iter": 0.007,
@@ -172,6 +178,59 @@ class GoodInputs(GateFixture):
         result = self.run_gate(base, cur)
         self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
         self.assertIn("missing in current", result.stdout + result.stderr)
+
+
+class CoreCountMismatch(GateFixture):
+    """Baseline and candidate from machines with different core counts:
+    relative gates downgrade to warnings, machine-independent acceptance
+    criteria (absolute floors, equivalence booleans) stay hard."""
+
+    def test_speedup_regression_warns_instead_of_failing(self):
+        base = self.write_json("base.json",
+                               good_bench(speedup=6.0, num_cores=4))
+        cur = self.write_json("cur.json",
+                              good_bench(speedup=2.0, num_cores=1))
+        result = self.run_gate(base, cur, "--threshold", "0.25")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("warn(cores)", result.stdout)
+        self.assertIn("downgraded to warnings", result.stdout)
+
+    def test_same_core_count_still_fails(self):
+        base = self.write_json("base.json",
+                               good_bench(speedup=6.0, num_cores=4))
+        cur = self.write_json("cur.json",
+                              good_bench(speedup=2.0, num_cores=4))
+        result = self.run_gate(base, cur, "--threshold", "0.25")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_absolute_floor_stays_hard_across_machines(self):
+        # plan_cache_hit_rate has both a relative gate and the 0.9 absolute
+        # floor; the mismatch drops the relative part only.
+        base = self.write_json("base.json",
+                               good_bench(hit_rate=0.95, num_cores=4))
+        cur = self.write_json("cur.json",
+                              good_bench(hit_rate=0.5, num_cores=1))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("plan_cache_hit_rate", result.stdout + result.stderr)
+
+    def test_equivalence_flag_stays_hard_across_machines(self):
+        base = self.write_json("base.json", good_bench(num_cores=4))
+        cur = self.write_json("cur.json",
+                              good_bench(matches=False, num_cores=1))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+    def test_legacy_baseline_without_machine_block_gates_normally(self):
+        legacy = good_bench(speedup=6.0)
+        del legacy["machine"]
+        base = self.write_json("base.json", legacy)
+        cur = self.write_json("cur.json",
+                              good_bench(speedup=2.0, num_cores=1))
+        result = self.run_gate(base, cur, "--threshold", "0.25")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
 
 
 class BadInputs(GateFixture):

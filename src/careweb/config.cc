@@ -30,4 +30,18 @@ CareWebConfig CareWebConfig::Small() {
 
 CareWebConfig CareWebConfig::PaperShaped() { return CareWebConfig(); }
 
+CareWebConfig CareWebConfig::Scaled(int factor) {
+  if (factor < 1) factor = 1;
+  CareWebConfig c = Small();
+  // 3x Small's event rate calibrates factor 1 to ~18k access rows, so the
+  // factor ladder {1, 100, 1000} lands on 18k / 1.8M / 18M.
+  c.appointments_per_team_per_day = Small().appointments_per_team_per_day * 3;
+  c.num_teams = Small().num_teams * factor;
+  c.num_patients = Small().num_patients * factor;
+  c.num_medical_students = Small().num_medical_students * factor;
+  c.users_per_consult_service = Small().users_per_consult_service * factor;
+  c.track_access_reasons = factor <= 10;
+  return c;
+}
+
 }  // namespace eba

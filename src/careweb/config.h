@@ -75,6 +75,12 @@ struct CareWebConfig {
   /// users by audit_id; the UserMap mapping table links the two; §5.3.3).
   int64_t audit_id_offset = 1000000;
 
+  /// Track per-lid ground-truth reasons (truth.access_reason). Costs on the
+  /// order of 100 bytes per access; scale runs with tens of millions of
+  /// rows turn this off so the ground-truth map does not rival the log
+  /// itself (the log and all event tables are unaffected).
+  bool track_access_reasons = true;
+
   /// Tiny data set for unit tests (runs in milliseconds).
   static CareWebConfig Tiny();
   /// Small data set for examples (sub-second).
@@ -83,6 +89,13 @@ struct CareWebConfig {
   /// the paper's absolute scale divided by ~30 so every figure regenerates
   /// in minutes on a laptop).
   static CareWebConfig PaperShaped();
+  /// Scale-out preset: Small() at 3x the appointment rate with `factor`x
+  /// the teams, patients, students and consult staff over the same one-week
+  /// span — the log grows near-linearly in `factor` (factor 1 lands near
+  /// 18k access rows, 100 near 1.8M, 1000 near 18M). Ground-truth reason
+  /// tracking is disabled above factor 10; population grows with the log so
+  /// user-patient density stays at the paper's ~1e-3..1e-4.
+  static CareWebConfig Scaled(int factor);
 };
 
 }  // namespace eba

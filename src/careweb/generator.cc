@@ -1,7 +1,7 @@
 #include "careweb/generator.h"
 
 #include <algorithm>
-#include <set>
+#include <unordered_set>
 
 #include "common/date.h"
 #include "common/logging.h"
@@ -36,13 +36,25 @@ const char* kConsultServices[] = {"Radiology", "Pathology", "Pharmacy",
 const char* kActions[] = {"viewed record", "viewed labs", "viewed notes",
                           "updated history", "viewed medications"};
 
+// One day's worth of staged accesses. Action and reason are static string
+// literals, so a pending access is a flat 40-byte record — the staging
+// buffer for even the busiest generated day stays a few tens of MB, and
+// the log streams into the chunked table day by day instead of being held
+// whole as boxed rows.
 struct PendingAccess {
   int64_t time = 0;
   int64_t user = 0;
   int64_t patient = 0;
-  std::string action;
-  std::string reason;
+  const char* action = nullptr;
+  const char* reason = nullptr;
 };
+
+/// (user, patient) packed into one hash-set key; both ids are generated
+/// sequentially from 1 and stay far below 2^32 at any supported scale.
+uint64_t PackPair(int64_t user, int64_t patient) {
+  return (static_cast<uint64_t>(user) << 32) |
+         static_cast<uint64_t>(patient);
+}
 
 struct TeamState {
   CareWebGroundTruth::Team truth;
@@ -257,20 +269,28 @@ StatusOr<CareWebData> GenerateCareWeb(const CareWebConfig& cfg) {
     }
   }
 
-  // --- Events and accesses, day by day. ---
-  std::vector<PendingAccess> accesses;
+  // --- Events and accesses, day by day, streamed into the log. ---
+  // Every access generated on day d carries a timestamp in
+  // [day_start + 8h, day_start + 26h) (the latest offset any push adds to
+  // an in-day event time is 8h), and day d+1 starts at day_start + 32h —
+  // day time ranges are disjoint and ordered. Sorting each day's buffer and
+  // flushing it to the log immediately therefore produces the exact
+  // sequence a whole-log stable sort would: the staging footprint is one
+  // day, not O(log), which is what lets the generator stream tens of
+  // millions of rows in bounded memory.
+  std::vector<PendingAccess> day_accesses;
   std::vector<std::pair<int64_t, int64_t>> known_pairs;  // (user, patient)
-  std::set<std::pair<int64_t, int64_t>> pair_set;
+  std::unordered_set<uint64_t> pair_set;  // PackPair keys; membership only
+  int64_t next_lid = 1;
 
   Date start = Date::FromCivil(cfg.start_year, cfg.start_month, cfg.start_day);
 
-  auto random_action = [&]() {
-    return std::string(
-        kActions[rng.Uniform(sizeof(kActions) / sizeof(kActions[0]))]);
+  auto random_action = [&]() -> const char* {
+    return kActions[rng.Uniform(sizeof(kActions) / sizeof(kActions[0]))];
   };
   auto push_access = [&](int64_t time, int64_t user, int64_t patient,
-                         const std::string& reason) {
-    accesses.push_back(
+                         const char* reason) {
+    day_accesses.push_back(
         PendingAccess{time, user, patient, random_action(), reason});
   };
 
@@ -281,7 +301,7 @@ StatusOr<CareWebData> GenerateCareWeb(const CareWebConfig& cfg) {
              static_cast<int64_t>(rng.Uniform(10 * 3600));
     };
     const size_t pairs_before_today = known_pairs.size();
-    const size_t accesses_at_day_start = accesses.size();
+    day_accesses.clear();
 
     for (TeamState& team : teams) {
       if (team.truth.doctors.empty()) continue;
@@ -292,7 +312,7 @@ StatusOr<CareWebData> GenerateCareWeb(const CareWebConfig& cfg) {
         int64_t doctor = rng.Choice(team.truth.doctors);
         int64_t t0 = time_in_day();
         bool missing = rng.Bernoulli(cfg.missing_event_prob);
-        std::string base_reason = missing ? "missing_event" : "";
+        const char* base_reason = missing ? "missing_event" : "";
 
         if (!missing) {
           EBA_RETURN_IF_ERROR(appointments->AppendRow(
@@ -394,7 +414,7 @@ StatusOr<CareWebData> GenerateCareWeb(const CareWebConfig& cfg) {
     }
 
     // Random, unexplainable accesses (snooping-like).
-    size_t organic_today = accesses.size() - accesses_at_day_start;
+    size_t organic_today = day_accesses.size();
     uint64_t n_random = rng.Poisson(
         cfg.random_access_rate * static_cast<double>(organic_today));
     for (uint64_t i = 0; i < n_random; ++i) {
@@ -405,26 +425,29 @@ StatusOr<CareWebData> GenerateCareWeb(const CareWebConfig& cfg) {
     }
 
     // Register today's new pairs.
-    for (size_t i = accesses_at_day_start; i < accesses.size(); ++i) {
-      auto pair = std::make_pair(accesses[i].user, accesses[i].patient);
-      if (pair_set.insert(pair).second) known_pairs.push_back(pair);
+    for (const PendingAccess& access : day_accesses) {
+      if (pair_set.insert(PackPair(access.user, access.patient)).second) {
+        known_pairs.emplace_back(access.user, access.patient);
+      }
     }
-  }
 
-  // --- Materialize the log in time order with sequential lids. ---
-  std::stable_sort(accesses.begin(), accesses.end(),
-                   [](const PendingAccess& a, const PendingAccess& b) {
-                     return a.time < b.time;
-                   });
-  log_table->Reserve(accesses.size());
-  int64_t next_lid = 1;
-  for (const auto& access : accesses) {
-    int64_t lid = next_lid++;
-    EBA_RETURN_IF_ERROR(log_table->AppendRow(
-        {Value::Int64(lid), Value::Timestamp(access.time),
-         Value::Int64(access.user), Value::Int64(access.patient),
-         Value::String(access.action)}));
-    truth.access_reason.emplace(lid, access.reason);
+    // Flush: sort today's accesses and stream them into the chunked log
+    // with sequential lids. Disjoint day time ranges make the result
+    // byte-identical to sorting the whole log at the end.
+    std::stable_sort(day_accesses.begin(), day_accesses.end(),
+                     [](const PendingAccess& a, const PendingAccess& b) {
+                       return a.time < b.time;
+                     });
+    for (const PendingAccess& access : day_accesses) {
+      int64_t lid = next_lid++;
+      EBA_RETURN_IF_ERROR(log_table->AppendRow(
+          {Value::Int64(lid), Value::Timestamp(access.time),
+           Value::Int64(access.user), Value::Int64(access.patient),
+           Value::String(access.action)}));
+      if (cfg.track_access_reasons) {
+        truth.access_reason.emplace(lid, access.reason);
+      }
+    }
   }
 
   for (TeamState& team : teams) {

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "log/access_log.h"
+#include "storage/chunk.h"
 
 namespace eba {
 
@@ -133,8 +134,10 @@ StatusOr<ExplanationReport> ExplanationEngine::ExplainAll(
   // shards, then concatenate per-shard results in shard order. Shard
   // boundaries never reorder rows, so the merged vectors match the serial
   // scan before the final sort — the report is thread-count invariant.
-  std::vector<ShardRange> shards =
-      SplitShards(log.size(), threads, options.min_rows_per_shard);
+  // Shards align to column-chunk boundaries: a worker's scan stays within
+  // the chunks it owns instead of sharing its edge chunks with neighbors.
+  std::vector<ShardRange> shards = SplitShardsAligned(
+      log.size(), threads, options.min_rows_per_shard, kColumnChunkRows);
   std::vector<std::vector<int64_t>> shard_explained(shards.size());
   std::vector<std::vector<int64_t>> shard_unexplained(shards.size());
   ParallelFor(pool.get(), shards.size(), [&](size_t s) {

@@ -11,6 +11,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "log/access_log.h"
+#include "storage/chunk.h"
 
 namespace eba {
 
@@ -353,13 +354,16 @@ StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
   report.per_template_delta_counts.assign(templates.size(), 0);
 
   // --- New lids, in row order (sharded scan, shard-ordered merge). ---
-  std::vector<ShardRange> shards =
-      SplitShards(to - from, threads, options.min_rows_per_shard);
+  // Shards hold absolute row ids aligned to column-chunk boundaries (the
+  // append watermark `from` is rarely chunk-aligned; the first shard
+  // absorbs the unaligned head).
+  std::vector<ShardRange> shards = SplitShardsAlignedRange(
+      from, to, threads, options.min_rows_per_shard, kColumnChunkRows);
   std::vector<std::vector<int64_t>> shard_lids(shards.size());
   ParallelFor(pool, shards.size(), [&](size_t s) {
     shard_lids[s].reserve(shards[s].end - shards[s].begin);
     for (size_t r = shards[s].begin; r < shards[s].end; ++r) {
-      shard_lids[s].push_back(log.Get(from + r).lid);
+      shard_lids[s].push_back(log.Get(r).lid);
     }
   });
   std::vector<int64_t> new_lids;
@@ -426,24 +430,48 @@ StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
     }
   }
 
-  // --- Evaluate every template restricted to the new lids. ---
+  // --- Evaluate every template restricted to the new lids, sharded by lid
+  // --- range. A template count with only templates.size() tasks leaves the
+  // --- pool idle whenever one template dominates (or there are fewer
+  // --- templates than threads); fanning each template out over contiguous
+  // --- lid ranges gives the pool templates x shards tasks. The ranges
+  // --- partition the (distinct) new lids, so per-shard results are
+  // --- disjoint: per-template counts are the sum of shard result sizes and
+  // --- the explained set is their union — byte-identical to the unsharded
+  // --- evaluation at any thread count.
   std::unordered_set<int64_t> newly_explained;
   if (!new_lids.empty()) {
     std::vector<Value> lid_values;
     lid_values.reserve(new_lids.size());
     for (int64_t lid : new_lids) lid_values.push_back(Value::Int64(lid));
-    std::vector<StatusOr<std::vector<int64_t>>> per_template(
-        templates.size(),
+    const std::vector<ShardRange> lid_shards = SplitShards(
+        lid_values.size(), threads, options.min_rows_per_shard);
+    const size_t num_shards = std::max<size_t>(1, lid_shards.size());
+    std::vector<StatusOr<std::vector<int64_t>>> results(
+        templates.size() * num_shards,
         StatusOr<std::vector<int64_t>>(Status::Internal("not evaluated")));
-    ParallelFor(pool, templates.size(), [&](size_t i) {
+    ParallelFor(pool, results.size(), [&](size_t k) {
+      const size_t i = k / num_shards;
+      const size_t s = k % num_shards;
+      const size_t begin = lid_shards.empty() ? 0 : lid_shards[s].begin;
+      const size_t end = lid_shards.empty() ? lid_values.size()
+                                            : lid_shards[s].end;
+      const std::vector<Value> shard_values(
+          lid_values.begin() + static_cast<long>(begin),
+          lid_values.begin() + static_cast<long>(end));
       Executor executor(db_, exec);
-      per_template[i] = executor.DistinctLidsFor(
-          templates[i].query(), templates[i].lid_attr(), lid_values);
+      results[k] = executor.DistinctLidsFor(
+          templates[i].query(), templates[i].lid_attr(), shard_values);
     });
     for (size_t i = 0; i < templates.size(); ++i) {
-      if (!per_template[i].ok()) return per_template[i].status();
-      report.per_template_counts[i] = per_template[i]->size();
-      newly_explained.insert(per_template[i]->begin(), per_template[i]->end());
+      size_t count = 0;
+      for (size_t s = 0; s < num_shards; ++s) {
+        StatusOr<std::vector<int64_t>>& result = results[i * num_shards + s];
+        if (!result.ok()) return result.status();
+        count += result->size();
+        newly_explained.insert(result->begin(), result->end());
+      }
+      report.per_template_counts[i] = count;
     }
   }
 

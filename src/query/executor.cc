@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "query/optimizer.h"
 #include "query/plan_cache.h"
+#include "storage/chunk.h"
 
 namespace eba {
 
@@ -136,8 +137,12 @@ struct ParCtx {
 
   std::vector<ShardRange> Morsels(size_t n) const {
     if (pool == nullptr || threads <= 1) return {};
-    std::vector<ShardRange> shards =
-        SplitShards(n, threads, std::max<size_t>(1, min_rows));
+    // Chunk-aligned when it costs no shards: for the variable-0 scan (frame
+    // positions == table rows) a probe morsel then never straddles a column
+    // chunk; for gathered frames the aligned split is just another legal
+    // contiguous partition (merges are shard-ordered either way).
+    std::vector<ShardRange> shards = SplitShardsAligned(
+        n, threads, std::max<size_t>(1, min_rows), kColumnChunkRows);
     if (shards.size() <= 1) return {};
     if (stats != nullptr) {
       stats->max_probe_shards = std::max(stats->max_probe_shards, shards.size());

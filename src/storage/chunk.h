@@ -1,0 +1,112 @@
+// ChunkedVector: a fixed-chunk append-only vector for column payloads.
+//
+// The monolithic std::vector payload was the scaling bottleneck: growing an
+// 18M-row column reallocates and copies hundreds of megabytes, and a morsel
+// scan that straddles a reallocation point reads memory the allocator just
+// moved. ChunkedVector stores elements in fixed 64k-element chunks appended
+// to an outer directory — growth never copies completed chunks (the outer
+// vector moves cheap inner-vector handles, not payload), element addresses
+// in completed chunks are stable, and a scan aligned to chunk boundaries
+// touches exactly the chunks it owns.
+//
+// Only the operations Column needs are provided; this is not a general
+// std::vector replacement. Random access is shift+mask+double-indirection;
+// sequential scans should use ForEachSpan, which hands out raw per-chunk
+// spans so inner loops run at plain-array speed.
+
+#ifndef EBA_STORAGE_CHUNK_H_
+#define EBA_STORAGE_CHUNK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace eba {
+
+/// Rows per chunk. 64k rows keeps an int64 chunk at 512 KB — large enough
+/// that per-chunk overhead vanishes, small enough that the tail chunk's
+/// geometric growth copies a bounded amount and a chunk-aligned morsel is a
+/// sensible unit of parallel work.
+inline constexpr size_t kColumnChunkShift = 16;
+inline constexpr size_t kColumnChunkRows = size_t{1} << kColumnChunkShift;
+inline constexpr size_t kColumnChunkMask = kColumnChunkRows - 1;
+
+template <typename T>
+class ChunkedVector {
+ public:
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) {
+    return chunks_[i >> kColumnChunkShift][i & kColumnChunkMask];
+  }
+  const T& operator[](size_t i) const {
+    return chunks_[i >> kColumnChunkShift][i & kColumnChunkMask];
+  }
+
+  void push_back(const T& v) { EmplaceSlot() = v; }
+  void push_back(T&& v) { EmplaceSlot() = std::move(v); }
+
+  /// Pre-sizes the chunk directory (and the first tail chunk) for n total
+  /// elements. Completed chunks are never reallocated, so this only saves
+  /// the outer-vector growth and the tail chunk's geometric steps.
+  void Reserve(size_t n) {
+    chunks_.reserve((n + kColumnChunkRows - 1) >> kColumnChunkShift);
+    if (!chunks_.empty()) {
+      std::vector<T>& tail = chunks_.back();
+      size_t want = n - ((chunks_.size() - 1) << kColumnChunkShift);
+      tail.reserve(want < kColumnChunkRows ? want : kColumnChunkRows);
+    }
+  }
+
+  /// Replaces the contents with n copies of `value` (used for the lazy
+  /// null-bitmap backfill).
+  void assign(size_t n, const T& value) {
+    chunks_.clear();
+    size_ = 0;
+    while (size_ < n) {
+      size_t take = n - size_;
+      if (take > kColumnChunkRows) take = kColumnChunkRows;
+      chunks_.emplace_back(take, value);
+      size_ += take;
+    }
+  }
+
+  size_t num_chunks() const { return chunks_.size(); }
+
+  /// Invokes fn(first_row, data, count) for each maximal run of rows in
+  /// [begin, end) lying within a single chunk; `data` points at the slot of
+  /// row `first_row`. The chunk-aware scan primitive: index builds, stats
+  /// folds, and kernel loops iterate spans instead of per-row operator[].
+  template <typename Fn>
+  void ForEachSpan(size_t begin, size_t end, Fn&& fn) const {
+    if (end > size_) end = size_;
+    while (begin < end) {
+      const size_t chunk = begin >> kColumnChunkShift;
+      const size_t offset = begin & kColumnChunkMask;
+      size_t count = kColumnChunkRows - offset;
+      if (count > end - begin) count = end - begin;
+      fn(begin, chunks_[chunk].data() + offset, count);
+      begin += count;
+    }
+  }
+
+ private:
+  T& EmplaceSlot() {
+    if (chunks_.empty() || chunks_.back().size() == kColumnChunkRows) {
+      chunks_.emplace_back();
+    }
+    std::vector<T>& tail = chunks_.back();
+    tail.emplace_back();
+    ++size_;
+    return tail.back();
+  }
+
+  std::vector<std::vector<T>> chunks_;
+  size_t size_ = 0;
+};
+
+}  // namespace eba
+
+#endif  // EBA_STORAGE_CHUNK_H_

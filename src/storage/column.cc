@@ -10,9 +10,9 @@ Column::Column(DataType type) : type_(type) {
 
 void Column::Reserve(size_t n) {
   if (type_ == DataType::kDouble) {
-    doubles_.reserve(n);
+    doubles_.Reserve(n);
   } else {
-    ints_.reserve(n);
+    ints_.Reserve(n);
   }
 }
 

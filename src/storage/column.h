@@ -1,10 +1,17 @@
 // Column: an append-only typed vector with dictionary-encoded strings.
 //
-// Integer-like types (bool/int64/timestamp) share an int64 payload vector so
-// the join machinery has a single fast path. Strings are dictionary-encoded:
+// Integer-like types (bool/int64/timestamp) share an int64 payload so the
+// join machinery has a single fast path. Strings are dictionary-encoded:
 // the payload stores a code into a per-column dictionary, which makes
 // grouping and joining on strings cheap and keeps memory bounded for the
 // highly repetitive categorical attributes (department codes, action codes).
+//
+// Payloads are stored in fixed 64k-row chunks (storage/chunk.h): tables
+// grow by appending chunks instead of reallocating, so an append never
+// copies existing rows and completed-chunk addresses stay stable. All
+// payload access goes through the typed accessors or the ForEach*Span scan
+// primitives — nothing outside storage/ sees the chunk layout (enforced by
+// the column-payload lint rule).
 
 #ifndef EBA_STORAGE_COLUMN_H_
 #define EBA_STORAGE_COLUMN_H_
@@ -17,6 +24,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "storage/chunk.h"
 
 namespace eba {
 
@@ -92,17 +100,28 @@ class Column {
   void MaterializeRange(const std::vector<uint32_t>& row_ids, size_t begin,
                         size_t end, Value* out) const;
 
+  /// Chunk-aware scan over the int64 payload (int-like and string columns —
+  /// for strings the values are dictionary codes): invokes
+  /// fn(first_row, data, count) for each maximal single-chunk run of rows
+  /// in [begin, end). Incremental index builds and stats folds use this so
+  /// their inner loops run over raw per-chunk arrays instead of per-row
+  /// shift+mask access.
+  template <typename Fn>
+  void ForEachInt64Span(size_t begin, size_t end, Fn&& fn) const {
+    ints_.ForEachSpan(begin, end, fn);
+  }
+
  private:
   int64_t InternString(const std::string& s);
 
   DataType type_;
   size_t size_ = 0;
   size_t null_count_ = 0;
-  std::vector<int64_t> ints_;
-  std::vector<double> doubles_;
+  ChunkedVector<int64_t> ints_;
+  ChunkedVector<double> doubles_;
   std::vector<std::string> dict_;
   std::unordered_map<std::string, int64_t> dict_lookup_;
-  std::vector<uint8_t> nulls_;  // allocated lazily on first NULL
+  ChunkedVector<uint8_t> nulls_;  // allocated lazily on first NULL
 };
 
 }  // namespace eba

@@ -17,10 +17,18 @@ HashIndex::HashIndex(const Column* column) : column_(column) {
 void HashIndex::ExtendTo(size_t num_rows) {
   EBA_CHECK(num_rows <= column_->size());
   if (column_->IsIntLike() || column_->IsString()) {
-    for (size_t row = indexed_rows_; row < num_rows; ++row) {
-      if (column_->IsNull(row)) continue;
-      int_map_[column_->Int64At(row)].push_back(static_cast<uint32_t>(row));
-    }
+    // Chunk-aware fold: the span callback hands a raw per-chunk payload
+    // array (int values or dictionary codes), so the inner loop indexes a
+    // plain array instead of doing shift+mask access per row.
+    column_->ForEachInt64Span(
+        indexed_rows_, num_rows,
+        [&](size_t first_row, const int64_t* data, size_t count) {
+          for (size_t i = 0; i < count; ++i) {
+            const size_t row = first_row + i;
+            if (column_->IsNull(row)) continue;
+            int_map_[data[i]].push_back(static_cast<uint32_t>(row));
+          }
+        });
   } else {
     for (size_t row = indexed_rows_; row < num_rows; ++row) {
       if (column_->IsNull(row)) continue;

@@ -8,20 +8,40 @@ void IncrementalColumnStats::ExtendTo(const Column& column) {
   // stats reference outside the table's lazy mutex, so an already-current
   // summary must not be rewritten (even with identical values).
   if (n == rows_seen_) return;
-  for (size_t row = rows_seen_; row < n; ++row) {
-    if (column.IsNull(row)) continue;
-    Value v = column.Get(row);
-    if (column.IsIntLike()) {
-      distinct_ints_.insert(column.Int64At(row));
-    } else if (!column.IsString()) {  // string distinct uses the dictionary
-      distinct_values_.insert(v);
-    }
-    if (stats_.min.is_null()) {
-      stats_.min = v;
-      stats_.max = std::move(v);
-    } else {
-      if (v < stats_.min) stats_.min = v;
-      if (stats_.max < v) stats_.max = std::move(v);
+  if (column.IsIntLike()) {
+    // Chunk-aware fold over the raw int64 payload: distinct set and
+    // min/max run over per-chunk arrays; boxing happens only when a new
+    // extremum is recorded.
+    column.ForEachInt64Span(
+        rows_seen_, n,
+        [&](size_t first_row, const int64_t* data, size_t count) {
+          for (size_t i = 0; i < count; ++i) {
+            if (column.IsNull(first_row + i)) continue;
+            distinct_ints_.insert(data[i]);
+            Value v = column.Get(first_row + i);
+            if (stats_.min.is_null()) {
+              stats_.min = v;
+              stats_.max = std::move(v);
+            } else {
+              if (v < stats_.min) stats_.min = v;
+              if (stats_.max < v) stats_.max = std::move(v);
+            }
+          }
+        });
+  } else {
+    for (size_t row = rows_seen_; row < n; ++row) {
+      if (column.IsNull(row)) continue;
+      Value v = column.Get(row);
+      if (!column.IsString()) {  // string distinct uses the dictionary
+        distinct_values_.insert(v);
+      }
+      if (stats_.min.is_null()) {
+        stats_.min = v;
+        stats_.max = std::move(v);
+      } else {
+        if (v < stats_.min) stats_.min = v;
+        if (stats_.max < v) stats_.max = std::move(v);
+      }
     }
   }
   rows_seen_ = n;

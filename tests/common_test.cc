@@ -503,5 +503,98 @@ TEST(SplitShardsTest, UnevenRemainderSpreadsOverLeadingShards) {
   EXPECT_EQ(sizes, (std::vector<size_t>{3, 3, 2, 2}));
 }
 
+TEST(SplitShardsTest, ShardSizesNeverDifferByMoreThanOne) {
+  // The balance invariant: a remainder is spread one element at a time over
+  // the leading shards, never accumulated onto the last shard (which would
+  // make it up to ~2x the others and set the wall-clock of the whole wave).
+  for (size_t n : {1u, 7u, 100u, 101u, 999u, 1000u, 65536u, 65537u}) {
+    for (size_t max_shards : {1u, 2u, 3u, 4u, 7u, 16u}) {
+      for (size_t min_per : {1u, 10u, 4096u}) {
+        auto shards = SplitShards(n, max_shards, min_per);
+        ASSERT_FALSE(shards.empty());
+        size_t lo = n, hi = 0, total = 0, expect_begin = 0;
+        for (const auto& s : shards) {
+          ASSERT_EQ(s.begin, expect_begin);
+          ASSERT_LT(s.begin, s.end);
+          const size_t len = s.end - s.begin;
+          lo = std::min(lo, len);
+          hi = std::max(hi, len);
+          total += len;
+          expect_begin = s.end;
+        }
+        EXPECT_EQ(total, n) << "n=" << n;
+        EXPECT_LE(hi - lo, 1u)
+            << "n=" << n << " max_shards=" << max_shards
+            << " min_per=" << min_per;
+        EXPECT_LE(shards.size(), max_shards);
+      }
+    }
+  }
+}
+
+TEST(SplitShardsAlignedTest, InteriorBoundariesLieOnAlignment) {
+  const size_t kAlign = 1u << 16;
+  // 5 chunks and a partial tail, 4 shards: boundaries must be multiples of
+  // the alignment, sizes within one chunk of each other.
+  const size_t n = 5 * kAlign + 1234;
+  auto shards = SplitShardsAligned(n, 4, 1, kAlign);
+  ASSERT_EQ(shards.size(), 4u);
+  size_t expect_begin = 0, lo = n, hi = 0;
+  for (size_t s = 0; s < shards.size(); ++s) {
+    EXPECT_EQ(shards[s].begin, expect_begin);
+    if (s + 1 < shards.size()) {
+      EXPECT_EQ(shards[s].end % kAlign, 0u) << "shard " << s;
+    }
+    const size_t len = shards[s].end - shards[s].begin;
+    lo = std::min(lo, len);
+    hi = std::max(hi, len);
+    expect_begin = shards[s].end;
+  }
+  EXPECT_EQ(shards.back().end, n);
+  // Remainder chunks spread over leading shards: no shard exceeds another
+  // by more than one alignment block.
+  EXPECT_LE(hi - lo, kAlign);
+}
+
+TEST(SplitShardsAlignedTest, FallsBackWhenAlignmentWouldCostShards) {
+  // 18k rows fit inside one 64k chunk; a strict aligned split would yield a
+  // single shard and de-parallelize mid-size workloads. The fallback must
+  // return the plain even split instead.
+  auto aligned = SplitShardsAligned(18000, 4, 1, 1u << 16);
+  auto plain = SplitShards(18000, 4, 1);
+  ASSERT_EQ(aligned.size(), plain.size());
+  for (size_t s = 0; s < aligned.size(); ++s) {
+    EXPECT_EQ(aligned[s].begin, plain[s].begin);
+    EXPECT_EQ(aligned[s].end, plain[s].end);
+  }
+}
+
+TEST(SplitShardsAlignedTest, RangeVariantAlignsAbsoluteRows) {
+  const size_t kAlign = 100;
+  // An unaligned watermark start: interior boundaries are absolute
+  // multiples of the alignment; the first shard absorbs the ragged head.
+  auto shards = SplitShardsAlignedRange(250, 1050, 4, 1, kAlign);
+  ASSERT_GT(shards.size(), 1u);
+  EXPECT_EQ(shards.front().begin, 250u);
+  EXPECT_EQ(shards.back().end, 1050u);
+  for (size_t s = 0; s + 1 < shards.size(); ++s) {
+    EXPECT_EQ(shards[s].end, shards[s + 1].begin);
+    EXPECT_EQ(shards[s].end % kAlign, 0u) << "shard " << s;
+  }
+}
+
+TEST(SplitShardsAlignedTest, EmptyAndDegenerateRanges) {
+  EXPECT_TRUE(SplitShardsAligned(0, 4, 1, 64).empty());
+  EXPECT_TRUE(SplitShardsAlignedRange(10, 10, 4, 1, 64).empty());
+  // alignment <= 1 degrades to SplitShards exactly.
+  auto a = SplitShardsAligned(10, 4, 1, 1);
+  auto b = SplitShards(10, 4, 1);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].begin, b[s].begin);
+    EXPECT_EQ(a[s].end, b[s].end);
+  }
+}
+
 }  // namespace
 }  // namespace eba

@@ -27,6 +27,16 @@ enforces five invariants over src/ (and CMake test registration):
      through storage/io.h; `// lint:raw-io` overrides per line, and a
      line-1 annotation exempts a whole file (io.cc IS the seam — every raw
      call is supposed to live there).
+  R6 column-payload: Column payloads live in fixed 64k-row chunks
+     (storage/chunk.h), so outside src/storage/ there is no contiguous
+     array to point into — a ChunkedVector escaping storage/, a column
+     payload member (ints_/doubles_/nulls_/dict_lookup_), or a raw
+     .data() taken off a column all assume the monolithic layout that
+     chunking removed and would read garbage past a chunk seam. Go through
+     the typed accessors or the ForEach*Span scan primitives;
+     `// lint:column-data` overrides (e.g. a span pointer handed out BY the
+     accessor itself). The chunk-size constants (kColumnChunkRows et al.)
+     are fine anywhere — aligning shards to chunks is the point.
 
 Exit status: 0 = clean, 1 = violations found, 2 = usage/IO error.
 """
@@ -74,6 +84,24 @@ RAW_IO_PATTERNS = [
 # Only durability code is held to the Env-seam rule; the rest of src/ may
 # use streams (e.g. report writers) without fault-injection coverage.
 RAW_IO_SUBTREE = "src/storage/"
+
+# R6: the chunked-payload layout must not leak out of this subtree. Inside
+# it, Column/ChunkedVector implementation code touches payloads directly by
+# design.
+COLUMN_PAYLOAD_SUBTREE = "src/storage/"
+
+COLUMN_PAYLOAD_PATTERNS = [
+    (re.compile(r"\bChunkedVector\s*<"),
+     "a ChunkedVector (the chunked payload container)"),
+    (re.compile(r"\b(?:ints_|doubles_|nulls_|dict_lookup_)\b"),
+     "a Column payload member"),
+]
+
+# A .data() pointer taken on the same line as a column expression: the
+# classic pre-chunking idiom (`&col->...data()[row]`) that assumes one
+# contiguous array. Heuristic on purpose — the fixture self-tests pin it.
+COLUMN_DATA_CALL = re.compile(r"(?:\.|->)\s*data\s*\(")
+COLUMN_MENTION = re.compile(r"[Cc]olumn")
 
 ADD_TEST = re.compile(r"\badd_test\s*\(\s*(?:NAME\s+)?(\S+)")
 SET_TESTS_PROPERTIES = re.compile(r"\bset_tests_properties\s*\(\s*(\S+)")
@@ -126,6 +154,11 @@ def check_cpp_file(path, rel, findings):
         rel.replace(os.sep, "/").startswith(RAW_IO_SUBTREE)
         and not (lines and "lint:raw-io" in lines[0]))
 
+    # R6 scope: everything outside the storage subtree (where the chunk
+    # layout is implementation detail, not leakage).
+    check_column_payload = not rel.replace(os.sep, "/").startswith(
+        COLUMN_PAYLOAD_SUBTREE)
+
     for i, raw in enumerate(lines):
         code = strip_comment(raw)
 
@@ -177,6 +210,26 @@ def check_cpp_file(path, rel, findings):
                         "(no fault injection, no fsync policy); route "
                         "through storage/io.h or annotate "
                         "`// lint:raw-io <why>`"))
+
+        # R6: chunked column payloads accessed as if monolithic.
+        if check_column_payload and not has_annotation(lines, i,
+                                                       "column-data"):
+            for pattern, what in COLUMN_PAYLOAD_PATTERNS:
+                if pattern.search(code):
+                    findings.append(Finding(
+                        rel, i + 1, "column-payload",
+                        f"{what} outside {COLUMN_PAYLOAD_SUBTREE} bypasses "
+                        "the chunk accessors; use the typed accessors / "
+                        "ForEach*Span or annotate "
+                        "`// lint:column-data <why>`"))
+            if (COLUMN_DATA_CALL.search(code)
+                    and COLUMN_MENTION.search(code)):
+                findings.append(Finding(
+                    rel, i + 1, "column-payload",
+                    "raw .data() on a column expression assumes one "
+                    "contiguous payload array (chunked since "
+                    "storage/chunk.h); scan via ForEach*Span or annotate "
+                    "`// lint:column-data <why>`"))
 
 
 def check_cmake_file(path, rel, findings):

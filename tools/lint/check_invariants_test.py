@@ -206,6 +206,60 @@ void Append(Env* env, const std::string& path) {
         self.assert_clean(run_lint(self.root))
 
 
+class ColumnPayload(LintFixture):
+    def test_chunked_vector_outside_storage_is_flagged(self):
+        self.write("src/query/gather.cc", """
+#include "storage/chunk.h"
+void Gather(const ChunkedVector<int64_t>& payload) {}
+""")
+        self.assert_flags(run_lint(self.root), "column-payload")
+
+    def test_payload_member_outside_storage_is_flagged(self):
+        self.write("src/query/hack.cc",
+                   "const auto& raw = column->ints_;\n")
+        self.assert_flags(run_lint(self.root), "column-payload")
+
+    def test_column_data_call_outside_storage_is_flagged(self):
+        self.write("src/query/scan.cc",
+                   "const int64_t* base = column_ints.data();\n")
+        self.assert_flags(run_lint(self.root), "column-payload")
+
+    def test_chunked_vector_inside_storage_is_allowed(self):
+        self.write("src/storage/column2.h",
+                   "ChunkedVector<int64_t> ints_;\n")
+        self.assert_clean(run_lint(self.root))
+
+    def test_plain_vector_data_is_not_flagged(self):
+        # .data() on a non-column vector (output buffers, string payloads)
+        # stays legal outside storage/.
+        self.write("src/query/buffer.cc",
+                   "std::vector<Value> out;\n"
+                   "Fill(out.data(), out.size());\n")
+        self.assert_clean(run_lint(self.root))
+
+    def test_chunk_constants_are_allowed_anywhere(self):
+        self.write("src/core/shard.cc", """
+#include "storage/chunk.h"
+size_t Align(size_t n) { return n & ~kColumnChunkMask; }
+""")
+        self.assert_clean(run_lint(self.root))
+
+    def test_span_accessor_is_allowed(self):
+        self.write("src/query/probe.cc", """
+void Probe(const Column& col, size_t n) {
+  col.ForEachInt64Span(0, n, [](size_t row, const int64_t* data, size_t c) {
+  });
+}
+""")
+        self.assert_clean(run_lint(self.root))
+
+    def test_column_data_annotation_is_allowed(self):
+        self.write("src/query/scan.cc",
+                   "// lint:column-data span pointer from ForEachInt64Span\n"
+                   "Consume(column_span.data());\n")
+        self.assert_clean(run_lint(self.root))
+
+
 class TestTimeout(LintFixture):
     def test_add_test_without_timeout_is_flagged(self):
         self.write("tests/CMakeLists.txt",
