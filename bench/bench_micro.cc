@@ -497,6 +497,14 @@ int RunExecutorJsonBench(const std::string& path, bool smoke) {
   stream_options.smoke = smoke;
   const StreamingBenchResult streaming = RunStreamingBench(stream_options);
 
+  // Concurrent ingest: writer throughput with snapshot-pinned readers
+  // auditing the live table, relative to append-only (gated with an
+  // absolute floor by compare_bench.py).
+  ConcurrentIngestOptions concurrent_options;
+  concurrent_options.smoke = smoke;
+  const ConcurrentIngestResult concurrent =
+      RunConcurrentIngestBench(concurrent_options);
+
   // Durability: WAL append overhead (A/B vs plain appends) and the
   // time-to-recover vs full-re-audit ratio, both gated by compare_bench.py.
   DurabilityBenchOptions durability_options;
@@ -553,6 +561,7 @@ int RunExecutorJsonBench(const std::string& path, bool smoke) {
   }
   std::fprintf(f, "    },\n");
   std::fprintf(f, "    \"streaming\": {\n");
+  WriteConcurrentIngestJson(f, concurrent, "      ");
   WriteStreamingJson(f, streaming, "      ");
   std::fprintf(f, "    },\n");
   std::fprintf(f, "    \"durability\": {\n");
@@ -586,6 +595,15 @@ int RunExecutorJsonBench(const std::string& path, bool smoke) {
               100.0 * streaming.PlanCacheHitRate(),
               streaming.matches_full_explain_all ? "matches"
                                                  : "DIVERGES FROM");
+  std::printf("concurrent ingest: %.0f rows/s under %zu concurrent audits + "
+              "%zu explains vs %.0f rows/s append-only (%.2fx, %s full "
+              "ExplainAll)\n",
+              concurrent.ConcurrentRowsPerSecond(),
+              concurrent.concurrent_audits, concurrent.point_explains,
+              concurrent.AppendOnlyRowsPerSecond(),
+              concurrent.ConcurrentAppendRelativeThroughput(),
+              concurrent.matches_full_explain_all ? "matches"
+                                                  : "DIVERGES FROM");
   std::printf("durability       : WAL appends %.0f/s vs plain %.0f/s "
               "(%.2fx raw, %.2fx serving), audit-state recovery %.1f ms vs "
               "full re-audit %.1f ms (%.1fx, %s full ExplainAll)\n",
@@ -600,6 +618,7 @@ int RunExecutorJsonBench(const std::string& path, bool smoke) {
                   ? "matches"
                   : "DIVERGES FROM");
   return streaming.matches_full_explain_all &&
+                 concurrent.matches_full_explain_all &&
                  durability.recovered_matches_full_explain_all
              ? 0
              : 1;

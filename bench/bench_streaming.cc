@@ -42,6 +42,14 @@ int main(int argc, char** argv) {
 
   const eba::StreamingBenchResult r = eba::RunStreamingBench(options);
 
+  eba::ConcurrentIngestOptions concurrent_options;
+  concurrent_options.smoke = options.smoke;
+  if (options.num_batches > 0) {
+    concurrent_options.num_batches = options.num_batches;
+  }
+  const eba::ConcurrentIngestResult ci =
+      eba::RunConcurrentIngestBench(concurrent_options);
+
   std::printf("streaming ingest: %zu seed rows + %zu streamed rows in %zu "
               "batches, %zu templates, %zu threads\n",
               r.initial_rows, r.streamed_rows, r.num_batches,
@@ -70,6 +78,13 @@ int main(int argc, char** argv) {
   std::printf("final coverage     : %.1f%% (%s full ExplainAll)\n",
               100.0 * r.final_coverage,
               r.matches_full_explain_all ? "matches" : "DIVERGES FROM");
+  std::printf("concurrent ingest  : %.0f rows/s under %zu concurrent audits "
+              "+ %zu explains vs %.0f rows/s append-only (%.2fx, %s full "
+              "ExplainAll)\n",
+              ci.ConcurrentRowsPerSecond(), ci.concurrent_audits,
+              ci.point_explains, ci.AppendOnlyRowsPerSecond(),
+              ci.ConcurrentAppendRelativeThroughput(),
+              ci.matches_full_explain_all ? "matches" : "DIVERGES FROM");
 
   if (write_json) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -82,13 +97,14 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"smoke\": %s,\n", options.smoke ? "true" : "false");
     eba::bench::WriteMachineJson(f, "  ");
     std::fprintf(f, "  \"streaming\": {\n");
+    eba::WriteConcurrentIngestJson(f, ci, "    ");
     eba::WriteStreamingJson(f, r, "    ");
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
 
-  if (!r.matches_full_explain_all) {
+  if (!r.matches_full_explain_all || !ci.matches_full_explain_all) {
     std::fprintf(stderr,
                  "FAIL: incremental explained set diverges from full "
                  "ExplainAll\n");

@@ -16,11 +16,14 @@
 #define EBA_BENCH_BENCH_STREAMING_UTIL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <limits>
+#include <memory>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -285,9 +288,227 @@ inline StreamingBenchResult RunStreamingBench(
   EBA_CHECK_MSG(full.ok(), full.status().ToString());
   std::unordered_set<int64_t> full_set(full->explained_lids.begin(),
                                        full->explained_lids.end());
-  result.matches_full_explain_all = auditor.explained_lids() == full_set;
+  result.matches_full_explain_all = auditor.ExplainedSetEquals(full_set);
   result.final_coverage = full->Coverage();
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent-ingest phase: what do snapshot-pinned readers cost the writer?
+// Phase A appends the backlog with no readers (the append-only baseline);
+// phase B replays the identical batches on an identical fresh hospital
+// while reader threads continuously audit (ExplainNew) and serve
+// per-access Explain calls against the live table. Both phases time only
+// the AppendAccessBatch calls, so the ratio isolates what reader
+// concurrency costs the writer — snapshot pins, epoch traffic, watermark
+// publication — rather than generic CPU sharing between loop iterations.
+
+struct ConcurrentIngestOptions {
+  bool smoke = false;
+  size_t num_batches = 0;  // 0 = default (64, smoke 16)
+  int seed_days = 7;
+  size_t audit_threads = 2;  // shards per concurrent ExplainNew
+};
+
+struct ConcurrentIngestResult {
+  size_t streamed_rows = 0;
+  size_t num_batches = 0;
+  size_t concurrent_audits = 0;   // ExplainNew calls overlapping the appends
+  size_t point_explains = 0;      // Explain calls overlapping the appends
+  double append_only_seconds = 0.0;
+  double concurrent_append_seconds = 0.0;
+  /// Self-check: after quiescing, the concurrently-audited explained set
+  /// must equal a fresh full ExplainAll over the final log.
+  bool matches_full_explain_all = false;
+
+  double AppendOnlyRowsPerSecond() const {
+    return append_only_seconds > 0.0
+               ? static_cast<double>(streamed_rows) / append_only_seconds
+               : 0.0;
+  }
+  double ConcurrentRowsPerSecond() const {
+    return concurrent_append_seconds > 0.0
+               ? static_cast<double>(streamed_rows) / concurrent_append_seconds
+               : 0.0;
+  }
+  /// The headline metric, gated with an absolute floor by compare_bench.py:
+  /// writer throughput with concurrent readers relative to append-only.
+  /// Near 1.0 when readers never block the writer; a regression to
+  /// stop-the-world reads drags it toward the audit duty cycle. Saturates
+  /// high if either phase is too fast for the clock to resolve.
+  double ConcurrentAppendRelativeThroughput() const {
+    if (append_only_seconds <= 0.0 || concurrent_append_seconds <= 0.0) {
+      return 1e6;
+    }
+    return append_only_seconds / concurrent_append_seconds;
+  }
+};
+
+inline ConcurrentIngestResult RunConcurrentIngestBench(
+    const ConcurrentIngestOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  auto unwrap_status = [](const Status& s) {
+    EBA_CHECK_MSG(s.ok(), s.ToString());
+  };
+
+  ConcurrentIngestResult result;
+  result.num_batches =
+      options.num_batches > 0 ? options.num_batches : (options.smoke ? 16 : 64);
+
+  // Both phases get an identical fresh hospital (the generator is seeded),
+  // so the batch sequences are byte-identical and the timings comparable.
+  struct Fixture {
+    CareWebData data;
+    std::vector<Row> backlog;
+    std::unique_ptr<StreamingAuditor> auditor;
+    std::vector<int64_t> seed_lids;  // exist for the whole run
+  };
+  auto make_fixture = [&options, &unwrap_status] {
+    Fixture f;
+    CareWebConfig config = CareWebConfig::Small();
+    config.num_days = 14;
+    auto generated = GenerateCareWeb(config);
+    EBA_CHECK_MSG(generated.ok(), generated.status().ToString());
+    f.data = std::move(generated).value();
+    const Table* source_log = f.data.db.GetTable("Log").value();
+    auto source_view = AccessLog::Wrap(source_log);
+    EBA_CHECK_MSG(source_view.ok(), source_view.status().ToString());
+    auto slice = AddLogSlice(&f.data.db, "Log", "LogStream", 1,
+                             options.seed_days, /*first_only=*/false);
+    EBA_CHECK_MSG(slice.ok(), slice.status().ToString());
+    std::unordered_set<size_t> seeded;
+    for (size_t r : source_view->RowsInDayRange(1, options.seed_days)) {
+      seeded.insert(r);
+    }
+    for (size_t r = 0; r < source_log->num_rows(); ++r) {
+      if (!seeded.count(r)) f.backlog.push_back(source_log->GetRow(r));
+    }
+    auto created = StreamingAuditor::Create(&f.data.db, "LogStream");
+    EBA_CHECK_MSG(created.ok(), created.status().ToString());
+    f.auditor = std::make_unique<StreamingAuditor>(std::move(created).value());
+    auto templates = TemplatesHandcraftedDirect(f.data.db, true);
+    EBA_CHECK_MSG(templates.ok(), templates.status().ToString());
+    for (const auto& tmpl : *templates) {
+      unwrap_status(f.auditor->AddTemplate(tmpl));
+    }
+    const Table* stream = f.data.db.GetTable("LogStream").value();
+    auto stream_view = AccessLog::Wrap(stream);
+    EBA_CHECK_MSG(stream_view.ok(), stream_view.status().ToString());
+    for (size_t r = 0; r < stream->num_rows(); ++r) {
+      f.seed_lids.push_back(stream_view->Get(r).lid);
+    }
+    return f;
+  };
+
+  // --- Phase A: append-only baseline. -------------------------------------
+  {
+    Fixture a = make_fixture();
+    result.streamed_rows = a.backlog.size();
+    const size_t batch_size =
+        (a.backlog.size() + result.num_batches - 1) / result.num_batches;
+    for (size_t start = 0; start < a.backlog.size(); start += batch_size) {
+      const size_t end = std::min(start + batch_size, a.backlog.size());
+      const std::vector<Row> batch(a.backlog.begin() + start,
+                                   a.backlog.begin() + end);
+      const auto t0 = Clock::now();
+      unwrap_status(a.auditor->AppendAccessBatch(batch));
+      const auto t1 = Clock::now();
+      result.append_only_seconds +=
+          std::chrono::duration<double>(t1 - t0).count();
+    }
+  }
+
+  // --- Phase B: the same appends under concurrent audits. ------------------
+  {
+    Fixture b = make_fixture();
+    StreamingOptions stream_options;
+    stream_options.num_threads = options.audit_threads;
+    // Cold audit before the clock starts, so the readers replay warm plans
+    // (the serving regime) instead of compiling during the measurement.
+    auto first = b.auditor->ExplainNew(stream_options);
+    EBA_CHECK_MSG(first.ok(), first.status().ToString());
+
+    std::atomic<bool> done{false};
+    std::atomic<size_t> audits{0};
+    std::atomic<size_t> explains{0};
+    std::thread auditing_reader([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        auto report = b.auditor->ExplainNew(stream_options);
+        EBA_CHECK_MSG(report.ok(), report.status().ToString());
+        EBA_CHECK(!report->full_reaudit);
+        audits.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    std::thread point_reader([&] {
+      size_t next = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const int64_t lid = b.seed_lids[next++ % b.seed_lids.size()];
+        auto instances = b.auditor->engine().Explain(lid);
+        EBA_CHECK_MSG(instances.ok(), instances.status().ToString());
+        explains.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+    // Start barrier: on a single-core box the whole append loop can finish
+    // before the OS ever schedules a reader thread, which would time an
+    // unloaded writer. Wait until both readers have completed at least one
+    // iteration so the measured appends genuinely overlap snapshot readers.
+    while (audits.load(std::memory_order_relaxed) == 0 ||
+           explains.load(std::memory_order_relaxed) == 0) {
+      std::this_thread::yield();
+    }
+
+    const size_t batch_size =
+        (b.backlog.size() + result.num_batches - 1) / result.num_batches;
+    for (size_t start = 0; start < b.backlog.size(); start += batch_size) {
+      const size_t end = std::min(start + batch_size, b.backlog.size());
+      const std::vector<Row> batch(b.backlog.begin() + start,
+                                   b.backlog.begin() + end);
+      const auto t0 = Clock::now();
+      unwrap_status(b.auditor->AppendAccessBatch(batch));
+      const auto t1 = Clock::now();
+      result.concurrent_append_seconds +=
+          std::chrono::duration<double>(t1 - t0).count();
+    }
+    done.store(true, std::memory_order_release);
+    auditing_reader.join();
+    point_reader.join();
+    result.concurrent_audits = audits.load();
+    result.point_explains = explains.load();
+
+    // Quiesce and self-check: the concurrently-accumulated explained set
+    // must equal a fresh full audit of the final log.
+    auto last = b.auditor->ExplainNew(stream_options);
+    EBA_CHECK_MSG(last.ok(), last.status().ToString());
+    auto full = b.auditor->engine().ExplainAll();
+    EBA_CHECK_MSG(full.ok(), full.status().ToString());
+    std::unordered_set<int64_t> full_set(full->explained_lids.begin(),
+                                         full->explained_lids.end());
+    result.matches_full_explain_all = b.auditor->ExplainedSetEquals(full_set);
+  }
+  return result;
+}
+
+/// Emits the concurrent-ingest result as a "concurrent_ingest" member
+/// (with trailing comma) for embedding inside the "streaming" JSON object.
+inline void WriteConcurrentIngestJson(std::FILE* f,
+                                      const ConcurrentIngestResult& r,
+                                      const char* pad) {
+  std::fprintf(f, "%s\"concurrent_ingest\": {\n", pad);
+  std::fprintf(f, "%s  \"streamed_rows\": %zu,\n", pad, r.streamed_rows);
+  std::fprintf(f, "%s  \"num_batches\": %zu,\n", pad, r.num_batches);
+  std::fprintf(f, "%s  \"concurrent_audits\": %zu,\n", pad,
+               r.concurrent_audits);
+  std::fprintf(f, "%s  \"point_explains\": %zu,\n", pad, r.point_explains);
+  std::fprintf(f, "%s  \"append_only_rows_per_second\": %.0f,\n", pad,
+               r.AppendOnlyRowsPerSecond());
+  std::fprintf(f, "%s  \"concurrent_rows_per_second\": %.0f,\n", pad,
+               r.ConcurrentRowsPerSecond());
+  std::fprintf(f, "%s  \"concurrent_append_relative_throughput\": %.3f,\n",
+               pad, r.ConcurrentAppendRelativeThroughput());
+  std::fprintf(f, "%s  \"matches_full_explain_all\": %s\n", pad,
+               r.matches_full_explain_all ? "true" : "false");
+  std::fprintf(f, "%s},\n", pad);
 }
 
 // ---------------------------------------------------------------------------
@@ -565,7 +786,7 @@ inline DurabilityBenchResult RunDurabilityBench(
     std::unordered_set<int64_t> full_set(full->explained_lids.begin(),
                                          full->explained_lids.end());
     result.recovered_matches_full_explain_all =
-        recovered.explained_lids() == full_set;
+        recovered.ExplainedSetEquals(full_set);
   }
   unwrap_status(RealEnv()->RemoveAll(dir));
   return result;

@@ -61,6 +61,16 @@ REQUIRED_TOP_LEVEL_KEYS = ("benchmarks",)
 ABSOLUTE_FLOORS = {
     "benchmarks.streaming.plan_cache_hit_rate": 0.9,
     "streaming.plan_cache_hit_rate": 0.9,
+    # ISSUE 9: snapshot-pinned readers must not halve the writer — append
+    # throughput under concurrent audits stays >= 0.5x append-only. Only
+    # meaningful with the writer on its own core (see
+    # ABSOLUTE_FLOOR_MIN_CORES): on one core the ratio measures the OS
+    # scheduler splitting the core three ways (~0.3x fair share), not lock
+    # contention — a writer actually serialized behind audits sits far
+    # lower (~0.04x, one full audit per append batch).
+    "benchmarks.streaming.concurrent_ingest"
+    ".concurrent_append_relative_throughput": 0.5,
+    "streaming.concurrent_ingest.concurrent_append_relative_throughput": 0.5,
     "benchmarks.streaming.foreign_append.speedup_delta_vs_full_reaudit": 5.0,
     "streaming.foreign_append.speedup_delta_vs_full_reaudit": 5.0,
     "benchmarks.durability.wal_append_relative_throughput": 0.35,
@@ -91,6 +101,24 @@ SATURATED_METRICS = {
     # relative regression.
     "benchmarks.durability.wal_append_relative_throughput",
     "durability.wal_append_relative_throughput",
+    # Same shape again: a ratio of two append-phase timings that sits near
+    # 1.0 and swings with scheduler noise — only the absolute floor gates.
+    "benchmarks.streaming.concurrent_ingest"
+    ".concurrent_append_relative_throughput",
+    "streaming.concurrent_ingest.concurrent_append_relative_throughput",
+}
+
+# Concurrency floors only gate when the *current* run had at least this many
+# cores: with fewer, the busy reader threads and the writer time-share one
+# CPU and the ratio reflects scheduler fair-share, not blocking. Below the
+# minimum (or when the current JSON predates the machine block) the floor
+# downgrades to a warning, mirroring bench_scaling's self-skipped speedup
+# gate on small machines. The CI bench job runs on a multi-core runner, so
+# the floor stays hard where it is meaningful.
+ABSOLUTE_FLOOR_MIN_CORES = {
+    "benchmarks.streaming.concurrent_ingest"
+    ".concurrent_append_relative_throughput": 2,
+    "streaming.concurrent_ingest.concurrent_append_relative_throughput": 2,
 }
 
 
@@ -228,6 +256,18 @@ def main():
                       f"current {cur_value:.3f} (floor {floor:.3f}, "
                       "not gated across core counts)")
                 continue
+        min_cores = ABSOLUTE_FLOOR_MIN_CORES.get(path)
+        if (not relative and min_cores is not None
+                and (cur_cores is None or cur_cores < min_cores)):
+            ok = cur_value >= floor
+            verdict = "ok" if ok else "warn(cores)"
+            if not ok:
+                warnings += 1
+            print(f"{verdict:10s} {path}: baseline {base_value:.3f}, "
+                  f"current {cur_value:.3f} (floor {floor:.3f} needs >= "
+                  f"{min_cores} cores to gate; current ran on "
+                  f"{cur_cores if cur_cores is not None else 'unknown'})")
+            continue
         ok = cur_value >= floor
         verdict = "ok" if ok else "REGRESSION"
         kind = "relative " if relative else "absolute "
@@ -247,7 +287,7 @@ def main():
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    suffix = f" ({warnings} cross-machine warning(s))" if warnings else ""
+    suffix = f" ({warnings} ungated warning(s))" if warnings else ""
     print(f"\nall {compared} gated metrics within "
           f"{100 * args.threshold:.0f}% of baseline{suffix}")
     return 0

@@ -21,6 +21,7 @@ GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 def good_bench(speedup=6.0, hit_rate=0.95, matches=True,
                wal_throughput=0.45, serving_throughput=0.92,
                recovery_speedup=40.0, recovered_matches=True,
+               concurrent_throughput=0.9, concurrent_matches=True,
                num_cores=4):
     return {
         "generated_by": "bench_micro --executor_json",
@@ -38,6 +39,11 @@ def good_bench(speedup=6.0, hit_rate=0.95, matches=True,
             "streaming": {
                 "plan_cache_hit_rate": hit_rate,
                 "matches_full_explain_all": matches,
+                "concurrent_ingest": {
+                    "concurrent_append_relative_throughput":
+                        concurrent_throughput,
+                    "matches_full_explain_all": concurrent_matches,
+                },
             },
             "durability": {
                 "wal_append_relative_throughput": wal_throughput,
@@ -167,6 +173,52 @@ class GoodInputs(GateFixture):
     def test_recovered_equivalence_flag_flip_fails(self):
         base = self.write_json("base.json", good_bench())
         cur = self.write_json("cur.json", good_bench(recovered_matches=False))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+    def test_concurrent_ingest_floor_fails_on_multicore(self):
+        # 0.2x means the writer is serialized behind audits; on a machine
+        # with enough cores for the writer and readers to truly overlap the
+        # 0.5 absolute floor must trip.
+        base = self.write_json("base.json",
+                               good_bench(concurrent_throughput=0.9))
+        cur = self.write_json("cur.json",
+                              good_bench(concurrent_throughput=0.2))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("concurrent_append_relative_throughput",
+                      result.stdout + result.stderr)
+
+    def test_concurrent_ingest_gates_absolute_only(self):
+        # Like the WAL raw-append ratio: a big relative swing that stays
+        # above the absolute floor is scheduler noise, not a regression.
+        base = self.write_json("base.json",
+                               good_bench(concurrent_throughput=0.98))
+        cur = self.write_json("cur.json",
+                              good_bench(concurrent_throughput=0.55))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_concurrent_ingest_floor_warns_on_single_core(self):
+        # On one core the writer time-shares the CPU with the busy readers
+        # (~0.3x fair share), so the floor downgrades to a warning — for the
+        # concurrency ratio only; everything else still gates.
+        base = self.write_json("base.json",
+                               good_bench(concurrent_throughput=0.9,
+                                          num_cores=1))
+        cur = self.write_json("cur.json",
+                              good_bench(concurrent_throughput=0.26,
+                                         num_cores=1))
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("warn(cores)", result.stdout)
+        self.assertIn("needs >= 2 cores", result.stdout)
+
+    def test_concurrent_equivalence_stays_hard_on_single_core(self):
+        base = self.write_json("base.json", good_bench(num_cores=1))
+        cur = self.write_json("cur.json",
+                              good_bench(concurrent_matches=False,
+                                         num_cores=1))
         result = self.run_gate(base, cur)
         self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
 

@@ -132,6 +132,42 @@ class CondVar {
   std::condition_variable_any cv_;
 };
 
+/// A release-published size watermark that stays movable (std::atomic is
+/// not). The single writer fills the slots below a new value, then calls
+/// Publish(n) — the release store — so any reader whose acquire Load()
+/// observes n also observes every slot below n fully written. This is the
+/// publication primitive behind every append-only structure a snapshot
+/// reader may scan concurrently with the writer (column payloads, null
+/// bitmaps, dictionaries, table row counts). Moves are not atomic: they
+/// require the same external serialization as moving the owning aggregate.
+class PublishedSize {
+ public:
+  PublishedSize() = default;
+  explicit PublishedSize(size_t value) : value_(value) {}
+
+  PublishedSize(PublishedSize&& other) noexcept
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  PublishedSize& operator=(PublishedSize&& other) noexcept {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+  PublishedSize(const PublishedSize&) = delete;
+  PublishedSize& operator=(const PublishedSize&) = delete;
+
+  /// Writer side: publish `n` after every slot below `n` is written.
+  void Publish(size_t n) { value_.store(n, std::memory_order_release); }
+  /// Reader side: everything below the returned value is safely readable.
+  size_t Load() const { return value_.load(std::memory_order_acquire); }
+  /// Writer side: no ordering (the writer already wrote the slots itself).
+  size_t LoadRelaxed() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<size_t> value_{0};
+};
+
 /// A relaxed atomic counter that stays movable (std::atomic is not), so
 /// aggregates exposing monotonic counters to concurrent readers — bench
 /// loops, report snapshots — keep their defaulted move operations. Moves

@@ -44,6 +44,34 @@ Status Auditor::BuildCollaborativeGroups(
   return Status::OK();
 }
 
+StatusOr<size_t> Auditor::ExtendCollaborativeGroups() {
+  if (!hierarchy_.has_value()) {
+    return Status::FailedPrecondition(
+        "no hierarchy: call BuildCollaborativeGroups first");
+  }
+  EBA_ASSIGN_OR_RETURN(const Table* log_table,
+                       db_->GetTable(options_.log_table));
+  EBA_ASSIGN_OR_RETURN(AccessLog log, AccessLog::Wrap(log_table));
+  // Weights over the full log: a new user's ties are whatever the log shows
+  // by now, which is exactly what a from-scratch rebuild would see.
+  EBA_ASSIGN_OR_RETURN(UserGraph graph, UserGraph::Build(log));
+
+  // user_ids() is in first-appearance log order, so assignment order — and
+  // with it every tie-break and the appended row order — is deterministic.
+  std::vector<GroupAssignment> assignments =
+      hierarchy_->AssignNewUsers(graph, graph.user_ids());
+  if (assignments.empty()) return size_t{0};
+
+  EBA_ASSIGN_OR_RETURN(Table* groups, db_->GetTable(options_.groups_table));
+  groups->Reserve(groups->num_rows() + assignments.size());
+  for (const GroupAssignment& a : assignments) {
+    EBA_RETURN_IF_ERROR(groups->AppendRow({Value::Int64(a.depth),
+                                           Value::Int64(a.group_id),
+                                           Value::Int64(a.user)}));
+  }
+  return assignments.size();
+}
+
 Status Auditor::AddTemplate(const std::string& name,
                             const std::string& from_clause,
                             const std::string& where_clause,
@@ -79,10 +107,14 @@ StatusOr<std::vector<PatientAuditEntry>> Auditor::AuditPatient(
                        db_->GetTable(options_.log_table));
   EBA_ASSIGN_OR_RETURN(AccessLog log, AccessLog::Wrap(log_table));
 
+  // One snapshot for the whole audit: the patient's row list and every
+  // per-access explain see the same watermark.
+  const Database::Snapshot snapshot = db_->CreateSnapshot();
   const HashIndex& index =
       log_table->GetOrBuildIndex(static_cast<size_t>(log.patient_col()));
-  std::vector<uint32_t> rows = index.LookupInt64(patient);
-  std::sort(rows.begin(), rows.end());
+  // Spans are ascending, so clamping to the snapshot keeps timeline order.
+  const RowIdSpan rows =
+      index.LookupInt64(patient).ClampTo(snapshot.BoundOf(log_table));
 
   std::vector<PatientAuditEntry> entries;
   entries.reserve(rows.size());
@@ -90,7 +122,7 @@ StatusOr<std::vector<PatientAuditEntry>> Auditor::AuditPatient(
     PatientAuditEntry entry;
     entry.access = log.Get(r);
     EBA_ASSIGN_OR_RETURN(std::vector<ExplanationInstance> instances,
-                         engine_->Explain(entry.access.lid));
+                         engine_->Explain(entry.access.lid, snapshot));
     entry.explanations.reserve(instances.size());
     for (const auto& inst : instances) {
       entry.explanations.push_back(inst.ToNaturalLanguage(*db_));

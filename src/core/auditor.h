@@ -48,6 +48,18 @@ class Auditor {
   /// The hierarchy built by BuildCollaborativeGroups (nullopt before).
   const std::optional<GroupHierarchy>& hierarchy() const { return hierarchy_; }
 
+  /// Incremental group maintenance: folds users that appeared in the log
+  /// after BuildCollaborativeGroups into the existing hierarchy
+  /// (GroupHierarchy::AssignNewUsers) and APPENDS their membership rows to
+  /// the existing Groups table instead of dropping and rebuilding it. The
+  /// Groups table only grows, so downstream incremental audits classify the
+  /// change as append-only drift — absorbed by the reverse semi-join delta
+  /// pass — rather than a catalog change forcing a full re-audit. Returns
+  /// the number of membership rows appended (0 when no new users showed
+  /// up). Rebuild periodically (BuildCollaborativeGroups) to re-cluster
+  /// from scratch; assignment quality degrades as extensions accumulate.
+  StatusOr<size_t> ExtendCollaborativeGroups();
+
   /// Registers a hand-crafted template from FROM/WHERE text.
   Status AddTemplate(const std::string& name, const std::string& from_clause,
                      const std::string& where_clause,

@@ -39,12 +39,17 @@ Status ExplanationEngine::AddTemplate(const ExplanationTemplate& tmpl) {
 
 StatusOr<std::vector<ExplanationInstance>> ExplanationEngine::Explain(
     int64_t lid) const {
+  return Explain(lid, db_->CreateSnapshot());
+}
+
+StatusOr<std::vector<ExplanationInstance>> ExplanationEngine::Explain(
+    int64_t lid, const Database::Snapshot& snapshot) const {
   // Per-access explains are planning-bound (tiny frames): share the
   // engine's persistent plan cache so the serving loop replays compiled
   // plans instead of re-planning per request.
   ExecutorOptions options;
   options.plan_cache = plan_cache_.get();
-  Executor executor(db_, options);
+  Executor executor(snapshot, options);
   std::vector<ExplanationInstance> instances;
   std::vector<Value> lids = {Value::Int64(lid)};
   for (const auto& tmpl : templates_) {
@@ -67,10 +72,16 @@ StatusOr<std::vector<int64_t>> ExplanationEngine::ExplainedLids(
 
 StatusOr<std::vector<int64_t>> ExplanationEngine::ExplainedLids(
     size_t index, const ExecutorOptions& executor_options) const {
+  return ExplainedLids(index, executor_options, db_->CreateSnapshot());
+}
+
+StatusOr<std::vector<int64_t>> ExplanationEngine::ExplainedLids(
+    size_t index, const ExecutorOptions& executor_options,
+    const Database::Snapshot& snapshot) const {
   if (index >= templates_.size()) {
     return Status::OutOfRange("template index out of range");
   }
-  Executor executor(db_, executor_options);
+  Executor executor(snapshot, executor_options);
   const auto& tmpl = templates_[index];
   // DistinctLids is the semi-join fast path: row ids flow through the whole
   // pipeline and the sorted lid vector is materialized straight from the
@@ -84,11 +95,22 @@ StatusOr<ExplanationReport> ExplanationEngine::ExplainAll() const {
 
 StatusOr<ExplanationReport> ExplanationEngine::ExplainAll(
     const ExplainAllOptions& options) const {
+  return ExplainAll(options, db_->CreateSnapshot());
+}
+
+StatusOr<ExplanationReport> ExplanationEngine::ExplainAll(
+    const ExplainAllOptions& options,
+    const Database::Snapshot& snapshot) const {
   EBA_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(log_table_));
   EBA_ASSIGN_OR_RETURN(AccessLog log, AccessLog::Wrap(table));
 
   ExplanationReport report;
-  report.log_size = log.size();
+  // Everything below — template evaluation AND the classification scan —
+  // sees exactly the rows under the snapshot's log watermark, so a report
+  // computed while the writer keeps appending equals the report over a
+  // quiesced database stopped at the same watermark.
+  const size_t log_rows = snapshot.BoundOf(table);
+  report.log_size = log_rows;
 
   const size_t threads = std::max<size_t>(1, options.num_threads);
 
@@ -120,7 +142,7 @@ StatusOr<ExplanationReport> ExplanationEngine::ExplainAll(
       templates_.size(),
       StatusOr<std::vector<int64_t>>(Status::Internal("not evaluated")));
   ParallelFor(pool.get(), templates_.size(), [&](size_t i) {
-    per_template[i] = ExplainedLids(i, exec);
+    per_template[i] = ExplainedLids(i, exec, snapshot);
   });
 
   std::unordered_set<int64_t> explained;
@@ -137,7 +159,7 @@ StatusOr<ExplanationReport> ExplanationEngine::ExplainAll(
   // Shards align to column-chunk boundaries: a worker's scan stays within
   // the chunks it owns instead of sharing its edge chunks with neighbors.
   std::vector<ShardRange> shards = SplitShardsAligned(
-      log.size(), threads, options.min_rows_per_shard, kColumnChunkRows);
+      log_rows, threads, options.min_rows_per_shard, kColumnChunkRows);
   std::vector<std::vector<int64_t>> shard_explained(shards.size());
   std::vector<std::vector<int64_t>> shard_unexplained(shards.size());
   ParallelFor(pool.get(), shards.size(), [&](size_t s) {

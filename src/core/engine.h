@@ -10,9 +10,12 @@
 // is safe to call concurrently — the shared PlanCache and each Table's lazy
 // index/stats construction carry their own capability-annotated locks
 // (common/thread_annotations.h), so ExplainAll's template fan-out needs no
-// external locking. Registering templates (AddTemplate) and mutating the
-// underlying database still require external serialization against all
-// concurrent queries.
+// external locking. Each call pins one Database::Snapshot (or takes the
+// caller's) and evaluates everything against that read view, so queries are
+// also safe under the single concurrent appending writer: a call observes
+// exactly the rows below its snapshot's watermarks. Registering templates
+// (AddTemplate) and structural database mutations still require external
+// serialization against all concurrent queries.
 
 #ifndef EBA_CORE_ENGINE_H_
 #define EBA_CORE_ENGINE_H_
@@ -91,8 +94,13 @@ class ExplanationEngine {
 
   const std::string& log_table() const { return log_table_; }
 
-  /// All explanation instances for one access, ranked by path length.
+  /// All explanation instances for one access, ranked by path length. The
+  /// snapshot-less overload pins a fresh read view for the call; pass a
+  /// Database::Snapshot to audit a specific pinned view (e.g. many explains
+  /// against one consistent state while the writer keeps appending).
   StatusOr<std::vector<ExplanationInstance>> Explain(int64_t lid) const;
+  StatusOr<std::vector<ExplanationInstance>> Explain(
+      int64_t lid, const Database::Snapshot& snapshot) const;
 
   /// Lids explained by template `index` (ascending). Evaluated through
   /// Executor::DistinctLids — the semi-join fast path that never builds a
@@ -100,6 +108,9 @@ class ExplanationEngine {
   StatusOr<std::vector<int64_t>> ExplainedLids(size_t index) const;
   StatusOr<std::vector<int64_t>> ExplainedLids(
       size_t index, const ExecutorOptions& executor_options) const;
+  StatusOr<std::vector<int64_t>> ExplainedLids(
+      size_t index, const ExecutorOptions& executor_options,
+      const Database::Snapshot& snapshot) const;
 
   /// Full-log coverage report (serial; equivalent to ExplainAll({})).
   StatusOr<ExplanationReport> ExplainAll() const;
@@ -108,8 +119,13 @@ class ExplanationEngine {
   /// evaluated concurrently (one executor per worker) and the log is
   /// partitioned into contiguous shards for classification; per-shard
   /// results are merged in shard order, so the report is deterministic and
-  /// identical to the serial one.
+  /// identical to the serial one. The whole report — template evaluation
+  /// and classification — runs against one snapshot: the caller's, or a
+  /// fresh one pinned at call entry.
   StatusOr<ExplanationReport> ExplainAll(const ExplainAllOptions& options) const;
+  StatusOr<ExplanationReport> ExplainAll(
+      const ExplainAllOptions& options,
+      const Database::Snapshot& snapshot) const;
 
   /// The engine's persistent compiled-plan cache (shared by default across
   /// ExplainAll calls; see ExplainAllOptions::use_engine_plan_cache).

@@ -28,8 +28,13 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 StreamingAuditor::StreamingAuditor(Database* db, ExplanationEngine engine)
     : db_(db),
       engine_(std::move(engine)),
-      mu_(std::make_unique<Mutex>()),
-      snapshot_(db->Snapshot()) {}
+      audit_mu_(std::make_unique<Mutex>()),
+      writer_mu_(std::make_unique<Mutex>()),
+      snapshot_(db->CreateSnapshot()) {
+  // The stored baseline is for drift comparison only; holding its pin
+  // would block tail reclamation between audits.
+  snapshot_.ReleasePin();
+}
 
 StatusOr<StreamingAuditor> StreamingAuditor::Create(
     Database* db, const std::string& log_table) {
@@ -82,7 +87,7 @@ Status StreamingAuditor::AppendTableLocked(const std::string& table_name,
 }
 
 Status StreamingAuditor::AppendAccessBatch(const std::vector<Row>& rows) {
-  MutexLock lock(*mu_);
+  MutexLock lock(*writer_mu_);
   return AppendAccessBatchLocked(rows);
 }
 
@@ -96,7 +101,7 @@ Status StreamingAuditor::AppendAccessBatchLocked(const std::vector<Row>& rows) {
 
 Status StreamingAuditor::AppendRows(const std::string& table_name,
                                     const std::vector<Row>& rows) {
-  MutexLock lock(*mu_);
+  MutexLock lock(*writer_mu_);
   if (table_name == engine_.log_table()) return AppendAccessBatchLocked(rows);
   EBA_ASSIGN_OR_RETURN(Table* table, db_->GetTable(table_name));
   EBA_RETURN_IF_ERROR(AppendTableLocked(table_name, table, rows));
@@ -105,7 +110,7 @@ Status StreamingAuditor::AppendRows(const std::string& table_name,
 }
 
 void StreamingAuditor::ResetAudit() {
-  MutexLock lock(*mu_);
+  MutexLock lock(*audit_mu_);
   ResetAuditLocked();
 }
 
@@ -115,7 +120,8 @@ void StreamingAuditor::ResetAuditLocked() {
 }
 
 Status StreamingAuditor::EnableDurability(const DurabilityOptions& options) {
-  MutexLock lock(*mu_);
+  MutexLock audit_lock(*audit_mu_);
+  MutexLock writer_lock(*writer_mu_);
   if (durable_ != nullptr) {
     return Status::FailedPrecondition("durability already enabled");
   }
@@ -133,7 +139,8 @@ Status StreamingAuditor::EnableDurability(const DurabilityOptions& options) {
 }
 
 Status StreamingAuditor::Checkpoint(bool full) {
-  MutexLock lock(*mu_);
+  MutexLock audit_lock(*audit_mu_);
+  MutexLock writer_lock(*writer_mu_);
   return CheckpointLocked(full);
 }
 
@@ -147,8 +154,9 @@ Status StreamingAuditor::CheckpointLocked(bool full) {
     if (interval > 0 && d.checkpoints_since_full + 1 >= interval) full = true;
     // Structural/catalog drift invalidates the base image's rows-only
     // delta; segments would silently resurrect overwritten cells.
-    if (d.wal != nullptr &&
-        db_->DriftSince(d.last_ckpt_snapshot).RequiresRebuild()) {
+    if (d.wal != nullptr && db_->CreateSnapshot()
+                                .DriftSince(d.last_ckpt_snapshot)
+                                .RequiresRebuild()) {
       full = true;
     }
   }
@@ -160,8 +168,8 @@ Status StreamingAuditor::CheckpointLocked(bool full) {
   // Watermarks as of the last completed audit (snapshot_), NOT current row
   // counts: rows appended since the last audit must re-surface as drift
   // after recovery or the delta pass would silently skip them.
-  for (const auto& [name, state] : snapshot_.tables) {
-    audit.audit_watermarks[name] = state.watermark;
+  for (const auto& tv : snapshot_.tables()) {
+    audit.audit_watermarks[tv.name] = tv.watermark;
   }
 
   EBA_ASSIGN_OR_RETURN(const uint64_t seq, d.store->Prepare(*db_, audit, full));
@@ -176,7 +184,8 @@ Status StreamingAuditor::CheckpointLocked(bool full) {
   d.wal = std::move(wal);
   d.wal_seq = seq;
   d.checkpoints_since_full = full ? 0 : d.checkpoints_since_full + 1;
-  d.last_ckpt_snapshot = db_->Snapshot();
+  d.last_ckpt_snapshot = db_->CreateSnapshot();
+  d.last_ckpt_snapshot.ReleasePin();  // drift baseline only
   return Status::OK();
 }
 
@@ -184,7 +193,8 @@ Status StreamingAuditor::AdoptRecoveredState(const CheckpointContents& ckpt,
                                              Env* env,
                                              const DurabilityOptions& options,
                                              uint64_t new_wal_seq) {
-  MutexLock lock(*mu_);
+  MutexLock audit_lock(*audit_mu_);
+  MutexLock writer_lock(*writer_mu_);
   explained_.reserve(ckpt.audit.explained_lids.size());
   explained_.insert(ckpt.audit.explained_lids.begin(),
                     ckpt.audit.explained_lids.end());
@@ -193,10 +203,13 @@ Status StreamingAuditor::AdoptRecoveredState(const CheckpointContents& ckpt,
   // reality now) but the *checkpointed* audit watermarks, so appends that
   // happened after the last audit — checkpointed rows and replayed WAL rows
   // alike — classify as drift for the converging ExplainNew.
-  CatalogSnapshot snap = db_->Snapshot();
-  for (auto& [name, state] : snap.tables) {
-    const auto it = ckpt.audit.audit_watermarks.find(name);
-    state.watermark = it != ckpt.audit.audit_watermarks.end() ? it->second : 0;
+  Database::Snapshot snap = db_->CreateSnapshot();
+  snap.ReleasePin();  // drift baseline only
+  for (const auto& tv : snap.tables()) {
+    const auto it = ckpt.audit.audit_watermarks.find(tv.name);
+    snap.SetWatermark(
+        tv.name,
+        it != ckpt.audit.audit_watermarks.end() ? it->second : 0);
   }
   snapshot_ = std::move(snap);
 
@@ -211,7 +224,8 @@ Status StreamingAuditor::AdoptRecoveredState(const CheckpointContents& ckpt,
   // chain_length counts the full root plus each incremental link.
   d->checkpoints_since_full =
       static_cast<uint32_t>(ckpt.chain_length > 0 ? ckpt.chain_length - 1 : 0);
-  d->last_ckpt_snapshot = db_->Snapshot();
+  d->last_ckpt_snapshot = db_->CreateSnapshot();
+  d->last_ckpt_snapshot.ReleasePin();
   durable_ = std::move(d);
   return Status::OK();
 }
@@ -306,15 +320,18 @@ StatusOr<StreamingAuditor> StreamingAuditor::RecoverFrom(
 
 StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
     const StreamingOptions& options) {
-  // One coarse lock across the whole audit: serializes against appends and
-  // state accessors (the internal ParallelFor workers below only touch
-  // per-task slots, never the guarded members).
-  MutexLock lock(*mu_);
+  // The audit lock serializes audits and state accessors only — appends
+  // proceed concurrently on writer_mu_. The whole audit evaluates against
+  // one snapshot pinned here: every scan, probe, and executor below is
+  // clamped to its watermarks, so rows the writer lands mid-audit are
+  // invisible now and re-surface as drift on the next call.
+  MutexLock lock(*audit_mu_);
   EBA_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(engine_.log_table()));
   EBA_ASSIGN_OR_RETURN(AccessLog log, AccessLog::Wrap(table));
 
+  const Database::Snapshot snapshot = db_->CreateSnapshot();
   StreamingReport report;
-  const CatalogDrift drift = db_->DriftSince(snapshot_);
+  const CatalogDrift drift = snapshot.DriftSince(snapshot_);
   if (drift.RequiresRebuild()) {
     // A structural mutation or catalog change can rewrite or remove the
     // evidence behind an already-granted explanation; the monotone-append
@@ -323,7 +340,7 @@ StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
     report.full_reaudit = true;
   }
   const size_t from = audited_rows_;
-  const size_t to = table->num_rows();
+  const size_t to = snapshot.BoundOf(table);
   report.audited_from = from;
   report.audited_to = to;
 
@@ -413,7 +430,7 @@ StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
         StatusOr<std::vector<int64_t>>(Status::Internal("not evaluated")));
     ParallelFor(pool, tasks.size(), [&](size_t k) {
       const DeltaTask& task = tasks[k];
-      Executor executor(db_, exec);
+      Executor executor(snapshot, exec);
       Executor::JoinedToOptions jopts;
       jopts.include_var0 = !task.is_log;
       results[k] = executor.DistinctLidsJoinedTo(
@@ -459,7 +476,7 @@ StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
       const std::vector<Value> shard_values(
           lid_values.begin() + static_cast<long>(begin),
           lid_values.begin() + static_cast<long>(end));
-      Executor executor(db_, exec);
+      Executor executor(snapshot, exec);
       results[k] = executor.DistinctLidsFor(
           templates[i].query(), templates[i].lid_attr(), shard_values);
     });
@@ -512,15 +529,24 @@ StatusOr<StreamingReport> StreamingAuditor::ExplainNew(
   explained_.insert(report.delta_explained_lids.begin(),
                     report.delta_explained_lids.end());
   audited_rows_ = to;
-  snapshot_ = db_->Snapshot();
-  // Auto-checkpoint once enough WAL has accumulated: audit end is the
-  // cheapest moment (the audit state is freshly consistent, and recovery
-  // from here needs no converging re-audit of these rows).
-  if (durable_ != nullptr && durable_->wal != nullptr &&
-      durable_->options.checkpoint_after_wal_bytes > 0 &&
-      durable_->wal->bytes_logged() >=
-          durable_->options.checkpoint_after_wal_bytes) {
-    EBA_RETURN_IF_ERROR(CheckpointLocked(/*full=*/false));
+  // The next audit's drift baseline is what THIS audit actually saw — the
+  // pinned snapshot, not live state. Rows appended while this audit ran sit
+  // past these watermarks and will classify as drift next time.
+  snapshot_ = snapshot;
+  snapshot_.ReleasePin();
+  {
+    // Auto-checkpoint once enough WAL has accumulated: audit end is the
+    // cheapest moment (the audit state is freshly consistent, and recovery
+    // from here needs no converging re-audit of these rows). Checkpointing
+    // needs the writer lock (stable WAL/image cut); audit_mu_ -> writer_mu_
+    // is the auditor's fixed lock order.
+    MutexLock writer_lock(*writer_mu_);
+    if (durable_ != nullptr && durable_->wal != nullptr &&
+        durable_->options.checkpoint_after_wal_bytes > 0 &&
+        durable_->wal->bytes_logged() >=
+            durable_->options.checkpoint_after_wal_bytes) {
+      EBA_RETURN_IF_ERROR(CheckpointLocked(/*full=*/false));
+    }
   }
   if (exec.plan_cache != nullptr) {
     const PlanCache::Stats cache_stats = exec.plan_cache->stats();

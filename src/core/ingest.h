@@ -11,7 +11,7 @@
 // appending rows (to the log or to any other table) can only add witnesses,
 // never remove one — so the explained-lid set is a stable accumulator and
 // every append is auditable as a delta. Drift since the last audit is
-// classified per table (Database::DriftSince):
+// classified per table (Database::Snapshot::DriftSince):
 //   - log appends: the new rows are audited via the lid-filter semi-join
 //     (Executor::DistinctLidsFor), plus a reverse pass for self-join
 //     templates that reference the log at a non-zero tuple variable;
@@ -162,17 +162,26 @@ struct StreamingReport {
 /// audits incrementally, and accumulates the explained-lid set. The
 /// database must outlive the auditor.
 ///
-/// Thread safety: the auditor's mutable state (explained-lid set, audited
-/// watermark, drift snapshot, worker pool) is guarded by an internal mutex
-/// that every append/audit/accessor entry point takes, and the discipline
-/// is compiler-checked via EBA_GUARDED_BY — appends and audits serialize
-/// against each other inside the auditor instead of by caller convention
-/// (ExplainNew still fans out internally under the lock). This coarse
-/// single-writer lock is the enabling step for the planned snapshot-column
-/// layer, which will let audits read a consistent Database::Snapshot while
-/// batches land. Callers that reach around the auditor — appending straight
-/// to a Table or auditing via engine() — still require external
-/// serialization against concurrent appends, as before.
+/// Thread safety — single writer, concurrent audits. Two internal mutexes
+/// split the old coarse auditor lock (discipline compiler-checked via
+/// EBA_GUARDED_BY):
+///
+///   * `writer_mu_` serializes the append path (WAL commit + table apply)
+///     and guards the durability layer. AppendAccessBatch/AppendRows take
+///     only this lock.
+///   * `audit_mu_` guards the audit accumulator (explained-lid set, audited
+///     watermark, drift baseline, worker pool). ExplainNew and the state
+///     accessors take only this lock.
+///
+/// ExplainNew pins one Database::Snapshot at entry and evaluates the whole
+/// audit against that read view, so appends proceed concurrently: rows that
+/// land after the pin are simply past the snapshot's watermarks and
+/// re-surface as drift on the next audit. Checkpoints take both locks
+/// (audit state AND a stable WAL/image cut). Lock order is always
+/// audit_mu_ -> writer_mu_; nothing acquires them in the other order.
+/// Structural database mutations (drop/add table, in-place rewrites) remain
+/// outside the contract — they still require external serialization against
+/// every concurrent append and audit.
 class StreamingAuditor {
  public:
   /// `db` must contain `log_table` with the standard log schema.
@@ -208,11 +217,12 @@ class StreamingAuditor {
   /// checkpoint of the database and audit state into `options.dir`, then
   /// opens a WAL that every subsequent append commits to *before* applying.
   /// Fails if durability is already enabled.
-  Status EnableDurability(const DurabilityOptions& options) EBA_EXCLUDES(*mu_);
+  Status EnableDurability(const DurabilityOptions& options)
+      EBA_EXCLUDES(*audit_mu_, *writer_mu_);
 
   /// True once EnableDurability/RecoverFrom succeeded.
-  bool durable() const EBA_EXCLUDES(*mu_) {
-    MutexLock lock(*mu_);
+  bool durable() const EBA_EXCLUDES(*writer_mu_) {
+    MutexLock lock(*writer_mu_);
     return durable_ != nullptr;
   }
 
@@ -220,7 +230,10 @@ class StreamingAuditor {
   /// forces a complete database image; otherwise the store may write an
   /// incremental segment checkpoint per DurabilityOptions. On success the
   /// WAL is rotated: recovery needs only the new checkpoint + new WAL.
-  Status Checkpoint(bool full = false) EBA_EXCLUDES(*mu_);
+  /// Takes both auditor locks: a checkpoint is the one operation that needs
+  /// the audit state and the append stream cut at the same point.
+  Status Checkpoint(bool full = false)
+      EBA_EXCLUDES(*audit_mu_, *writer_mu_);
 
   /// Appends access rows to the log table. Without durability: row-atomic,
   /// not batch-atomic — on a validation error, rows before the offender are
@@ -228,8 +241,11 @@ class StreamingAuditor {
   /// validated, then committed to the WAL, then applied, so the log on disk
   /// never contains a row the database rejected. Appends advance the
   /// table's watermark only, so cached plans re-bind on the next audit
-  /// instead of re-planning.
-  Status AppendAccessBatch(const std::vector<Row>& rows) EBA_EXCLUDES(*mu_);
+  /// instead of re-planning. Holds only the writer lock, so it runs
+  /// concurrently with snapshot-pinned audits (ExplainNew) and audit-state
+  /// accessors.
+  Status AppendAccessBatch(const std::vector<Row>& rows)
+      EBA_EXCLUDES(*writer_mu_);
 
   /// Appends rows to any table of the database. The log table delegates to
   /// AppendAccessBatch; for any other table the grown row range is absorbed
@@ -239,7 +255,7 @@ class StreamingAuditor {
   /// not from this call — but routing through the auditor keeps the
   /// row-atomic validation and the ingestion counters.
   Status AppendRows(const std::string& table, const std::vector<Row>& rows)
-      EBA_EXCLUDES(*mu_);
+      EBA_EXCLUDES(*writer_mu_);
 
   /// Explains what the appends since the last audit can change: evaluates
   /// every template restricted to the new lids (Executor::DistinctLidsFor)
@@ -249,22 +265,41 @@ class StreamingAuditor {
   /// advancing the audited watermark. Cost scales with the deltas, not the
   /// log. Falls back to a full re-audit only on structural/catalog drift
   /// (see file comment).
+  ///
+  /// Pins one Database::Snapshot at entry and audits exactly the rows below
+  /// its watermarks; appends landing during the audit are not lost — they
+  /// are past the snapshot and re-surface as drift on the next call.
   StatusOr<StreamingReport> ExplainNew(const StreamingOptions& options = {})
-      EBA_EXCLUDES(*mu_);
+      EBA_EXCLUDES(*audit_mu_, *writer_mu_);
 
   /// Log rows audited so far (the audited watermark).
-  size_t audited_rows() const EBA_EXCLUDES(*mu_) {
-    MutexLock lock(*mu_);
+  size_t audited_rows() const EBA_EXCLUDES(*audit_mu_) {
+    MutexLock lock(*audit_mu_);
     return audited_rows_;
   }
   /// Lids explained by at least one template across all audits (a snapshot
-  /// copy: the live set stays under the auditor's lock).
-  std::unordered_set<int64_t> explained_lids() const EBA_EXCLUDES(*mu_) {
-    MutexLock lock(*mu_);
+  /// copy: the live set stays under the auditor's lock). O(n) copy under
+  /// the audit lock — serving loops that only need the size or a set
+  /// comparison should use explained_count() / ExplainedSetEquals().
+  std::unordered_set<int64_t> explained_lids() const EBA_EXCLUDES(*audit_mu_) {
+    MutexLock lock(*audit_mu_);
     return explained_;
   }
-  bool IsExplained(int64_t lid) const EBA_EXCLUDES(*mu_) {
-    MutexLock lock(*mu_);
+  /// Size of the explained-lid set without copying it (the bench/report
+  /// accessor: O(1) under the audit lock).
+  size_t explained_count() const EBA_EXCLUDES(*audit_mu_) {
+    MutexLock lock(*audit_mu_);
+    return explained_.size();
+  }
+  /// Compares the live explained set against `other` without copying it
+  /// (differential-oracle checks).
+  bool ExplainedSetEquals(const std::unordered_set<int64_t>& other) const
+      EBA_EXCLUDES(*audit_mu_) {
+    MutexLock lock(*audit_mu_);
+    return explained_ == other;
+  }
+  bool IsExplained(int64_t lid) const EBA_EXCLUDES(*audit_mu_) {
+    MutexLock lock(*audit_mu_);
     return explained_.count(lid) > 0;
   }
 
@@ -278,7 +313,7 @@ class StreamingAuditor {
   }
 
   /// Discards the audit state: the next ExplainNew audits from row 0.
-  void ResetAudit() EBA_EXCLUDES(*mu_);
+  void ResetAudit() EBA_EXCLUDES(*audit_mu_);
 
  private:
   /// Durable-state bundle, present only after EnableDurability/RecoverFrom.
@@ -290,36 +325,42 @@ class StreamingAuditor {
     uint64_t wal_seq = 0;
     /// Incremental checkpoints published since the last full one.
     uint32_t checkpoints_since_full = 0;
-    /// Snapshot at the last checkpoint: structural/catalog drift since then
-    /// demotes the next incremental checkpoint to a full image.
-    CatalogSnapshot last_ckpt_snapshot;
+    /// Snapshot at the last checkpoint (unpinned — drift baseline only):
+    /// structural/catalog drift since then demotes the next incremental
+    /// checkpoint to a full image.
+    Database::Snapshot last_ckpt_snapshot;
   };
 
   StreamingAuditor(Database* db, ExplanationEngine engine);
 
   Status AppendAccessBatchLocked(const std::vector<Row>& rows)
-      EBA_REQUIRES(*mu_);
-  void ResetAuditLocked() EBA_REQUIRES(*mu_);
+      EBA_REQUIRES(*writer_mu_);
+  void ResetAuditLocked() EBA_REQUIRES(*audit_mu_);
 
   /// Shared append path: WAL-first when durable, plain otherwise.
   Status AppendTableLocked(const std::string& table_name, Table* table,
-                           const std::vector<Row>& rows) EBA_REQUIRES(*mu_);
-  Status CheckpointLocked(bool full) EBA_REQUIRES(*mu_);
+                           const std::vector<Row>& rows)
+      EBA_REQUIRES(*writer_mu_);
+  Status CheckpointLocked(bool full)
+      EBA_REQUIRES(*audit_mu_, *writer_mu_);
   /// Installs checkpointed audit state + a fresh WAL on a just-created
   /// auditor (the recovery tail of RecoverFrom).
   Status AdoptRecoveredState(const CheckpointContents& ckpt, Env* env,
                              const DurabilityOptions& options,
-                             uint64_t new_wal_seq) EBA_EXCLUDES(*mu_);
+                             uint64_t new_wal_seq)
+      EBA_EXCLUDES(*audit_mu_, *writer_mu_);
 
   Database* db_;
   ExplanationEngine engine_;
 
-  // Serializes appends, audits and state accessors (see class comment).
-  // Boxed so the auditor stays movable; moved-from auditors must not be
-  // used.
-  mutable std::unique_ptr<Mutex> mu_;
-  std::unordered_set<int64_t> explained_ EBA_GUARDED_BY(*mu_);
-  size_t audited_rows_ EBA_GUARDED_BY(*mu_) = 0;
+  // The lock split (see class comment). Lock order: audit_mu_ before
+  // writer_mu_. Boxed so the auditor stays movable; moved-from auditors
+  // must not be used.
+  mutable std::unique_ptr<Mutex> audit_mu_;
+  mutable std::unique_ptr<Mutex> writer_mu_;
+
+  std::unordered_set<int64_t> explained_ EBA_GUARDED_BY(*audit_mu_);
+  size_t audited_rows_ EBA_GUARDED_BY(*audit_mu_) = 0;
   AtomicCounter rows_appended_;
   AtomicCounter batches_appended_;
   AtomicCounter foreign_rows_appended_;
@@ -327,14 +368,16 @@ class StreamingAuditor {
   // Lazily created worker pool reused across ExplainNew calls (sized to the
   // last options.num_threads - 1), so the per-batch serving loop does not
   // pay thread create/join on every audit.
-  std::unique_ptr<ThreadPool> pool_ EBA_GUARDED_BY(*mu_);
+  std::unique_ptr<ThreadPool> pool_ EBA_GUARDED_BY(*audit_mu_);
 
-  // Per-table drift snapshot taken at the end of every audit; the next
-  // ExplainNew classifies what changed against it (Database::DriftSince).
-  CatalogSnapshot snapshot_ EBA_GUARDED_BY(*mu_);
+  // Drift baseline: the (unpinned) snapshot the last audit ran against; the
+  // next ExplainNew classifies what changed by pinning a fresh snapshot and
+  // comparing (Snapshot::DriftSince).
+  Database::Snapshot snapshot_ EBA_GUARDED_BY(*audit_mu_);
 
   // Durability layer (WAL + checkpoints); null until EnableDurability.
-  std::unique_ptr<DurableState> durable_ EBA_GUARDED_BY(*mu_);
+  // Writer-owned: every WAL commit happens on the append path.
+  std::unique_ptr<DurableState> durable_ EBA_GUARDED_BY(*writer_mu_);
 };
 
 }  // namespace eba

@@ -120,6 +120,67 @@ std::vector<const GroupNode*> GroupHierarchy::GroupsAtDepth(int depth) const {
   return out;
 }
 
+std::vector<GroupAssignment> GroupHierarchy::AssignNewUsers(
+    const UserGraph& graph, const std::vector<int64_t>& new_users) {
+  std::vector<GroupAssignment> out;
+  if (nodes_.empty()) return out;
+
+  std::unordered_map<int64_t, bool> present;
+  for (int64_t u : nodes_[0].users) present[u] = true;
+
+  // Child lists (a depth-d node's parent is always at depth d-1).
+  std::vector<std::vector<int>> children(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent >= 0) {
+      children[static_cast<size_t>(nodes_[i].parent)].push_back(
+          static_cast<int>(i));
+    }
+  }
+
+  for (int64_t user : new_users) {
+    if (present.count(user)) continue;
+    present[user] = true;
+    nodes_[0].users.push_back(user);
+
+    const int node_idx = graph.NodeIndex(user);
+    if (node_idx < 0) continue;
+    // The user's collaboration weight per already-grouped neighbor.
+    std::unordered_map<int64_t, double> weight_to;
+    for (const auto& [nbr, w] : graph.Neighbors(static_cast<size_t>(node_idx))) {
+      weight_to[graph.user_id(nbr)] += w;
+    }
+    if (weight_to.empty()) continue;
+
+    int cur = 0;
+    while (!children[static_cast<size_t>(cur)].empty()) {
+      int best = -1;
+      double best_weight = 0.0;
+      for (int c : children[static_cast<size_t>(cur)]) {
+        double w = 0.0;
+        for (int64_t member : nodes_[static_cast<size_t>(c)].users) {
+          const auto it = weight_to.find(member);
+          if (it != weight_to.end()) w += it->second;
+        }
+        if (w <= 0.0) continue;
+        if (best < 0 || w > best_weight ||
+            (w == best_weight && nodes_[static_cast<size_t>(c)].group_id <
+                                     nodes_[static_cast<size_t>(best)].group_id)) {
+          best = c;
+          best_weight = w;
+        }
+      }
+      // No child shares an edge with the user: stop here. Deeper depths
+      // simply do not list this user until the next full rebuild.
+      if (best < 0) break;
+      GroupNode& chosen = nodes_[static_cast<size_t>(best)];
+      chosen.users.push_back(user);
+      out.push_back(GroupAssignment{chosen.depth, chosen.group_id, user});
+      cur = best;
+    }
+  }
+  return out;
+}
+
 const GroupNode* GroupHierarchy::GroupOf(int64_t user, int depth) const {
   for (const auto& node : nodes_) {
     if (node.depth != depth) continue;

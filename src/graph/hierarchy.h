@@ -40,6 +40,13 @@ struct HierarchyOptions {
   LouvainOptions louvain;
 };
 
+/// One (Group_Depth, Group_id, User) row produced by AssignNewUsers.
+struct GroupAssignment {
+  int depth = 0;
+  int64_t group_id = 0;
+  int64_t user = 0;
+};
+
 class GroupHierarchy {
  public:
   /// Builds the hierarchy over the collaboration graph.
@@ -57,6 +64,21 @@ class GroupHierarchy {
   /// Group of `user` at `depth` (nullptr if the user is absent). Every user
   /// present in the graph belongs to exactly one group per depth.
   const GroupNode* GroupOf(int64_t user, int depth) const;
+
+  /// Folds users absent from the hierarchy into the existing groups
+  /// without re-clustering — the incremental maintenance path for a log
+  /// that keeps growing after Build. Each new user descends the hierarchy:
+  /// at every depth it joins the child group (of the group joined one level
+  /// up) whose members carry the largest summed collaboration weight to it
+  /// in `graph`, stopping at the first depth where no child has any edge to
+  /// it. Users with no edge to any grouped user join only the depth-0
+  /// global group; they cluster properly on the next full rebuild.
+  /// Deterministic: users are processed in the order given and weight ties
+  /// break toward the smaller group id. Users already present are skipped.
+  /// Returns the depth >= 1 rows to append to the Groups table (depth 0 is
+  /// a conceptual baseline, excluded exactly as in ToGroupsTable).
+  std::vector<GroupAssignment> AssignNewUsers(
+      const UserGraph& graph, const std::vector<int64_t>& new_users);
 
   /// Materializes Groups(Group_Depth, Group_id, User). Group_id carries the
   /// "group" key domain; Group_Depth and User are plain int64/user-domain.

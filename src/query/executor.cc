@@ -39,17 +39,18 @@ bool RawCmp(const T& a, CmpOp op, const T& b) {
   return false;
 }
 
-/// Matches of `lid` in the index over `col`, using the raw int64 probe when
-/// both sides are integer-like (the standard Lid column) instead of routing
-/// a boxed Value through HashIndex::Lookup.
-const std::vector<uint32_t>& LidMatches(const HashIndex& idx,
-                                        const Column& col, const Value& lid) {
+/// Matches of `lid` below the snapshot bound in the index over `col`, using
+/// the raw int64 probe when both sides are integer-like (the standard Lid
+/// column) instead of routing a boxed Value through HashIndex::Lookup.
+std::vector<uint32_t> LidMatches(const HashIndex& idx, const Column& col,
+                                 const Value& lid, size_t bound) {
   if (col.IsIntLike() &&
       (lid.type() == DataType::kBool || lid.type() == DataType::kInt64 ||
        lid.type() == DataType::kTimestamp)) {
-    return idx.LookupInt64(lid.RawInt64());
+    const RowIdSpan span = idx.LookupInt64(lid.RawInt64()).ClampTo(bound);
+    return std::vector<uint32_t>(span.begin(), span.end());
   }
-  return idx.Lookup(lid);
+  return idx.Lookup(lid, bound);
 }
 
 // ===========================================================================
@@ -459,7 +460,7 @@ void ApplyDropStep(Frame* f, const PlanStep& st) {
 /// built independently and concatenated in shard order, so the output frame
 /// is byte-identical to the serial probe at any thread count.
 void ExecuteJoinStep(Frame* f, const PlanStep& st, const ParCtx& par,
-                     ExecStats* stats) {
+                     ExecStats* stats, size_t build_bound) {
   const std::vector<uint32_t>& pids = f->ids[static_cast<size_t>(st.probe_slot)];
   const size_t n = f->size();
   const Column& probe_col = *st.probe_col;
@@ -467,7 +468,11 @@ void ExecuteJoinStep(Frame* f, const PlanStep& st, const ParCtx& par,
 
   auto probe_range = [&](size_t begin, size_t end, std::vector<uint32_t>* sel,
                          std::vector<uint32_t>* new_ids) {
-    auto emit = [&](size_t i, const std::vector<uint32_t>& matches) {
+    // Every probe clamps its match list to the build table's snapshot
+    // bound: bucket row lists are ascending, so the clamp is a binary
+    // search, and rows the concurrent writer appended past the pinned
+    // watermark never join.
+    auto emit = [&](size_t i, RowIdSpan matches) {
       for (uint32_t m : matches) {
         sel->push_back(static_cast<uint32_t>(i));
         new_ids->push_back(m);
@@ -478,14 +483,15 @@ void ExecuteJoinStep(Frame* f, const PlanStep& st, const ParCtx& par,
         for (size_t i = begin; i < end; ++i) {
           const uint32_t r = pids[i];
           if (probe_col.IsNull(r)) continue;
-          emit(i, idx.LookupInt64(probe_col.Int64At(r)));
+          emit(i, idx.LookupInt64(probe_col.Int64At(r)).ClampTo(build_bound));
         }
         break;
       case PlanStep::ProbeKind::kStringSameColumn:
         for (size_t i = begin; i < end; ++i) {
           const uint32_t r = pids[i];
           if (probe_col.IsNull(r)) continue;
-          emit(i, idx.LookupCode(probe_col.StringCodeAt(r)));
+          emit(i,
+               idx.LookupCode(probe_col.StringCodeAt(r)).ClampTo(build_bound));
         }
         break;
       case PlanStep::ProbeKind::kStringTranslated:
@@ -495,7 +501,7 @@ void ExecuteJoinStep(Frame* f, const PlanStep& st, const ParCtx& par,
           const int64_t code =
               st.translated_codes[static_cast<size_t>(probe_col.StringCodeAt(r))];
           if (code < 0) continue;
-          emit(i, idx.LookupCode(code));
+          emit(i, idx.LookupCode(code).ClampTo(build_bound));
         }
         break;
       case PlanStep::ProbeKind::kBoxed:
@@ -503,7 +509,9 @@ void ExecuteJoinStep(Frame* f, const PlanStep& st, const ParCtx& par,
         // the reference engine's Lookup semantics (NULLs and cross-kind
         // probes match nothing).
         for (size_t i = begin; i < end; ++i) {
-          emit(i, idx.Lookup(probe_col.Get(pids[i])));
+          const std::vector<uint32_t> matches =
+              idx.Lookup(probe_col.Get(pids[i]), build_bound);
+          emit(i, RowIdSpan{matches.data(), matches.size()});
         }
         break;
     }
@@ -562,12 +570,17 @@ void ExecuteJoinStep(Frame* f, const PlanStep& st, const ParCtx& par,
 
 /// Interprets one frozen step against the frame. `pivot_range` is the
 /// runtime row range of the pivot steps (kSeedRange / kRowRangeFilter);
-/// null for plans without one.
+/// null for plans without one. `var_bounds` holds the snapshot watermark of
+/// each tuple variable's table — the other runtime input: the same frozen
+/// plan replays correctly for any snapshot because every probe clamps to
+/// these bounds.
 void ApplyStep(Frame* f, const PlanStep& st, const ParCtx& par,
-               ExecStats* stats, const RowRange* pivot_range) {
+               ExecStats* stats, const RowRange* pivot_range,
+               const std::vector<size_t>& var_bounds) {
   switch (st.kind) {
     case PlanStep::Kind::kJoin:
-      ExecuteJoinStep(f, st, par, stats);
+      ExecuteJoinStep(f, st, par, stats,
+                      var_bounds[static_cast<size_t>(st.new_var)]);
       break;
     case PlanStep::Kind::kJoinFilter:
     case PlanStep::Kind::kVarVarFilter:
@@ -611,29 +624,26 @@ void ApplyStep(Frame* f, const PlanStep& st, const ParCtx& par,
   }
 }
 
-/// Builds the initial variable-0 scan: the full log, or the distinct row
-/// ids matching `lid_filter` (first-occurrence order preserved).
-void InitialScan(const Table* log_table, const std::vector<Value>* lid_filter,
-                 QAttr lid_attr, std::vector<uint32_t>* scan) {
+/// Builds the initial variable-0 scan: the log up to the snapshot bound, or
+/// the distinct row ids matching `lid_filter` (first-occurrence order
+/// preserved, clamped to the bound).
+void InitialScan(const Table* log_table, size_t bound,
+                 const std::vector<Value>* lid_filter, QAttr lid_attr,
+                 std::vector<uint32_t>* scan) {
   if (lid_filter != nullptr) {
     const HashIndex& idx =
         log_table->GetOrBuildIndex(static_cast<size_t>(lid_attr.col));
     const Column& lid_col =
         log_table->column(static_cast<size_t>(lid_attr.col));
-    size_t total = 0;
-    for (const auto& lid : *lid_filter) {
-      total += LidMatches(idx, lid_col, lid).size();
-    }
-    scan->reserve(total);
     std::unordered_set<uint32_t> rows_seen;
-    rows_seen.reserve(2 * total);
+    rows_seen.reserve(2 * lid_filter->size());
     for (const auto& lid : *lid_filter) {
-      for (uint32_t r : LidMatches(idx, lid_col, lid)) {
+      for (uint32_t r : LidMatches(idx, lid_col, lid, bound)) {
         if (rows_seen.insert(r).second) scan->push_back(r);
       }
     }
   } else {
-    scan->resize(log_table->num_rows());
+    scan->resize(bound);
     for (uint32_t r = 0; r < scan->size(); ++r) (*scan)[r] = r;
   }
 }
@@ -647,9 +657,14 @@ void InitialScan(const Table* log_table, const std::vector<Value>* lid_filter,
 
 class PlanningExecutor {
  public:
-  PlanningExecutor(const Database* db, const ExecutorOptions& options,
-                   ExecStats* stats, const ParCtx& par)
-      : db_(db), options_(options), stats_(stats), par_(par) {}
+  PlanningExecutor(const Database::Snapshot& snapshot,
+                   const ExecutorOptions& options, ExecStats* stats,
+                   const ParCtx& par)
+      : snapshot_(snapshot),
+        db_(snapshot.database()),
+        options_(options),
+        stats_(stats),
+        par_(par) {}
 
   /// Executes the query pipeline, records it into `plan`, and returns the
   /// final frame. The frame holds a slot for every tuple variable referenced
@@ -674,7 +689,7 @@ class PlanningExecutor {
     plan_->pivot_seeded = pivot_seeded;
 
     plan_->db = db_;
-    plan_->catalog_generation = db_->catalog_generation();
+    plan_->catalog_generation = snapshot_.generation();
     plan_->tables.resize(q.vars.size());
     for (size_t i = 0; i < q.vars.size(); ++i) {
       EBA_ASSIGN_OR_RETURN(plan_->tables[i], db_->GetTable(q.vars[i].table));
@@ -683,7 +698,18 @@ class PlanningExecutor {
     plan_->table_watermarks.reserve(q.vars.size());
     for (const Table* t : plan_->tables) {
       plan_->table_structural_epochs.push_back(t->structural_epoch());
+      // The recorded watermark is the LIVE one, read here — before any
+      // dictionary size is read while compiling joins below. Any row below
+      // this watermark published its dictionary codes first, so the
+      // translation tables computed later cover every code a snapshot at or
+      // below this watermark can reach; the plan is then valid (kFresh) for
+      // all such snapshots, with probes clamped at replay time.
       plan_->table_watermarks.push_back(t->append_watermark());
+    }
+    var_bounds_.clear();
+    var_bounds_.reserve(q.vars.size());
+    for (const Table* t : plan_->tables) {
+      var_bounds_.push_back(snapshot_.BoundOf(t));
     }
 
     joins_ = q.join_chain;
@@ -712,7 +738,8 @@ class PlanningExecutor {
     } else {
       frame.vars.push_back(0);
       frame.ids.emplace_back();
-      InitialScan(plan_->tables[0], lid_filter, lid_attr, &frame.ids[0]);
+      InitialScan(plan_->tables[0], var_bounds_[0], lid_filter, lid_attr,
+                  &frame.ids[0]);
       stats_->peak_intermediate =
           std::max(stats_->peak_intermediate, frame.size());
     }
@@ -833,7 +860,7 @@ class PlanningExecutor {
 
   /// Executes `st` against the frame and appends it to the plan.
   void Record(Frame* frame, PlanStep st) {
-    ApplyStep(frame, st, par_, stats_, pivot_range_);
+    ApplyStep(frame, st, par_, stats_, pivot_range_, var_bounds_);
     plan_->steps.push_back(std::move(st));
   }
 
@@ -1002,11 +1029,13 @@ class PlanningExecutor {
     return Status::OK();
   }
 
+  const Database::Snapshot& snapshot_;
   const Database* db_;
   ExecutorOptions options_;
   ExecStats* stats_;
   ParCtx par_;
   CompiledPlan* plan_ = nullptr;
+  std::vector<size_t> var_bounds_;  // per tuple var: snapshot watermark
 
   const std::vector<QAttr>* output_attrs_ = nullptr;
   bool dedup_frontier_ = false;
@@ -1028,7 +1057,8 @@ class PlanningExecutor {
 /// interpreted in order. No validation, table resolution, cardinality
 /// estimation, or closure compilation happens here.
 Frame ReplayPlan(const CompiledPlan& plan, const std::vector<Value>* lid_filter,
-                 QAttr lid_attr, const RowRange* pivot_range, const ParCtx& par,
+                 QAttr lid_attr, const RowRange* pivot_range,
+                 const std::vector<size_t>& var_bounds, const ParCtx& par,
                  ExecStats* stats) {
   stats->plan_cache_hit = true;
   stats->used_cost_based_order = plan.used_cost_based_order;
@@ -1036,12 +1066,13 @@ Frame ReplayPlan(const CompiledPlan& plan, const std::vector<Value>* lid_filter,
   if (!plan.pivot_seeded) {
     frame.vars.push_back(0);
     frame.ids.emplace_back();
-    InitialScan(plan.tables[0], lid_filter, lid_attr, &frame.ids[0]);
+    InitialScan(plan.tables[0], var_bounds[0], lid_filter, lid_attr,
+                &frame.ids[0]);
     stats->peak_intermediate = std::max(stats->peak_intermediate, frame.size());
   }
   size_t sp = 0;
   for (size_t k = 0; k < plan.steps.size(); ++k) {
-    ApplyStep(&frame, plan.steps[k], par, stats, pivot_range);
+    ApplyStep(&frame, plan.steps[k], par, stats, pivot_range, var_bounds);
     for (; sp < plan.stats_points.size() &&
            plan.stats_points[sp].after_step == k;
          ++sp) {
@@ -1224,6 +1255,21 @@ Executor::Executor(const Database* db, ExecutorOptions options)
   EBA_CHECK(db != nullptr);
 }
 
+Executor::Executor(const Database::Snapshot& snapshot)
+    : Executor(snapshot, ExecutorOptions{}) {}
+
+Executor::Executor(const Database::Snapshot& snapshot, ExecutorOptions options)
+    : db_(snapshot.database()),
+      fixed_snapshot_(snapshot),
+      has_fixed_snapshot_(true),
+      options_(options) {
+  EBA_CHECK_MSG(db_ != nullptr, "snapshot is empty (no database)");
+}
+
+Database::Snapshot Executor::QuerySnapshot() const {
+  return has_fixed_snapshot_ ? fixed_snapshot_ : db_->CreateSnapshot();
+}
+
 ThreadPool* Executor::ProbePool() const {
   // num_threads governs: <= 1 is serial regardless of an attached pool.
   if (options_.num_threads <= 1) return nullptr;
@@ -1248,6 +1294,10 @@ StatusOr<Executor::FrameRun> Executor::RunFrame(
   const bool pivot_seeded = pivot != nullptr && pivot->reverse;
   const RowRange* pivot_range = pivot != nullptr ? &pivot->range : nullptr;
 
+  // One pinned read view for the whole run: plan lookup, scan, every probe,
+  // and literal resolution all observe the same watermark vector.
+  const Database::Snapshot snapshot = QuerySnapshot();
+
   PlanCache* cache = options_.plan_cache;
   auto snapshot_cache_stats = [&] {
     const PlanCache::Stats cs = cache->stats();
@@ -1261,11 +1311,16 @@ StatusOr<Executor::FrameRun> Executor::RunFrame(
   if (cache != nullptr) {
     key = PlanKey(q, output_attrs, dedup_frontier, lid_filter != nullptr,
                   lid_attr, options_, pivot_var, pivot_seeded);
-    std::shared_ptr<const CompiledPlan> plan = cache->Lookup(key, db_);
+    std::shared_ptr<const CompiledPlan> plan = cache->Lookup(key, snapshot);
     if (plan != nullptr) {
+      std::vector<size_t> var_bounds;
+      var_bounds.reserve(plan->tables.size());
+      for (const Table* t : plan->tables) {
+        var_bounds.push_back(snapshot.BoundOf(t));
+      }
       FrameRun run;
-      run.frame =
-          ReplayPlan(*plan, lid_filter, lid_attr, pivot_range, par, &stats_);
+      run.frame = ReplayPlan(*plan, lid_filter, lid_attr, pivot_range,
+                             var_bounds, par, &stats_);
       run.tables = plan->tables;
       snapshot_cache_stats();
       return run;
@@ -1273,7 +1328,7 @@ StatusOr<Executor::FrameRun> Executor::RunFrame(
   }
 
   auto plan = std::make_shared<CompiledPlan>();
-  PlanningExecutor exec(db_, options_, &stats_, par);
+  PlanningExecutor exec(snapshot, options_, &stats_, par);
   EBA_ASSIGN_OR_RETURN(
       Frame frame, exec.Run(q, output_attrs, dedup_frontier, lid_filter,
                             lid_attr, pivot_var, pivot_seeded, pivot_range,
@@ -1484,7 +1539,11 @@ StatusOr<std::vector<int64_t>> Executor::DistinctLidsJoinedTo(
         "DistinctLidsJoinedTo requires an integer-like lid column");
   }
   EBA_ASSIGN_OR_RETURN(const Table* appended_table, db_->GetTable(table));
-  appended.end = std::min(appended.end, appended_table->num_rows());
+  // Clamp the runtime range to the snapshot watermark, not the live row
+  // count: rows the writer appends during this call are the next delta's
+  // business.
+  const Database::Snapshot snapshot = QuerySnapshot();
+  appended.end = std::min(appended.end, snapshot.BoundOf(appended_table));
   appended.begin = std::min(appended.begin, appended.end);
 
   // One pivot run per tuple variable bound to the appended table; a lid is
@@ -1513,7 +1572,7 @@ StatusOr<std::vector<int64_t>> Executor::DistinctLidsJoinedTo(
         // the forward pipeline costs ~|log|. Deterministic, so the plan
         // cache sees a stable key per (query, pivot, mode).
         pivot.reverse =
-            v == 0 || appended.size() <= log_table->num_rows();
+            v == 0 || appended.size() <= snapshot.BoundOf(log_table);
         break;
     }
     EBA_ASSIGN_OR_RETURN(
@@ -1538,10 +1597,15 @@ StatusOr<Relation> Executor::ExecuteBoxed(
   EBA_RETURN_IF_ERROR(q.Validate(*db_));
   stats_ = ExecStats{};
 
-  // Resolve tuple variables to tables.
+  // Resolve tuple variables to tables, and pin the read view every scan and
+  // probe below clamps to — the boxed oracle observes exactly the same
+  // watermark semantics as the late-materialization engine.
+  const Database::Snapshot snapshot = QuerySnapshot();
   std::vector<const Table*> tables(q.vars.size());
+  std::vector<size_t> bounds(q.vars.size());
   for (size_t i = 0; i < q.vars.size(); ++i) {
     EBA_ASSIGN_OR_RETURN(tables[i], db_->GetTable(q.vars[i].table));
+    bounds[i] = snapshot.BoundOf(tables[i]);
   }
 
   // Condition bookkeeping.
@@ -1655,21 +1719,16 @@ StatusOr<Relation> Executor::ExecuteBoxed(
         log_table->GetOrBuildIndex(static_cast<size_t>(lid_attr.col));
     const Column& lid_col =
         log_table->column(static_cast<size_t>(lid_attr.col));
-    size_t total = 0;
-    for (const auto& lid : *lid_filter) {
-      total += LidMatches(idx, lid_col, lid).size();
-    }
-    rel.rows.reserve(total);
     std::unordered_set<size_t> rows_seen;
-    rows_seen.reserve(2 * total);
+    rows_seen.reserve(2 * lid_filter->size());
     for (const auto& lid : *lid_filter) {
-      for (uint32_t r : LidMatches(idx, lid_col, lid)) {
+      for (uint32_t r : LidMatches(idx, lid_col, lid, bounds[0])) {
         if (rows_seen.insert(r).second) emit_log_row(r);
       }
     }
   } else {
-    rel.rows.reserve(log_table->num_rows());
-    for (size_t r = 0; r < log_table->num_rows(); ++r) emit_log_row(r);
+    rel.rows.reserve(bounds[0]);
+    for (size_t r = 0; r < bounds[0]; ++r) emit_log_row(r);
   }
   stats_.peak_intermediate = std::max(stats_.peak_intermediate, rel.rows.size());
   apply_filters(&rel);
@@ -1741,7 +1800,8 @@ StatusOr<Relation> Executor::ExecuteBoxed(
       for (const auto& row : rel.rows) {
         const Value& key = row[static_cast<size_t>(probe_idx)];
         if (key.is_null()) continue;
-        for (uint32_t match : idx.Lookup(key)) {
+        for (uint32_t match :
+             idx.Lookup(key, bounds[static_cast<size_t>(new_var)])) {
           Row combined = row;
           combined.reserve(next.attrs.size());
           for (const auto& a : new_cols) {

@@ -163,9 +163,21 @@ class Executor {
  public:
   enum class SupportStrategy { kNaive, kDedupFrontier };
 
-  /// The database must outlive the executor.
+  /// The database must outlive the executor. Each query entry point pins a
+  /// fresh Database::Snapshot for its own duration, so every individual
+  /// query is consistent under the single concurrent writer, but successive
+  /// queries observe successive watermarks.
   explicit Executor(const Database* db);
   Executor(const Database* db, ExecutorOptions options);
+
+  /// Evaluates every query against the given pinned read view: scans,
+  /// probes, and literal resolution are clamped to the snapshot's
+  /// watermarks, so results are identical to running against the database
+  /// frozen at snapshot time — regardless of concurrent appends. The
+  /// snapshot (and its database) must outlive the executor; this is the
+  /// read-side handle of the single-writer/multi-reader contract.
+  explicit Executor(const Database::Snapshot& snapshot);
+  Executor(const Database::Snapshot& snapshot, ExecutorOptions options);
 
   const ExecutorOptions& options() const { return options_; }
 
@@ -287,7 +299,14 @@ class Executor {
   /// set, else a lazily created owned pool (num_threads > 1), else null.
   ThreadPool* ProbePool() const;
 
+  /// The read view this query runs against: the fixed snapshot when the
+  /// executor was constructed from one (copies share the reclamation pin),
+  /// else a freshly pinned snapshot of the live database.
+  Database::Snapshot QuerySnapshot() const;
+
   const Database* db_;
+  Database::Snapshot fixed_snapshot_;
+  bool has_fixed_snapshot_ = false;
   ExecutorOptions options_;
   mutable ExecStats stats_;
   mutable std::unique_ptr<ThreadPool> owned_pool_;

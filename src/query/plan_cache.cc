@@ -6,18 +6,25 @@
 
 namespace eba {
 
-CompiledPlan::Freshness CompiledPlan::CheckFreshness() const {
+CompiledPlan::Freshness CompiledPlan::CheckFreshness(
+    const Database::Snapshot& snapshot) const {
   bool appended = false;
   for (size_t i = 0; i < tables.size(); ++i) {
-    if (tables[i]->structural_epoch() != table_structural_epochs[i]) {
+    const Database::Snapshot::TableView* view = snapshot.ViewOf(tables[i]);
+    if (view == nullptr ||
+        view->structural_epoch != table_structural_epochs[i]) {
       return Freshness::kStale;
     }
-    const uint64_t watermark = tables[i]->append_watermark();
-    if (watermark != table_watermarks[i]) {
-      // Tables are append-only below the structural layer, so a watermark
-      // can only move forward within one structural epoch.
+    if (view->watermark > table_watermarks[i]) {
+      // The snapshot pins rows past what the plan was bound against:
+      // indexes and translation tables need extending. Tables are
+      // append-only below the structural layer, so watermarks only move
+      // forward within one structural epoch.
       appended = true;
     }
+    // view->watermark <= recorded: the plan is at least as new as the
+    // snapshot. Replay clamps every probe and scan to the snapshot bound,
+    // so the newer bindings evaluate the older view exactly — kFresh.
   }
   return appended ? Freshness::kAppendedOnly : Freshness::kFresh;
 }
@@ -42,6 +49,15 @@ size_t CompiledPlan::ApproxBytes() const {
 std::shared_ptr<const CompiledPlan> RebindPlanForAppend(
     const CompiledPlan& plan) {
   auto rebound = std::make_shared<CompiledPlan>(plan);
+  // Stamp the new watermarks FIRST, before any index or dictionary state is
+  // read below. A row below a stamped watermark published its dictionary
+  // codes before the watermark was readable, so the translation tables and
+  // literal resolutions computed afterwards cover every code reachable by
+  // any snapshot at or below these watermarks — even while the single
+  // writer keeps appending during the rebind.
+  for (size_t i = 0; i < rebound->tables.size(); ++i) {
+    rebound->table_watermarks[i] = rebound->tables[i]->append_watermark();
+  }
   for (PlanStep& st : rebound->steps) {
     switch (st.kind) {
       case PlanStep::Kind::kJoin: {
@@ -92,14 +108,11 @@ std::shared_ptr<const CompiledPlan> RebindPlanForAppend(
         break;
     }
   }
-  for (size_t i = 0; i < rebound->tables.size(); ++i) {
-    rebound->table_watermarks[i] = rebound->tables[i]->append_watermark();
-  }
   return rebound;
 }
 
-std::shared_ptr<const CompiledPlan> PlanCache::Lookup(const std::string& key,
-                                                      const Database* db) {
+std::shared_ptr<const CompiledPlan> PlanCache::Lookup(
+    const std::string& key, const Database::Snapshot& snapshot) {
   // Writer lock even on the read path: a hit mutates the LRU list and the
   // hit counters, and an append-only hit re-binds the entry in place.
   WriterMutexLock lock(mu_);
@@ -112,8 +125,8 @@ std::shared_ptr<const CompiledPlan> PlanCache::Lookup(const std::string& key,
   // the plan is still alive before CheckFreshness dereferences them. Both
   // the freshness check and a rebind take table-level leaf locks, so
   // holding the cache mutex across them cannot deadlock.
-  if (it->second.plan->db != db ||
-      it->second.plan->catalog_generation != db->catalog_generation()) {
+  if (it->second.plan->db != snapshot.database() ||
+      it->second.plan->catalog_generation != snapshot.generation()) {
     resident_bytes_ -= it->second.bytes;
     lru_.erase(it->second.lru_it);
     plans_.erase(it);
@@ -121,7 +134,7 @@ std::shared_ptr<const CompiledPlan> PlanCache::Lookup(const std::string& key,
     ++stats_.misses;
     return nullptr;
   }
-  switch (it->second.plan->CheckFreshness()) {
+  switch (it->second.plan->CheckFreshness(snapshot)) {
     case CompiledPlan::Freshness::kFresh:
       break;
     case CompiledPlan::Freshness::kAppendedOnly: {

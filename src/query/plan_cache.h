@@ -12,23 +12,29 @@
 // thousands of times for structurally identical support queries, and the
 // per-access explain loop pays once per served request.
 //
-// Staleness is three-valued (CompiledPlan::Freshness), matching the Table
-// mutation split:
+// Staleness is three-valued (CompiledPlan::Freshness) and judged against
+// the querying snapshot (Database::Snapshot), matching the Table mutation
+// split:
 //  - kFresh: every referenced table is at its build-time structural epoch
-//    and append watermark — replay as-is.
-//  - kAppendedOnly: structural epochs match but at least one table grew.
-//    The plan is *re-bound*, not discarded: index bindings are refreshed
-//    (which extends the indexes past the watermark), dictionary-code
-//    translation tables are extended for newly minted codes, and string
-//    literals that were absent from a dictionary at compile time are
-//    re-resolved. Counted as a hit plus a rebind; the frozen join order is
-//    kept (appends rarely change which order is best, and keeping it is
-//    what makes the streaming serving loop cheap).
+//    and its recorded watermark covers the snapshot's — replay as-is. A
+//    plan recorded PAST the snapshot's watermark is fresh too: appends are
+//    monotone and every probe/scan clamps to the snapshot bound at replay
+//    time, so a newer plan evaluates older snapshots exactly.
+//  - kAppendedOnly: structural epochs match but the snapshot sees rows past
+//    at least one recorded watermark. The plan is *re-bound*, not
+//    discarded: index bindings are refreshed (which extends the indexes
+//    past the watermark), dictionary-code translation tables are extended
+//    for newly minted codes, and string literals that were absent from a
+//    dictionary at compile time are re-resolved. Counted as a hit plus a
+//    rebind; the frozen join order is kept (appends rarely change which
+//    order is best, and keeping it is what makes the streaming serving
+//    loop cheap).
 //  - kStale: a structural epoch moved — drop the entry (an invalidation).
-// Every plan also records the database's catalog generation, so a
-// CreateTable/AddTable/DropTable invalidates it before any freed Table
-// pointer could be dereferenced. Like all executor reads, lookups must be
-// externally serialized against concurrent writers.
+// Every plan also records the catalog generation, so a CreateTable/
+// AddTable/DropTable invalidates it before any freed Table pointer could be
+// dereferenced. Lookups are safe under the single concurrent appending
+// writer (the rebind reads only published state); structural mutations
+// still require external serialization against all readers.
 //
 // Eviction: with PlanCacheOptions::max_bytes > 0 the cache tracks an
 // approximate per-entry byte footprint and evicts least-recently-used
@@ -187,9 +193,13 @@ struct CompiledPlan {
     kAppendedOnly,  // watermark moved, structure intact: re-bind
     kStale          // structural epoch moved: rebuild
   };
-  /// Compares every referenced table's structural epoch and watermark
-  /// against the recorded values.
-  Freshness CheckFreshness() const;
+  /// Compares every referenced table's structural epoch and watermark *as
+  /// pinned by the querying snapshot* against the recorded values: the plan
+  /// is fresh when its recorded state covers everything the snapshot can
+  /// see, appended-only when the snapshot sees rows past a recorded
+  /// watermark, stale on any structural-epoch mismatch or a table the
+  /// snapshot does not contain.
+  Freshness CheckFreshness(const Database::Snapshot& snapshot) const;
 
   /// Approximate resident footprint (steps, translation tables, slot lists,
   /// literals) for the cache's byte accounting.
@@ -200,10 +210,13 @@ struct CompiledPlan {
 /// (extending each index past the watermark), extends dictionary-code
 /// translation tables for newly minted probe codes (recomputing them when
 /// the build-side dictionary grew), re-resolves rebindable string literals,
-/// and stamps the current watermarks. The frozen join order, slot layout and
-/// stats points are untouched, so a replay of the rebound plan over the old
-/// prefix is byte-identical to the original. Requires CheckFreshness() ==
-/// kAppendedOnly (same structural epochs).
+/// and stamps the current watermarks (read FIRST, before any dictionary
+/// state — so the translation tables provably cover every code reachable
+/// below the stamped watermarks even under a concurrent writer). The frozen
+/// join order, slot layout and stats points are untouched, so a replay of
+/// the rebound plan over the old prefix is byte-identical to the original.
+/// Requires CheckFreshness(snapshot) == kAppendedOnly for the caller's
+/// snapshot (same structural epochs).
 std::shared_ptr<const CompiledPlan> RebindPlanForAppend(
     const CompiledPlan& plan);
 
@@ -229,14 +242,15 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  /// Returns the cached plan for `key` if it exists, was built against `db`,
-  /// and is fresh or append-only stale (the latter is re-bound in place and
-  /// counted as a rebind); either way the lookup counts as a hit and marks
-  /// the entry most-recently used. A structurally stale or foreign-database
-  /// entry is evicted (counted as an invalidation) and the lookup counts as
-  /// a miss.
+  /// Returns the cached plan for `key` if it exists, was built against the
+  /// snapshot's database at its catalog generation, and is fresh or
+  /// append-only stale for that snapshot (the latter is re-bound in place
+  /// and counted as a rebind); either way the lookup counts as a hit and
+  /// marks the entry most-recently used. A structurally stale or
+  /// foreign-catalog entry is evicted (counted as an invalidation) and the
+  /// lookup counts as a miss.
   std::shared_ptr<const CompiledPlan> Lookup(const std::string& key,
-                                             const Database* db)
+                                             const Database::Snapshot& snapshot)
       EBA_EXCLUDES(mu_);
 
   /// Inserts (or replaces) the plan for `key` as the most-recently-used

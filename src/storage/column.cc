@@ -4,7 +4,8 @@
 
 namespace eba {
 
-Column::Column(DataType type) : type_(type) {
+Column::Column(DataType type)
+    : type_(type), dict_mu_(std::make_unique<Mutex>()) {
   EBA_CHECK(type != DataType::kNull);
 }
 
@@ -16,10 +17,21 @@ void Column::Reserve(size_t n) {
   }
 }
 
+void Column::AttachEpochManager(EpochManager* epochs) {
+  ints_.SetEpochManager(epochs);
+  doubles_.SetEpochManager(epochs);
+  dict_.SetEpochManager(epochs);
+  nulls_.SetEpochManager(epochs);
+}
+
 int64_t Column::InternString(const std::string& s) {
+  MutexLock lock(*dict_mu_);
   auto it = dict_lookup_.find(s);
   if (it != dict_lookup_.end()) return it->second;
   int64_t code = static_cast<int64_t>(dict_.size());
+  // The entry is published (dict_ release-stores its size) before the code
+  // referencing it lands in the payload, so a reader that can see the cell
+  // can always decode it.
   dict_.push_back(s);
   dict_lookup_.emplace(s, code);
   return code;
@@ -61,51 +73,59 @@ void Column::AppendInt64(int64_t v) {
   EBA_CHECK(type_ == DataType::kInt64);
   ints_.push_back(v);
   if (!nulls_.empty()) nulls_.push_back(0);
-  ++size_;
+  size_.Publish(size_.LoadRelaxed() + 1);
 }
 
 void Column::AppendTimestamp(int64_t seconds) {
   EBA_CHECK(type_ == DataType::kTimestamp);
   ints_.push_back(seconds);
   if (!nulls_.empty()) nulls_.push_back(0);
-  ++size_;
+  size_.Publish(size_.LoadRelaxed() + 1);
 }
 
 void Column::AppendBool(bool v) {
   EBA_CHECK(type_ == DataType::kBool);
   ints_.push_back(v ? 1 : 0);
   if (!nulls_.empty()) nulls_.push_back(0);
-  ++size_;
+  size_.Publish(size_.LoadRelaxed() + 1);
 }
 
 void Column::AppendDouble(double v) {
   EBA_CHECK(type_ == DataType::kDouble);
   doubles_.push_back(v);
   if (!nulls_.empty()) nulls_.push_back(0);
-  ++size_;
+  size_.Publish(size_.LoadRelaxed() + 1);
 }
 
 void Column::AppendString(const std::string& v) {
   EBA_CHECK(type_ == DataType::kString);
   ints_.push_back(InternString(v));
   if (!nulls_.empty()) nulls_.push_back(0);
-  ++size_;
+  size_.Publish(size_.LoadRelaxed() + 1);
 }
 
 void Column::AppendNull() {
-  if (nulls_.empty()) nulls_.assign(size_, 0);
+  if (nulls_.empty()) {
+    // Lazy backfill: rows appended before the first NULL have no bitmap
+    // entry yet. Appending zeros (instead of a bulk assign) keeps the
+    // publication invariant — a reader observing a short bitmap treats the
+    // uncovered rows as non-null, which they are.
+    const size_t n = size_.LoadRelaxed();
+    nulls_.Reserve(n + 1);
+    for (size_t i = 0; i < n; ++i) nulls_.push_back(0);
+  }
   if (type_ == DataType::kDouble) {
     doubles_.push_back(0);
   } else {
     ints_.push_back(0);
   }
   nulls_.push_back(1);
-  ++null_count_;
-  ++size_;
+  null_count_.Increment();
+  size_.Publish(size_.LoadRelaxed() + 1);
 }
 
 Value Column::Get(size_t row) const {
-  EBA_CHECK(row < size_);
+  EBA_CHECK(row < size_.Load());
   if (IsNull(row)) return Value::Null();
   switch (type_) {
     case DataType::kBool:
@@ -139,6 +159,7 @@ void Column::MaterializeRange(const std::vector<uint32_t>& row_ids,
 }
 
 std::optional<int64_t> Column::FindStringCode(const std::string& s) const {
+  MutexLock lock(*dict_mu_);
   auto it = dict_lookup_.find(s);
   if (it == dict_lookup_.end()) return std::nullopt;
   return it->second;

@@ -8,20 +8,32 @@
 //
 // Payloads are stored in fixed 64k-row chunks (storage/chunk.h): tables
 // grow by appending chunks instead of reallocating, so an append never
-// copies existing rows and completed-chunk addresses stay stable. All
-// payload access goes through the typed accessors or the ForEach*Span scan
-// primitives — nothing outside storage/ sees the chunk layout (enforced by
-// the column-payload lint rule).
+// copies existing rows and slot addresses stay stable. All payload access
+// goes through the typed accessors or the ForEach*Span scan primitives —
+// nothing outside storage/ sees the chunk layout (enforced by the
+// column-payload lint rule).
+//
+// Single-writer/multi-reader contract: one writer appends while any number
+// of snapshot-pinned readers access rows strictly below their pinned
+// watermark. Every side structure a reader touches is publish-after-write:
+// payload and null-bitmap sizes are release-published (ChunkedVector), the
+// dictionary stores entries in small stable chunks with a published size,
+// and the writer-side dictionary hash (InternString/FindStringCode, both
+// planning-time-cold) is the one boxed mutex on the read path. Structural
+// mutation (Set/clear) is NOT covered — it requires external exclusion of
+// all readers, which Table's structural-epoch contract provides.
 
 #ifndef EBA_STORAGE_COLUMN_H_
 #define EBA_STORAGE_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "storage/chunk.h"
@@ -31,12 +43,20 @@ namespace eba {
 class Column {
  public:
   explicit Column(DataType type);
+  Column(Column&&) = default;
+  Column& operator=(Column&&) = default;
 
   DataType type() const { return type_; }
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  /// Release-published: a reader that observes size n can access every row
+  /// below n through any accessor.
+  size_t size() const { return size_.Load(); }
+  bool empty() const { return size() == 0; }
 
   void Reserve(size_t n);
+
+  /// Routes retired chunk directories to the database's reclamation domain
+  /// (storage/epoch.h). Called by Table when it joins a Database.
+  void AttachEpochManager(EpochManager* epochs);
 
   /// Appends a value; the value must be NULL or match the column type.
   Status Append(const Value& v);
@@ -50,7 +70,11 @@ class Column {
   void AppendNull();
 
   bool IsNull(size_t row) const {
-    return !nulls_.empty() && nulls_[row] != 0;
+    // The null bitmap is backfilled lazily on the first NULL; a reader that
+    // observes a shorter (or empty) bitmap correctly treats the row as
+    // non-null — the bitmap covering `row` is published before the size
+    // that makes `row` readable.
+    return row < nulls_.size() && nulls_[row] != 0;
   }
 
   /// Boxed accessor.
@@ -66,7 +90,8 @@ class Column {
   int64_t StringCodeAt(size_t row) const { return ints_[row]; }
 
   /// The string a dictionary code decodes to. `code` must come from this
-  /// column (0 <= code < DictionarySize()).
+  /// column (0 <= code < DictionarySize()). Entries never move once
+  /// published, so the reference stays valid across concurrent appends.
   const std::string& DictionaryEntry(int64_t code) const {
     return dict_[static_cast<size_t>(code)];
   }
@@ -78,14 +103,18 @@ class Column {
   }
   bool IsString() const { return type_ == DataType::kString; }
 
-  /// Number of distinct strings in this column's dictionary.
+  /// Number of distinct strings in this column's dictionary
+  /// (release-published; codes below it decode safely).
   size_t DictionarySize() const { return dict_.size(); }
 
-  /// Code for a string, if it occurs in this column.
+  /// Code for a string, if it occurs in this column. Takes the dictionary
+  /// mutex — planning-time only, never in a probe inner loop.
   std::optional<int64_t> FindStringCode(const std::string& s) const;
 
-  /// Number of NULL cells.
-  size_t NullCount() const { return null_count_; }
+  /// Number of NULL cells (relaxed; exact only for the writer).
+  size_t NullCount() const {
+    return static_cast<size_t>(null_count_.Load());
+  }
 
   /// Appends boxed Values for `row_ids` (one per id, in order) onto `out`.
   /// This is the single materialization point of the late-materialization
@@ -115,12 +144,18 @@ class Column {
   int64_t InternString(const std::string& s);
 
   DataType type_;
-  size_t size_ = 0;
-  size_t null_count_ = 0;
+  PublishedSize size_;
+  AtomicCounter null_count_;
   ChunkedVector<int64_t> ints_;
   ChunkedVector<double> doubles_;
-  std::vector<std::string> dict_;
-  std::unordered_map<std::string, int64_t> dict_lookup_;
+  /// Dictionary entries in small stable chunks: readers decode codes
+  /// lock-free below the published size.
+  ChunkedVector<std::string, kDictChunkShift> dict_;
+  /// The writer-side reverse map. Boxed so Column stays movable (moves are
+  /// single-threaded setup/teardown, like every other member).
+  std::unique_ptr<Mutex> dict_mu_;
+  std::unordered_map<std::string, int64_t> dict_lookup_
+      EBA_GUARDED_BY(*dict_mu_);
   ChunkedVector<uint8_t> nulls_;  // allocated lazily on first NULL
 };
 

@@ -6,13 +6,16 @@
 
 namespace eba {
 
+Database::Database() : epochs_(std::make_unique<EpochManager>()) {}
+
 Status Database::CreateTable(TableSchema schema) {
   EBA_RETURN_IF_ERROR(schema.Validate());
   if (HasTable(schema.name())) {
     return Status::AlreadyExists("table '" + schema.name() + "' exists");
   }
   std::string name = schema.name();
-  tables_.emplace(name, Table(std::move(schema)));
+  auto [it, inserted] = tables_.emplace(name, Table(std::move(schema)));
+  it->second.AttachEpochManager(epochs_.get());
   ++catalog_generation_;
   return Status::OK();
 }
@@ -42,7 +45,8 @@ Status Database::AddTable(Table table) {
     return Status::AlreadyExists("table '" + table.name() + "' exists");
   }
   std::string name = table.name();
-  tables_.emplace(name, std::move(table));
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  it->second.AttachEpochManager(epochs_.get());
   ++catalog_generation_;
   return Status::OK();
 }
@@ -159,31 +163,74 @@ size_t Database::TotalRows() const {
   return total;
 }
 
-CatalogSnapshot Database::Snapshot() const {
-  CatalogSnapshot snapshot;
-  snapshot.generation = catalog_generation_;
+Database::Snapshot Database::CreateSnapshot() const {
+  Snapshot snapshot;
+  snapshot.db_ = this;
+  // Pin FIRST: the pin's mutex acquisition orders this snapshot after any
+  // retirement that already ran, so every pointer published before our pin
+  // is either current or protected until we unpin. Watermarks read after
+  // the pin are therefore always dereferenceable through it.
+  snapshot.pin_ =
+      std::make_shared<EpochPin>(epochs_.get(), epochs_->Pin());
+  snapshot.generation_ = catalog_generation_;
+  snapshot.tables_.reserve(tables_.size());
+  // tables_ is name-ordered, so the view vector comes out name-ordered.
   for (const auto& [name, table] : tables_) {
-    snapshot.tables[name] = CatalogSnapshot::TableState{
-        table.structural_epoch(), table.append_watermark()};
+    snapshot.tables_.push_back(Snapshot::TableView{
+        &table, name, table.structural_epoch(), table.append_watermark()});
   }
   return snapshot;
 }
 
-CatalogDrift Database::DriftSince(const CatalogSnapshot& snapshot) const {
+const Database::Snapshot::TableView* Database::Snapshot::Find(
+    const std::string& name) const {
+  auto it = std::lower_bound(
+      tables_.begin(), tables_.end(), name,
+      [](const TableView& tv, const std::string& n) { return tv.name < n; });
+  if (it == tables_.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+const Database::Snapshot::TableView* Database::Snapshot::ViewOf(
+    const Table* table) const {
+  for (const auto& tv : tables_) {
+    if (tv.table == table) return &tv;
+  }
+  return nullptr;
+}
+
+size_t Database::Snapshot::BoundOf(const Table* table) const {
+  const TableView* view = ViewOf(table);
+  // Not part of this snapshot (created after it): nothing is visible.
+  return view != nullptr ? static_cast<size_t>(view->watermark) : 0;
+}
+
+void Database::Snapshot::SetWatermark(const std::string& name,
+                                      uint64_t watermark) {
+  for (TableView& tv : tables_) {
+    if (tv.name == name) {
+      tv.watermark = watermark;
+      return;
+    }
+  }
+}
+
+CatalogDrift Database::Snapshot::DriftSince(const Snapshot& older) const {
   CatalogDrift drift;
-  drift.catalog_changed = catalog_generation_ != snapshot.generation;
-  // tables_ is name-ordered, so drift.appends comes out in name order.
-  for (const auto& [name, table] : tables_) {
-    auto it = snapshot.tables.find(name);
-    if (it == snapshot.tables.end()) continue;  // new table: catalog_changed
-    if (table.structural_epoch() != it->second.structural_epoch) {
+  drift.catalog_changed = generation_ != older.generation_;
+  // Pure counter comparison between the two captured views — never reads
+  // live state, so the result is exact for this snapshot even while the
+  // writer keeps appending.
+  for (const TableView& tv : tables_) {
+    const TableView* prev = older.Find(tv.name);
+    if (prev == nullptr) continue;  // new table: catalog_changed
+    if (tv.structural_epoch != prev->structural_epoch) {
       drift.structural_mutation = true;
       continue;  // the append range is meaningless across a structural edit
     }
-    const uint64_t watermark = table.append_watermark();
-    if (watermark != it->second.watermark) {
+    if (tv.watermark != prev->watermark) {
       drift.appends.push_back(
-          CatalogDrift::Append{name, it->second.watermark, watermark});
+          CatalogDrift::Append{tv.name, prev->watermark, tv.watermark});
     }
   }
   return drift;

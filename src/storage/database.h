@@ -12,11 +12,13 @@
 #define EBA_STORAGE_DATABASE_H_
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "storage/epoch.h"
 #include "storage/schema.h"
 #include "storage/table.h"
 
@@ -34,24 +36,10 @@ struct AdminRelationship {
   AttrId b;
 };
 
-/// A point-in-time view of the catalog's mutation counters: the catalog
-/// generation plus every table's (structural epoch, append watermark).
-/// Consumers of incremental invariants (e.g. StreamingAuditor) snapshot
-/// after each pass and later ask Database::DriftSince what changed — per
-/// table, split by mutation class — instead of treating any change as one
-/// opaque "something moved" blob.
-struct CatalogSnapshot {
-  struct TableState {
-    uint64_t structural_epoch = 0;
-    uint64_t watermark = 0;
-  };
-  uint64_t generation = 0;
-  std::map<std::string, TableState> tables;
-};
-
-/// What changed since a CatalogSnapshot, classified by the Table mutation
-/// split (storage/table.h): appends are reported per table with the grown
-/// row range, anything stronger collapses to a rebuild-everything signal.
+/// What changed between two Database::Snapshot handles, classified by the
+/// Table mutation split (storage/table.h): appends are reported per table
+/// with the grown row range, anything stronger collapses to a
+/// rebuild-everything signal.
 struct CatalogDrift {
   /// One table whose append watermark advanced (structure intact): rows
   /// [from_watermark, to_watermark) are new.
@@ -80,7 +68,88 @@ struct CatalogDrift {
 
 class Database {
  public:
-  Database() = default;
+  /// A consistent read view of the database: the sole read-side handle of
+  /// the single-writer/multi-reader contract. Creating one pins the
+  /// reclamation epoch (storage/epoch.h) and captures the catalog
+  /// generation plus every table's (structural epoch, append watermark).
+  /// A reader executing against a snapshot
+  ///
+  ///   * only dereferences state reachable below the pinned watermarks
+  ///     (every scan, probe, and stats read is clamped to the watermark),
+  ///     which stays valid — versioned column tails above the watermark
+  ///     grow concurrently without disturbing it;
+  ///   * holds const Table pointers only, so a mutation cannot compile
+  ///     through the handle.
+  ///
+  /// Snapshots are cheap (one mutex hop plus a few counter reads) and
+  /// copyable — copies share the pin. Release the pin (drop the snapshot,
+  /// or ReleasePin() for long-lived drift baselines) promptly: retired
+  /// tail versions cannot be reclaimed while a pin from their era lives.
+  ///
+  /// The writer side is NOT covered: appends need a single serialized
+  /// writer, and structural mutations (in-place cell rewrites, drop/add
+  /// table) additionally require that no reader is executing — snapshot
+  /// holders detect them afterwards via generation/epoch drift.
+  class Snapshot {
+   public:
+    /// One table's pinned view, in name order.
+    struct TableView {
+      const Table* table = nullptr;
+      std::string name;
+      uint64_t structural_epoch = 0;
+      uint64_t watermark = 0;
+    };
+
+    /// An empty snapshot (no database, no pin); assign a real one over it.
+    Snapshot() = default;
+
+    const Database* database() const { return db_; }
+    uint64_t generation() const { return generation_; }
+    const std::vector<TableView>& tables() const { return tables_; }
+
+    /// The pinned view of a table by name; nullptr when the table did not
+    /// exist at snapshot time.
+    const TableView* Find(const std::string& name) const;
+
+    /// The pinned view of `table`, or nullptr when the table is not part of
+    /// this snapshot. O(#tables) — catalogs are small.
+    const TableView* ViewOf(const Table* table) const;
+
+    /// The pinned watermark of `table`, or 0 when the table is not part of
+    /// this snapshot (a table created afterwards has no visible rows in
+    /// it). O(#tables) — catalogs are small.
+    size_t BoundOf(const Table* table) const;
+
+    /// Classifies what changed from `older` to this snapshot. Pure counter
+    /// comparison — no live reads, and safe on unpinned snapshots. Append
+    /// ranges are accurate even when RequiresRebuild() is true, but
+    /// consumers should check RequiresRebuild() first.
+    CatalogDrift DriftSince(const Snapshot& older) const;
+
+    /// Rewinds one table's captured watermark — baseline bookkeeping only.
+    /// Recovery installs the checkpointed audit watermarks over a fresh
+    /// handle so rows that landed after the last audit re-surface as drift.
+    /// Meaningless on a handle used for reads; pair with ReleasePin().
+    void SetWatermark(const std::string& name, uint64_t watermark);
+
+    /// Drops the reclamation pin while keeping the captured counters:
+    /// long-lived drift baselines (StreamingAuditor's last-audit snapshot,
+    /// checkpoint bookkeeping) must not block tail reclamation forever.
+    /// After this, the handle must not be used for reads — only for
+    /// DriftSince comparisons.
+    void ReleasePin() { pin_.reset(); }
+    bool pinned() const { return pin_ != nullptr; }
+
+   private:
+    friend class Database;
+
+    const Database* db_ = nullptr;
+    uint64_t generation_ = 0;
+    std::vector<TableView> tables_;
+    std::shared_ptr<EpochPin> pin_;
+  };
+
+  Database();
 
   // Movable only: tables are not copyable.
   Database(Database&&) = default;
@@ -146,14 +215,13 @@ class Database {
   /// Total number of rows across all tables (diagnostics).
   size_t TotalRows() const;
 
-  /// Captures the catalog generation and every table's mutation counters.
-  CatalogSnapshot Snapshot() const;
+  /// Pins a consistent read view (see Snapshot above). Safe to call from
+  /// any reader concurrently with the single appending writer.
+  Snapshot CreateSnapshot() const;
 
-  /// Classifies everything that changed since `snapshot`. Per-table append
-  /// ranges are populated even when RequiresRebuild() is true (they are
-  /// accurate as long as the table still exists), but consumers should
-  /// check RequiresRebuild() first.
-  CatalogDrift DriftSince(const CatalogSnapshot& snapshot) const;
+  /// The reclamation domain retired column-tail state (chunk directories,
+  /// index buckets) is deferred to until every older snapshot unpins.
+  EpochManager* epoch_manager() const { return epochs_.get(); }
 
   /// Monotonic catalog counter: advanced by CreateTable/AddTable/DropTable.
   /// Within one generation, Table pointers returned by GetTable are stable
@@ -165,6 +233,11 @@ class Database {
  private:
   Status ValidateAttr(const AttrId& attr) const;
 
+  /// Declared first so it is destroyed last: retired-state deleters are
+  /// independent of the tables, but pins must never outlive the manager.
+  /// Boxed so the Database stays movable (the manager's address — which
+  /// tables and snapshots hold — is stable across moves).
+  std::unique_ptr<EpochManager> epochs_;
   std::map<std::string, Table> tables_;
   uint64_t catalog_generation_ = 0;
   std::vector<ForeignKey> fks_;

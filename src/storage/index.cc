@@ -1,60 +1,224 @@
 #include "storage/index.h"
 
+#include <new>
+#include <type_traits>
+
 #include "common/logging.h"
 
 namespace eba {
 
+namespace {
+
+/// splitmix64 finalizer: int64 keys (ids, timestamps, dictionary codes)
+/// are frequently sequential or share low bits; the mixer spreads them
+/// across the power-of-two slot space.
+inline uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+constexpr size_t kMinDirCapacity = 64;
+constexpr size_t kInitialBucketCapacity = 4;
+
+}  // namespace
+
+HashIndex::Bucket* HashIndex::NewBucket(size_t capacity) {
+  void* mem = ::operator new(sizeof(Bucket) + capacity * sizeof(uint32_t));
+  return new (mem) Bucket(capacity);
+}
+
+void HashIndex::FreeBucket(Bucket* b) {
+  b->~Bucket();
+  ::operator delete(b);
+}
+
+template <typename T>
+void HashIndex::Retire(T* p) {
+  constexpr bool is_bucket = std::is_same_v<T, Bucket>;
+  if (epochs_ != nullptr) {
+    epochs_->Retire([p] {
+      if constexpr (is_bucket) {
+        FreeBucket(p);
+      } else {
+        delete p;
+      }
+    });
+  } else {
+    if constexpr (is_bucket) {
+      FreeBucket(p);
+    } else {
+      delete p;
+    }
+  }
+}
+
 HashIndex::HashIndex(const Column* column) : column_(column) {
   EBA_CHECK(column != nullptr);
-  if (column->IsIntLike() || column->IsString()) {
-    int_map_.reserve(column->size());
-  } else {
-    value_map_.reserve(column->size());
-  }
+  // Pre-size the directory with a quarter of the existing rows as the
+  // distinct-key guess, bounding build-time rehash passes; it grows on
+  // demand past that.
+  const size_t guess =
+      RoundUpPow2(std::max(kMinDirCapacity, column->size() / 4));
+  dir_.store(new Dir(guess), std::memory_order_relaxed);
   ExtendTo(column->size());
 }
 
+HashIndex::~HashIndex() {
+  Dir* dir = dir_.load(std::memory_order_relaxed);
+  if (dir == nullptr) return;
+  for (size_t i = 0; i <= dir->mask; ++i) {
+    Bucket* b = dir->slots[i].bucket.load(std::memory_order_relaxed);
+    if (b != nullptr) FreeBucket(b);
+  }
+  delete dir;
+  // Superseded buckets/directories were retired to the EpochManager and
+  // are not reachable from the current directory.
+}
+
+void HashIndex::InsertInt(int64_t key, uint32_t row) {
+  Dir* dir = dir_.load(std::memory_order_relaxed);
+  size_t i = MixHash(static_cast<uint64_t>(key)) & dir->mask;
+  while (true) {
+    Slot& slot = dir->slots[i];
+    Bucket* b = slot.bucket.load(std::memory_order_relaxed);
+    if (b == nullptr) {
+      // Claim the empty slot: key first; the release store of the bucket
+      // publishes the key and the first row together.
+      slot.key = key;
+      Bucket* fresh = NewBucket(kInitialBucketCapacity);
+      fresh->rows()[0] = row;
+      fresh->size.store(1, std::memory_order_relaxed);
+      slot.bucket.store(fresh, std::memory_order_release);
+      num_int_keys_.Increment();
+      // Keep the load factor below 3/4 (int keys only; doubles live in
+      // the boxed map).
+      if (num_int_keys_.Load() * 4 > (dir->mask + 1) * 3) GrowDirectory();
+      return;
+    }
+    if (slot.key == key) {
+      const size_t n = b->size.load(std::memory_order_relaxed);
+      if (n == b->capacity) {
+        // Grow by copy: a reader still holding the old bucket keeps a
+        // complete prefix; the old allocation is retired, not freed.
+        Bucket* fresh = NewBucket(b->capacity * 2);
+        std::copy(b->rows(), b->rows() + n, fresh->rows());
+        fresh->rows()[n] = row;
+        fresh->size.store(n + 1, std::memory_order_relaxed);
+        slot.bucket.store(fresh, std::memory_order_release);
+        Retire(b);
+      } else {
+        b->rows()[n] = row;
+        b->size.store(n + 1, std::memory_order_release);
+      }
+      return;
+    }
+    i = (i + 1) & dir->mask;
+  }
+}
+
+void HashIndex::GrowDirectory() {
+  Dir* old = dir_.load(std::memory_order_relaxed);
+  Dir* fresh = new Dir((old->mask + 1) * 2);
+  // Private rebuild: no reader sees `fresh` until the release store below,
+  // so plain stores suffice. Bucket allocations are shared, not copied —
+  // a reader probing the old directory reaches the same (or a retired but
+  // still-live prefix) bucket.
+  for (size_t i = 0; i <= old->mask; ++i) {
+    Bucket* b = old->slots[i].bucket.load(std::memory_order_relaxed);
+    if (b == nullptr) continue;
+    const int64_t key = old->slots[i].key;
+    size_t j = MixHash(static_cast<uint64_t>(key)) & fresh->mask;
+    while (fresh->slots[j].bucket.load(std::memory_order_relaxed) !=
+           nullptr) {
+      j = (j + 1) & fresh->mask;
+    }
+    fresh->slots[j].key = key;
+    fresh->slots[j].bucket.store(b, std::memory_order_relaxed);
+  }
+  dir_.store(fresh, std::memory_order_release);
+  Retire(old);
+}
+
 void HashIndex::ExtendTo(size_t num_rows) {
-  EBA_CHECK(num_rows <= column_->size());
+  // Clamp to the column's published size: the fold may run concurrently
+  // with the table writer, and rows past the publication watermark are
+  // not yet readable.
+  const size_t target = std::min(num_rows, column_->size());
+  const size_t from = indexed_rows_.LoadRelaxed();
+  if (target <= from) return;
   if (column_->IsIntLike() || column_->IsString()) {
     // Chunk-aware fold: the span callback hands a raw per-chunk payload
     // array (int values or dictionary codes), so the inner loop indexes a
     // plain array instead of doing shift+mask access per row.
     column_->ForEachInt64Span(
-        indexed_rows_, num_rows,
+        from, target,
         [&](size_t first_row, const int64_t* data, size_t count) {
           for (size_t i = 0; i < count; ++i) {
             const size_t row = first_row + i;
             if (column_->IsNull(row)) continue;
-            int_map_[data[i]].push_back(static_cast<uint32_t>(row));
+            InsertInt(data[i], static_cast<uint32_t>(row));
           }
         });
   } else {
-    for (size_t row = indexed_rows_; row < num_rows; ++row) {
+    WriterMutexLock lock(value_mu_);
+    for (size_t row = from; row < target; ++row) {
       if (column_->IsNull(row)) continue;
       value_map_[column_->Get(row)].push_back(static_cast<uint32_t>(row));
     }
   }
-  if (num_rows > indexed_rows_) indexed_rows_ = num_rows;
+  // Published last: a reader observing indexed_rows() >= its bound also
+  // observes every insert for rows below the bound.
+  indexed_rows_.Publish(target);
 }
 
-const std::vector<uint32_t>& HashIndex::Lookup(const Value& v) const {
-  if (v.is_null()) return empty_;
+RowIdSpan HashIndex::LookupInt64(int64_t key) const {
+  const Dir* dir = dir_.load(std::memory_order_acquire);
+  size_t i = MixHash(static_cast<uint64_t>(key)) & dir->mask;
+  while (true) {
+    const Slot& slot = dir->slots[i];
+    const Bucket* b = slot.bucket.load(std::memory_order_acquire);
+    // Null bucket = stop sentinel: linear probing without deletions means
+    // this key cannot be stored past an empty slot on its probe path.
+    if (b == nullptr) return RowIdSpan{};
+    if (slot.key == key) {
+      return RowIdSpan{b->rows(), b->size.load(std::memory_order_acquire)};
+    }
+    i = (i + 1) & dir->mask;
+  }
+}
+
+std::vector<uint32_t> HashIndex::Lookup(const Value& v, size_t bound) const {
+  if (v.is_null()) return {};
   if (column_->IsIntLike()) {
     if (v.type() != DataType::kBool && v.type() != DataType::kInt64 &&
         v.type() != DataType::kTimestamp) {
-      return empty_;
+      return {};
     }
-    return LookupInt64(v.RawInt64());
+    RowIdSpan span = LookupInt64(v.RawInt64()).ClampTo(bound);
+    return std::vector<uint32_t>(span.begin(), span.end());
   }
   if (column_->IsString()) {
-    if (v.type() != DataType::kString) return empty_;
+    if (v.type() != DataType::kString) return {};
     auto code = column_->FindStringCode(v.AsString());
-    if (!code) return empty_;
-    return LookupInt64(*code);
+    if (!code) return {};
+    RowIdSpan span = LookupInt64(*code).ClampTo(bound);
+    return std::vector<uint32_t>(span.begin(), span.end());
   }
+  SharedMutexLock lock(value_mu_);
   auto it = value_map_.find(v);
-  return it == value_map_.end() ? empty_ : it->second;
+  if (it == value_map_.end()) return {};
+  const std::vector<uint32_t>& rows = it->second;
+  auto cut = std::lower_bound(rows.begin(), rows.end(),
+                              static_cast<uint32_t>(bound));
+  return std::vector<uint32_t>(rows.begin(), cut);
 }
 
 std::vector<int64_t> HashIndex::TranslateCodesFrom(
@@ -70,13 +234,11 @@ std::vector<int64_t> HashIndex::TranslateCodesFrom(
   return translated;
 }
 
-const std::vector<uint32_t>& HashIndex::LookupInt64(int64_t key) const {
-  auto it = int_map_.find(key);
-  return it == int_map_.end() ? empty_ : it->second;
-}
-
 size_t HashIndex::NumDistinctKeys() const {
-  return int_map_.empty() ? value_map_.size() : int_map_.size();
+  size_t n = static_cast<size_t>(num_int_keys_.Load());
+  SharedMutexLock lock(value_mu_);
+  n += value_map_.size();
+  return n;
 }
 
 }  // namespace eba

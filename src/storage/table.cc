@@ -25,6 +25,15 @@ void Table::Reserve(size_t rows) {
   for (auto& col : columns_) col.Reserve(rows);
 }
 
+void Table::AttachEpochManager(EpochManager* epochs) {
+  epochs_ = epochs;
+  for (auto& col : columns_) col.AttachEpochManager(epochs);
+  MutexLock lock(*lazy_mu_);
+  for (auto& idx : indexes_) {
+    if (idx) idx->SetEpochManager(epochs);
+  }
+}
+
 Status Table::ValidateRow(const Row& row) const {
   if (row.size() != columns_.size()) {
     return Status::InvalidArgument(
@@ -55,11 +64,14 @@ void Table::AppendValidatedRow(const Row& row) {
   }
   // Appends advance the watermark only (num_rows_ doubles as the
   // watermark); cached indexes/stats stay live and extend on next access.
-  ++num_rows_;
+  // The release publish — after every column published its own append —
+  // is what lets a snapshot reader that observed the new count read the
+  // whole row.
+  num_rows_.Publish(num_rows_.LoadRelaxed() + 1);
 }
 
 Row Table::GetRow(size_t row) const {
-  EBA_CHECK(row < num_rows_);
+  EBA_CHECK(row < num_rows());
   Row out;
   out.reserve(columns_.size());
   for (const auto& col : columns_) out.push_back(col.Get(row));
@@ -84,17 +96,22 @@ const HashIndex& Table::GetOrBuildIndex(size_t col) const {
   EBA_CHECK(col < columns_.size());
   MutexLock lock(*lazy_mu_);
   if (!indexes_[col]) {
-    indexes_[col] = std::make_unique<HashIndex>(&columns_[col]);
+    auto idx = std::make_unique<HashIndex>(&columns_[col]);
+    // Attach reclamation after the initial build: the index is private
+    // until stored below, so build-time supersessions free eagerly.
+    idx->SetEpochManager(epochs_);
+    indexes_[col] = std::move(idx);
   } else {
     // Extend past the append watermark (no-op when already current). The
-    // locked check doubles as the happens-before edge for readers that
-    // probe the index without the lock afterwards.
+    // fold clamps to the columns' published sizes, so it is safe under a
+    // concurrent writer; after it returns the index covers at least every
+    // watermark the caller observed before this call.
     indexes_[col]->ExtendTo(columns_[col].size());
   }
   return *indexes_[col];
 }
 
-const ColumnStats& Table::GetOrComputeStats(size_t col) const {
+ColumnStats Table::GetOrComputeStats(size_t col) const {
   EBA_CHECK(col < columns_.size());
   MutexLock lock(*lazy_mu_);
   if (!stats_[col]) {
@@ -113,11 +130,11 @@ void Table::InvalidateDerivedState() const {
 
 Status Table::WriteCsv(const std::string& path) const {
   std::vector<std::vector<std::string>> rows;
-  rows.reserve(num_rows_ + 1);
+  rows.reserve(num_rows() + 1);
   std::vector<std::string> header;
   for (const auto& def : schema_.columns()) header.push_back(def.name);
   rows.push_back(std::move(header));
-  for (size_t r = 0; r < num_rows_; ++r) {
+  for (size_t r = 0; r < num_rows(); ++r) {
     std::vector<std::string> fields;
     fields.reserve(columns_.size());
     for (const auto& col : columns_) {
@@ -135,7 +152,7 @@ std::string Table::ToCsvString(size_t from_row, size_t to_row) const {
   for (const auto& def : schema_.columns()) fields.push_back(def.name);
   out += CsvEncodeRow(fields);
   out += '\n';
-  for (size_t r = from_row; r < to_row && r < num_rows_; ++r) {
+  for (size_t r = from_row; r < to_row && r < num_rows(); ++r) {
     fields.clear();
     for (const auto& col : columns_) {
       Value v = col.Get(r);
@@ -215,7 +232,7 @@ Status Table::AppendParsedCsv(
                                      std::to_string(i) + " in " + source);
     }
   }
-  Reserve(num_rows_ + rows.size() - 1);
+  Reserve(num_rows() + rows.size() - 1);
   for (size_t r = 1; r < rows.size(); ++r) {
     const auto& fields = rows[r];
     if (fields.size() != num_columns()) {

@@ -46,10 +46,17 @@ class Table {
 
   const TableSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name(); }
-  size_t num_rows() const { return num_rows_; }
+  /// Release-published row count: a reader that observes n can read every
+  /// cell of every row below n (columns publish before the table does).
+  size_t num_rows() const { return num_rows_.Load(); }
   size_t num_columns() const { return columns_.size(); }
 
   void Reserve(size_t rows);
+
+  /// Routes retired derived-state allocations (chunk directories, index
+  /// buckets) to the database's reclamation domain. Called by Database when
+  /// the table joins it; standalone tables free retired state immediately.
+  void AttachEpochManager(EpochManager* epochs) EBA_EXCLUDES(*lazy_mu_);
 
   /// Checks a row against the schema (arity, per-column types) without
   /// appending it. A row that validates cannot fail to append — write-ahead
@@ -78,14 +85,19 @@ class Table {
   /// the append watermark on access (the HashIndex object — and therefore
   /// pointers to it — survives appends; only a structural mutation drops
   /// it). Safe to call from concurrent readers (lazy construction and
-  /// extension are serialized internally); appends still require external
-  /// serialization against all readers.
+  /// extension are serialized internally) AND concurrently with the single
+  /// writer appending: the extension folds only rows below the columns'
+  /// published sizes, and probes are lock-free (see storage/index.h).
+  /// Snapshot readers clamp every lookup to their pinned watermark.
   const HashIndex& GetOrBuildIndex(size_t col) const EBA_EXCLUDES(*lazy_mu_);
 
   /// Statistics for `col`, computed on first use, cached, and extended past
-  /// the append watermark on access. Same thread safety as GetOrBuildIndex.
-  const ColumnStats& GetOrComputeStats(size_t col) const
-      EBA_EXCLUDES(*lazy_mu_);
+  /// the append watermark on access; the copy is taken under the lazy
+  /// mutex, so it is internally consistent. Under a concurrent writer the
+  /// summary covers *at least* the rows below any watermark the caller
+  /// observed before the call — possibly more. That slack only perturbs
+  /// cardinality estimates (join order); result sets are order-independent.
+  ColumnStats GetOrComputeStats(size_t col) const EBA_EXCLUDES(*lazy_mu_);
 
   /// Drops cached indexes and statistics and advances the structural epoch.
   /// Called automatically by mutable_column; appends do NOT call this.
@@ -106,7 +118,7 @@ class Table {
   /// advance (same structural epoch) may *re-bind* their derived state for
   /// the new suffix instead of rebuilding it.
   uint64_t append_watermark() const {
-    return static_cast<uint64_t>(num_rows_);
+    return static_cast<uint64_t>(num_rows());
   }
 
   /// Dumps the table (header + rows) to CSV.
@@ -137,7 +149,8 @@ class Table {
 
   TableSchema schema_;
   std::vector<Column> columns_;
-  size_t num_rows_ = 0;
+  PublishedSize num_rows_;
+  EpochManager* epochs_ = nullptr;
 
   // Guards lazy construction of indexes_/stats_ so concurrent readers can
   // share a table. Boxed so the table stays movable (moved-from tables must

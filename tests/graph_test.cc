@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "graph/hierarchy.h"
 #include "graph/modularity.h"
@@ -425,6 +426,60 @@ TEST(HierarchyTest, ToGroupsTableSchemaAndContent) {
   EXPECT_EQ(without.num_rows(), expected - graph.num_users());
   for (size_t r = 0; r < without.num_rows(); ++r) {
     EXPECT_GE(without.Get(r, 0).AsInt64(), 1);
+  }
+}
+
+TEST(HierarchyTest, AssignNewUsersJoinsStrongestTiesWithoutReclustering) {
+  Table table = MakeFigure5Log();
+  {
+    AccessLog log = UnwrapOrDie(AccessLog::Wrap(&table));
+    UserGraph graph = UnwrapOrDie(UserGraph::Build(log));
+    GroupHierarchy h = UnwrapOrDie(GroupHierarchy::Build(graph));
+
+    // The log grows: user 4 repeatedly co-accesses with user 3 (and nobody
+    // else), user 5 only touches a record nobody else ever opened.
+    int64_t lid = 100;
+    auto append = [&](int64_t patient, int64_t user) {
+      EBA_CHECK(table
+                    .AppendRow({Value::Int64(lid), Value::Timestamp(lid * 60),
+                                Value::Int64(user), Value::Int64(patient),
+                                Value::String("viewed")})
+                    .ok());
+      ++lid;
+    };
+    append(10, 3);
+    append(10, 4);
+    append(11, 3);
+    append(11, 4);
+    append(99, 5);
+    AccessLog grown = UnwrapOrDie(AccessLog::Wrap(&table));
+    UserGraph regrown = UnwrapOrDie(UserGraph::Build(grown));
+
+    const std::set<int64_t> ids_before = [&h] {
+      std::set<int64_t> ids;
+      for (const auto& node : h.nodes()) ids.insert(node.group_id);
+      return ids;
+    }();
+    std::vector<GroupAssignment> rows =
+        h.AssignNewUsers(regrown, regrown.user_ids());
+
+    // User 4 joined user 3's existing group at every assigned depth — no new
+    // group was minted, no existing membership moved.
+    ASSERT_FALSE(rows.empty());
+    for (const auto& a : rows) {
+      EXPECT_EQ(a.user, 4);
+      EXPECT_GE(a.depth, 1);
+      EXPECT_TRUE(ids_before.count(a.group_id)) << a.group_id;
+    }
+    ASSERT_NE(h.GroupOf(4, 1), nullptr);
+    EXPECT_EQ(h.GroupOf(4, 1), h.GroupOf(3, 1));
+
+    // The isolated user lands only in the depth-0 global group.
+    EXPECT_NE(h.GroupOf(5, 0), nullptr);
+    EXPECT_EQ(h.GroupOf(5, 1), nullptr);
+
+    // Idempotent: everyone is present now, nothing left to assign.
+    EXPECT_TRUE(h.AssignNewUsers(regrown, regrown.user_ids()).empty());
   }
 }
 

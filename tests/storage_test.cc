@@ -133,18 +133,18 @@ TEST(IndexTest, IntLookup) {
   HashIndex idx(&col);
   EXPECT_EQ(idx.NumDistinctKeys(), 3u);
   EXPECT_EQ(idx.LookupInt64(7).size(), 3u);
-  EXPECT_EQ(idx.Lookup(Value::Int64(9)).size(), 1u);
-  EXPECT_TRUE(idx.Lookup(Value::Int64(100)).empty());
-  EXPECT_TRUE(idx.Lookup(Value::Null()).empty());
-  EXPECT_TRUE(idx.Lookup(Value::String("7")).empty());  // wrong type
+  EXPECT_EQ(idx.Lookup(Value::Int64(9), col.size()).size(), 1u);
+  EXPECT_TRUE(idx.Lookup(Value::Int64(100), col.size()).empty());
+  EXPECT_TRUE(idx.Lookup(Value::Null(), col.size()).empty());
+  EXPECT_TRUE(idx.Lookup(Value::String("7"), col.size()).empty());  // wrong type
 }
 
 TEST(IndexTest, StringLookupThroughDictionary) {
   Column col(DataType::kString);
   for (const char* v : {"a", "b", "a"}) col.AppendString(v);
   HashIndex idx(&col);
-  EXPECT_EQ(idx.Lookup(Value::String("a")).size(), 2u);
-  EXPECT_TRUE(idx.Lookup(Value::String("zzz")).empty());
+  EXPECT_EQ(idx.Lookup(Value::String("a"), col.size()).size(), 2u);
+  EXPECT_TRUE(idx.Lookup(Value::String("zzz"), col.size()).empty());
 }
 
 TEST(IndexTest, NullsNotIndexed) {
@@ -161,7 +161,7 @@ TEST(IndexTest, DoubleColumnFallback) {
   col.AppendDouble(1.5);
   col.AppendDouble(2.5);
   HashIndex idx(&col);
-  EXPECT_EQ(idx.Lookup(Value::Double(1.5)).size(), 2u);
+  EXPECT_EQ(idx.Lookup(Value::Double(1.5), col.size()).size(), 2u);
   EXPECT_EQ(idx.NumDistinctKeys(), 2u);
 }
 
@@ -275,11 +275,12 @@ TEST(IndexTest, ExtendToFoldsOnlyTheSuffix) {
   index.ExtendTo(c.size());
   EXPECT_EQ(index.indexed_rows(), 5u);
   EXPECT_EQ(index.NumDistinctKeys(), 3u);
-  EXPECT_EQ(index.Lookup(Value::String("a")),
+  EXPECT_EQ(index.Lookup(Value::String("a"), c.size()),
             (std::vector<uint32_t>{0, 3}));
-  EXPECT_EQ(index.Lookup(Value::String("c")), (std::vector<uint32_t>{2}));
+  EXPECT_EQ(index.Lookup(Value::String("c"), c.size()),
+            (std::vector<uint32_t>{2}));
   index.ExtendTo(c.size());  // idempotent
-  EXPECT_EQ(index.Lookup(Value::String("a")),
+  EXPECT_EQ(index.Lookup(Value::String("a"), c.size()),
             (std::vector<uint32_t>{0, 3}));
 }
 
@@ -551,7 +552,9 @@ TEST(ChunkBoundaryTest, HashIndexExtendToMatchesMonolithicBuild) {
       const auto it = reference.find(key);
       const std::vector<uint32_t>& expected =
           it == reference.end() ? empty_rows : it->second;
-      EXPECT_EQ(index->LookupInt64(key), expected) << "key " << key;
+      const RowIdSpan span = index->LookupInt64(key);
+      EXPECT_EQ(std::vector<uint32_t>(span.begin(), span.end()), expected)
+          << "key " << key;
     }
   }
   EXPECT_EQ(index->indexed_rows(), n);

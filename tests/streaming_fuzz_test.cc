@@ -11,9 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -369,6 +372,149 @@ TEST(StreamingFuzzTest, CrashAtEveryStepRecoversAndFinishesSchedule) {
     CheckAgainstClonedOracle(g.data.db, g.templates, recovered, k);
     if (::testing::Test::HasFatalFailure()) return;
   }
+}
+
+// --- Genuinely interleaved readers and writer ------------------------------
+
+TEST(StreamingFuzzTest, ConcurrentReadersUnderIngestMatchClonedOracle) {
+  // A real concurrent interleaving, not a serial shuffle: one writer thread
+  // streams log and foreign appends in while an auditing reader calls
+  // ExplainNew and a point reader calls engine().Explain / IsExplained /
+  // explained_count, all against the same live database. No structural ops
+  // and no resets — appends-only is the regime snapshot pinning promises to
+  // support concurrently. TSAN (the CI sanitizer job runs this binary)
+  // checks the synchronization; invariants are checked mid-flight and the
+  // cloned-database oracle re-derives every classification after quiesce.
+  FuzzFixture f = MakeFuzzFixture();
+  StreamingOptions options;
+  options.num_threads = 2;
+  options.min_rows_per_shard = 1;
+  options.executor.min_rows_per_morsel = 1;
+
+  // The seeded lids exist for the whole run: safe point-lookup targets.
+  std::vector<int64_t> seeded_lids;
+  {
+    const Table* stream = UnwrapOrDie(
+        static_cast<const Database&>(f.data.db).GetTable("LogStream"));
+    AccessLog log = UnwrapOrDie(AccessLog::Wrap(stream));
+    for (size_t r = 0; r < stream->num_rows(); ++r) {
+      seeded_lids.push_back(log.Get(r).lid);
+    }
+  }
+  ASSERT_FALSE(seeded_lids.empty());
+
+  // Pre-materialize the writer's schedule: the data is deterministic, only
+  // the thread interleaving varies run to run. Log batches replay the
+  // backlog in order with occasional fresh synthetic rows; foreign appends
+  // witness a random backlog access (joinable by construction, so delta
+  // passes fire while the log is still growing).
+  struct WriteOp {
+    std::string table;  // empty = log append
+    std::vector<Row> rows;
+  };
+  std::vector<WriteOp> writes;
+  {
+    Random rng(20110930);
+    const std::vector<std::string> foreign_tables = {"Appointments", "Visits",
+                                                     "Documents"};
+    size_t backlog_pos = 0;
+    while (backlog_pos < f.backlog.size()) {
+      WriteOp op;
+      if (rng.Bernoulli(0.25)) {
+        op.table = rng.Choice(foreign_tables);
+        const size_t cols =
+            UnwrapOrDie(
+                static_cast<const Database&>(f.data.db).GetTable(op.table))
+                ->num_columns();
+        const Row& src = f.backlog[rng.Uniform(f.backlog.size())];
+        Row row(cols);
+        row[0] = src[3];                                    // patient
+        row[1] = src[1];                                    // time
+        for (size_t c = 2; c < cols; ++c) row[c] = src[2];  // user
+        op.rows.push_back(std::move(row));
+      } else {
+        const size_t k = 1 + rng.Uniform(4);
+        for (size_t i = 0; i < k && backlog_pos < f.backlog.size(); ++i) {
+          op.rows.push_back(f.backlog[backlog_pos++]);
+        }
+        if (rng.Bernoulli(0.2)) {
+          Row row(5);
+          row[0] = Value::Int64(f.next_lid++);
+          row[1] = Value::Timestamp(rng.UniformRange(f.min_time, f.max_time));
+          row[2] = Value::Int64(rng.Choice(f.data.truth.all_users));
+          row[3] = Value::Int64(rng.Choice(f.data.truth.all_patients));
+          row[4] = Value::String("fuzz");
+          op.rows.push_back(std::move(row));
+        }
+      }
+      writes.push_back(std::move(op));
+    }
+  }
+
+  (void)UnwrapOrDie(f.auditor->ExplainNew(options));  // seed audit
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> audits{0};
+
+  std::thread writer([&] {
+    for (const WriteOp& op : writes) {
+      if (op.table.empty()) {
+        Must(f.auditor->AppendAccessBatch(op.rows));
+      } else {
+        Must(f.auditor->AppendRows(op.table, op.rows));
+      }
+      std::this_thread::yield();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::thread auditing_reader([&] {
+    size_t last_to = 0;
+    // Keep auditing until the writer finished AND a handful of audits ran,
+    // so reads genuinely overlap the append stream even if the writer wins
+    // the race to start.
+    while (!done.load(std::memory_order_acquire) ||
+           audits.load(std::memory_order_relaxed) < 6) {
+      const StreamingReport r = UnwrapOrDie(f.auditor->ExplainNew(options));
+      EXPECT_FALSE(r.full_reaudit);  // appends never force a re-audit
+      EXPECT_GE(r.audited_to, last_to);
+      last_to = r.audited_to;
+      for (int64_t lid : r.delta_explained_lids) {
+        EXPECT_FALSE(std::binary_search(r.explained_lids.begin(),
+                                        r.explained_lids.end(), lid));
+        EXPECT_FALSE(std::binary_search(r.unexplained_lids.begin(),
+                                        r.unexplained_lids.end(), lid));
+      }
+      audits.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::thread point_reader([&] {
+    Random rng(424242);
+    while (!done.load(std::memory_order_acquire)) {
+      const int64_t lid = rng.Choice(seeded_lids);
+      const StatusOr<std::vector<ExplanationInstance>> instances =
+          f.auditor->engine().Explain(lid);
+      EXPECT_TRUE(instances.ok()) << instances.status().ToString();
+      (void)f.auditor->IsExplained(lid);
+      (void)f.auditor->explained_count();
+    }
+  });
+
+  writer.join();
+  auditing_reader.join();
+  point_reader.join();
+  EXPECT_GE(audits.load(), 6u);
+
+  // Quiesce: one closing audit converges the explained set, then the
+  // cloned-database oracle re-derives every lid's classification from
+  // scratch and must agree.
+  const StreamingReport last = UnwrapOrDie(f.auditor->ExplainNew(options));
+  EXPECT_FALSE(last.full_reaudit);
+  const Table* stream = UnwrapOrDie(
+      static_cast<const Database&>(f.data.db).GetTable("LogStream"));
+  EXPECT_EQ(f.auditor->audited_rows(), stream->num_rows());
+  CheckAgainstClonedOracle(f.data.db, f.templates, *f.auditor, 0);
 }
 
 TEST(StreamingFuzzTest, DifferentialOracleAcrossSeedsAndThreadCounts) {
