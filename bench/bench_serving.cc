@@ -1,0 +1,406 @@
+// bench_serving: load generator for the auditing server. Drives the framed
+// wire protocol — append batches onto the single ingest thread, per-access
+// Explain and incremental ExplainNew fan-out on reader connections — and
+// reports sustained request throughput with p50/p99 latencies.
+//
+//   ./bench_serving [--smoke] [--connect=HOST:PORT] [--token=SECRET]
+//                   [--scale=tiny|small|paper] [--seed=N] [--clients=N]
+//                   [--requests=N] [--json[=PATH]]   (default PATH
+//                                                     BENCH_serving.json)
+//
+// Without --connect the bench self-hosts: it starts an in-process
+// AuditServer on a TCP loopback port (falling back to the in-memory
+// transport when the sandbox forbids sockets) and drives it over real
+// connections. With --connect it drives an external serve_auditor started
+// with the SAME --scale/--seed/--token — database generation is
+// deterministic, so the bench can rebuild the server's exact state locally.
+//
+// Either way the bench maintains an in-process twin auditor fed the same
+// appends, and checks that the served ExplainNew report payload and a
+// sample of per-access Explain responses are byte-identical to locally
+// encoded twin results. The booleans land in the JSON as
+// *_byte_identical leaves, which compare_bench.py gates (must stay true),
+// and a mismatch also fails the process — the self-check doubles as the CI
+// guard. Note the check assumes a FRESH server: rerunning against one that
+// already absorbed appends diverges by construction.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_machine.h"
+#include "careweb/generator.h"
+#include "careweb/workload.h"
+#include "common/random.h"
+#include "core/ingest.h"
+#include "log/access_log.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+
+using namespace eba;
+
+namespace {
+
+void Check(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(StatusOr<T> s, const char* what) {
+  Check(s.status(), what);
+  return std::move(s).value();
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double>& ms, double q) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  const size_t idx = static_cast<size_t>(q * (ms.size() - 1) + 0.5);
+  return ms[std::min(idx, ms.size() - 1)];
+}
+
+/// Appends with bounded retry on admission-control rejections.
+void AppendWithRetry(AuditClient* client, const std::vector<Row>& rows) {
+  Status s = client->AppendAccessBatch(rows);
+  for (int attempt = 0; AuditClient::IsRetryableBusy(s) && attempt < 1000;
+       ++attempt) {
+    std::this_thread::yield();
+    s = client->AppendAccessBatch(rows);
+  }
+  Check(s, "append batch");
+}
+
+struct BenchConfig {
+  bool smoke = false;
+  std::string connect_host;  // empty: self-host
+  int connect_port = 0;
+  std::string token;
+  std::string scale = "small";
+  uint64_t seed = 0;
+  bool seed_set = false;
+  size_t clients = 4;
+  size_t requests_per_client = 2000;
+};
+
+/// The deterministic serving fixture — must mirror serve_auditor exactly:
+/// generate from --scale/--seed, seed LogStream with days 1-2, handcrafted
+/// templates. `backlog` holds the not-yet-streamed log rows in order.
+struct Fixture {
+  CareWebData data;
+  std::vector<Row> backlog;
+  std::vector<ExplanationTemplate> templates;
+};
+
+Fixture MakeFixture(const BenchConfig& config) {
+  CareWebConfig careweb;
+  if (config.scale == "tiny") {
+    careweb = CareWebConfig::Tiny();
+  } else if (config.scale == "small") {
+    careweb = CareWebConfig::Small();
+  } else {
+    careweb = CareWebConfig::PaperShaped();
+  }
+  if (config.seed_set) careweb.seed = config.seed;
+
+  Fixture f;
+  f.data = Unwrap(GenerateCareWeb(careweb), "generate");
+  const Table* log = Unwrap(f.data.db.GetTable("Log"), "log table");
+  AccessLog source = Unwrap(AccessLog::Wrap(log), "wrap log");
+  (void)Unwrap(AddLogSlice(&f.data.db, "Log", "LogStream", 1, 2,
+                           /*first_only=*/false),
+               "log slice");
+  std::vector<size_t> seeded = source.RowsInDayRange(1, 2);
+  std::sort(seeded.begin(), seeded.end());
+  for (size_t r = 0; r < log->num_rows(); ++r) {
+    if (!std::binary_search(seeded.begin(), seeded.end(), r)) {
+      f.backlog.push_back(log->GetRow(r));
+    }
+  }
+  f.templates = Unwrap(TemplatesHandcraftedDirect(f.data.db, true),
+                       "templates");
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  bool write_json = false;
+  std::string json_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      config.smoke = true;
+    } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      const std::string hostport = argv[i] + 10;
+      const size_t colon = hostport.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--connect needs HOST:PORT\n");
+        return 2;
+      }
+      config.connect_host = hostport.substr(0, colon);
+      config.connect_port = std::atoi(hostport.c_str() + colon + 1);
+    } else if (std::strncmp(argv[i], "--token=", 8) == 0) {
+      config.token = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      config.scale = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      config.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      config.seed_set = true;
+    } else if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      config.clients = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      config.requests_per_client =
+          static_cast<size_t>(std::atoi(argv[i] + 11));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      write_json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      write_json = true;
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (config.smoke) {
+    config.scale = config.scale == "small" ? "tiny" : config.scale;
+    config.clients = std::min<size_t>(config.clients, 2);
+    config.requests_per_client =
+        std::min<size_t>(config.requests_per_client, 100);
+  }
+
+  Fixture fixture = MakeFixture(config);
+
+  // The twin: the in-process ground truth every served response is
+  // compared against.
+  Fixture twin_fixture = MakeFixture(config);
+  StreamingAuditor twin = Unwrap(
+      StreamingAuditor::Create(&twin_fixture.data.db, "LogStream"), "twin");
+  for (const auto& t : twin_fixture.templates) {
+    Check(twin.AddTemplate(t), "twin template");
+  }
+
+  // Self-host unless --connect: TCP loopback, in-memory fallback.
+  std::unique_ptr<StreamingAuditor> own_auditor;
+  std::unique_ptr<AuditServer> own_server;
+  std::unique_ptr<NetEnv> inmemory;
+  NetEnv* net = RealNetEnv();
+  std::string host = config.connect_host;
+  int port = config.connect_port;
+  std::string transport = "tcp";
+  if (config.connect_host.empty()) {
+    own_auditor = std::make_unique<StreamingAuditor>(Unwrap(
+        StreamingAuditor::Create(&fixture.data.db, "LogStream"), "auditor"));
+    for (const auto& t : fixture.templates) {
+      Check(own_auditor->AddTemplate(t), "template");
+    }
+    ServerOptions options;
+    options.auth_token = config.token;
+    StatusOr<std::unique_ptr<AuditServer>> started =
+        AuditServer::Start(own_auditor.get(), options);
+    if (!started.ok()) {
+      inmemory = NewInMemoryNetEnv();
+      options.net = inmemory.get();
+      net = inmemory.get();
+      transport = "inmemory";
+      started = AuditServer::Start(own_auditor.get(), options);
+    }
+    own_server = Unwrap(std::move(started), "start server");
+    host = "127.0.0.1";
+    port = own_server->port();
+  }
+  auto connect = [&] {
+    return Unwrap(AuditClient::Connect(net, host, port, config.token),
+                  "connect");
+  };
+
+  // --- Phase 1: byte equivalence. Stream a few batches through the wire
+  // and through the twin; every served ExplainNew payload must equal the
+  // locally encoded twin report.
+  auto client = connect();
+  bool report_identical = true;
+  bool explains_identical = true;
+  size_t pos = 0;
+  const size_t kEquivBatch = 16;
+  for (int round = 0; round < 3 && pos < fixture.backlog.size(); ++round) {
+    std::vector<Row> rows;
+    for (size_t i = 0; i < kEquivBatch && pos < fixture.backlog.size();
+         ++i) {
+      rows.push_back(fixture.backlog[pos++]);
+    }
+    AppendWithRetry(client.get(), rows);
+    Check(twin.AppendAccessBatch(rows), "twin append");
+    const std::string served =
+        Unwrap(client->ExplainNewRaw(), "served explain-new");
+    const std::string local = EncodeStreamingReport(
+        Unwrap(twin.ExplainNew(StreamingOptions()), "twin explain-new"));
+    if (served != local) report_identical = false;
+  }
+
+  // Sample of per-access explains, byte-compared through the same codec.
+  const Table* stream = Unwrap(
+      static_cast<const Database&>(twin_fixture.data.db).GetTable(
+          "LogStream"),
+      "twin stream");
+  AccessLog stream_log = Unwrap(AccessLog::Wrap(stream), "wrap stream");
+  std::vector<int64_t> lids;
+  for (size_t r = 0; r < stream->num_rows(); ++r) {
+    lids.push_back(stream_log.Get(r).lid);
+  }
+  Random sampler(config.seed_set ? config.seed : 42);
+  const size_t kExplainSample = std::min<size_t>(lids.size(), 64);
+  for (size_t i = 0; i < kExplainSample; ++i) {
+    const int64_t lid = lids[sampler.Uniform(lids.size())];
+    const ExplainResult served = Unwrap(client->Explain(lid), "explain");
+    const auto instances = Unwrap(twin.engine().Explain(lid), "twin explain");
+    ExplainResult local;
+    local.explained = !instances.empty();
+    for (const auto& instance : instances) {
+      local.template_names.push_back(instance.tmpl().name());
+    }
+    if (EncodeExplainResult(served) != EncodeExplainResult(local)) {
+      explains_identical = false;
+    }
+  }
+
+  // --- Phase 2: load. Reader connections hammer per-access Explain (and a
+  // slice of ExplainNew / Report), one appender streams further backlog
+  // through the single-writer ingest path.
+  std::vector<std::vector<double>> explain_ms(config.clients);
+  std::vector<double> explain_new_ms;
+  size_t append_rows = 0;
+  const auto load_start = std::chrono::steady_clock::now();
+
+  std::thread appender([&] {
+    auto append_client = connect();
+    const size_t kLoadBatch = 32;
+    const size_t max_batches = config.smoke ? 8 : 64;
+    for (size_t b = 0; b < max_batches && pos < fixture.backlog.size();
+         ++b) {
+      std::vector<Row> rows;
+      for (size_t i = 0; i < kLoadBatch && pos < fixture.backlog.size();
+           ++i) {
+        rows.push_back(fixture.backlog[pos++]);
+      }
+      AppendWithRetry(append_client.get(), rows);
+      append_rows += rows.size();
+    }
+  });
+  std::thread audit_reader([&] {
+    auto audit_client = connect();
+    const size_t n = config.smoke ? 5 : 20;
+    for (size_t i = 0; i < n; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      (void)Unwrap(audit_client->ExplainNew(), "load explain-new");
+      explain_new_ms.push_back(MsSince(start));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < config.clients; ++t) {
+    readers.emplace_back([&, t] {
+      auto reader_client = connect();
+      Random rng((config.seed_set ? config.seed : 42) + 1 + t);
+      explain_ms[t].reserve(config.requests_per_client);
+      for (size_t i = 0; i < config.requests_per_client; ++i) {
+        const int64_t lid = lids[rng.Uniform(lids.size())];
+        const auto start = std::chrono::steady_clock::now();
+        (void)Unwrap(reader_client->Explain(lid), "load explain");
+        explain_ms[t].push_back(MsSince(start));
+      }
+    });
+  }
+  appender.join();
+  audit_reader.join();
+  for (auto& r : readers) r.join();
+  const double load_seconds = MsSince(load_start) / 1000.0;
+
+  std::vector<double> all_explain_ms;
+  for (const auto& per_thread : explain_ms) {
+    all_explain_ms.insert(all_explain_ms.end(), per_thread.begin(),
+                          per_thread.end());
+  }
+  const size_t total_requests = all_explain_ms.size() +
+                                explain_new_ms.size() +
+                                (append_rows + 31) / 32;
+  const double requests_per_second =
+      load_seconds > 0 ? total_requests / load_seconds : 0.0;
+  const double explain_p50 = Percentile(all_explain_ms, 0.50);
+  const double explain_p99 = Percentile(all_explain_ms, 0.99);
+  const double explain_new_p50 = Percentile(explain_new_ms, 0.50);
+  const double explain_new_p99 = Percentile(explain_new_ms, 0.99);
+
+  const ServerReport counters = Unwrap(client->Report(), "report");
+
+  std::printf("serving (%s, %s): %zu reader clients x %zu explains, %zu "
+              "explain-new audits, %zu appended rows\n",
+              transport.c_str(), config.scale.c_str(), config.clients,
+              config.requests_per_client, explain_new_ms.size(),
+              append_rows);
+  std::printf("throughput         : %.0f req/s over %.3f s\n",
+              requests_per_second, load_seconds);
+  std::printf("explain latency    : p50 %.3f ms, p99 %.3f ms\n", explain_p50,
+              explain_p99);
+  std::printf("explain-new latency: p50 %.3f ms, p99 %.3f ms\n",
+              explain_new_p50, explain_new_p99);
+  std::printf("admission control  : %llu retryable busy rejections\n",
+              static_cast<unsigned long long>(counters.appends_rejected_busy));
+  std::printf("byte equivalence   : report %s, per-access explains %s\n",
+              report_identical ? "identical" : "DIVERGES",
+              explains_identical ? "identical" : "DIVERGES");
+
+  if (write_json) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"generated_by\": \"bench_serving\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", config.smoke ? "true" : "false");
+    bench::WriteMachineJson(f, "  ");
+    std::fprintf(f, "  \"benchmarks\": {\n");
+    std::fprintf(f, "    \"serving\": {\n");
+    std::fprintf(f, "      \"transport\": \"%s\",\n", transport.c_str());
+    std::fprintf(f, "      \"reader_clients\": %zu,\n", config.clients);
+    std::fprintf(f, "      \"requests_per_second\": %.1f,\n",
+                 requests_per_second);
+    std::fprintf(f, "      \"explain_p50_ms\": %.4f,\n", explain_p50);
+    std::fprintf(f, "      \"explain_p99_ms\": %.4f,\n", explain_p99);
+    std::fprintf(f, "      \"explain_new_p50_ms\": %.4f,\n", explain_new_p50);
+    std::fprintf(f, "      \"explain_new_p99_ms\": %.4f,\n", explain_new_p99);
+    std::fprintf(f, "      \"appended_rows\": %zu,\n", append_rows);
+    std::fprintf(f, "      \"appends_rejected_busy\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     counters.appends_rejected_busy));
+    std::fprintf(f, "      \"served_report_byte_identical\": %s,\n",
+                 report_identical ? "true" : "false");
+    std::fprintf(f, "      \"served_explains_byte_identical\": %s\n",
+                 explains_identical ? "true" : "false");
+    std::fprintf(f, "    }\n  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!report_identical || !explains_identical) {
+    std::fprintf(stderr,
+                 "FAIL: served responses diverge from the in-process twin\n");
+    return 1;
+  }
+  return 0;
+}

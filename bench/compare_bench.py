@@ -11,7 +11,10 @@ Only machine-portable, higher-is-better metrics are compared:
     properties (the streaming plan-cache hit rate is the ISSUE-4
     acceptance metric);
   * "matches_full_explain_all" — a boolean equivalence self-check that must
-    simply stay true.
+    simply stay true;
+  * keys ending in "byte_identical" — the serving bench's served-vs-
+    in-process equivalence booleans (ISSUE 10), gated like the other
+    equivalence flags: they must stay true.
 
 Absolute timings (seconds_per_iter, appends_per_second, ...ms...) are
 machine-dependent and are reported but never gated on. Speedup metrics with
@@ -136,6 +139,9 @@ def gated(path, value):
     # Covers both the streaming "matches_full_explain_all" and the
     # durability "recovered_matches_full_explain_all" equivalence bits.
     if leaf.endswith("matches_full_explain_all"):
+        return True
+    # The serving bench's served-vs-in-process equivalence booleans.
+    if leaf.endswith("byte_identical"):
         return True
     if not isinstance(value, (int, float)) or isinstance(value, bool):
         return False

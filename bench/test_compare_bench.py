@@ -22,6 +22,7 @@ def good_bench(speedup=6.0, hit_rate=0.95, matches=True,
                wal_throughput=0.45, serving_throughput=0.92,
                recovery_speedup=40.0, recovered_matches=True,
                concurrent_throughput=0.9, concurrent_matches=True,
+               report_identical=True, explains_identical=True,
                num_cores=4):
     return {
         "generated_by": "bench_micro --executor_json",
@@ -50,6 +51,12 @@ def good_bench(speedup=6.0, hit_rate=0.95, matches=True,
                 "durable_serving_relative_throughput": serving_throughput,
                 "recovery_speedup_vs_full_reaudit": recovery_speedup,
                 "recovered_matches_full_explain_all": recovered_matches,
+            },
+            "serving": {
+                "requests_per_second": 31000.0,
+                "explain_p99_ms": 0.4,
+                "served_report_byte_identical": report_identical,
+                "served_explains_byte_identical": explains_identical,
             },
         },
     }
@@ -118,6 +125,28 @@ class GoodInputs(GateFixture):
         cur = self.write_json("cur.json", good_bench(matches=False))
         result = self.run_gate(base, cur)
         self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+    def test_served_byte_identity_flip_fails(self):
+        # The serving bench's served-vs-in-process booleans gate like the
+        # other equivalence flags: any flip to false is a hard failure.
+        for flag in ("report_identical", "explains_identical"):
+            base = self.write_json("base.json", good_bench())
+            cur = self.write_json("cur.json", good_bench(**{flag: False}))
+            result = self.run_gate(base, cur)
+            self.assertEqual(result.returncode, 1,
+                             flag + ": " + result.stdout + result.stderr)
+            self.assertIn("byte_identical", result.stdout)
+
+    def test_serving_latency_metrics_are_not_gated(self):
+        # Absolute req/s and latency numbers are machine-dependent: an
+        # arbitrarily slower current run must not fail the gate.
+        base = self.write_json("base.json", good_bench())
+        slow = good_bench()
+        slow["benchmarks"]["serving"]["requests_per_second"] = 10.0
+        slow["benchmarks"]["serving"]["explain_p99_ms"] = 900.0
+        cur = self.write_json("cur.json", slow)
+        result = self.run_gate(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
 
     def test_serving_overhead_ceiling_fails(self):
         # Absolute floor: with the WAL enabled the serving loop (append +

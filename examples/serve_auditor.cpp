@@ -1,0 +1,117 @@
+// serve_auditor: stands up the auditing server over a synthetic hospital
+// log and serves the framed wire protocol until killed.
+//
+//   ./serve_auditor [--port=N] [--host=ADDR] [--token=SECRET]
+//                   [--scale=tiny|small|paper] [--seed=N]
+//                   [--quota=N] [--max-pending=N]
+//
+// The database is generated deterministically from --scale/--seed, the
+// LogStream table is seeded with days 1-2 of the access log, and the
+// handcrafted paper templates are registered — the same convention
+// bench_serving uses to build its in-process twin, which is what makes the
+// served-vs-in-process byte-equivalence check meaningful across processes.
+//
+// Prints one machine-readable line once the listener is bound:
+//
+//   READY port=<port> seed_rows=<n> backlog_rows=<m>
+//
+// and then blocks forever (CI kills the process when the smoke run ends).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "careweb/generator.h"
+#include "careweb/workload.h"
+#include "core/ingest.h"
+#include "log/access_log.h"
+#include "net/server.h"
+
+using namespace eba;
+
+namespace {
+
+void Check(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(StatusOr<T> s, const char* what) {
+  Check(s.status(), what);
+  return std::move(s).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  std::string scale = "small";
+  uint64_t seed = 0;
+  bool seed_set = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      options.port = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--host=", 7) == 0) {
+      options.host = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--token=", 8) == 0) {
+      options.auth_token = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      seed_set = true;
+    } else if (std::strncmp(argv[i], "--quota=", 8) == 0) {
+      options.max_requests_per_connection =
+          static_cast<uint64_t>(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--max-pending=", 14) == 0) {
+      options.max_pending_appends = static_cast<size_t>(std::atoi(argv[i] + 14));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  CareWebConfig config;
+  if (scale == "tiny") {
+    config = CareWebConfig::Tiny();
+  } else if (scale == "small") {
+    config = CareWebConfig::Small();
+  } else {
+    config = CareWebConfig::PaperShaped();
+  }
+  if (seed_set) config.seed = seed;
+
+  // Deterministic setup shared with bench_serving's twin: generate, seed
+  // LogStream with days 1-2, register the handcrafted templates.
+  CareWebData data = Unwrap(GenerateCareWeb(config), "generate");
+  const Table* log = Unwrap(data.db.GetTable("Log"), "log table");
+  const size_t total_rows = log->num_rows();
+  (void)Unwrap(AddLogSlice(&data.db, "Log", "LogStream", 1, 2,
+                           /*first_only=*/false),
+               "log slice");
+  const size_t seed_rows =
+      Unwrap(static_cast<const Database&>(data.db).GetTable("LogStream"),
+             "stream table")
+          ->num_rows();
+
+  StreamingAuditor auditor =
+      Unwrap(StreamingAuditor::Create(&data.db, "LogStream"), "auditor");
+  for (const auto& t :
+       Unwrap(TemplatesHandcraftedDirect(data.db, true), "templates")) {
+    Check(auditor.AddTemplate(t), "add template");
+  }
+
+  auto server = Unwrap(AuditServer::Start(&auditor, options), "start server");
+  std::printf("READY port=%d seed_rows=%zu backlog_rows=%zu\n",
+              server->port(), seed_rows, total_rows - seed_rows);
+  std::fflush(stdout);
+
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
+}

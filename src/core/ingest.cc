@@ -172,7 +172,13 @@ Status StreamingAuditor::CheckpointLocked(bool full) {
     audit.audit_watermarks[tv.name] = tv.watermark;
   }
 
-  EBA_ASSIGN_OR_RETURN(const uint64_t seq, d.store->Prepare(*db_, audit, full));
+  // Floor the sequence at the live WAL's successor: after a recovery the
+  // open WAL (seq = highest replayed + 1) can outrank CURRENT, and reusing
+  // any sequence <= it would pair this checkpoint with an existing log file
+  // whose stale records the next recovery would replay on top of the image.
+  EBA_ASSIGN_OR_RETURN(
+      const uint64_t seq,
+      d.store->Prepare(*db_, audit, full, /*min_seq=*/d.wal_seq + 1));
   // The paired WAL must exist before the checkpoint becomes CURRENT:
   // recovery replays wal-<seq> and may legitimately find it empty, but not
   // missing work that only lived in the previous WAL after GC.
@@ -281,7 +287,29 @@ StatusOr<StreamingAuditor> StreamingAuditor::RecoverFrom(
   }
   std::sort(wals.begin(), wals.end());
 
-  uint64_t max_wal_seq = ckpt.seq;
+  // The suffix must be an unbroken chain starting at the checkpoint's
+  // WALSEQ: wal-<WALSEQ> is created before its checkpoint becomes CURRENT
+  // and GC never removes it, so a hole means a log whose records were once
+  // durably committed is gone — recovery must fail, not paper over it.
+  if (wals.empty() || wals[0].first != ckpt.wal_seq) {
+    return Status::Internal(
+        "WAL chain broken: wal-" + std::to_string(ckpt.wal_seq) +
+        ".log (the checkpoint's WALSEQ) is missing from " + options.dir);
+  }
+  for (size_t i = 1; i < wals.size(); ++i) {
+    if (wals[i].first != wals[0].first + i) {
+      return Status::Internal(
+          "WAL chain broken: wal-" + std::to_string(wals[i - 1].first + 1) +
+          ".log is missing from " + options.dir + " (found wal-" +
+          std::to_string(wals[i].first) + ".log after wal-" +
+          std::to_string(wals[i - 1].first) + ".log)");
+    }
+  }
+
+  // Seed from the checkpoint's WALSEQ watermark, not its own sequence
+  // number: the fresh WAL below must land at or above WALSEQ or the
+  // `seq >= ckpt.wal_seq` filter would skip it on the next recovery.
+  uint64_t max_wal_seq = ckpt.wal_seq;
   for (size_t i = 0; i < wals.size(); ++i) {
     max_wal_seq = std::max(max_wal_seq, wals[i].first);
     const std::string path = options.dir + "/" + wals[i].second;
@@ -302,9 +330,22 @@ StatusOr<StreamingAuditor> StreamingAuditor::RecoverFrom(
       EBA_ASSIGN_OR_RETURN(WalAppendBatch batch,
                            DecodeAppendPayload(record.payload));
       EBA_ASSIGN_OR_RETURN(Table * table, db->GetTable(batch.table_name));
+      // Mirror the logging path's validate-once discipline: the batch was
+      // validated before it was WAL-committed, so decode-time validation
+      // here is the one explicit re-check — a failure means the schema no
+      // longer matches a record that passed its CRC, which is damage, not a
+      // bad client row.
+      for (const Row& row : batch.rows) {
+        const Status valid = table->ValidateRow(row);
+        if (!valid.ok()) {
+          return Status::Internal("WAL record in " + path +
+                                  " no longer validates against table " +
+                                  batch.table_name + ": " + valid.message());
+        }
+      }
       table->Reserve(table->num_rows() + batch.rows.size());
       for (const Row& row : batch.rows) {
-        EBA_RETURN_IF_ERROR(table->AppendRow(row));
+        table->AppendValidatedRow(row);  // pre-validated above
       }
       ++out.wal_records_replayed;
       out.wal_rows_replayed += batch.rows.size();

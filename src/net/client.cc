@@ -1,0 +1,83 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "storage/wal.h"
+
+namespace eba {
+
+namespace {
+
+constexpr const char kRetryableTag[] = "[retryable] ";
+
+}  // namespace
+
+AuditClient::AuditClient(std::unique_ptr<Connection> conn,
+                         uint32_t max_payload)
+    : conn_(std::move(conn)), reader_(conn_.get(), max_payload) {}
+
+StatusOr<std::unique_ptr<AuditClient>> AuditClient::Connect(
+    NetEnv* net, const std::string& host, int port, const std::string& token,
+    uint32_t max_frame_payload_bytes) {
+  if (net == nullptr) net = RealNetEnv();
+  EBA_ASSIGN_OR_RETURN(std::unique_ptr<Connection> conn,
+                       net->Connect(host, port));
+  std::unique_ptr<AuditClient> client(
+      new AuditClient(std::move(conn), max_frame_payload_bytes));
+  if (!token.empty()) {
+    EBA_RETURN_IF_ERROR(client->RoundTrip(kReqAuth, token).status());
+  }
+  return client;
+}
+
+StatusOr<std::string> AuditClient::RoundTrip(uint8_t type,
+                                             std::string_view payload) {
+  EBA_RETURN_IF_ERROR(conn_->WriteAll(EncodeFrame(type, payload)));
+  EBA_ASSIGN_OR_RETURN(Frame response, reader_.Next());
+  if (response.type == kRespOk) return std::move(response.payload);
+  if (response.type != kRespError) {
+    return Status::Internal("unexpected response frame type " +
+                            std::to_string(response.type));
+  }
+  EBA_ASSIGN_OR_RETURN(const ErrorBody error, DecodeError(response.payload));
+  std::string message = "server error " + std::to_string(error.code) + ": " +
+                        error.message;
+  if (error.retryable) message = kRetryableTag + message;
+  return Status::FailedPrecondition(std::move(message));
+}
+
+bool AuditClient::IsRetryableBusy(const Status& s) {
+  return !s.ok() && s.message().rfind(kRetryableTag, 0) == 0;
+}
+
+Status AuditClient::AppendAccessBatch(const std::vector<Row>& rows) {
+  return RoundTrip(kReqAppendBatch, EncodeAppendPayload("", rows)).status();
+}
+
+Status AuditClient::AppendRows(const std::string& table,
+                               const std::vector<Row>& rows) {
+  if (table.empty()) return Status::InvalidArgument("empty table name");
+  return RoundTrip(kReqAppendRows, EncodeAppendPayload(table, rows)).status();
+}
+
+StatusOr<std::string> AuditClient::ExplainNewRaw() {
+  return RoundTrip(kReqExplainNew, "");
+}
+
+StatusOr<StreamingReport> AuditClient::ExplainNew() {
+  EBA_ASSIGN_OR_RETURN(const std::string payload, ExplainNewRaw());
+  return DecodeStreamingReport(payload);
+}
+
+StatusOr<ExplainResult> AuditClient::Explain(int64_t lid) {
+  EBA_ASSIGN_OR_RETURN(const std::string payload,
+                       RoundTrip(kReqExplain, EncodeLid(lid)));
+  return DecodeExplainResult(payload);
+}
+
+StatusOr<ServerReport> AuditClient::Report() {
+  EBA_ASSIGN_OR_RETURN(const std::string payload, RoundTrip(kReqReport, ""));
+  return DecodeServerReport(payload);
+}
+
+}  // namespace eba

@@ -1,0 +1,67 @@
+// Client for the auditing server: one connection, synchronous
+// request/response. Used by bench_serving's load generator, the tests, and
+// as the reference implementation of the wire protocol.
+
+#ifndef EBA_NET_CLIENT_H_
+#define EBA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "storage/table.h"
+
+namespace eba {
+
+class AuditClient {
+ public:
+  /// Connects and, when `token` is non-empty, authenticates (the server's
+  /// first-frame contract).
+  static StatusOr<std::unique_ptr<AuditClient>> Connect(
+      NetEnv* net, const std::string& host, int port,
+      const std::string& token,
+      uint32_t max_frame_payload_bytes = 64u << 20);
+
+  /// Appends access rows to the server's log table. Acked only after the
+  /// server's ingest thread ran the batch (WAL-committed when durable).
+  Status AppendAccessBatch(const std::vector<Row>& rows);
+
+  /// Appends rows to a named table (foreign-table drift).
+  Status AppendRows(const std::string& table, const std::vector<Row>& rows);
+
+  /// Runs a server-side audit delta; returns the raw report payload bytes
+  /// (the byte-equivalence surface: compare against
+  /// EncodeStreamingReport(in-process ExplainNew report)).
+  StatusOr<std::string> ExplainNewRaw();
+
+  /// Decoded form of ExplainNewRaw.
+  StatusOr<StreamingReport> ExplainNew();
+
+  /// Per-access explain.
+  StatusOr<ExplainResult> Explain(int64_t lid);
+
+  StatusOr<ServerReport> Report();
+
+  /// True when `s` came back from a kErrBusy admission-control rejection:
+  /// back off and retry the identical request.
+  static bool IsRetryableBusy(const Status& s);
+
+ private:
+  AuditClient(std::unique_ptr<Connection> conn, uint32_t max_payload);
+
+  /// Sends one frame and reads the response; kRespError becomes a non-OK
+  /// Status (retryable rejections tagged for IsRetryableBusy).
+  StatusOr<std::string> RoundTrip(uint8_t type, std::string_view payload);
+
+  std::unique_ptr<Connection> conn_;
+  FrameReader reader_;
+};
+
+}  // namespace eba
+
+#endif  // EBA_NET_CLIENT_H_

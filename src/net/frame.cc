@@ -1,0 +1,84 @@
+#include "net/frame.h"
+
+#include "common/crc32.h"
+
+namespace eba {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf[2] = static_cast<char>((v >> 16) & 0xFF);
+  buf[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(buf, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeFrame(uint8_t type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  uint32_t crc = Crc32(&type, 1);
+  crc = Crc32(payload.data(), payload.size(), crc);
+  PutU32(&out, crc);
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+  return out;
+}
+
+Status FrameReader::ReadExact(char* buf, size_t n, bool clean_eof_ok) {
+  size_t off = 0;
+  while (off < n) {
+    EBA_ASSIGN_OR_RETURN(const size_t got, conn_->Read(buf + off, n - off));
+    if (got == 0) {
+      if (clean_eof_ok && off == 0) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::InvalidArgument("truncated frame: peer closed after " +
+                                     std::to_string(off) + " of " +
+                                     std::to_string(n) + " bytes");
+    }
+    off += got;
+  }
+  return Status::OK();
+}
+
+StatusOr<Frame> FrameReader::Next() {
+  char header[kFrameHeaderBytes];
+  EBA_RETURN_IF_ERROR(
+      ReadExact(header, kFrameHeaderBytes, /*clean_eof_ok=*/true));
+  const uint32_t payload_len = GetU32(header);
+  const uint32_t want_crc = GetU32(header + 4);
+  Frame frame;
+  frame.type = static_cast<uint8_t>(header[8]);
+  if (payload_len > max_payload_) {
+    return Status::InvalidArgument(
+        "oversized frame: " + std::to_string(payload_len) +
+        " payload bytes exceeds the " + std::to_string(max_payload_) +
+        "-byte limit");
+  }
+  frame.payload.resize(payload_len);
+  if (payload_len > 0) {
+    EBA_RETURN_IF_ERROR(
+        ReadExact(frame.payload.data(), payload_len, /*clean_eof_ok=*/false));
+  }
+  uint32_t crc = Crc32(&frame.type, 1);
+  crc = Crc32(frame.payload.data(), frame.payload.size(), crc);
+  if (crc != want_crc) {
+    return Status::InvalidArgument("frame CRC mismatch");
+  }
+  return frame;
+}
+
+}  // namespace eba

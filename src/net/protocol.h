@@ -1,0 +1,108 @@
+// Wire protocol of the auditing server: frame types, error codes, and the
+// payload encodings for each command. Row transport reuses the WAL's
+// kWalAppendBatch payload encoding (storage/wal.h) so the server's ingest
+// path validates and applies exactly what it would have replayed from a
+// log, and the streaming-report encoding is deterministic — two audits that
+// produced equal reports encode to identical bytes, which is what the
+// served-equals-in-process acceptance check compares.
+//
+// Command table (frame type -> request payload -> OK response payload):
+//
+//   kReqAuth         token bytes                   (empty)
+//   kReqAppendBatch  append payload, table=""      u64 rows appended
+//   kReqAppendRows   append payload                u64 rows appended
+//   kReqExplainNew   (empty)                       EncodeStreamingReport
+//   kReqExplain      i64 lid                       EncodeExplainResult
+//   kReqReport       (empty)                       EncodeServerReport
+//
+// Every error response is kRespError carrying ErrorBody: a stable code, a
+// retryable bit (true only for admission-control rejections — retry the
+// identical request later), and a human-readable message.
+
+#ifndef EBA_NET_PROTOCOL_H_
+#define EBA_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ingest.h"
+
+namespace eba {
+
+/// Frame types. Requests are < 0x40; responses have the high bits set.
+enum NetFrameType : uint8_t {
+  kReqAuth = 0x01,
+  kReqAppendBatch = 0x02,
+  kReqAppendRows = 0x03,
+  kReqExplainNew = 0x04,
+  kReqExplain = 0x05,
+  kReqReport = 0x06,
+
+  kRespOk = 0x40,
+  kRespError = 0x41,
+};
+
+/// Stable error codes carried in ErrorBody.
+enum NetError : uint8_t {
+  kErrBadFrame = 1,
+  kErrUnauthorized = 2,
+  kErrQuotaExceeded = 3,
+  kErrBusy = 4,  // bounded ingest queue full; the retryable rejection
+  kErrBadRequest = 5,
+  kErrUnknownCommand = 6,
+  kErrInternal = 7,
+};
+
+/// Body of a kRespError frame.
+struct ErrorBody {
+  uint8_t code = kErrInternal;
+  bool retryable = false;
+  std::string message;
+};
+
+std::string EncodeError(const ErrorBody& error);
+StatusOr<ErrorBody> DecodeError(std::string_view payload);
+
+/// i64 payload of kReqExplain.
+std::string EncodeLid(int64_t lid);
+StatusOr<int64_t> DecodeLid(std::string_view payload);
+
+/// kReqExplainNew OK response: the full StreamingReport minus the
+/// plan-cache counters (cumulative process-local observability, excluded so
+/// the encoding depends only on what this audit computed).
+std::string EncodeStreamingReport(const StreamingReport& report);
+StatusOr<StreamingReport> DecodeStreamingReport(std::string_view payload);
+
+/// kReqExplain OK response: whether any template explains the access, plus
+/// the explaining templates' names in the engine's deterministic ranked
+/// order.
+struct ExplainResult {
+  bool explained = false;
+  std::vector<std::string> template_names;
+};
+
+std::string EncodeExplainResult(const ExplainResult& result);
+StatusOr<ExplainResult> DecodeExplainResult(std::string_view payload);
+
+/// kReqReport OK response: the server's monotonic serving counters plus the
+/// auditor's audit-state accessors at response time.
+struct ServerReport {
+  uint64_t rows_appended = 0;
+  uint64_t batches_appended = 0;
+  uint64_t foreign_rows_appended = 0;
+  uint64_t audited_rows = 0;
+  uint64_t explained_count = 0;
+  uint64_t requests_served = 0;
+  uint64_t appends_rejected_busy = 0;
+  uint64_t connections_accepted = 0;
+};
+
+std::string EncodeServerReport(const ServerReport& report);
+StatusOr<ServerReport> DecodeServerReport(std::string_view payload);
+
+}  // namespace eba
+
+#endif  // EBA_NET_PROTOCOL_H_

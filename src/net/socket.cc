@@ -1,0 +1,334 @@
+// lint:raw-net (this file IS the transport seam: every raw socket call in
+// the serving stack lives here, like storage/io.cc for file descriptors)
+
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace eba {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// ---------------------------------------------------------------------------
+// Real TCP transport
+
+class TcpConnection : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection() override {
+    ShutdownBoth();
+    ::close(fd_);
+  }
+
+  StatusOr<size_t> Read(char* buf, size_t n) override {
+    for (;;) {
+      const ssize_t got = ::recv(fd_, buf, n, 0);
+      if (got >= 0) return static_cast<size_t>(got);
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoMessage("recv"));
+    }
+  }
+
+  Status WriteAll(std::string_view data) override {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t put =
+          ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(ErrnoMessage("send"));
+      }
+      off += static_cast<size_t>(put);
+    }
+    return Status::OK();
+  }
+
+  void ShutdownBoth() override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  int fd_;
+};
+
+class TcpListener : public Listener {
+ public:
+  TcpListener(int fd, int port) : fd_(fd), port_(port) {}
+  ~TcpListener() override { Close(); }
+
+  StatusOr<std::unique_ptr<Connection>> Accept() override {
+    for (;;) {
+      const int conn = ::accept(fd_, nullptr, nullptr);
+      if (conn >= 0) {
+        const int one = 1;
+        (void)::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return std::unique_ptr<Connection>(new TcpConnection(conn));
+      }
+      if (errno == EINTR) continue;
+      return Status::FailedPrecondition(ErrnoMessage("accept"));
+    }
+  }
+
+  int port() const override { return port_; }
+
+  void Close() override {
+    MutexLock lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    // shutdown unblocks a concurrent accept(); close alone may not.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+  }
+
+ private:
+  const int fd_;
+  const int port_;
+  Mutex mu_;
+  bool closed_ EBA_GUARDED_BY(mu_) = false;
+};
+
+class TcpNetEnv : public NetEnv {
+ public:
+  StatusOr<std::unique_ptr<Listener>> Listen(const std::string& host,
+                                             int port) override {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::Internal(ErrnoMessage("socket"));
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return Status::InvalidArgument("bad listen address: " + host);
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const Status s = Status::Internal(ErrnoMessage("bind"));
+      ::close(fd);
+      return s;
+    }
+    if (::listen(fd, 64) != 0) {
+      const Status s = Status::Internal(ErrnoMessage("listen"));
+      ::close(fd);
+      return s;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      const Status s = Status::Internal(ErrnoMessage("getsockname"));
+      ::close(fd);
+      return s;
+    }
+    return std::unique_ptr<Listener>(
+        new TcpListener(fd, ntohs(addr.sin_port)));
+  }
+
+  StatusOr<std::unique_ptr<Connection>> Connect(const std::string& host,
+                                                int port) override {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::Internal(ErrnoMessage("socket"));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return Status::InvalidArgument("bad connect address: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const Status s = Status::Internal(ErrnoMessage("connect"));
+      ::close(fd);
+      return s;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::unique_ptr<Connection>(new TcpConnection(fd));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// In-memory transport
+
+/// One direction of an in-memory duplex connection: a byte buffer with a
+/// closed flag. Writers append; readers drain or block.
+struct Pipe {
+  Mutex mu;
+  CondVar cv;
+  std::string buffer EBA_GUARDED_BY(mu);
+  bool closed EBA_GUARDED_BY(mu) = false;
+
+  void Close() {
+    MutexLock lock(mu);
+    closed = true;
+    cv.NotifyAll();
+  }
+};
+
+/// One end of a duplex pair: reads from `in`, writes to `out`. The two ends
+/// share the pipes in opposite orientation.
+class InMemoryConnection : public Connection {
+ public:
+  InMemoryConnection(std::shared_ptr<Pipe> in, std::shared_ptr<Pipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+  ~InMemoryConnection() override { ShutdownBoth(); }
+
+  StatusOr<size_t> Read(char* buf, size_t n) override {
+    MutexLock lock(in_->mu);
+    while (in_->buffer.empty() && !in_->closed) in_->cv.Wait(in_->mu);
+    if (in_->buffer.empty()) return size_t{0};  // closed: clean EOF
+    const size_t got = std::min(n, in_->buffer.size());
+    std::memcpy(buf, in_->buffer.data(), got);
+    in_->buffer.erase(0, got);
+    return got;
+  }
+
+  Status WriteAll(std::string_view data) override {
+    MutexLock lock(out_->mu);
+    if (out_->closed) return Status::FailedPrecondition("connection closed");
+    out_->buffer.append(data.data(), data.size());
+    out_->cv.NotifyAll();
+    return Status::OK();
+  }
+
+  void ShutdownBoth() override {
+    in_->Close();
+    out_->Close();
+  }
+
+ private:
+  std::shared_ptr<Pipe> in_;
+  std::shared_ptr<Pipe> out_;
+};
+
+class InMemoryNetEnv;
+
+class InMemoryListener : public Listener {
+ public:
+  InMemoryListener(InMemoryNetEnv* env, int port) : env_(env), port_(port) {}
+  ~InMemoryListener() override { Close(); }
+
+  StatusOr<std::unique_ptr<Connection>> Accept() override {
+    MutexLock lock(mu_);
+    while (pending_.empty() && !closed_) cv_.Wait(mu_);
+    if (pending_.empty()) {
+      return Status::FailedPrecondition("listener closed");
+    }
+    std::unique_ptr<Connection> conn = std::move(pending_.front());
+    pending_.pop_front();
+    return conn;
+  }
+
+  int port() const override { return port_; }
+
+  void Close() override;
+
+  /// Called by the env's Connect: hands the server-side end to Accept.
+  bool Deliver(std::unique_ptr<Connection> conn) {
+    MutexLock lock(mu_);
+    if (closed_) return false;
+    pending_.push_back(std::move(conn));
+    cv_.NotifyOne();
+    return true;
+  }
+
+ private:
+  InMemoryNetEnv* const env_;
+  const int port_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::unique_ptr<Connection>> pending_ EBA_GUARDED_BY(mu_);
+  bool closed_ EBA_GUARDED_BY(mu_) = false;
+};
+
+class InMemoryNetEnv : public NetEnv {
+ public:
+  StatusOr<std::unique_ptr<Listener>> Listen(const std::string& host,
+                                             int port) override {
+    (void)host;  // every in-memory address is local
+    MutexLock lock(mu_);
+    if (port == 0) port = next_port_++;
+    if (listeners_.count(port) > 0) {
+      return Status::FailedPrecondition("port already bound: " +
+                                        std::to_string(port));
+    }
+    auto listener = std::make_unique<InMemoryListener>(this, port);
+    listeners_[port] = listener.get();
+    return std::unique_ptr<Listener>(std::move(listener));
+  }
+
+  StatusOr<std::unique_ptr<Connection>> Connect(const std::string& host,
+                                                int port) override {
+    (void)host;
+    InMemoryListener* listener = nullptr;
+    {
+      MutexLock lock(mu_);
+      const auto it = listeners_.find(port);
+      if (it == listeners_.end()) {
+        return Status::NotFound("nothing listening on port " +
+                                std::to_string(port));
+      }
+      listener = it->second;
+    }
+    auto a = std::make_shared<Pipe>();  // client -> server bytes
+    auto b = std::make_shared<Pipe>();  // server -> client bytes
+    auto server_end = std::make_unique<InMemoryConnection>(a, b);
+    auto client_end = std::make_unique<InMemoryConnection>(b, a);
+    if (!listener->Deliver(std::move(server_end))) {
+      return Status::FailedPrecondition("listener closed");
+    }
+    return std::unique_ptr<Connection>(std::move(client_end));
+  }
+
+  void Unregister(int port) {
+    MutexLock lock(mu_);
+    listeners_.erase(port);
+  }
+
+ private:
+  Mutex mu_;
+  std::map<int, InMemoryListener*> listeners_ EBA_GUARDED_BY(mu_);
+  int next_port_ EBA_GUARDED_BY(mu_) = 20000;
+};
+
+void InMemoryListener::Close() {
+  {
+    MutexLock lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    pending_.clear();
+    cv_.NotifyAll();
+  }
+  env_->Unregister(port_);
+}
+
+}  // namespace
+
+NetEnv* RealNetEnv() {
+  static TcpNetEnv* env = new TcpNetEnv();
+  return env;
+}
+
+std::unique_ptr<NetEnv> NewInMemoryNetEnv() {
+  return std::make_unique<InMemoryNetEnv>();
+}
+
+}  // namespace eba

@@ -1,0 +1,86 @@
+// Transport seam for the auditing server: every byte the serving stack
+// sends or receives flows through these interfaces, mirroring the Env seam
+// that storage/io.h puts in front of durable file I/O. The real POSIX TCP
+// implementation lives entirely inside socket.cc (the determinism lint's
+// raw-net rule keeps raw socket calls out of everything else under
+// src/net/); tests swap in the in-memory transport below to drive the
+// server deterministically and to fault-inject — write torn or corrupt
+// frame bytes straight through a Connection, or drop one mid-frame —
+// without a kernel socket in the loop.
+
+#ifndef EBA_NET_SOCKET_H_
+#define EBA_NET_SOCKET_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace eba {
+
+/// A bidirectional byte stream (one accepted or dialed connection).
+/// Read/WriteAll may be called concurrently from different threads (one
+/// reader, one writer); ShutdownBoth may be called from any thread to
+/// unblock both.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Blocks until at least one byte is available, the peer closes (returns
+  /// 0), or the connection fails. Reads at most `n` bytes into `buf`.
+  virtual StatusOr<size_t> Read(char* buf, size_t n) = 0;
+
+  /// Writes all of `data`, blocking as needed.
+  virtual Status WriteAll(std::string_view data) = 0;
+
+  /// Shuts down both directions: the peer sees EOF and any blocked Read or
+  /// WriteAll on this end returns. Safe to call more than once and
+  /// concurrently with Read/WriteAll — this is how the server unsticks
+  /// handler threads on Stop.
+  virtual void ShutdownBoth() = 0;
+};
+
+/// An accepting endpoint bound to a port.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Blocks until a connection arrives or Close() is called (then
+  /// FailedPrecondition).
+  virtual StatusOr<std::unique_ptr<Connection>> Accept() = 0;
+
+  /// The bound port (the actual port when 0 was requested).
+  virtual int port() const = 0;
+
+  /// Unblocks any Accept in progress; subsequent Accepts fail.
+  virtual void Close() = 0;
+};
+
+/// Transport factory: the seam injected into AuditServer and AuditClient.
+class NetEnv {
+ public:
+  virtual ~NetEnv() = default;
+
+  /// Binds `host:port`; port 0 picks a free port (read it back via
+  /// Listener::port()).
+  virtual StatusOr<std::unique_ptr<Listener>> Listen(const std::string& host,
+                                                     int port) = 0;
+
+  virtual StatusOr<std::unique_ptr<Connection>> Connect(
+      const std::string& host, int port) = 0;
+};
+
+/// The real TCP transport (loopback or otherwise). Singleton, never freed.
+NetEnv* RealNetEnv();
+
+/// A process-local transport over in-memory pipes: Listen registers a port
+/// (0 assigns one), Connect pairs with a registered listener, and the two
+/// Connection ends exchange bytes through mutex-guarded buffers. Fully
+/// deterministic — no kernel, no real ports — so adversarial-frame and
+/// concurrency tests run the identical server code byte-for-byte.
+std::unique_ptr<NetEnv> NewInMemoryNetEnv();
+
+}  // namespace eba
+
+#endif  // EBA_NET_SOCKET_H_

@@ -197,7 +197,7 @@ StatusOr<CheckpointStore::Manifest> CheckpointStore::ReadManifest(
 
 StatusOr<uint64_t> CheckpointStore::Prepare(const Database& db,
                                             const AuditState& audit,
-                                            bool full) {
+                                            bool full, uint64_t min_seq) {
   uint64_t base_seq = 0;
   bool has_current = false;
   {
@@ -209,7 +209,7 @@ StatusOr<uint64_t> CheckpointStore::Prepare(const Database& db,
       return cur.status();
     }
   }
-  const uint64_t seq = base_seq + 1;
+  const uint64_t seq = std::max(base_seq + 1, min_seq);
 
   Manifest base;
   if (!has_current) {

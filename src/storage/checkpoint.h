@@ -80,14 +80,19 @@ class CheckpointStore {
   /// Path of the WAL file paired with checkpoint `seq`.
   std::string WalPath(uint64_t seq) const;
 
-  /// Writes checkpoint `CurrentSeq()+1` (1 if none) without publishing it:
-  /// a crash before Publish leaves CURRENT pointing at the old checkpoint.
-  /// `full` forces a complete database image; otherwise rows past the
-  /// current checkpoint's per-table counts are saved as segments (promoted
-  /// to full when there is no usable base, e.g. tables were added/dropped
-  /// or rewritten). Returns the new sequence number.
+  /// Writes checkpoint `max(CurrentSeq()+1, min_seq)` (starting at 1)
+  /// without publishing it: a crash before Publish leaves CURRENT pointing
+  /// at the old checkpoint. `min_seq` lets callers keep the sequence ahead
+  /// of WAL files that outrank CURRENT — recovery opens its fresh WAL at
+  /// (highest replayed seq + 1) without publishing a checkpoint, so the
+  /// next checkpoint must not re-allocate a sequence whose wal-<seq>.log
+  /// already holds stale records. `full` forces a complete database image;
+  /// otherwise rows past the current checkpoint's per-table counts are
+  /// saved as segments (promoted to full when there is no usable base, e.g.
+  /// tables were added/dropped or rewritten). Returns the new sequence
+  /// number.
   StatusOr<uint64_t> Prepare(const Database& db, const AuditState& audit,
-                             bool full);
+                             bool full, uint64_t min_seq = 0);
 
   /// Atomically flips CURRENT to `seq`, then garbage-collects checkpoints
   /// outside the new BASE chain and WAL files older than the new WALSEQ.

@@ -625,5 +625,130 @@ TEST(DurabilityTest, FreshStartThenRestartResumesFromCheckpoint) {
   CheckRecoveredAgainstOracle(db, master.templates, recovered, ~uint64_t{0});
 }
 
+// Regression: every crash/recover cycle opens a fresh WAL above the highest
+// sequence it replayed, and the next checkpoint must allocate *past* that
+// WAL. The pre-fix code seeded the replay watermark from the checkpoint's
+// own sequence and let Prepare reuse CurrentSeq()+1, so after two recovery
+// generations a checkpoint could pair itself with a stale recovery WAL —
+// whose already-checkpointed records the next recovery replayed again,
+// duplicating rows. Exact row-count equality (not >=) is the assertion that
+// catches it.
+TEST(DurabilityTest, KillRecoverCheckpointKillKeepsRowCountExact) {
+  const DurFixture master = MakeDurFixture();
+  const std::string dir = TempDir("recover_ckpt_seq");
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.sync = WalSync::kNone;  // fault model: process kill
+  opts.checkpoint_after_wal_bytes = 0;  // manual checkpoints only
+
+  size_t pos = 0;
+  auto batch = [&](size_t n) {
+    std::vector<Row> rows;
+    for (; n > 0 && pos < master.backlog.size(); --n) {
+      rows.push_back(master.backlog[pos++]);
+    }
+    return rows;
+  };
+
+  // Generation 1: fresh start (checkpoint + first WAL), one acked batch,
+  // then the process "dies" (auditor dropped without checkpointing).
+  {
+    Database db = CloneDatabase(master.data.db);
+    EBA_ASSERT_OK_AND_ASSIGN(
+        StreamingAuditor auditor,
+        StreamingAuditor::RecoverFrom(&db, "LogStream", opts));
+    EBA_ASSERT_OK(auditor.AppendAccessBatch(batch(4)));
+  }
+  // Generation 2: recovery replays the first WAL and opens a fresh one;
+  // another acked batch lands only in that recovery WAL. Die again.
+  {
+    Database db = CloneDatabase(master.data.db);
+    EBA_ASSERT_OK_AND_ASSIGN(
+        StreamingAuditor auditor,
+        StreamingAuditor::RecoverFrom(&db, "LogStream", opts));
+    EBA_ASSERT_OK(auditor.AppendAccessBatch(batch(4)));
+  }
+  // Generation 3: two WALs to replay. The checkpoint published here must
+  // not collide with any surviving recovery WAL; the batch after it is the
+  // live tail. Die again.
+  {
+    Database db = CloneDatabase(master.data.db);
+    EBA_ASSERT_OK_AND_ASSIGN(
+        StreamingAuditor auditor,
+        StreamingAuditor::RecoverFrom(&db, "LogStream", opts));
+    EBA_ASSERT_OK(auditor.Checkpoint(/*full=*/false));
+    EBA_ASSERT_OK(auditor.AppendAccessBatch(batch(4)));
+  }
+
+  // Final recovery: every acknowledged row exactly once — a duplicate from
+  // a stale WAL paired with the generation-3 checkpoint shows up here.
+  Database db = CloneDatabase(master.data.db);
+  RecoveryStats stats;
+  EBA_ASSERT_OK_AND_ASSIGN(
+      StreamingAuditor recovered,
+      StreamingAuditor::RecoverFrom(&db, "LogStream", opts, &stats));
+  EXPECT_TRUE(stats.recovered);
+  const size_t seeded_rows = UnwrapOrDie(static_cast<const Database&>(
+                                             master.data.db)
+                                             .GetTable("LogStream"))
+                                 ->num_rows();
+  const Table* stream =
+      UnwrapOrDie(static_cast<const Database&>(db).GetTable("LogStream"));
+  EXPECT_EQ(stream->num_rows(), seeded_rows + pos);
+  for (const auto& t : master.templates) {
+    EBA_ASSERT_OK(recovered.AddTemplate(t));
+  }
+  (void)UnwrapOrDie(recovered.ExplainNew(SmallStreamingOptions()));
+  CheckRecoveredAgainstOracle(db, master.templates, recovered, ~uint64_t{0});
+}
+
+// Regression: recovery must fail loudly when a mid-chain WAL file is gone —
+// its records were durably committed and acknowledged; replaying around the
+// hole would silently lose them. The pre-fix code replayed whatever files
+// sorted into order.
+TEST(DurabilityTest, RecoveryFailsOnMissingMidChainWalFile) {
+  const DurFixture master = MakeDurFixture();
+  const std::string dir = TempDir("missing_midchain_wal");
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.sync = WalSync::kNone;
+  opts.checkpoint_after_wal_bytes = 0;
+
+  size_t pos = 0;
+  auto batch = [&](size_t n) {
+    std::vector<Row> rows;
+    for (; n > 0 && pos < master.backlog.size(); --n) {
+      rows.push_back(master.backlog[pos++]);
+    }
+    return rows;
+  };
+  // Three kill/recover generations, each acking one batch into its own WAL:
+  // the chain is wal-1, wal-2, wal-3 past the generation-1 checkpoint.
+  for (int generation = 0; generation < 3; ++generation) {
+    Database db = CloneDatabase(master.data.db);
+    EBA_ASSERT_OK_AND_ASSIGN(
+        StreamingAuditor auditor,
+        StreamingAuditor::RecoverFrom(&db, "LogStream", opts));
+    EBA_ASSERT_OK(auditor.AppendAccessBatch(batch(4)));
+  }
+
+  // Find and delete a mid-chain WAL: the committed middle batch vanishes.
+  std::vector<std::string> wal_names;
+  for (const std::string& name : UnwrapOrDie(RealEnv()->ListDir(dir))) {
+    if (name.rfind("wal-", 0) == 0) wal_names.push_back(name);
+  }
+  std::sort(wal_names.begin(), wal_names.end());
+  ASSERT_GE(wal_names.size(), 3u);
+  EBA_ASSERT_OK(RealEnv()->RemoveFile(dir + "/" + wal_names[1]));
+
+  Database db = CloneDatabase(master.data.db);
+  const Status recovered =
+      StreamingAuditor::RecoverFrom(&db, "LogStream", opts).status();
+  ASSERT_FALSE(recovered.ok())
+      << "recovery replayed around a missing mid-chain WAL";
+  EXPECT_NE(recovered.message().find("WAL chain broken"), std::string::npos)
+      << recovered.ToString();
+}
+
 }  // namespace
 }  // namespace eba

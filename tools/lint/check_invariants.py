@@ -5,7 +5,7 @@ The executor's contract is byte-identical reports regardless of thread
 count, and the bench gate diffs JSON across runs — so nondeterminism that
 the type system cannot see (hash-order iteration, unseeded randomness,
 wall-clock reads) is a correctness bug here, not a style issue. This lint
-enforces five invariants over src/ (and CMake test registration):
+enforces these invariants over src/ (and CMake test registration):
 
   R1 unordered-iteration: iterating a std::unordered_{map,set} (range-for
      or .begin()) feeds hash order into whatever is built from it. Allowed
@@ -37,6 +37,13 @@ enforces five invariants over src/ (and CMake test registration):
      `// lint:column-data` overrides (e.g. a span pointer handed out BY the
      accessor itself). The chunk-size constants (kColumnChunkRows et al.)
      are fine anywhere — aligning shards to chunks is the point.
+  R7 raw-net: raw POSIX socket calls (::socket/::bind/::accept/...) or
+     socket-API headers anywhere in src/ bypass the NetEnv seam
+     (net/socket.h), so serving code using them escapes the in-memory
+     transport the deterministic server tests and fuzz harness run on.
+     `// lint:raw-net` overrides per line, and a line-1 annotation exempts
+     a whole file (socket.cc IS the seam — every raw socket call is
+     supposed to live there, mirroring R5 and storage/io.cc).
 
 Exit status: 0 = clean, 1 = violations found, 2 = usage/IO error.
 """
@@ -103,6 +110,20 @@ COLUMN_PAYLOAD_PATTERNS = [
 COLUMN_DATA_CALL = re.compile(r"(?:\.|->)\s*data\s*\(")
 COLUMN_MENTION = re.compile(r"[Cc]olumn")
 
+# R7: global-scope POSIX socket calls and the headers that provide them.
+# The `::` prefix keeps member functions (conn->Connect()), std::bind and
+# the capitalized wrappers out of scope — the seam file itself writes raw
+# calls in exactly this form.
+RAW_NET_PATTERNS = [
+    (re.compile(r"(?<!\w)::(?:socket|bind|listen|accept|connect|recv|send"
+                r"|sendto|recvfrom|setsockopt|getsockopt|getsockname"
+                r"|shutdown)\s*\("),
+     "a raw POSIX socket call"),
+    (re.compile(r"#include\s*<(?:sys/socket|netinet/in|netinet/tcp"
+                r"|arpa/inet|netdb)\.h>"),
+     "a socket-API header"),
+]
+
 ADD_TEST = re.compile(r"\badd_test\s*\(\s*(?:NAME\s+)?(\S+)")
 SET_TESTS_PROPERTIES = re.compile(r"\bset_tests_properties\s*\(\s*(\S+)")
 
@@ -159,6 +180,10 @@ def check_cpp_file(path, rel, findings):
     check_column_payload = not rel.replace(os.sep, "/").startswith(
         COLUMN_PAYLOAD_SUBTREE)
 
+    # R7 scope: all of src/; a line-1 annotation exempts the seam file
+    # itself (net/socket.cc), where every raw socket call belongs.
+    check_raw_net = not (lines and "lint:raw-net" in lines[0])
+
     for i, raw in enumerate(lines):
         code = strip_comment(raw)
 
@@ -210,6 +235,17 @@ def check_cpp_file(path, rel, findings):
                         "(no fault injection, no fsync policy); route "
                         "through storage/io.h or annotate "
                         "`// lint:raw-io <why>`"))
+
+        # R7: raw sockets bypassing the NetEnv transport seam.
+        if check_raw_net and not has_annotation(lines, i, "raw-net"):
+            for pattern, what in RAW_NET_PATTERNS:
+                if pattern.search(code):
+                    findings.append(Finding(
+                        rel, i + 1, "raw-net",
+                        f"{what} outside the net/socket.cc seam escapes the "
+                        "in-memory transport (no deterministic server tests, "
+                        "no connection fault injection); route through "
+                        "net/socket.h or annotate `// lint:raw-net <why>`"))
 
         # R6: chunked column payloads accessed as if monolithic.
         if check_column_payload and not has_annotation(lines, i,

@@ -206,6 +206,58 @@ void Append(Env* env, const std::string& path) {
         self.assert_clean(run_lint(self.root))
 
 
+class RawNet(LintFixture):
+    def test_raw_socket_call_is_flagged(self):
+        self.write("src/core/sidechannel.cc", """
+void Leak(int port) {
+  int fd = ::socket(2, 1, 0);
+  ::connect(fd, nullptr, 0);
+}
+""")
+        self.assert_flags(run_lint(self.root), "raw-net")
+
+    def test_socket_header_is_flagged(self):
+        self.write("src/net/server2.cc", "#include <sys/socket.h>\n")
+        self.assert_flags(run_lint(self.root), "raw-net")
+
+    def test_recv_send_are_flagged(self):
+        self.write("src/net/fastpath.cc", """
+void Pump(int fd, char* buf) {
+  ::recv(fd, buf, 1, 0);
+  ::send(fd, buf, 1, 0);
+}
+""")
+        self.assert_flags(run_lint(self.root), "raw-net")
+
+    def test_wrappers_and_std_bind_are_not_flagged(self):
+        # Member calls, the capitalized seam API and std::bind must stay
+        # out of scope: only global-namespace POSIX calls are the seam's.
+        self.write("src/net/user.cc", """
+#include <functional>
+#include "net/socket.h"
+void Use(NetEnv* net, Connection* conn) {
+  auto c = net->Connect("h", 1);
+  conn->ShutdownBoth();
+  auto f = std::bind(&Use, net, conn);
+}
+""")
+        self.assert_clean(run_lint(self.root))
+
+    def test_line_annotation_is_allowed(self):
+        self.write("src/net/probe.cc",
+                   "// lint:raw-net startup self-check, not a data path\n"
+                   "int fd = ::socket(2, 1, 0);\n")
+        self.assert_clean(run_lint(self.root))
+
+    def test_file_level_annotation_exempts_whole_file(self):
+        self.write("src/net/socket_impl.cc", """\
+// lint:raw-net (this file IS the transport seam)
+#include <sys/socket.h>
+int Open() { return ::socket(2, 1, 0); }
+""")
+        self.assert_clean(run_lint(self.root))
+
+
 class ColumnPayload(LintFixture):
     def test_chunked_vector_outside_storage_is_flagged(self):
         self.write("src/query/gather.cc", """
